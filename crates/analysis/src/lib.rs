@@ -1,0 +1,35 @@
+//! # pels-analysis — closed-form models and stability analysis
+//!
+//! The analytical half of the PELS paper:
+//!
+//! * [`useful`] — Section 3's closed forms: expected useful packets under
+//!   Bernoulli loss (Lemma 1, Eq. 1–2), best-effort utility (Eq. 3), the
+//!   optimal preferential benchmark, and the PELS utility lower bound
+//!   (Eq. 6) with the γ fixed point (Lemma 4).
+//! * [`montecarlo`] — the empirical counterparts (Table 1's "Simulations"
+//!   column) and per-frame drop-pattern generators (Fig. 3).
+//! * [`stability`] — difference-equation simulators for the γ-controller
+//!   (Lemmas 2–3, Fig. 5) and the MKC congestion controller (Lemmas 5–6),
+//!   including stability-region scans of σ and β.
+//! * [`lossmodel`] — the Bernoulli channel and loss-burst statistics
+//!   justifying the exponential-tail assumption.
+//! * [`queueing`] — M/M/1 / M/D/1 / Erlang-B closed forms used to calibrate
+//!   the packet simulator against textbook ground truth.
+//!
+//! ```
+//! use pels_analysis::useful::{best_effort_utility, pels_utility_lower_bound};
+//!
+//! // At 10% loss and 100-packet frames, best-effort video is ~10% useful;
+//! // PELS guarantees ~96%.
+//! assert!(best_effort_utility(0.1, 100) < 0.11);
+//! assert!(pels_utility_lower_bound(0.1, 0.75) > 0.96);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lossmodel;
+pub mod montecarlo;
+pub mod queueing;
+pub mod stability;
+pub mod useful;

@@ -1,0 +1,67 @@
+//! Microbenchmarks of the PELS control plane: the per-packet/per-epoch
+//! costs that a router or source pays. These operations sit on the fast
+//! path, so they are measured individually.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pels_core::aimd::{AimdConfig, AimdController};
+use pels_core::feedback::{EpochFilter, FeedbackEstimator};
+use pels_core::gamma::{GammaConfig, GammaController};
+use pels_core::mkc::{MkcConfig, MkcController};
+use pels_netsim::packet::{AgentId, Feedback};
+use pels_netsim::time::{Rate, SimDuration};
+use std::hint::black_box;
+
+fn bench_controllers(c: &mut Criterion) {
+    c.bench_function("mkc_update", |b| {
+        let mut mkc = MkcController::new(MkcConfig::default());
+        let mut p = 0.01;
+        b.iter(|| {
+            p = -p;
+            black_box(mkc.update(black_box(p)))
+        });
+    });
+
+    c.bench_function("mkc_update_from_echo", |b| {
+        let mut mkc = MkcController::new(MkcConfig::default());
+        b.iter(|| black_box(mkc.update_from(black_box(1_000_000.0), black_box(0.05))));
+    });
+
+    c.bench_function("gamma_update", |b| {
+        let mut g = GammaController::new(GammaConfig::default());
+        b.iter(|| black_box(g.update(black_box(0.1))));
+    });
+
+    c.bench_function("aimd_update", |b| {
+        let mut a = AimdController::new(AimdConfig::default());
+        let mut p = 0.01;
+        b.iter(|| {
+            p = -p;
+            black_box(a.update(black_box(p)))
+        });
+    });
+
+    c.bench_function("estimator_on_arrival", |b| {
+        let mut e = FeedbackEstimator::new(Rate::from_mbps(2.0), SimDuration::from_millis(30));
+        b.iter(|| e.on_arrival(black_box(500), black_box(1)));
+    });
+
+    c.bench_function("estimator_tick", |b| {
+        let mut e = FeedbackEstimator::new(Rate::from_mbps(2.0), SimDuration::from_millis(30));
+        b.iter(|| {
+            e.on_arrival(500, 1);
+            black_box(e.tick(AgentId(1)))
+        });
+    });
+
+    c.bench_function("epoch_filter_accept", |b| {
+        let mut f = EpochFilter::new();
+        let mut z = 0u64;
+        b.iter(|| {
+            z += 1;
+            black_box(f.accept(&Feedback::new(AgentId(1), z, 0.1, 0.1)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_controllers);
+criterion_main!(benches);

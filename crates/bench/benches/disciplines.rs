@@ -1,0 +1,84 @@
+//! Microbenchmarks of the queue disciplines: per-packet enqueue/dequeue
+//! cost of each scheduler, including the paper's composite PELS discipline
+//! (WRR over {strict priority[G,Y,R], FIFO}).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pels_netsim::disc::{Discipline, DropTail, QueueLimit, Red, StrictPriority, Wrr};
+use pels_netsim::wfq::Wfq;
+use pels_netsim::packet::{AgentId, FlowId, Packet};
+use pels_netsim::time::SimTime;
+use std::hint::black_box;
+
+fn pkt(class: u8) -> Packet {
+    Packet::data(FlowId(0), AgentId(0), AgentId(1), 500).with_class(class)
+}
+
+fn pels_discipline() -> Wrr {
+    let video = Box::new(StrictPriority::drop_tail_bands(3, QueueLimit::Packets(200)));
+    let inet = Box::new(DropTail::new(QueueLimit::Packets(50)));
+    Wrr::new(
+        vec![(1, video as Box<dyn Discipline>), (1, inet as Box<dyn Discipline>)],
+        |p: &Packet| if p.class < 3 { 0 } else { 1 },
+        500,
+    )
+}
+
+fn cycle(disc: &mut dyn Discipline, classes: &[u8], dropped: &mut Vec<Packet>) {
+    for &c in classes {
+        disc.enqueue(pkt(c), SimTime::ZERO, dropped);
+    }
+    for _ in 0..classes.len() {
+        black_box(disc.dequeue(SimTime::ZERO));
+    }
+    dropped.clear();
+}
+
+fn bench_disciplines(c: &mut Criterion) {
+    let classes = [0u8, 1, 2, 3, 1, 2, 1, 1];
+
+    c.bench_function("droptail_enqueue_dequeue", |b| {
+        let mut q = DropTail::new(QueueLimit::Packets(1000));
+        let mut dropped = Vec::new();
+        b.iter(|| cycle(&mut q, &classes, &mut dropped));
+    });
+
+    c.bench_function("strict_priority_enqueue_dequeue", |b| {
+        let mut q = StrictPriority::drop_tail_bands(3, QueueLimit::Packets(1000));
+        let mut dropped = Vec::new();
+        b.iter(|| cycle(&mut q, &classes, &mut dropped));
+    });
+
+    c.bench_function("wrr_enqueue_dequeue", |b| {
+        let mut q = Wrr::new(
+            vec![
+                (1, Box::new(DropTail::new(QueueLimit::Packets(1000))) as Box<dyn Discipline>),
+                (1, Box::new(DropTail::new(QueueLimit::Packets(1000))) as Box<dyn Discipline>),
+            ],
+            |p: &Packet| if p.class < 3 { 0 } else { 1 },
+            500,
+        );
+        let mut dropped = Vec::new();
+        b.iter(|| cycle(&mut q, &classes, &mut dropped));
+    });
+
+    c.bench_function("pels_discipline_enqueue_dequeue", |b| {
+        let mut q = pels_discipline();
+        let mut dropped = Vec::new();
+        b.iter(|| cycle(&mut q, &classes, &mut dropped));
+    });
+
+    c.bench_function("wfq_enqueue_dequeue", |b| {
+        let mut q = Wfq::new(vec![2, 1, 1, 1], |p: &Packet| p.class as usize, 1000);
+        let mut dropped = Vec::new();
+        b.iter(|| cycle(&mut q, &classes, &mut dropped));
+    });
+
+    c.bench_function("red_enqueue_dequeue", |b| {
+        let mut q = Red::new(QueueLimit::Packets(1000), 5.0, 15.0, 0.1, 1);
+        let mut dropped = Vec::new();
+        b.iter(|| cycle(&mut q, &classes, &mut dropped));
+    });
+}
+
+criterion_group!(benches, bench_disciplines);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Macro benchmark: full PELS dumbbell scenarios (the unit of work behind
+//! every figure), measured in wall-clock per simulated second, for the
+//! priority-queue and best-effort modes and for two load levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pels_core::scenario::{pels_flows, to_best_effort, Scenario, ScenarioConfig};
+use pels_netsim::time::SimTime;
+use std::hint::black_box;
+
+fn run(cfg: ScenarioConfig, secs: f64) -> u64 {
+    let mut s = Scenario::build(cfg);
+    s.run_until(SimTime::from_secs_f64(secs));
+    s.sim.events_processed()
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pels_dumbbell_5s");
+    g.sample_size(10);
+    for n_flows in [2usize, 8] {
+        let cfg = ScenarioConfig {
+            flows: pels_flows(&vec![0.0; n_flows]),
+            keep_series: false,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new("pels", n_flows), &cfg, |b, cfg| {
+            b.iter(|| black_box(run(cfg.clone(), 5.0)));
+        });
+        g.bench_with_input(BenchmarkId::new("best_effort", n_flows), &cfg, |b, cfg| {
+            b.iter(|| black_box(run(to_best_effort(cfg.clone()), 5.0)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

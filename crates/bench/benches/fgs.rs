@@ -1,0 +1,101 @@
+//! Microbenchmarks of the video substrate: per-frame packetization,
+//! prefix decoding, rate scaling, and PSNR evaluation — the work a source
+//! or receiver does once per frame.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pels_analysis::useful::{best_effort_utility, expected_useful_fixed};
+use pels_fgs::decoder::FrameReception;
+use pels_fgs::packetize::packetize;
+use pels_fgs::psnr::RdModel;
+use pels_fgs::scaling::{partition_enhancement, scale_to_rate};
+use pels_fgs::bitplane::{BitplaneModel, QualityModel};
+use pels_fgs::gop::{propagate_base_loss, GopConfig};
+use pels_fgs::rd_scaling::{allocate_equal_quality, FrameBudget};
+use pels_fgs::trace_gen::{generate, TraceGenConfig};
+use pels_fgs::FrameSpec;
+use std::hint::black_box;
+
+fn bench_fgs(c: &mut Criterion) {
+    let frame = FrameSpec { index: 0, base_bytes: 10_500, enhancement_bytes: 52_500 };
+
+    c.bench_function("scale_and_partition", |b| {
+        b.iter(|| {
+            let scaled = scale_to_rate(black_box(&frame), black_box(4_000_000.0), 10.0);
+            black_box(partition_enhancement(scaled.enhancement_bytes, 0.13))
+        });
+    });
+
+    c.bench_function("packetize_126_packets", |b| {
+        let scaled = scale_to_rate(&frame, 50_400_000.0, 10.0);
+        let (y, r) = partition_enhancement(scaled.enhancement_bytes, 0.13);
+        b.iter(|| black_box(packetize(black_box(&scaled), y, r, 500)));
+    });
+
+    c.bench_function("prefix_decode_126_packets", |b| {
+        let scaled = scale_to_rate(&frame, 50_400_000.0, 10.0);
+        let (y, r) = partition_enhancement(scaled.enhancement_bytes, 0.13);
+        let plan = packetize(&scaled, y, r, 500);
+        let mut rx = FrameReception::from_plan(0, &plan);
+        for p in &plan {
+            if p.index % 7 != 6 {
+                rx.mark_received(p.index);
+            }
+        }
+        b.iter(|| black_box(rx.decode()));
+    });
+
+    c.bench_function("trace_generate_300_frames", |b| {
+        let cfg = TraceGenConfig::default();
+        b.iter(|| black_box(generate(&cfg, 7)));
+    });
+
+    c.bench_function("psnr_eval", |b| {
+        let model = RdModel::foreman_like(300, 42);
+        let mut f = 0u64;
+        b.iter(|| {
+            f = (f + 1) % 300;
+            black_box(model.psnr(f, 9_000, true))
+        });
+    });
+
+    c.bench_function("bitplane_psnr_eval", |b| {
+        let model = BitplaneModel::foreman_like(300, 42);
+        let mut f = 0u64;
+        b.iter(|| {
+            f = (f + 1) % 300;
+            black_box(model.psnr(f, 9_000, true))
+        });
+    });
+
+    c.bench_function("rd_waterfill_300_frames", |b| {
+        let model = pels_fgs::psnr::RdModel::foreman_like(300, 42);
+        let frames: Vec<FrameBudget> =
+            (0..300).map(|frame| FrameBudget { frame, max_bytes: 12_000 }).collect();
+        b.iter(|| black_box(allocate_equal_quality(&model, &frames, 1_500_000)));
+    });
+
+    c.bench_function("gop_propagate_300_frames", |b| {
+        let decoded: Vec<pels_fgs::DecodedFrame> = (0..300)
+            .map(|frame| pels_fgs::DecodedFrame {
+                frame,
+                base_ok: frame % 37 != 0,
+                enh_sent_packets: 100,
+                enh_received_packets: 90,
+                enh_received_bytes: 45_000,
+                enh_useful_packets: 80,
+                enh_useful_bytes: 40_000,
+            })
+            .collect();
+        b.iter(|| black_box(propagate_base_loss(&decoded, GopConfig::default())));
+    });
+
+    c.bench_function("analysis_eq2_and_eq3", |b| {
+        b.iter(|| {
+            black_box(expected_useful_fixed(black_box(0.1), black_box(100)));
+            black_box(best_effort_utility(black_box(0.1), black_box(100)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_fgs);
+criterion_main!(benches);

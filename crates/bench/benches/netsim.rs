@@ -1,0 +1,74 @@
+//! Microbenchmarks of the simulator engine itself: event-queue operations
+//! and a contained TCP transfer (the cross-traffic substrate), measuring
+//! simulated events per wall-clock second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pels_netsim::disc::{DropTail, QueueLimit};
+use pels_netsim::event::{Event, EventQueue};
+use pels_netsim::packet::{AgentId, FlowId};
+use pels_netsim::port::Port;
+use pels_netsim::router::{RouteTable, Router};
+use pels_netsim::sim::Simulator;
+use pels_netsim::tcp::{TcpSink, TcpSource};
+use pels_netsim::time::{Rate, SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("schedule_pop", |b| {
+        let mut q = EventQueue::new();
+        // Keep a working set of 1000 pending events.
+        for i in 0..1000u64 {
+            q.schedule(SimTime::from_nanos(i), Event::Timer { agent: AgentId(0), token: i });
+        }
+        let mut t = 1000u64;
+        b.iter(|| {
+            t += 1;
+            q.schedule(SimTime::from_nanos(t), Event::Timer { agent: AgentId(0), token: t });
+            black_box(q.pop())
+        });
+    });
+    g.finish();
+}
+
+fn tcp_sim() -> Simulator {
+    let mut sim = Simulator::new(7);
+    let (src, router, sink) = (AgentId(0), AgentId(1), AgentId(2));
+    let q = || Box::new(DropTail::new(QueueLimit::Packets(100)));
+    let delay = SimDuration::from_millis(5);
+    sim.add_agent(Box::new(TcpSource::new(
+        Port::new(0, router, Rate::from_mbps(10.0), delay, q()),
+        FlowId(1),
+        sink,
+        1000,
+        SimDuration::ZERO,
+    )));
+    let mut routes = RouteTable::new();
+    routes.add(sink, 0).add(src, 1);
+    sim.add_agent(Box::new(Router::new(
+        vec![
+            Port::new(0, sink, Rate::from_mbps(2.0), delay, q()),
+            Port::new(1, src, Rate::from_mbps(10.0), delay, q()),
+        ],
+        routes,
+    )));
+    sim.add_agent(Box::new(TcpSink::new(
+        Port::new(0, router, Rate::from_mbps(10.0), delay, q()),
+        FlowId(1),
+    )));
+    sim
+}
+
+fn bench_tcp(c: &mut Criterion) {
+    c.bench_function("tcp_transfer_5s_simulated", |b| {
+        b.iter(|| {
+            let mut sim = tcp_sim();
+            sim.run_until(SimTime::from_secs_f64(5.0));
+            black_box(sim.events_processed())
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_tcp);
+criterion_main!(benches);

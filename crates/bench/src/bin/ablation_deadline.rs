@@ -1,0 +1,94 @@
+//! Ablation: playout deadlines (the paper's low-delay motivation,
+//! Section 1 and 6.3).
+//!
+//! Interactive video has strict decoding deadlines. PELS's claim is that
+//! its *large red-queue delays are harmless*: late red packets sit above
+//! the decodable prefix (or were going to be dropped anyway), while the
+//! data that matters — green and yellow — is delivered in tens of
+//! milliseconds. We impose successively tighter playout deadlines and
+//! measure the surviving utility.
+
+use pels_bench::{fmt, print_table, write_result};
+use pels_core::scenario::{pels_flows, Scenario, ScenarioConfig};
+use pels_fgs::UtilityStats;
+use pels_netsim::time::{SimDuration, SimTime};
+
+fn run(deadline_ms: Option<u64>) -> (UtilityStats, [u64; 3], [f64; 3]) {
+    let cfg = ScenarioConfig {
+        flows: pels_flows(&[0.0; 4]),
+        playout_deadline: deadline_ms.map(SimDuration::from_millis),
+        ..Default::default()
+    };
+    let mut s = Scenario::build(cfg);
+    s.run_until(SimTime::from_secs_f64(40.0));
+    let mut u = UtilityStats::new();
+    let mut late = [0u64; 3];
+    for i in 0..4 {
+        let r = s.receiver(i);
+        for d in r.decode_all() {
+            if d.frame >= 100 {
+                u.add(&d);
+            }
+        }
+        for c in 0..3 {
+            late[c] += r.late_by_color[c];
+        }
+    }
+    let rx = s.receiver(0);
+    let p99 = [
+        rx.delays.quantile(0, 0.99).unwrap_or(0.0),
+        rx.delays.quantile(1, 0.99).unwrap_or(0.0),
+        rx.delays.quantile(2, 0.99).unwrap_or(0.0),
+    ];
+    (u, late, p99)
+}
+
+fn main() {
+    println!("== Ablation: playout deadline (4 flows, PELS) ==\n");
+    let mut rows = Vec::new();
+    let mut csv = String::from("deadline_ms,utility,late_green,late_yellow,late_red\n");
+    let mut baseline_utility = 0.0;
+    for (label, deadline) in [
+        ("none", None),
+        ("2000 ms", Some(2_000)),
+        ("500 ms", Some(500)),
+        ("200 ms", Some(200)),
+    ] {
+        let (u, late, p99) = run(deadline);
+        if deadline.is_none() {
+            baseline_utility = u.utility();
+        }
+        csv.push_str(&format!(
+            "{label},{:.4},{},{},{}\n",
+            u.utility(),
+            late[0],
+            late[1],
+            late[2]
+        ));
+        rows.push(vec![
+            label.to_string(),
+            fmt(u.utility(), 3),
+            late[0].to_string(),
+            late[1].to_string(),
+            late[2].to_string(),
+            format!("{:.0}/{:.0}/{:.0}", p99[0] * 1e3, p99[1] * 1e3, p99[2] * 1e3),
+        ]);
+        // The headline property: tight deadlines cost almost nothing.
+        assert!(
+            u.utility() > baseline_utility - 0.05,
+            "deadline {label}: utility {} collapsed from {baseline_utility}",
+            u.utility()
+        );
+        assert_eq!(late[0], 0, "green never misses a deadline ({label})");
+    }
+    print_table(
+        &["deadline", "utility", "late G", "late Y", "late R", "p99 delay G/Y/R (ms)"],
+        &rows,
+    );
+    write_result("ablation_deadline.csv", &csv);
+    println!(
+        "\neven a 200 ms playout deadline — which discards essentially every red \
+         packet — leaves utility intact: red delay/loss is harmless by design, \
+         and green/yellow always arrive within tens of milliseconds."
+    );
+}

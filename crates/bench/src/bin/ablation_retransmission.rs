@@ -1,0 +1,125 @@
+//! Ablation: retransmission-based loss recovery vs PELS (paper Section 1).
+//!
+//! The paper motivates a *retransmission-free* design: "during heavy
+//! congestion (especially along paths with large buffers), the RTT is often
+//! so high that even the retransmitted packets are dropped in the same
+//! congested queues ... which often causes the retransmitted packets to
+//! miss their decoding deadlines."
+//!
+//! We run an ARQ comparator (receiver NACKs gaps, source retransmits from
+//! a frame buffer) over a congested drop-tail FIFO with a large buffer, and
+//! measure how many recoveries beat a playout deadline — against PELS on
+//! the same topology, which needs no recovery at all.
+
+use pels_bench::{fmt, print_table, write_result};
+use pels_core::receiver::NackConfig;
+use pels_core::router::{AqmConfig, QueueMode};
+use pels_core::scenario::{Scenario, ScenarioConfig};
+use pels_core::source::{ArqConfig, SourceMode};
+use pels_fgs::UtilityStats;
+use pels_netsim::time::{SimDuration, SimTime};
+
+struct Outcome {
+    utility: f64,
+    retransmissions: u64,
+    recovered_on_time: u64,
+    recovered_late: u64,
+    nacks: u64,
+}
+
+fn run(arq: bool, fifo_limit: usize, deadline_ms: u64) -> Outcome {
+    let mut cfg: ScenarioConfig = pels_core::scenario::wideband_config(4, 0.10);
+    if arq {
+        cfg.aqm = AqmConfig {
+            mode: QueueMode::Fifo,
+            best_effort_limit: fifo_limit,
+            ..cfg.aqm
+        };
+        for f in &mut cfg.flows {
+            f.mode = SourceMode::BestEffort;
+            f.arq = Some(ArqConfig::default());
+        }
+        cfg.nack = Some(NackConfig::default());
+    }
+    cfg.playout_deadline = Some(SimDuration::from_millis(deadline_ms));
+    let mut s = Scenario::build(cfg);
+    s.run_until(SimTime::from_secs_f64(40.0));
+
+    let mut u = UtilityStats::new();
+    let mut retx = 0;
+    let mut on_time = 0;
+    let mut late = 0;
+    let mut nacks = 0;
+    for i in 0..4 {
+        retx += s.source(i).retransmissions;
+        let r = s.receiver(i);
+        on_time += r.recovered_on_time;
+        late += r.recovered_late;
+        nacks += r.nacks_sent;
+        for d in r.decode_all() {
+            if d.frame >= 100 {
+                u.add(&d);
+            }
+        }
+    }
+    Outcome {
+        utility: u.utility(),
+        retransmissions: retx,
+        recovered_on_time: on_time,
+        recovered_late: late,
+        nacks,
+    }
+}
+
+fn main() {
+    println!("== Ablation: ARQ retransmission vs PELS (playout deadline 300 ms) ==\n");
+    let mut rows = Vec::new();
+    let mut csv = String::from("scheme,utility,retransmissions,recovered_on_time,recovered_late\n");
+
+    let pels = run(false, 0, 300);
+    rows.push(vec![
+        "PELS (no retransmission)".into(),
+        fmt(pels.utility, 3),
+        "0".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    csv.push_str(&format!("pels,{:.4},0,0,0\n", pels.utility));
+
+    for (label, fifo_limit) in [("ARQ, small FIFO (100 pkts)", 100), ("ARQ, large FIFO (2000 pkts)", 2_000)]
+    {
+        let o = run(true, fifo_limit, 300);
+        let late_frac = o.recovered_late as f64
+            / (o.recovered_on_time + o.recovered_late).max(1) as f64;
+        rows.push(vec![
+            label.into(),
+            fmt(o.utility, 3),
+            o.retransmissions.to_string(),
+            o.recovered_on_time.to_string(),
+            format!("{} ({:.0}%)", o.recovered_late, late_frac * 100.0),
+        ]);
+        csv.push_str(&format!(
+            "{label},{:.4},{},{},{}\n",
+            o.utility, o.retransmissions, o.recovered_on_time, o.recovered_late
+        ));
+        assert!(o.nacks > 0 && o.retransmissions > 0, "ARQ actually ran");
+        if fifo_limit >= 2_000 {
+            assert!(
+                late_frac > 0.5,
+                "with a bloated buffer most recoveries miss the deadline: {late_frac}"
+            );
+        }
+    }
+    print_table(
+        &["scheme", "utility", "retransmissions", "recovered on time", "recovered late"],
+        &rows,
+    );
+    write_result("ablation_retransmission.csv", &csv);
+
+    assert!(pels.utility > 0.95, "PELS needs no recovery: {}", pels.utility);
+    println!(
+        "\nPELS sustains utility ~ 1 with zero recovery traffic; ARQ over a \
+         bloated FIFO burns bandwidth on retransmissions that arrive too late \
+         to decode — the paper's Section 1 argument, measured."
+    );
+}

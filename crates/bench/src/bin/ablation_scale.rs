@@ -1,0 +1,71 @@
+//! Ablation: scalability in the number of flows.
+//!
+//! PELS claims to be a *scalable* framework (no per-flow state in routers,
+//! complexity pushed to end hosts). This sweep runs 1–12 concurrent flows
+//! (in parallel worker threads — each simulation is deterministic and
+//! single-threaded) and checks that the per-flow rate tracks the Lemma-6
+//! fixed point `C/N + α/β`, utility stays ≈ 1, and green delays stay flat
+//! as the flow count grows.
+
+use pels_analysis::queueing::jain_index;
+use pels_bench::{fmt, print_table, write_result};
+use pels_core::scenario::{pels_flows, ScenarioConfig};
+use pels_core::sweep::run_parallel;
+
+fn main() {
+    println!("== Ablation: flow-count scalability (parallel sweep) ==\n");
+    let counts = [1usize, 2, 4, 6, 8, 10, 12];
+    let configs: Vec<ScenarioConfig> = counts
+        .iter()
+        .map(|&n| ScenarioConfig {
+            flows: pels_flows(&vec![0.0; n]),
+            keep_series: false,
+            ..Default::default()
+        })
+        .collect();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let reports = run_parallel(configs, 30.0, threads);
+
+    let mut rows = Vec::new();
+    let mut csv = String::from("flows,lemma6_kbps,mean_rate_kbps,utility,jain,green_delay_ms,green_drops\n");
+    for (&n, report) in counts.iter().zip(&reports) {
+        let lemma6 = 2_000.0 / n as f64 + 40.0;
+        let mean_rate: f64 =
+            report.flows.iter().map(|f| f.final_rate_kbps).sum::<f64>() / n as f64;
+        let utility: f64 = report.flows.iter().map(|f| f.utility).sum::<f64>() / n as f64;
+        let green_ms: f64 =
+            report.flows.iter().map(|f| f.mean_delay_s[0] * 1e3).sum::<f64>() / n as f64;
+        let shares: Vec<f64> = report.flows.iter().map(|f| f.final_rate_kbps).collect();
+        let jain = jain_index(&shares);
+        csv.push_str(&format!(
+            "{n},{lemma6:.1},{mean_rate:.1},{utility:.4},{jain:.4},{green_ms:.2},{}\n",
+            report.bottleneck_drops_by_class[0]
+        ));
+        rows.push(vec![
+            n.to_string(),
+            fmt(lemma6, 0),
+            fmt(mean_rate, 0),
+            fmt(utility, 3),
+            fmt(jain, 4),
+            fmt(green_ms, 1),
+        ]);
+        assert!(jain > 0.999, "{n} flows: Jain index {jain}");
+        assert!(
+            (mean_rate - lemma6).abs() < 0.08 * lemma6,
+            "{n} flows: rate {mean_rate} vs Lemma 6 {lemma6}"
+        );
+        assert!(utility > 0.9, "{n} flows: utility {utility}");
+        assert!(green_ms < 60.0, "{n} flows: green delay {green_ms} ms");
+        assert_eq!(report.bottleneck_drops_by_class[0], 0, "{n} flows: green drops");
+    }
+    print_table(
+        &["flows", "Lemma-6 kb/s", "measured kb/s", "utility", "Jain", "green delay ms"],
+        &rows,
+    );
+    write_result("ablation_scale.csv", &csv);
+    println!(
+        "\nrates track C/N + alpha/beta from 1 to 12 flows; utility and green \
+         service are load-invariant — the framework scales with zero per-flow \
+         router state."
+    );
+}

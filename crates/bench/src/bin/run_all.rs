@@ -1,0 +1,67 @@
+//! Runs every table/figure/ablation binary in sequence and reports a
+//! summary. Binaries are located next to this executable (build the whole
+//! package first: `cargo build --release -p pels-bench`).
+
+use std::process::Command;
+use std::time::Instant;
+
+const BINARIES: &[&str] = &[
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ablation_sigma",
+    "ablation_beta",
+    "ablation_pthr",
+    "ablation_scheduler",
+    "ablation_cc",
+    "ablation_colors",
+    "ablation_deadline",
+    "ablation_rd_scaling",
+    "ablation_retransmission",
+    "ablation_scale",
+    "ablation_burstiness",
+    "ablation_marking",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("binary directory");
+    let mut failures = Vec::new();
+    for name in BINARIES {
+        let path = dir.join(name);
+        if !path.exists() {
+            eprintln!("[{name}] missing — run `cargo build --release -p pels-bench` first");
+            failures.push(*name);
+            continue;
+        }
+        println!("\n================ {name} ================");
+        let start = Instant::now();
+        match Command::new(&path).status() {
+            Ok(status) if status.success() => {
+                println!("[{name} ok in {:.1}s]", start.elapsed().as_secs_f64());
+            }
+            Ok(status) => {
+                eprintln!("[{name} FAILED: {status}]");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("[{name} could not start: {e}]");
+                failures.push(*name);
+            }
+        }
+    }
+    println!("\n================ summary ================");
+    if failures.is_empty() {
+        println!("all {} experiments reproduced their target shapes", BINARIES.len());
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,115 @@
+//! # pels-bench — the reproduction harness
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md's
+//! experiment index), plus ablation binaries and Criterion micro/macro
+//! benchmarks. Every binary prints the series the paper reports and writes
+//! a CSV copy under `results/`.
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — expected useful packets, model vs simulation |
+//! | `fig2`   | Fig. 2 — useful packets & utility vs frame size |
+//! | `fig3`   | Fig. 3 — random vs ideal per-frame drop patterns |
+//! | `fig5`   | Fig. 5 — γ(k) stability for σ = 0.5 vs σ = 3 |
+//! | `fig7`   | Fig. 7 — γ evolution and red loss under two load levels |
+//! | `fig8`   | Fig. 8 — green/yellow packet delays as flows join |
+//! | `fig9`   | Fig. 9 — red delays; MKC convergence and fairness |
+//! | `fig10`  | Fig. 10 — PSNR of Foreman at ~10% and ~19% loss |
+//! | `ablation_*` | design-choice ablations (DESIGN.md §6) |
+//! | `run_all` | runs everything above in sequence |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use pels_netsim::stats::TimeSeries;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory where experiment outputs are written.
+pub fn results_dir() -> PathBuf {
+    // Walk up from the crate to the workspace root if needed.
+    let candidates = [Path::new("results"), Path::new("../../results")];
+    for c in candidates {
+        if c.is_dir() {
+            return c.to_path_buf();
+        }
+    }
+    let p = PathBuf::from("results");
+    let _ = fs::create_dir_all(&p);
+    p
+}
+
+/// Writes `content` to `results/<name>` and reports the path on stdout.
+pub fn write_result(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    match fs::write(&path, content) {
+        Ok(()) => println!("[written {}]", path.display()),
+        Err(e) => eprintln!("[could not write {}: {e}]", path.display()),
+    }
+}
+
+/// Writes a set of time series as CSV under `results/<name>`.
+pub fn write_series(name: &str, series: &[&TimeSeries]) {
+    write_result(name, &pels_netsim::stats::to_csv(series));
+}
+
+/// Renders a simple aligned table to stdout.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn fmt(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Downsamples a series to at most `n` evenly spaced points (for compact
+/// stdout rendering; the CSV keeps everything).
+pub fn downsample(series: &TimeSeries, n: usize) -> Vec<(f64, f64)> {
+    if series.points.len() <= n {
+        return series.points.clone();
+    }
+    let step = series.points.len() as f64 / n as f64;
+    (0..n)
+        .map(|i| series.points[(i as f64 * step) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsample_preserves_endpoints_roughly() {
+        let mut s = TimeSeries::new("x");
+        for i in 0..1000 {
+            s.push(i as f64, i as f64);
+        }
+        let d = downsample(&s, 10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d[0].0, 0.0);
+        assert!(d[9].0 >= 900.0);
+    }
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,495 @@
+//! # pels-cli — command-line driver for PELS simulations
+//!
+//! The `pels` binary exposes the workspace to non-Rust users:
+//!
+//! ```text
+//! pels run   [--flows N] [--duration SECS] [--mode pels|besteffort|fifo]
+//!            [--seed S] [--config FILE.json] [--json]
+//! pels sweep --flows-list 1,2,4,8 [--duration SECS] [--json]
+//! pels model --p LOSS --h PACKETS        # Section 3 closed forms
+//! pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]
+//! pels trace --frames N [--cv CV] [--seed S]   # synthetic trace as CSV
+//! pels config-template                    # print a ScenarioConfig JSON
+//! ```
+//!
+//! This module holds the argument parsing and command logic so it can be
+//! unit-tested; `main.rs` is a thin shim.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use pels_core::router::QueueMode;
+use pels_core::scenario::{pels_flows, to_best_effort, Scenario, ScenarioConfig};
+use pels_core::source::SourceMode;
+use pels_netsim::time::SimTime;
+use std::collections::HashMap;
+
+/// A parsed command line.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Run a dumbbell scenario and report.
+    Run {
+        /// Parsed scenario configuration.
+        config: Box<ScenarioConfig>,
+        /// Simulated seconds.
+        duration_s: f64,
+        /// Emit the report as JSON instead of text.
+        json: bool,
+    },
+    /// Evaluate the Section 3 closed forms.
+    Model {
+        /// Bernoulli loss probability.
+        p: f64,
+        /// Frame size in packets.
+        h: u32,
+    },
+    /// Iterate the γ controller.
+    Gamma {
+        /// Stationary loss.
+        p: f64,
+        /// Target red loss.
+        p_thr: f64,
+        /// Controller gain.
+        sigma: f64,
+        /// Steps to iterate.
+        steps: usize,
+    },
+    /// Sweep flow counts in parallel and summarize.
+    Sweep {
+        /// Flow counts to run.
+        counts: Vec<usize>,
+        /// Simulated seconds per run.
+        duration_s: f64,
+        /// Emit JSON reports.
+        json: bool,
+    },
+    /// Generate a synthetic frame-size trace as CSV on stdout.
+    Trace {
+        /// Number of frames.
+        frames: usize,
+        /// Coefficient of variation of enhancement sizes.
+        cv: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Print a JSON config template.
+    ConfigTemplate,
+    /// Print usage.
+    Help,
+}
+
+/// Errors produced while parsing arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl std::fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+fn flag_map(args: &[String]) -> Result<HashMap<String, String>, ParseArgsError> {
+    let mut map = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(ParseArgsError(format!("unexpected argument `{a}`")));
+        };
+        // Boolean flags take no value.
+        if name == "json" {
+            map.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let Some(value) = it.next() else {
+            return Err(ParseArgsError(format!("flag --{name} needs a value")));
+        };
+        map.insert(name.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn get_parsed<T: std::str::FromStr>(
+    map: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, ParseArgsError> {
+    match map.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| ParseArgsError(format!("invalid value for --{key}: `{v}`"))),
+    }
+}
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseArgsError`] describing the offending flag or value.
+pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "run" => {
+            let map = flag_map(rest)?;
+            let mut config = if let Some(path) = map.get("config") {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| ParseArgsError(format!("cannot read {path}: {e}")))?;
+                serde_json::from_str::<ScenarioConfig>(&text)
+                    .map_err(|e| ParseArgsError(format!("bad config {path}: {e}")))?
+            } else {
+                let n: usize = get_parsed(&map, "flows", 2)?;
+                if n == 0 {
+                    return Err(ParseArgsError("--flows must be at least 1".into()));
+                }
+                ScenarioConfig { flows: pels_flows(&vec![0.0; n]), ..Default::default() }
+            };
+            config.seed = get_parsed(&map, "seed", config.seed)?;
+            match map.get("mode").map(String::as_str) {
+                None | Some("pels") => {}
+                Some("besteffort") => config = to_best_effort(config),
+                Some("fifo") => {
+                    config.aqm.mode = QueueMode::Fifo;
+                    for f in &mut config.flows {
+                        f.mode = SourceMode::BestEffort;
+                    }
+                }
+                Some(other) => {
+                    return Err(ParseArgsError(format!(
+                        "unknown --mode `{other}` (pels|besteffort|fifo)"
+                    )))
+                }
+            }
+            let duration_s: f64 = get_parsed(&map, "duration", 30.0)?;
+            if !(duration_s > 0.0) {
+                return Err(ParseArgsError("--duration must be positive".into()));
+            }
+            Ok(Command::Run {
+                config: Box::new(config),
+                duration_s,
+                json: map.contains_key("json"),
+            })
+        }
+        "model" => {
+            let map = flag_map(rest)?;
+            let p: f64 = get_parsed(&map, "p", 0.1)?;
+            let h: u32 = get_parsed(&map, "h", 100)?;
+            if !(0.0 < p && p < 1.0) || h == 0 {
+                return Err(ParseArgsError("need 0 < p < 1 and h >= 1".into()));
+            }
+            Ok(Command::Model { p, h })
+        }
+        "gamma" => {
+            let map = flag_map(rest)?;
+            Ok(Command::Gamma {
+                p: get_parsed(&map, "p", 0.1)?,
+                p_thr: get_parsed(&map, "p-thr", 0.75)?,
+                sigma: get_parsed(&map, "sigma", 0.5)?,
+                steps: get_parsed(&map, "steps", 30)?,
+            })
+        }
+        "sweep" => {
+            let map = flag_map(rest)?;
+            let list = map
+                .get("flows-list")
+                .cloned()
+                .unwrap_or_else(|| "1,2,4,8".to_string());
+            let counts: Result<Vec<usize>, _> =
+                list.split(',').map(|t| t.trim().parse::<usize>()).collect();
+            let counts = counts
+                .map_err(|_| ParseArgsError(format!("bad --flows-list `{list}`")))?;
+            if counts.is_empty() || counts.contains(&0) {
+                return Err(ParseArgsError("--flows-list needs positive counts".into()));
+            }
+            let duration_s: f64 = get_parsed(&map, "duration", 20.0)?;
+            if !(duration_s > 0.0) {
+                return Err(ParseArgsError("--duration must be positive".into()));
+            }
+            Ok(Command::Sweep { counts, duration_s, json: map.contains_key("json") })
+        }
+        "trace" => {
+            let map = flag_map(rest)?;
+            let frames: usize = get_parsed(&map, "frames", 300)?;
+            let cv: f64 = get_parsed(&map, "cv", 0.15)?;
+            let seed: u64 = get_parsed(&map, "seed", 1)?;
+            if frames == 0 || !(0.0..1.0).contains(&cv) {
+                return Err(ParseArgsError("need frames >= 1 and cv in [0,1)".into()));
+            }
+            Ok(Command::Trace { frames, cv, seed })
+        }
+        "config-template" => Ok(Command::ConfigTemplate),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseArgsError(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns an error string suitable for printing to stderr.
+pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
+    let w = |out: &mut dyn std::io::Write, s: String| {
+        writeln!(out, "{s}").map_err(|e| e.to_string())
+    };
+    match cmd {
+        Command::Help => w(out, usage()),
+        Command::Trace { frames, cv, seed } => {
+            let cfg = pels_fgs::trace_gen::TraceGenConfig {
+                n_frames: frames,
+                cv,
+                ..Default::default()
+            };
+            let trace = pels_fgs::trace_gen::generate(&cfg, seed);
+            w(out, trace.to_csv().trim_end().to_string())
+        }
+        Command::ConfigTemplate => {
+            let cfg = ScenarioConfig::default();
+            let json = serde_json::to_string_pretty(&cfg).map_err(|e| e.to_string())?;
+            w(out, json)
+        }
+        Command::Model { p, h } => {
+            let ey = pels_analysis::useful::expected_useful_fixed(p, h);
+            let u = pels_analysis::useful::best_effort_utility(p, h);
+            let opt = pels_analysis::useful::optimal_useful(p, h);
+            let bound = pels_analysis::useful::pels_utility_lower_bound(p.min(0.74), 0.75);
+            w(
+                out,
+                format!(
+                    "p = {p}, H = {h}\n\
+                     best-effort useful packets E[Y]  = {ey:.3}\n\
+                     best-effort utility (Eq. 3)      = {u:.4}\n\
+                     optimal useful packets H(1-p)    = {opt:.1}\n\
+                     PELS utility bound (Eq. 6, 0.75) = {bound:.4}"
+                ),
+            )
+        }
+        Command::Gamma { p, p_thr, sigma, steps } => {
+            let traj = pels_analysis::stability::gamma_trajectory(0.5, sigma, p_thr, 1, steps, |_| p);
+            for (k, g) in traj.iter().enumerate() {
+                w(out, format!("{k:>4}  {g:.6}"))?;
+            }
+            w(out, format!("fixed point p/p_thr = {:.6}", p / p_thr))
+        }
+        Command::Sweep { counts, duration_s, json } => {
+            let configs: Vec<ScenarioConfig> = counts
+                .iter()
+                .map(|&n| ScenarioConfig {
+                    flows: pels_flows(&vec![0.0; n]),
+                    keep_series: false,
+                    ..Default::default()
+                })
+                .collect();
+            let threads =
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+            let reports = pels_core::sweep::run_parallel(configs, duration_s, threads);
+            if json {
+                let j = serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())?;
+                return w(out, j);
+            }
+            for (n, r) in counts.iter().zip(&reports) {
+                let mean_rate: f64 =
+                    r.flows.iter().map(|f| f.final_rate_kbps).sum::<f64>() / *n as f64;
+                let utility: f64 =
+                    r.flows.iter().map(|f| f.utility).sum::<f64>() / *n as f64;
+                w(
+                    out,
+                    format!(
+                        "{n:>3} flows: mean rate {mean_rate:>7.0} kb/s  utility {utility:.3}                           (Lemma 6: {:.0} kb/s)",
+                        2_000.0 / *n as f64 + 40.0
+                    ),
+                )?;
+            }
+            Ok(())
+        }
+        Command::Run { config, duration_s, json } => {
+            let mut s = Scenario::build(*config);
+            s.run_until(SimTime::from_secs_f64(duration_s));
+            let report = s.report();
+            if json {
+                let j = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                w(out, j)
+            } else {
+                let u = s.total_utility();
+                w(
+                    out,
+                    format!(
+                        "ran {duration_s} s: {} flows, utility {:.4}, router p {:+.4}",
+                        report.flows.len(),
+                        u.utility(),
+                        report.router_final_loss
+                    ),
+                )?;
+                for f in &report.flows {
+                    w(
+                        out,
+                        format!(
+                            "  flow {}: rate {:>7.0} kb/s  gamma {:.3}  utility {:.3}  \
+                             delay G/Y/R {:>4.0}/{:>4.0}/{:>6.0} ms",
+                            f.flow,
+                            f.final_rate_kbps,
+                            f.final_gamma,
+                            f.utility,
+                            f.mean_delay_s[0] * 1e3,
+                            f.mean_delay_s[1] * 1e3,
+                            f.mean_delay_s[2] * 1e3
+                        ),
+                    )?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "pels — PELS (ICDCS 2004) reproduction driver\n\
+     \n\
+     USAGE:\n\
+       pels run   [--flows N] [--duration SECS] [--mode pels|besteffort|fifo]\n\
+                  [--seed S] [--config FILE.json] [--json]\n\
+       pels sweep [--flows-list 1,2,4,8] [--duration SECS] [--json]\n\
+       pels model --p LOSS --h PACKETS\n\
+       pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]\n\
+       pels trace [--frames N] [--cv CV] [--seed S]\n\
+       pels config-template\n\
+       pels help"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_run_defaults() {
+        let cmd = parse_args(&args("run")).unwrap();
+        match cmd {
+            Command::Run { config, duration_s, json } => {
+                assert_eq!(config.flows.len(), 2);
+                assert_eq!(duration_s, 30.0);
+                assert!(!json);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_run_flags() {
+        let cmd = parse_args(&args("run --flows 4 --duration 10 --mode besteffort --json --seed 7"))
+            .unwrap();
+        match cmd {
+            Command::Run { config, duration_s, json } => {
+                assert_eq!(config.flows.len(), 4);
+                assert_eq!(config.seed, 7);
+                assert_eq!(duration_s, 10.0);
+                assert!(json);
+                assert_eq!(config.aqm.mode, QueueMode::BestEffortUniform);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args("run --flows 0")).is_err());
+        assert!(parse_args(&args("run --duration -3")).is_err());
+        assert!(parse_args(&args("run --mode nonsense")).is_err());
+        assert!(parse_args(&args("frobnicate")).is_err());
+        assert!(parse_args(&args("run --flows")).is_err());
+        assert!(parse_args(&args("model --p 1.5")).is_err());
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert!(matches!(parse_args(&[]).unwrap(), Command::Help));
+    }
+
+    #[test]
+    fn model_command_prints_closed_forms() {
+        let cmd = parse_args(&args("model --p 0.1 --h 100")).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // E[Y](0.1, 100) = 8.9998 -> "9.000"; U = 0.09999 -> "0.1000".
+        assert!(text.contains("9.000"), "{text}");
+        assert!(text.contains("0.1000"), "{text}");
+        assert!(text.contains("90.0"), "{text}");
+    }
+
+    #[test]
+    fn gamma_command_converges() {
+        let cmd = parse_args(&args("gamma --p 0.3 --steps 60")).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.trim_end().ends_with("0.400000"), "{text}");
+    }
+
+    #[test]
+    fn sweep_parses_and_runs() {
+        let cmd = parse_args(&args("sweep --flows-list 1,2 --duration 2")).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("1 flows"), "{text}");
+        assert!(text.contains("2 flows"), "{text}");
+        assert!(parse_args(&args("sweep --flows-list 0,2")).is_err());
+        assert!(parse_args(&args("sweep --flows-list x")).is_err());
+    }
+
+    #[test]
+    fn trace_command_emits_loadable_csv() {
+        let cmd = parse_args(&args("trace --frames 10 --cv 0.2 --seed 3")).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let trace = pels_fgs::frame::VideoTrace::from_csv(&text).unwrap();
+        assert_eq!(trace.len(), 10);
+        assert!(parse_args(&args("trace --frames 0")).is_err());
+    }
+
+    #[test]
+    fn config_template_roundtrips() {
+        let mut buf = Vec::new();
+        execute(Command::ConfigTemplate, &mut buf).unwrap();
+        let cfg: ScenarioConfig = serde_json::from_slice(&buf).unwrap();
+        assert_eq!(cfg.flows.len(), 2);
+    }
+
+    #[test]
+    fn run_command_executes_small_scenario() {
+        let cmd = parse_args(&args("run --flows 1 --duration 2 --json")).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&buf).unwrap();
+        assert_eq!(v["flows"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn config_file_roundtrip_via_disk() {
+        let dir = std::env::temp_dir().join("pels_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cfg.json");
+        let cfg = ScenarioConfig::default();
+        std::fs::write(&path, serde_json::to_string(&cfg).unwrap()).unwrap();
+        let cmd = parse_args(&args(&format!(
+            "run --config {} --duration 1",
+            path.display()
+        )))
+        .unwrap();
+        match cmd {
+            Command::Run { config, .. } => assert_eq!(config.flows.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+}

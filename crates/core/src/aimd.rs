@@ -1,0 +1,167 @@
+//! An AIMD rate controller, used as the congestion-control ablation.
+//!
+//! The paper stresses that PELS is *independent* of the congestion control
+//! employed (Section 5: "PELS is independent of congestion control and can
+//! be utilized with any end-to-end or AQM scheme") and motivates MKC by
+//! AIMD's "unacceptable" rate fluctuations for video. This controller lets
+//! the benchmark harness demonstrate both claims: PELS keeps utility high
+//! under AIMD too, while AIMD's rate variance is far larger than MKC's.
+
+use pels_netsim::time::Rate;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of [`AimdController`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AimdConfig {
+    /// Additive increase per control step when no congestion, bits/s.
+    pub increase_bps: f64,
+    /// Multiplicative decrease factor applied on congestion (e.g. 0.5).
+    pub decrease: f64,
+    /// Loss level above which a step counts as congested.
+    pub loss_threshold: f64,
+    /// Initial rate.
+    pub initial: Rate,
+    /// Rate floor.
+    pub min_rate: Rate,
+    /// Rate ceiling.
+    pub max_rate: Rate,
+}
+
+impl Default for AimdConfig {
+    fn default() -> Self {
+        AimdConfig {
+            increase_bps: 20_000.0,
+            decrease: 0.5,
+            loss_threshold: 0.0,
+            initial: Rate::from_kbps(128.0),
+            min_rate: Rate::from_kbps(64.0),
+            max_rate: Rate::from_mbps(10.0),
+        }
+    }
+}
+
+/// Additive-increase / multiplicative-decrease rate control.
+///
+/// # Examples
+///
+/// ```
+/// use pels_core::aimd::{AimdConfig, AimdController};
+///
+/// let mut aimd = AimdController::new(AimdConfig::default());
+/// aimd.update(0.0);  // no loss: +20 kb/s
+/// assert_eq!(aimd.rate_bps(), 148_000.0);
+/// aimd.update(0.2);  // loss: halve
+/// assert_eq!(aimd.rate_bps(), 74_000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AimdController {
+    cfg: AimdConfig,
+    rate_bps: f64,
+    updates: u64,
+    /// Congestion (decrease) events so far.
+    pub backoffs: u64,
+}
+
+impl AimdController {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if gains are out of range (`increase <= 0`, `decrease`
+    /// outside `(0, 1)`) or the rate bounds are inconsistent.
+    pub fn new(cfg: AimdConfig) -> Self {
+        assert!(cfg.increase_bps > 0.0, "increase must be positive");
+        assert!(
+            cfg.decrease > 0.0 && cfg.decrease < 1.0,
+            "decrease must be in (0,1): {}",
+            cfg.decrease
+        );
+        assert!(cfg.min_rate <= cfg.max_rate, "min_rate must not exceed max_rate");
+        let rate = (cfg.initial.as_bps() as f64)
+            .clamp(cfg.min_rate.as_bps() as f64, cfg.max_rate.as_bps() as f64);
+        AimdController { cfg, rate_bps: rate, updates: 0, backoffs: 0 }
+    }
+
+    /// Current rate, bits/s.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// Number of control steps applied.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Applies one AIMD step with (signed) feedback `p`: decrease
+    /// multiplicatively when `p` exceeds the loss threshold, otherwise
+    /// increase additively. Returns the new rate.
+    pub fn update(&mut self, p: f64) -> f64 {
+        let next = if p.is_finite() && p > self.cfg.loss_threshold {
+            self.backoffs += 1;
+            self.rate_bps * self.cfg.decrease
+        } else {
+            self.rate_bps + self.cfg.increase_bps
+        };
+        self.rate_bps = next.clamp(
+            self.cfg.min_rate.as_bps() as f64,
+            self.cfg.max_rate.as_bps() as f64,
+        );
+        self.updates += 1;
+        self.rate_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sawtooth_behaviour() {
+        let mut a = AimdController::new(AimdConfig::default());
+        for _ in 0..10 {
+            a.update(0.0);
+        }
+        assert_eq!(a.rate_bps(), 328_000.0);
+        a.update(0.5);
+        assert_eq!(a.rate_bps(), 164_000.0);
+        assert_eq!(a.backoffs, 1);
+    }
+
+    #[test]
+    fn oscillates_forever_unlike_mkc() {
+        // Feed self-consistent feedback: AIMD has no fixed point above the
+        // knee — it must oscillate.
+        let mut a = AimdController::new(AimdConfig::default());
+        let c = 2_000_000.0;
+        let mut rates = Vec::new();
+        for _ in 0..2_000 {
+            let r = a.rate_bps();
+            a.update((r - c) / r);
+            rates.push(a.rate_bps());
+        }
+        let tail = &rates[1_500..];
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        let var = tail.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / tail.len() as f64;
+        // Coefficient of variation stays macroscopic (sawtooth).
+        assert!(var.sqrt() / mean > 0.05, "cv {}", var.sqrt() / mean);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut a = AimdController::new(AimdConfig::default());
+        for _ in 0..100 {
+            a.update(0.9);
+        }
+        assert_eq!(a.rate_bps(), 64_000.0);
+        for _ in 0..1_000 {
+            a.update(-1.0);
+        }
+        assert_eq!(a.rate_bps(), 10_000_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decrease must be in")]
+    fn rejects_bad_decrease() {
+        let _ = AimdController::new(AimdConfig { decrease: 1.0, ..Default::default() });
+    }
+}

@@ -1,0 +1,332 @@
+//! The γ partition controller (paper Section 4.3, Eq. 4–5).
+//!
+//! γ is the fraction of each frame's transmitted enhancement bytes marked
+//! red. The controller drives the red-queue loss `p_R = p/γ` to a target
+//! `p_thr` by the proportional rule
+//!
+//! `γ(k) = γ(k-1) + σ (p(k-1)/p_thr − γ(k-1))`
+//!
+//! which is stable iff `0 < σ < 2` (Lemma 2; Lemma 3 extends this to
+//! arbitrary feedback delay) and converges `p_R → p_thr` under stationary
+//! loss (Lemma 4). The production controller here clamps γ to
+//! `[gamma_low, 1]` as the paper's simulations do (Fig. 7: γ falls to
+//! `γ_low = 0.05` while there is no loss).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of [`GammaController`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GammaConfig {
+    /// Controller gain σ. Must be in `(0, 2)` for stability.
+    pub sigma: f64,
+    /// Target red-queue loss `p_thr` (the paper stabilizes 0.70–0.90;
+    /// simulations use 0.75).
+    pub p_thr: f64,
+    /// Initial partition fraction.
+    pub gamma0: f64,
+    /// Lower clamp `γ_low` — a minimum red probe share is always kept.
+    pub gamma_low: f64,
+}
+
+impl Default for GammaConfig {
+    fn default() -> Self {
+        GammaConfig { sigma: 0.5, p_thr: 0.75, gamma0: 0.5, gamma_low: 0.05 }
+    }
+}
+
+/// The per-flow γ controller.
+///
+/// # Examples
+///
+/// ```
+/// use pels_core::gamma::{GammaConfig, GammaController};
+///
+/// let mut g = GammaController::new(GammaConfig::default());
+/// for _ in 0..100 {
+///     g.update(0.5); // heavy stationary loss
+/// }
+/// // Lemma 4 / Fig. 5: gamma* = p / p_thr = 0.5 / 0.75.
+/// assert!((g.gamma() - 2.0 / 3.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GammaController {
+    cfg: GammaConfig,
+    gamma: f64,
+    updates: u64,
+}
+
+impl GammaController {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is out of range (`σ <= 0`,
+    /// `p_thr` outside `(0, 1]`, `γ0`/`γ_low` outside `[0, 1]`, or
+    /// `γ_low > γ0`).
+    pub fn new(cfg: GammaConfig) -> Self {
+        assert!(cfg.sigma > 0.0 && cfg.sigma.is_finite(), "sigma must be positive");
+        assert!(
+            cfg.p_thr > 0.0 && cfg.p_thr <= 1.0,
+            "p_thr must be in (0,1]: {}",
+            cfg.p_thr
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.gamma0) && (0.0..=1.0).contains(&cfg.gamma_low),
+            "gamma bounds must be in [0,1]"
+        );
+        assert!(cfg.gamma_low <= cfg.gamma0, "gamma_low must not exceed gamma0");
+        GammaController { cfg, gamma: cfg.gamma0, updates: 0 }
+    }
+
+    /// The current partition fraction γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Number of updates applied.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GammaConfig {
+        &self.cfg
+    }
+
+    /// Applies one control step with the measured FGS-layer loss `p`
+    /// (Eq. 4). Negative `p` (spare capacity in the congestion-control
+    /// feedback) is treated as zero loss. Returns the new γ.
+    pub fn update(&mut self, p: f64) -> f64 {
+        let p = if p.is_finite() { p.clamp(0.0, 1.0) } else { 0.0 };
+        let raw = self.gamma + self.cfg.sigma * (p / self.cfg.p_thr - self.gamma);
+        self.gamma = raw.clamp(self.cfg.gamma_low, 1.0);
+        self.updates += 1;
+        self.gamma
+    }
+
+    /// The fixed point γ* = p/p_thr the controller converges to under
+    /// stationary loss `p` (Lemma 4), respecting the clamp.
+    pub fn fixed_point(&self, p: f64) -> f64 {
+        (p / self.cfg.p_thr).clamp(self.cfg.gamma_low, 1.0)
+    }
+}
+
+/// The delayed form of the γ controller (Eq. 5):
+/// `γ(k) = γ(k−D) + σ (p(k−D)/p_thr − γ(k−D))` for a fixed feedback delay
+/// of `D` control steps.
+///
+/// Lemma 3 shows the stability region is unchanged (`0 < σ < 2`); this
+/// production variant exists so the delayed dynamics can be exercised at
+/// packet level, not just in the analysis crate. With `delay == 1` it
+/// reduces exactly to [`GammaController`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayedGammaController {
+    cfg: GammaConfig,
+    /// Ring buffer of the last `delay` γ values, indexed cyclically; the
+    /// slot about to be overwritten holds γ(k−D).
+    gamma_hist: Vec<f64>,
+    /// Ring buffer of the last `delay − 1` loss samples (empty for D = 1,
+    /// where the freshly delivered sample is already `p(k−1)`).
+    p_hist: Vec<f64>,
+    next_gamma: usize,
+    next_p: usize,
+    updates: u64,
+}
+
+impl DelayedGammaController {
+    /// Creates a controller with feedback delay `delay` (in control steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay == 0` or the configuration is invalid (see
+    /// [`GammaController::new`]).
+    pub fn new(cfg: GammaConfig, delay: usize) -> Self {
+        assert!(delay >= 1, "delay must be at least 1");
+        // Reuse the validation.
+        let _ = GammaController::new(cfg);
+        DelayedGammaController {
+            cfg,
+            gamma_hist: vec![cfg.gamma0; delay],
+            p_hist: vec![0.0; delay - 1],
+            next_gamma: 0,
+            next_p: 0,
+            updates: 0,
+        }
+    }
+
+    /// The γ value currently in effect (the most recently computed one).
+    pub fn gamma(&self) -> f64 {
+        let last = (self.next_gamma + self.gamma_hist.len() - 1) % self.gamma_hist.len();
+        self.gamma_hist[last]
+    }
+
+    /// Applies one delayed control step. The `p` argument is the loss
+    /// measured over the interval that just ended (`p(k−1)`); the step uses
+    /// the sample from `D − 1` calls earlier, i.e. `p(k−D)`, together with
+    /// `γ(k−D)` (Eq. 5).
+    pub fn update(&mut self, p: f64) -> f64 {
+        let p = if p.is_finite() { p.clamp(0.0, 1.0) } else { 0.0 };
+        let old_gamma = self.gamma_hist[self.next_gamma];
+        let old_p = if self.p_hist.is_empty() {
+            p
+        } else {
+            let used = self.p_hist[self.next_p];
+            self.p_hist[self.next_p] = p;
+            self.next_p = (self.next_p + 1) % self.p_hist.len();
+            used
+        };
+        let raw = old_gamma + self.cfg.sigma * (old_p / self.cfg.p_thr - old_gamma);
+        let gamma = raw.clamp(self.cfg.gamma_low, 1.0);
+        self.gamma_hist[self.next_gamma] = gamma;
+        self.next_gamma = (self.next_gamma + 1) % self.gamma_hist.len();
+        self.updates += 1;
+        gamma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_fixed_point() {
+        let mut g = GammaController::new(GammaConfig::default());
+        for _ in 0..200 {
+            g.update(0.15);
+        }
+        assert!((g.gamma() - 0.2).abs() < 1e-9);
+        assert_eq!(g.updates(), 200);
+    }
+
+    #[test]
+    fn no_loss_decays_to_gamma_low() {
+        // Fig. 7: with no loss, gamma falls to the 0.05 floor.
+        let mut g = GammaController::new(GammaConfig::default());
+        for _ in 0..100 {
+            g.update(0.0);
+        }
+        assert!((g.gamma() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturates_at_one_under_extreme_loss() {
+        let mut g = GammaController::new(GammaConfig::default());
+        for _ in 0..100 {
+            g.update(0.95); // p > p_thr: gamma* would be 1.27, clamps to 1.
+        }
+        assert!((g.gamma() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_feedback_treated_as_zero() {
+        let mut g = GammaController::new(GammaConfig::default());
+        g.update(-5.0);
+        assert!(g.gamma() >= 0.05);
+        assert!(g.gamma() <= 0.5);
+    }
+
+    #[test]
+    fn tracks_loss_changes_both_directions() {
+        let mut g = GammaController::new(GammaConfig::default());
+        for _ in 0..100 {
+            g.update(0.3);
+        }
+        let high = g.gamma();
+        for _ in 0..100 {
+            g.update(0.06);
+        }
+        let low = g.gamma();
+        assert!(high > low);
+        assert!((high - 0.4).abs() < 1e-6);
+        assert!((low - 0.08).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_point_respects_clamp() {
+        let g = GammaController::new(GammaConfig::default());
+        assert!((g.fixed_point(0.3) - 0.4).abs() < 1e-12);
+        assert_eq!(g.fixed_point(0.0), 0.05);
+        assert_eq!(g.fixed_point(0.9), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_thr")]
+    fn rejects_bad_threshold() {
+        let _ = GammaController::new(GammaConfig { p_thr: 0.0, ..Default::default() });
+    }
+
+    #[test]
+    fn delayed_with_delay_one_matches_undelayed() {
+        let cfg = GammaConfig::default();
+        let mut plain = GammaController::new(cfg);
+        let mut delayed = DelayedGammaController::new(cfg, 1);
+        for k in 0..100 {
+            let p = 0.1 + 0.05 * ((k % 7) as f64 / 7.0);
+            let a = plain.update(p);
+            let b = delayed.update(p);
+            assert!((a - b).abs() < 1e-12, "step {k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn delayed_converges_for_any_delay_lemma3() {
+        for delay in [1usize, 3, 10] {
+            let mut g = DelayedGammaController::new(GammaConfig::default(), delay);
+            for _ in 0..2_000 {
+                g.update(0.3);
+            }
+            assert!(
+                (g.gamma() - 0.4).abs() < 1e-6,
+                "delay {delay}: gamma {} vs 0.4",
+                g.gamma()
+            );
+        }
+    }
+
+    #[test]
+    fn delayed_respects_clamps() {
+        let mut g = DelayedGammaController::new(GammaConfig::default(), 5);
+        for _ in 0..100 {
+            assert!((0.05..=1.0).contains(&g.update(0.95)));
+        }
+        assert!((g.gamma() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be at least 1")]
+    fn delayed_rejects_zero_delay() {
+        let _ = DelayedGammaController::new(GammaConfig::default(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// γ always stays within [gamma_low, 1] for any input sequence.
+        #[test]
+        fn gamma_always_in_bounds(
+            inputs in proptest::collection::vec(-2.0f64..2.0, 1..200),
+            sigma in 0.05f64..1.95,
+        ) {
+            let mut g = GammaController::new(GammaConfig { sigma, ..Default::default() });
+            for p in inputs {
+                let v = g.update(p);
+                prop_assert!((0.05..=1.0).contains(&v));
+            }
+        }
+
+        /// For stable gains, stationary loss converges to the clamped fixed
+        /// point regardless of the starting value.
+        #[test]
+        fn converges_for_stable_gains(sigma in 0.05f64..1.95, p in 0.0f64..0.74) {
+            let mut g = GammaController::new(GammaConfig { sigma, ..Default::default() });
+            for _ in 0..6_000 {
+                g.update(p);
+            }
+            prop_assert!((g.gamma() - g.fixed_point(p)).abs() < 1e-3);
+        }
+    }
+}

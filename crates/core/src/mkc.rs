@@ -1,0 +1,276 @@
+//! Max-min Kelly Control (MKC) — the paper's congestion controller
+//! (Section 5, Eq. 8).
+//!
+//! `r(k) = r(k−D) + α − β r(k−D) p(k−D←)`
+//!
+//! where `p` is the *signed* feedback from the most-congested router
+//! (Eq. 9/11): positive under overload, negative under spare capacity.
+//! The negative regime yields multiplicative (exponential) bandwidth
+//! claiming; the positive regime converges, without oscillation, to the
+//! stationary rate `r* = C/N + α/β` (Lemma 6), independent of feedback
+//! delay, and is stable iff `0 < β < 2` (Lemma 5).
+
+use pels_netsim::time::Rate;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of [`MkcController`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MkcConfig {
+    /// Additive gain α in bits/s per control step (paper: 20 kb/s).
+    pub alpha_bps: f64,
+    /// Multiplicative gain β (paper: 0.5). Must be in `(0, 2)`.
+    pub beta: f64,
+    /// Initial rate (paper: 128 kb/s — the base-layer rate).
+    pub initial: Rate,
+    /// Floor below which the rate never falls (the base layer must flow).
+    pub min_rate: Rate,
+    /// Cap on the sending rate (e.g. the access-link speed).
+    pub max_rate: Rate,
+    /// Clamp on how negative the feedback may be treated (bounds the
+    /// multiplicative ramp when the link is nearly idle).
+    pub min_feedback: f64,
+}
+
+impl Default for MkcConfig {
+    fn default() -> Self {
+        MkcConfig {
+            alpha_bps: 20_000.0,
+            beta: 0.5,
+            initial: Rate::from_kbps(128.0),
+            min_rate: Rate::from_kbps(64.0),
+            max_rate: Rate::from_mbps(10.0),
+            min_feedback: -10.0,
+        }
+    }
+}
+
+/// The per-flow MKC rate controller.
+///
+/// # Examples
+///
+/// ```
+/// use pels_core::mkc::{MkcConfig, MkcController};
+///
+/// let mut mkc = MkcController::new(MkcConfig::default());
+/// // Spare capacity (negative feedback) ramps the rate multiplicatively.
+/// let before = mkc.rate_bps();
+/// mkc.update(-5.0);
+/// assert!(mkc.rate_bps() > 3.0 * before);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MkcController {
+    cfg: MkcConfig,
+    rate_bps: f64,
+    updates: u64,
+}
+
+impl MkcController {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if gains are out of range (`α <= 0` or `β` outside `(0, 2)`),
+    /// or the rate bounds are inconsistent.
+    pub fn new(cfg: MkcConfig) -> Self {
+        assert!(cfg.alpha_bps > 0.0 && cfg.alpha_bps.is_finite(), "alpha must be positive");
+        assert!(cfg.beta > 0.0 && cfg.beta < 2.0, "beta must be in (0,2) for stability");
+        assert!(cfg.min_rate <= cfg.max_rate, "min_rate must not exceed max_rate");
+        assert!(cfg.min_feedback < 0.0, "min_feedback must be negative");
+        let rate = (cfg.initial.as_bps() as f64)
+            .clamp(cfg.min_rate.as_bps() as f64, cfg.max_rate.as_bps() as f64);
+        MkcController { cfg, rate_bps: rate, updates: 0 }
+    }
+
+    /// Current sending rate in bits/s.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// Current sending rate.
+    pub fn rate(&self) -> Rate {
+        Rate::from_bps(self.rate_bps.round() as u64)
+    }
+
+    /// Number of control steps applied.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MkcConfig {
+        &self.cfg
+    }
+
+    /// Applies one MKC step with signed feedback `p` (Eq. 8), using the
+    /// current rate as the base. Returns the new rate in bits/s.
+    ///
+    /// Prefer [`MkcController::update_from`] when the rate that generated
+    /// `p` is known (e.g. echoed through an ACK): Eq. 8's base is
+    /// `r(k − D)`, and using the matching old rate is what makes MKC stable
+    /// under arbitrary feedback delay (Lemma 5 / reference [34]).
+    pub fn update(&mut self, p: f64) -> f64 {
+        self.update_from(self.rate_bps, p)
+    }
+
+    /// Applies one MKC step `r ← base + α − β·base·p` (Eq. 8) where `base`
+    /// is the rate in effect when `p` was measured (`r(k − D)`).
+    /// Non-positive or non-finite bases fall back to the current rate.
+    /// Returns the new rate in bits/s.
+    pub fn update_from(&mut self, base_bps: f64, p: f64) -> f64 {
+        let p = if p.is_finite() {
+            p.clamp(self.cfg.min_feedback, 1.0)
+        } else {
+            0.0
+        };
+        let base = if base_bps.is_finite() && base_bps > 0.0 {
+            base_bps
+        } else {
+            self.rate_bps
+        };
+        let next = base + self.cfg.alpha_bps - self.cfg.beta * base * p;
+        self.rate_bps = next.clamp(
+            self.cfg.min_rate.as_bps() as f64,
+            self.cfg.max_rate.as_bps() as f64,
+        );
+        self.updates += 1;
+        self.rate_bps
+    }
+
+    /// Lemma 6: the stationary rate `r* = C/N + α/β` for `n` flows sharing
+    /// capacity `c` under this controller's gains.
+    pub fn stationary_rate_bps(&self, c: Rate, n: usize) -> f64 {
+        assert!(n > 0, "need at least one flow");
+        c.as_bps() as f64 / n as f64 + self.cfg.alpha_bps / self.cfg.beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl() -> MkcController {
+        MkcController::new(MkcConfig::default())
+    }
+
+    #[test]
+    fn additive_increase_at_zero_feedback() {
+        let mut m = ctl();
+        let r0 = m.rate_bps();
+        m.update(0.0);
+        assert!((m.rate_bps() - r0 - 20_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_point_is_lemma6() {
+        // Single flow on a 2 Mb/s link: r* = 2000 + 40 = 2040 kb/s.
+        let mut m = ctl();
+        let c = Rate::from_mbps(2.0);
+        let target = m.stationary_rate_bps(c, 1);
+        assert!((target - 2_040_000.0).abs() < 1e-6);
+        // Feed it self-consistent feedback p = (r - C)/r and iterate.
+        for _ in 0..500 {
+            let r = m.rate_bps();
+            let p = (r - c.as_bps() as f64) / r;
+            m.update(p);
+        }
+        assert!((m.rate_bps() - target).abs() < 1.0, "rate {}", m.rate_bps());
+    }
+
+    #[test]
+    fn converges_fast_from_below() {
+        // Paper Fig. 9: from 128 kb/s the flow claims a 2 Mb/s link in a
+        // handful of control intervals (exponential ramp).
+        let mut m = ctl();
+        let c = 2_000_000.0;
+        let mut steps = 0;
+        while m.rate_bps() < 0.95 * c && steps < 50 {
+            let r = m.rate_bps();
+            m.update((r - c) / r);
+            steps += 1;
+        }
+        assert!(steps <= 10, "took {steps} steps");
+    }
+
+    #[test]
+    fn no_oscillation_at_fixed_point() {
+        let mut m = ctl();
+        let c = 2_000_000.0;
+        for _ in 0..200 {
+            let r = m.rate_bps();
+            m.update((r - c) / r);
+        }
+        let r1 = m.rate_bps();
+        for _ in 0..50 {
+            let r = m.rate_bps();
+            m.update((r - c) / r);
+        }
+        assert!((m.rate_bps() - r1).abs() < 1e-6, "steady state drifted");
+    }
+
+    #[test]
+    fn respects_rate_bounds() {
+        let mut m = MkcController::new(MkcConfig {
+            max_rate: Rate::from_kbps(500.0),
+            ..Default::default()
+        });
+        for _ in 0..100 {
+            m.update(-10.0);
+        }
+        assert!((m.rate_bps() - 500_000.0).abs() < 1e-9);
+        for _ in 0..100 {
+            m.update(0.99);
+        }
+        assert!((m.rate_bps() - 64_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_feedback_is_ignored_additively() {
+        let mut m = ctl();
+        let r0 = m.rate_bps();
+        m.update(f64::NAN);
+        assert!((m.rate_bps() - r0 - 20_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in (0,2)")]
+    fn rejects_unstable_beta() {
+        let _ = MkcController::new(MkcConfig { beta: 2.5, ..Default::default() });
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The rate always stays within configured bounds.
+        #[test]
+        fn rate_in_bounds(inputs in proptest::collection::vec(-20.0f64..1.0, 1..300)) {
+            let mut m = MkcController::new(MkcConfig::default());
+            for p in inputs {
+                let r = m.update(p);
+                prop_assert!((64_000.0..=10_000_000.0).contains(&r));
+            }
+        }
+
+        /// Two flows fed identical feedback converge to identical rates
+        /// regardless of initial conditions (fairness).
+        #[test]
+        fn fairness_under_shared_feedback(r0a in 64.0f64..5_000.0, r0b in 64.0f64..5_000.0) {
+            let mk = |kbps: f64| MkcController::new(MkcConfig {
+                initial: Rate::from_kbps(kbps),
+                ..Default::default()
+            });
+            let (mut a, mut b) = (mk(r0a), mk(r0b));
+            let c = 2_000_000.0;
+            for _ in 0..2_000 {
+                let total = a.rate_bps() + b.rate_bps();
+                let p = (total - c) / total;
+                a.update(p);
+                b.update(p);
+            }
+            prop_assert!((a.rate_bps() - b.rate_bps()).abs() < 0.01 * a.rate_bps());
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! The PELS receiver agent.
+//!
+//! The receiver records every arriving video packet into per-frame
+//! reception maps (consumed after the run by the FGS prefix decoder),
+//! measures one-way delays per color (the paper's Fig. 8–9), and echoes the
+//! router feedback back to the source in a small ACK for every data packet
+//! (Section 5.2).
+
+use crate::source::RETX_MARKER;
+use pels_fgs::decoder::{DecodedFrame, FrameReception, UtilityStats};
+use pels_netsim::packet::{FlowId, Packet, PacketKind};
+use pels_netsim::port::Port;
+use pels_netsim::sim::{Agent, Context};
+use pels_netsim::stats::DelayRecorder;
+use pels_netsim::time::SimDuration;
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// Size of the acknowledgment packets, bytes.
+pub const ACK_BYTES: u32 = 40;
+
+/// Receiver-side NACK configuration for the ARQ comparator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct NackConfig {
+    /// How many NACK rounds each frame may trigger.
+    pub max_rounds: u8,
+    /// Cap on NACKs per frame per round.
+    pub max_per_round: usize,
+}
+
+impl Default for NackConfig {
+    fn default() -> Self {
+        NackConfig { max_rounds: 2, max_per_round: 64 }
+    }
+}
+
+/// The receiving end of a PELS flow.
+#[derive(Debug)]
+pub struct PelsReceiver {
+    flow: FlowId,
+    port: Port,
+    /// Source agent (learned from the first data packet; NACK destination).
+    src_hint: pels_netsim::packet::AgentId,
+    frames: BTreeMap<u64, FrameReception>,
+    /// Playout deadline: packets older than this on arrival are discarded
+    /// as undecodable (video frames have strict decoding deadlines —
+    /// paper Section 1). `None` = infinite buffer.
+    deadline: Option<SimDuration>,
+    /// Per-color one-way delay statistics.
+    pub delays: DelayRecorder,
+    /// Packets received per color (green, yellow, red).
+    pub received_by_color: [u64; 3],
+    /// Packets that arrived after the playout deadline, per color.
+    pub late_by_color: [u64; 3],
+    /// Total video data packets received.
+    pub received_packets: u64,
+    /// NACK generation (ARQ comparator), when enabled.
+    nack: Option<NackConfig>,
+    /// Per-frame NACK rounds already issued.
+    nack_rounds: BTreeMap<u64, u8>,
+    /// NACK packets sent.
+    pub nacks_sent: u64,
+    /// Retransmitted packets received in time to decode.
+    pub recovered_on_time: u64,
+    /// Retransmitted packets that missed the playout deadline.
+    pub recovered_late: u64,
+}
+
+impl PelsReceiver {
+    /// Creates a receiver answering `flow` through `port` (its access link,
+    /// used for the reverse ACK path).
+    ///
+    /// `keep_delay_series` retains raw per-packet delay samples for
+    /// plotting; aggregates are always kept.
+    pub fn new(flow: FlowId, port: Port, keep_delay_series: bool) -> Self {
+        PelsReceiver {
+            flow,
+            port,
+            src_hint: pels_netsim::packet::AgentId(u32::MAX),
+            frames: BTreeMap::new(),
+            deadline: None,
+            delays: DelayRecorder::new(keep_delay_series),
+            received_by_color: [0; 3],
+            late_by_color: [0; 3],
+            received_packets: 0,
+            nack: None,
+            nack_rounds: BTreeMap::new(),
+            nacks_sent: 0,
+            recovered_on_time: 0,
+            recovered_late: 0,
+        }
+    }
+
+    /// Sets a playout deadline (builder style): packets whose one-way delay
+    /// exceeds it are counted in [`PelsReceiver::late_by_color`] and do not
+    /// contribute to decoding.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Enables NACK-based retransmission requests (builder style; the
+    /// source must have ARQ enabled to answer them).
+    pub fn with_nack(mut self, cfg: NackConfig) -> Self {
+        self.nack = Some(cfg);
+        self
+    }
+
+    /// Issues NACKs for frames behind `current_frame` that still have gaps.
+    fn issue_nacks(&mut self, current_frame: u64, ctx: &mut Context<'_>) {
+        let Some(cfg) = self.nack else { return };
+        let lo = current_frame.saturating_sub(4);
+        for g in lo..current_frame {
+            let rounds = *self.nack_rounds.get(&g).unwrap_or(&0);
+            if rounds >= cfg.max_rounds {
+                continue;
+            }
+            // Round r of frame g fires once frame g + r + 1 is flowing.
+            if current_frame < g + rounds as u64 + 1 {
+                continue;
+            }
+            let Some(rx) = self.frames.get(&g) else { continue };
+            let mut sent_this_round = 0usize;
+            let (total, base) = (rx.total, rx.base_count);
+            let missing: Vec<u16> =
+                (0..total).filter(|&i| !rx.is_received(i)).collect();
+            for index in missing {
+                if sent_this_round >= cfg.max_per_round {
+                    break;
+                }
+                let mut nack = Packet::data(self.flow, ctx.self_id, self.src_hint, 40)
+                    .with_frame(pels_netsim::packet::FrameTag { frame: g, index, total, base })
+                    .with_id(ctx.alloc_packet_id());
+                nack.kind = PacketKind::Nack;
+                nack.sent_at = ctx.now;
+                self.port.send(nack, ctx);
+                self.nacks_sent += 1;
+                sent_this_round += 1;
+            }
+            self.nack_rounds.insert(g, rounds + 1);
+            self.nack_rounds.retain(|&f, _| f + 16 > current_frame);
+        }
+    }
+
+    /// The flow this receiver serves.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// Number of frames with at least one received packet.
+    pub fn frames_seen(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Per-frame reception maps (frame index → reception).
+    pub fn receptions(&self) -> &BTreeMap<u64, FrameReception> {
+        &self.frames
+    }
+
+    /// Decodes every frame seen so far (prefix decoding, Section 3).
+    pub fn decode_all(&self) -> Vec<DecodedFrame> {
+        self.frames.values().map(|r| r.decode()).collect()
+    }
+
+    /// Aggregate utility over all frames seen so far.
+    pub fn utility(&self) -> UtilityStats {
+        let mut stats = UtilityStats::new();
+        for d in self.decode_all() {
+            stats.add(&d);
+        }
+        stats
+    }
+}
+
+impl Agent for PelsReceiver {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        if packet.kind != PacketKind::Data || packet.flow != self.flow {
+            return;
+        }
+        let Some(tag) = packet.frame else { return };
+        self.src_hint = packet.src;
+        self.received_packets += 1;
+        let delay = ctx.now.duration_since(packet.sent_at);
+        let late = self.deadline.is_some_and(|d| delay > d);
+        if packet.ack_no == RETX_MARKER {
+            if late {
+                self.recovered_late += 1;
+            } else {
+                self.recovered_on_time += 1;
+            }
+        }
+        if self.nack.is_some() {
+            self.issue_nacks(tag.frame, ctx);
+        }
+        if (packet.class as usize) < 3 {
+            if late {
+                self.late_by_color[packet.class as usize] += 1;
+            } else {
+                self.received_by_color[packet.class as usize] += 1;
+            }
+        }
+        self.delays.record(packet.class, ctx.now.as_secs_f64(), delay.as_secs_f64());
+
+        if !late {
+            let entry = self.frames.entry(tag.frame).or_insert_with(|| {
+                FrameReception::with_counts(tag.frame, tag.total, tag.base, packet.size_bytes)
+            });
+            entry.mark_received_sized(tag.index, packet.size_bytes);
+        }
+
+        // ACKs flow even for late packets: the feedback label is still
+        // fresh, and congestion control must see the path state.
+        let mut ack = Packet::ack_for(&packet, ACK_BYTES).with_id(ctx.alloc_packet_id());
+        ack.sent_at = ctx.now;
+        self.port.send(ack, ctx);
+    }
+
+    fn on_tx_complete(&mut self, _port: usize, ctx: &mut Context<'_>) {
+        self.port.on_tx_complete(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pels_netsim::disc::{DropTail, QueueLimit};
+    use pels_netsim::packet::{AgentId, Feedback, FrameTag};
+    use pels_netsim::sim::Simulator;
+    use pels_netsim::time::{Rate, SimDuration, SimTime};
+
+    struct AckSink {
+        acks: Vec<Packet>,
+    }
+    impl Agent for AckSink {
+        fn on_packet(&mut self, p: Packet, _ctx: &mut Context<'_>) {
+            self.acks.push(p);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Delivers a fixed set of tagged packets to the receiver at start.
+    struct Feeder {
+        rx: AgentId,
+        packets: Vec<Packet>,
+    }
+    impl Agent for Feeder {
+        fn start(&mut self, ctx: &mut Context<'_>) {
+            for (i, mut p) in self.packets.drain(..).enumerate() {
+                p.sent_at = ctx.now;
+                ctx.deliver(self.rx, SimDuration::from_millis(10 + i as u64), p);
+            }
+        }
+        fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn video_packet(frame: u64, index: u16, total: u16, base: u16, class: u8) -> Packet {
+        let mut p = Packet::data(FlowId(1), AgentId(2), AgentId(0), 500)
+            .with_class(class)
+            .with_frame(FrameTag { frame, index, total, base });
+        p.feedback = Some(Feedback::new(AgentId(5), 3, 0.1, 0.2));
+        p
+    }
+
+    fn build(packets: Vec<Packet>) -> (Simulator, AgentId, AgentId) {
+        let mut sim = Simulator::new(1);
+        let rx_id = AgentId(0);
+        let ack_sink_id = AgentId(1);
+        let port = Port::new(
+            0,
+            ack_sink_id,
+            Rate::from_mbps(10.0),
+            SimDuration::from_millis(1),
+            Box::new(DropTail::new(QueueLimit::Packets(100))),
+        );
+        sim.add_agent(Box::new(PelsReceiver::new(FlowId(1), port, true)));
+        sim.add_agent(Box::new(AckSink { acks: vec![] }));
+        sim.add_agent(Box::new(Feeder { rx: rx_id, packets }));
+        (sim, rx_id, ack_sink_id)
+    }
+
+    #[test]
+    fn records_receptions_and_decodes() {
+        // Frame 0: 1 base + 4 enhancement, lose index 3.
+        let pkts: Vec<Packet> = [0u16, 1, 2, 4]
+            .iter()
+            .map(|&i| video_packet(0, i, 5, 1, if i == 0 { 0 } else { 1 }))
+            .collect();
+        let (mut sim, rx, _acks) = build(pkts);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let r = sim.agent::<PelsReceiver>(rx);
+        assert_eq!(r.frames_seen(), 1);
+        let decoded = r.decode_all();
+        assert!(decoded[0].base_ok);
+        assert_eq!(decoded[0].enh_received_packets, 3);
+        assert_eq!(decoded[0].enh_useful_packets, 2);
+        let u = r.utility();
+        assert!((u.utility() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acks_every_data_packet_and_echoes_feedback() {
+        let pkts = vec![video_packet(0, 0, 2, 1, 0), video_packet(0, 1, 2, 1, 1)];
+        let (mut sim, _rx, acks) = build(pkts);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let sink = sim.agent::<AckSink>(acks);
+        assert_eq!(sink.acks.len(), 2);
+        for a in &sink.acks {
+            assert_eq!(a.kind, PacketKind::Ack);
+            assert_eq!(a.size_bytes, ACK_BYTES);
+            let fb = a.feedback.expect("ACK echoes the feedback label");
+            assert_eq!(fb.epoch, 3);
+        }
+    }
+
+    #[test]
+    fn measures_one_way_delay_per_color() {
+        let pkts = vec![video_packet(0, 0, 2, 1, 0), video_packet(0, 1, 2, 1, 2)];
+        let (mut sim, rx, _acks) = build(pkts);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let r = sim.agent::<PelsReceiver>(rx);
+        // Feeder delivers with 10 ms and 11 ms one-way delay.
+        assert_eq!(r.delays.by_class[0].count(), 1);
+        assert!((r.delays.by_class[0].mean() - 0.010).abs() < 1e-9);
+        assert_eq!(r.delays.by_class[2].count(), 1);
+        assert!((r.delays.by_class[2].mean() - 0.011).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ignores_foreign_flows_and_acks() {
+        let mut foreign = video_packet(0, 0, 1, 1, 0);
+        foreign.flow = FlowId(99);
+        let mut ack = video_packet(0, 0, 1, 1, 0);
+        ack.kind = PacketKind::Ack;
+        let (mut sim, rx, _acks) = build(vec![foreign, ack]);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(sim.agent::<PelsReceiver>(rx).received_packets, 0);
+    }
+
+    #[test]
+    fn deadline_discards_late_packets_but_still_acks() {
+        let on_time = video_packet(0, 0, 2, 1, 0); // delivered at +10 ms
+        let late = video_packet(0, 1, 2, 1, 2); // delivered at +11 ms
+        let mut sim = Simulator::new(1);
+        let rx_id = AgentId(0);
+        let ack_sink_id = AgentId(1);
+        let port = Port::new(
+            0,
+            ack_sink_id,
+            Rate::from_mbps(10.0),
+            SimDuration::from_millis(1),
+            Box::new(DropTail::new(QueueLimit::Packets(100))),
+        );
+        sim.add_agent(Box::new(
+            PelsReceiver::new(FlowId(1), port, true)
+                .with_deadline(SimDuration::from_micros(10_500)),
+        ));
+        sim.add_agent(Box::new(AckSink { acks: vec![] }));
+        sim.add_agent(Box::new(Feeder { rx: rx_id, packets: vec![on_time, late] }));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let r = sim.agent::<PelsReceiver>(rx_id);
+        assert_eq!(r.received_by_color[0], 1);
+        assert_eq!(r.late_by_color[2], 1, "11 ms > 10.5 ms deadline");
+        let d = r.decode_all();
+        assert!(d[0].base_ok);
+        assert_eq!(d[0].enh_received_packets, 0, "late packet not decodable");
+        // Both packets were still ACKed (feedback must flow).
+        assert_eq!(sim.agent::<AckSink>(ack_sink_id).acks.len(), 2);
+    }
+
+    #[test]
+    fn utility_over_multiple_frames() {
+        let mut pkts = Vec::new();
+        // Frame 0: everything (1 base + 2 enh).
+        for i in 0..3u16 {
+            pkts.push(video_packet(0, i, 3, 1, if i == 0 { 0 } else { 1 }));
+        }
+        // Frame 1: enhancement gap at first position.
+        pkts.push(video_packet(1, 0, 3, 1, 0));
+        pkts.push(video_packet(1, 2, 3, 1, 1));
+        let (mut sim, rx, _acks) = build(pkts);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let u = sim.agent::<PelsReceiver>(rx).utility();
+        assert_eq!(u.frames, 2);
+        assert_eq!(u.enh_received, 3);
+        assert_eq!(u.enh_useful, 2);
+    }
+}

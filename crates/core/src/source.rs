@@ -1,0 +1,533 @@
+//! The PELS streaming source agent.
+//!
+//! Once per frame interval the source scales the FGS frame to its current
+//! MKC rate (Section 2.3/[5]), partitions the enhancement bytes into yellow
+//! and red according to γ (Section 4.2, Fig. 4 right), packetizes, and paces
+//! the packets evenly across the frame interval. Feedback arrives in ACKs;
+//! each *fresh* epoch (Section 5.2) drives one MKC step (Eq. 8) and one γ
+//! step (Eq. 4).
+
+use crate::aimd::{AimdConfig, AimdController};
+use crate::tfrc::{TfrcConfig, TfrcController};
+use crate::color::Color;
+use crate::feedback::EpochFilter;
+use crate::gamma::{GammaConfig, GammaController};
+use crate::mkc::{MkcConfig, MkcController};
+use pels_fgs::frame::VideoTrace;
+use pels_fgs::packetize::packetize;
+use pels_fgs::scaling::{partition_enhancement, scale_to_rate};
+use pels_netsim::packet::{AgentId, FlowId, FrameTag, Packet, PacketKind};
+use pels_netsim::port::Port;
+use pels_netsim::sim::{Agent, Context};
+use pels_netsim::stats::TimeSeries;
+use pels_netsim::time::SimDuration;
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+
+/// How the source marks its enhancement packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SourceMode {
+    /// PELS: yellow/red partition driven by the γ controller.
+    Pels,
+    /// Best-effort comparator: the whole enhancement layer is one class
+    /// (yellow); γ is irrelevant.
+    BestEffort,
+}
+
+/// Which congestion controller a source runs. PELS itself is independent
+/// of the choice (paper Section 5) — AIMD is provided for the ablation
+/// demonstrating exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum CcSpec {
+    /// Max-min Kelly Control (the paper's choice).
+    Mkc(MkcConfig),
+    /// Additive increase, multiplicative decrease.
+    Aimd(AimdConfig),
+    /// TFRC-style equation-based control.
+    Tfrc(TfrcConfig),
+}
+
+impl Default for CcSpec {
+    fn default() -> Self {
+        CcSpec::Mkc(MkcConfig::default())
+    }
+}
+
+#[derive(Debug)]
+enum Cc {
+    Mkc(MkcController),
+    Aimd(AimdController),
+    Tfrc(TfrcController),
+}
+
+impl Cc {
+    fn new(spec: CcSpec) -> Self {
+        match spec {
+            CcSpec::Mkc(cfg) => Cc::Mkc(MkcController::new(cfg)),
+            CcSpec::Aimd(cfg) => Cc::Aimd(AimdController::new(cfg)),
+            CcSpec::Tfrc(cfg) => Cc::Tfrc(TfrcController::new(cfg)),
+        }
+    }
+
+    fn rate_bps(&self) -> f64 {
+        match self {
+            Cc::Mkc(m) => m.rate_bps(),
+            Cc::Aimd(a) => a.rate_bps(),
+            Cc::Tfrc(t) => t.rate_bps(),
+        }
+    }
+
+    fn update_from(&mut self, base_bps: f64, p: f64) -> f64 {
+        match self {
+            Cc::Mkc(m) => m.update_from(base_bps, p),
+            Cc::Aimd(a) => a.update(p),
+            Cc::Tfrc(t) => t.update(p),
+        }
+    }
+}
+
+/// Retransmission (ARQ) configuration for the comparator experiments.
+///
+/// The paper argues *against* retransmission-based streaming (Section 1:
+/// under congestion "even the retransmitted packets are dropped in the same
+/// congested queues ... [and] miss their decoding deadlines"). Enabling ARQ
+/// lets the harness measure exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ArqConfig {
+    /// How many recent frames to keep retransmittable.
+    pub buffer_frames: u64,
+}
+
+impl Default for ArqConfig {
+    fn default() -> Self {
+        ArqConfig { buffer_frames: 8 }
+    }
+}
+
+/// Configuration of a [`PelsSource`].
+#[derive(Debug, Clone)]
+pub struct SourceConfig {
+    /// Flow identifier (must be unique per source).
+    pub flow: FlowId,
+    /// The receiving agent.
+    pub dst: AgentId,
+    /// When the flow starts, relative to simulation start.
+    pub start_at: SimDuration,
+    /// The video being streamed (looped).
+    pub trace: VideoTrace,
+    /// Congestion controller and its gains.
+    pub cc: CcSpec,
+    /// Partition-controller gains.
+    pub gamma: GammaConfig,
+    /// Wire packet size (paper: 500 bytes).
+    pub packet_bytes: u32,
+    /// Marking mode.
+    pub mode: SourceMode,
+    /// Optional ARQ: answer NACKs with retransmissions.
+    pub arq: Option<ArqConfig>,
+    /// Whether to retain per-step time series (rate, γ, feedback).
+    pub keep_series: bool,
+}
+
+const START_TOKEN: u64 = 0;
+const FRAME_TOKEN: u64 = 1;
+const PACE_TOKEN: u64 = 2;
+
+/// Sentinel in [`Packet::ack_no`] marking a retransmitted data packet
+/// (whose `sent_at` is the original frame emission time and must not be
+/// refreshed at transmit time).
+pub const RETX_MARKER: u64 = u64::MAX;
+
+/// The streaming source agent.
+#[derive(Debug)]
+pub struct PelsSource {
+    cfg: SourceConfig,
+    port: Port,
+    cc: Cc,
+    gamma: GammaController,
+    filter: EpochFilter,
+    frame_idx: u64,
+    seq: u64,
+    pending: VecDeque<Packet>,
+    pace_gap: SimDuration,
+    /// Packets sent per color (green, yellow, red).
+    pub sent_by_color: [u64; 3],
+    /// Frame packets that missed their interval and were abandoned.
+    pub abandoned_packets: u64,
+    /// Retransmissions performed in response to NACKs.
+    pub retransmissions: u64,
+    /// Retransmission buffer: frame -> (emitted_at, per-packet (bytes, class)).
+    retx_buffer: HashMap<u64, (pels_netsim::time::SimTime, Vec<(u32, u8)>)>,
+    /// `(t, rate kb/s)` after each applied control step.
+    pub rate_series: TimeSeries,
+    /// `(t, γ)` after each applied control step.
+    pub gamma_series: TimeSeries,
+    /// `(t, fgs loss)` as fed to the γ controller.
+    pub loss_series: TimeSeries,
+}
+
+impl PelsSource {
+    /// Creates a source sending through `port` (its access link).
+    pub fn new(cfg: SourceConfig, port: Port) -> Self {
+        let cc = Cc::new(cfg.cc);
+        let gamma = GammaController::new(cfg.gamma);
+        PelsSource {
+            cfg,
+            port,
+            cc,
+            gamma,
+            filter: EpochFilter::new(),
+            frame_idx: 0,
+            seq: 0,
+            pending: VecDeque::new(),
+            pace_gap: SimDuration::ZERO,
+            sent_by_color: [0; 3],
+            abandoned_packets: 0,
+            retransmissions: 0,
+            retx_buffer: HashMap::new(),
+            rate_series: TimeSeries::new("rate_kbps"),
+            gamma_series: TimeSeries::new("gamma"),
+            loss_series: TimeSeries::new("fgs_loss"),
+        }
+    }
+
+    /// The current congestion-controlled sending rate, bits/s.
+    pub fn rate_bps(&self) -> f64 {
+        self.cc.rate_bps()
+    }
+
+    /// The current partition fraction γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma.gamma()
+    }
+
+    /// Flow id of this source.
+    pub fn flow(&self) -> FlowId {
+        self.cfg.flow
+    }
+
+    /// Number of frames emitted so far.
+    pub fn frames_sent(&self) -> u64 {
+        self.frame_idx
+    }
+
+    fn emit_frame(&mut self, ctx: &mut Context<'_>) {
+        // Unsent packets from the previous frame interval have missed their
+        // deadline; drop them rather than let the backlog snowball.
+        self.abandoned_packets += self.pending.len() as u64;
+        self.pending.clear();
+
+        let trace = &self.cfg.trace;
+        let spec = *trace.frame(self.frame_idx);
+        let scaled = scale_to_rate(&spec, self.cc.rate_bps(), trace.fps);
+        let gamma = match self.cfg.mode {
+            SourceMode::Pels => self.gamma.gamma(),
+            SourceMode::BestEffort => 0.0,
+        };
+        let (yellow, red) = partition_enhancement(scaled.enhancement_bytes, gamma);
+        let plan = packetize(&scaled, yellow, red, self.cfg.packet_bytes);
+        let total = plan.len() as u16;
+        let base = plan
+            .iter()
+            .filter(|p| p.segment == pels_fgs::Segment::Base)
+            .count() as u16;
+        for pp in &plan {
+            let color = Color::from(pp.segment);
+            let mut pkt = Packet::data(self.cfg.flow, ctx.self_id, self.cfg.dst, pp.bytes)
+                .with_class(color.class())
+                .with_seq(self.seq)
+                .with_frame(FrameTag { frame: self.frame_idx, index: pp.index, total, base })
+                .with_id(ctx.alloc_packet_id());
+            pkt.sent_at = ctx.now; // refreshed at actual transmit time
+            self.seq += 1;
+            self.pending.push_back(pkt);
+        }
+        if let Some(arq) = self.cfg.arq {
+            let meta = plan
+                .iter()
+                .map(|pp| (pp.bytes, Color::from(pp.segment).class()))
+                .collect();
+            self.retx_buffer.insert(self.frame_idx, (ctx.now, meta));
+            self.retx_buffer
+                .retain(|&f, _| f + arq.buffer_frames > self.frame_idx);
+        }
+        self.frame_idx += 1;
+        // Pace the frame's packets evenly across the interval (first packet
+        // leaves immediately, the last one a gap before the next frame).
+        let interval = SimDuration::from_secs_f64(trace.frame_interval_secs());
+        self.pace_gap = interval / plan.len() as u64;
+        ctx.schedule_timer(SimDuration::ZERO, PACE_TOKEN);
+        ctx.schedule_timer(interval, FRAME_TOKEN);
+    }
+
+    fn pace_one(&mut self, ctx: &mut Context<'_>) {
+        let Some(mut pkt) = self.pending.pop_front() else {
+            return;
+        };
+        if pkt.ack_no != RETX_MARKER {
+            pkt.sent_at = ctx.now;
+        }
+        pkt.rate_echo = self.cc.rate_bps();
+        if let Some(color) = Color::from_class(pkt.class) {
+            self.sent_by_color[color.class() as usize] += 1;
+        }
+        self.port.send(pkt, ctx);
+        if !self.pending.is_empty() {
+            ctx.schedule_timer(self.pace_gap, PACE_TOKEN);
+        }
+    }
+
+    /// Answers a NACK by re-queueing the requested packet at the head of
+    /// the pacing queue. The retransmission keeps the *original* frame
+    /// emission time as `sent_at`, so receiver-side deadline accounting
+    /// sees the full decode latency (original wait + NACK round trip).
+    fn handle_nack(&mut self, nack: &Packet, ctx: &mut Context<'_>) {
+        let Some(tag) = nack.frame else { return };
+        let Some((emitted_at, meta)) = self.retx_buffer.get(&tag.frame) else {
+            return; // frame already evicted: the data is gone
+        };
+        let Some(&(bytes, class)) = meta.get(tag.index as usize) else {
+            return;
+        };
+        let mut pkt = Packet::data(self.cfg.flow, ctx.self_id, self.cfg.dst, bytes)
+            .with_class(class)
+            .with_seq(self.seq)
+            .with_frame(tag)
+            .with_id(ctx.alloc_packet_id());
+        pkt.sent_at = *emitted_at;
+        pkt.ack_no = RETX_MARKER;
+        self.seq += 1;
+        self.retransmissions += 1;
+        let was_idle = self.pending.is_empty();
+        self.pending.push_front(pkt);
+        if was_idle {
+            ctx.schedule_timer(SimDuration::ZERO, PACE_TOKEN);
+        }
+    }
+
+    fn apply_feedback(&mut self, pkt: &Packet, ctx: &mut Context<'_>) {
+        let Some(fb) = pkt.feedback else { return };
+        if !self.filter.accept(&fb) {
+            return;
+        }
+        // Eq. 8 base r(k - D): the rate echoed through the ACK, i.e. the
+        // rate in effect when the acknowledged packet was sent.
+        self.cc.update_from(pkt.rate_echo, fb.loss);
+        if self.cfg.mode == SourceMode::Pels {
+            self.gamma.update(fb.fgs_loss);
+        }
+        if self.cfg.keep_series {
+            let t = ctx.now.as_secs_f64();
+            self.rate_series.push(t, self.cc.rate_bps() / 1_000.0);
+            self.gamma_series.push(t, self.gamma.gamma());
+            self.loss_series.push(t, fb.fgs_loss);
+        }
+    }
+}
+
+impl Agent for PelsSource {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        ctx.schedule_timer(self.cfg.start_at, START_TOKEN);
+    }
+
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        if packet.flow != self.cfg.flow {
+            return;
+        }
+        match packet.kind {
+            PacketKind::Ack => self.apply_feedback(&packet, ctx),
+            PacketKind::Nack if self.cfg.arq.is_some() => self.handle_nack(&packet, ctx),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        match token {
+            START_TOKEN | FRAME_TOKEN => self.emit_frame(ctx),
+            PACE_TOKEN => self.pace_one(ctx),
+            other => unreachable!("unknown timer token {other}"),
+        }
+    }
+
+    fn on_tx_complete(&mut self, _port: usize, ctx: &mut Context<'_>) {
+        self.port.on_tx_complete(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pels_fgs::frame::foreman;
+    use pels_netsim::disc::{DropTail, QueueLimit};
+    use pels_netsim::packet::Feedback;
+    use pels_netsim::sim::Simulator;
+    use pels_netsim::time::{Rate, SimTime};
+
+    struct Recorder {
+        got: Vec<Packet>,
+        reply_feedback: Option<Feedback>,
+    }
+    impl Agent for Recorder {
+        fn on_packet(&mut self, p: Packet, ctx: &mut Context<'_>) {
+            if p.kind == PacketKind::Data {
+                let mut ack = Packet::ack_for(&p, 40).with_id(ctx.alloc_packet_id());
+                if let Some(fb) = self.reply_feedback {
+                    ack.feedback = Some(fb);
+                }
+                ctx.deliver(ack.dst, SimDuration::from_millis(1), ack);
+                self.got.push(p);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn source_cfg(dst: AgentId) -> SourceConfig {
+        SourceConfig {
+            flow: FlowId(1),
+            dst,
+            start_at: SimDuration::ZERO,
+            trace: VideoTrace::constant(30, 10.0, 1_600, 10_000),
+            cc: CcSpec::default(),
+            gamma: GammaConfig::default(),
+            packet_bytes: 500,
+            mode: SourceMode::Pels,
+            arq: None,
+            keep_series: true,
+        }
+    }
+
+    fn build(mode: SourceMode, reply_feedback: Option<Feedback>) -> (Simulator, AgentId, AgentId) {
+        let mut sim = Simulator::new(5);
+        let src_id = AgentId(0);
+        let dst_id = AgentId(1);
+        let port = Port::new(
+            0,
+            dst_id,
+            Rate::from_mbps(10.0),
+            SimDuration::from_millis(1),
+            Box::new(DropTail::new(QueueLimit::Packets(1000))),
+        );
+        let cfg = SourceConfig { mode, ..source_cfg(dst_id) };
+        sim.add_agent(Box::new(PelsSource::new(cfg, port)));
+        sim.add_agent(Box::new(Recorder { got: vec![], reply_feedback }));
+        (sim, src_id, dst_id)
+    }
+
+    #[test]
+    fn emits_frames_at_frame_rate() {
+        let (mut sim, src, dst) = build(SourceMode::Pels, None);
+        sim.run_until(SimTime::from_secs_f64(1.05));
+        // 10 fps for ~1s: 11 frame emissions (t=0 included).
+        assert_eq!(sim.agent::<PelsSource>(src).frames_sent(), 11);
+        let got = &sim.agent::<Recorder>(dst).got;
+        // Initial rate 128 kb/s == base bitrate: base-only frames.
+        let frames: std::collections::HashSet<u64> =
+            got.iter().map(|p| p.frame.unwrap().frame).collect();
+        assert!(frames.len() >= 10);
+        assert!(got.iter().all(|p| p.class == 0), "base-only at 128 kb/s");
+    }
+
+    #[test]
+    fn frame_tags_are_consistent() {
+        let (mut sim, _src, dst) = build(SourceMode::Pels, None);
+        sim.run_until(SimTime::from_secs_f64(0.5));
+        for p in &sim.agent::<Recorder>(dst).got {
+            let tag = p.frame.expect("video packets carry frame tags");
+            assert!(tag.index < tag.total);
+            assert!(tag.base <= tag.total);
+        }
+    }
+
+    #[test]
+    fn no_feedback_keeps_initial_rate() {
+        // Without any feedback labels the control loop never fires: the
+        // source keeps streaming at its initial rate.
+        let (mut sim, src, _dst) = build(SourceMode::Pels, None);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let s = sim.agent::<PelsSource>(src);
+        assert!((s.rate_bps() - 128_000.0).abs() < 1.0, "no feedback, no change");
+        assert_eq!(s.rate_series.len(), 0);
+    }
+
+    #[test]
+    fn stale_epochs_do_not_drive_control() {
+        let (mut sim, src, dst) = build(SourceMode::Pels, Some(Feedback::new(AgentId(7), 5, -1.0, 0.0)));
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        let s = sim.agent::<PelsSource>(src);
+        // Every ACK carries the same epoch 5: exactly one MKC step applies.
+        // One step from 128k with p=-1: 128k + 20k + 0.5*128k = 212k.
+        assert!((s.rate_bps() - 212_000.0).abs() < 1.0, "rate {}", s.rate_bps());
+        assert_eq!(s.rate_series.len(), 1);
+        let _ = dst;
+    }
+
+    #[test]
+    fn best_effort_mode_sends_no_red_and_keeps_gamma_idle() {
+        let (mut sim, src, dst) = build(SourceMode::BestEffort, Some(Feedback::new(AgentId(7), 1, -1.0, 0.2)));
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        let s = sim.agent::<PelsSource>(src);
+        assert_eq!(s.sent_by_color[2], 0, "best-effort sends no red");
+        // Gamma was never updated in BestEffort mode.
+        assert!((s.gamma() - 0.5).abs() < 1e-12);
+        let got = &sim.agent::<Recorder>(dst).got;
+        assert!(got.iter().all(|p| p.class <= 1));
+    }
+
+    #[test]
+    fn pacing_spreads_packets_within_the_interval() {
+        let (mut sim, _src, dst) = build(SourceMode::Pels, None);
+        sim.run_until(SimTime::from_secs_f64(0.35));
+        let got = &sim.agent::<Recorder>(dst).got;
+        // Packets of frame 1 (t in [0.1, 0.2)) are spaced, not a burst.
+        let f1: Vec<f64> = got
+            .iter()
+            .filter(|p| p.frame.unwrap().frame == 1)
+            .map(|p| p.sent_at.as_secs_f64())
+            .collect();
+        assert!(f1.len() >= 3);
+        let gaps: Vec<f64> = f1.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(gaps.iter().all(|&g| g > 0.005), "gaps {gaps:?}");
+    }
+
+    #[test]
+    fn paper_trace_base_is_21_green_packets() {
+        // With the paper-literal Foreman trace, a base-only frame is 21
+        // green packets of 500 bytes.
+        let mut sim = Simulator::new(5);
+        let dst_id = AgentId(1);
+        let port = Port::new(
+            0,
+            dst_id,
+            Rate::from_mbps(10.0),
+            SimDuration::from_millis(1),
+            Box::new(DropTail::new(QueueLimit::Packets(1000))),
+        );
+        let cfg = SourceConfig {
+            trace: foreman::trace(),
+            cc: CcSpec::Mkc(MkcConfig {
+                initial: Rate::from_kbps(840.0), // exactly the base bitrate
+                ..Default::default()
+            }),
+            ..source_cfg(dst_id)
+        };
+        sim.add_agent(Box::new(PelsSource::new(cfg, port)));
+        sim.add_agent(Box::new(Recorder { got: vec![], reply_feedback: None }));
+        sim.run_until(SimTime::from_secs_f64(0.55));
+        let got = &sim.agent::<Recorder>(dst_id).got;
+        let frame0: Vec<_> = got.iter().filter(|p| p.frame.unwrap().frame == 0).collect();
+        assert_eq!(frame0.len(), 21);
+        assert!(frame0.iter().all(|p| p.class == 0 && p.size_bytes == 500));
+    }
+}

@@ -1,0 +1,178 @@
+//! A single-rate three-color marker (srTCM, RFC 2697) — the DiffServ-style
+//! *network-side* marking the paper's related work critiques (Section 2.1:
+//! ingress routers "can arbitrarily remark" packets, and network-side
+//! markers cannot see the video's frame structure).
+//!
+//! Two token buckets share a committed information rate: the committed
+//! bucket (size CBS) colors conforming traffic green, the excess bucket
+//! (size EBS) colors the next tier yellow, everything else is red. Coloring
+//! depends only on arrival times and sizes — exactly why it cannot place
+//! the green tokens on the packets the *decoder* needs.
+
+use crate::color::Color;
+use pels_netsim::time::{Rate, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`SrTcm`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcmConfig {
+    /// Committed information rate.
+    pub cir: Rate,
+    /// Committed burst size, bytes (green bucket).
+    pub cbs: u32,
+    /// Excess burst size, bytes (yellow bucket).
+    pub ebs: u32,
+}
+
+impl Default for TcmConfig {
+    fn default() -> Self {
+        TcmConfig { cir: Rate::from_kbps(256.0), cbs: 4_000, ebs: 8_000 }
+    }
+}
+
+/// The color-blind single-rate three-color marker.
+///
+/// # Examples
+///
+/// ```
+/// use pels_core::color::Color;
+/// use pels_core::tcm::{SrTcm, TcmConfig};
+/// use pels_netsim::time::SimTime;
+///
+/// let mut tcm = SrTcm::new(TcmConfig::default());
+/// // The first packets fit the committed burst: green.
+/// assert_eq!(tcm.mark(500, SimTime::ZERO), Color::Green);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SrTcm {
+    cfg: TcmConfig,
+    tc: f64,
+    te: f64,
+    last: SimTime,
+    /// Packets marked per color (green, yellow, red).
+    pub marked: [u64; 3],
+}
+
+impl SrTcm {
+    /// Creates a marker with full buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate or the committed burst is zero.
+    pub fn new(cfg: TcmConfig) -> Self {
+        assert!(cfg.cir.as_bps() > 0, "CIR must be positive");
+        assert!(cfg.cbs > 0, "CBS must be positive");
+        SrTcm {
+            cfg,
+            tc: cfg.cbs as f64,
+            te: cfg.ebs as f64,
+            last: SimTime::ZERO,
+            marked: [0; 3],
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        let mut tokens = self.cfg.cir.as_bps() as f64 / 8.0 * dt;
+        let room_c = self.cfg.cbs as f64 - self.tc;
+        let to_c = tokens.min(room_c);
+        self.tc += to_c;
+        tokens -= to_c;
+        self.te = (self.te + tokens).min(self.cfg.ebs as f64);
+    }
+
+    /// Colors a packet of `bytes` arriving at `now` (RFC 2697, color-blind
+    /// mode).
+    pub fn mark(&mut self, bytes: u32, now: SimTime) -> Color {
+        self.refill(now);
+        let b = bytes as f64;
+        let color = if self.tc >= b {
+            self.tc -= b;
+            Color::Green
+        } else if self.te >= b {
+            self.te -= b;
+            Color::Yellow
+        } else {
+            Color::Red
+        };
+        self.marked[color.class() as usize] += 1;
+        color
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pels_netsim::time::SimDuration;
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn burst_progression_green_yellow_red() {
+        // 4 kB committed + 8 kB excess, all at t=0: 8 green, 16 yellow,
+        // then red.
+        let mut tcm = SrTcm::new(TcmConfig::default());
+        let mut colors = Vec::new();
+        for _ in 0..30 {
+            colors.push(tcm.mark(500, SimTime::ZERO));
+        }
+        assert_eq!(colors.iter().filter(|&&c| c == Color::Green).count(), 8);
+        assert_eq!(colors.iter().filter(|&&c| c == Color::Yellow).count(), 16);
+        assert_eq!(colors.iter().filter(|&&c| c == Color::Red).count(), 6);
+        assert_eq!(tcm.marked, [8, 16, 6]);
+    }
+
+    #[test]
+    fn committed_rate_stays_green() {
+        // 256 kb/s = 32,000 B/s = one 500-byte packet every 15.625 ms.
+        // Sending at exactly that pace keeps everything green.
+        let mut tcm = SrTcm::new(TcmConfig::default());
+        for k in 0..100u64 {
+            let t = SimTime::ZERO + SimDuration::from_micros(k * 15_625);
+            assert_eq!(tcm.mark(500, t), Color::Green, "packet {k}");
+        }
+    }
+
+    #[test]
+    fn double_rate_splits_green_yellow() {
+        // Sending at 2x CIR: steady state marks ~half green (the committed
+        // bucket refills at CIR) and the rest yellow until EBS exhausts.
+        let mut tcm = SrTcm::new(TcmConfig { ebs: 1_000_000, ..Default::default() });
+        let mut greens = 0u32;
+        let n = 2_000u64;
+        for k in 0..n {
+            let t = SimTime::ZERO + SimDuration::from_micros(k * 7_812);
+            if tcm.mark(500, t) == Color::Green {
+                greens += 1;
+            }
+        }
+        let frac = greens as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "green fraction {frac}");
+    }
+
+    #[test]
+    fn idle_refills_buckets() {
+        let mut tcm = SrTcm::new(TcmConfig::default());
+        for _ in 0..30 {
+            tcm.mark(500, SimTime::ZERO); // drain everything
+        }
+        assert_eq!(tcm.mark(500, SimTime::ZERO), Color::Red);
+        // After a long idle period both buckets are full again.
+        assert_eq!(tcm.mark(500, at_ms(10_000)), Color::Green);
+    }
+
+    #[test]
+    fn marking_ignores_content() {
+        // The defining limitation: two identical arrival patterns get
+        // identical colors regardless of what the packets carry.
+        let mut a = SrTcm::new(TcmConfig::default());
+        let mut b = SrTcm::new(TcmConfig::default());
+        for k in 0..50u64 {
+            let t = SimTime::ZERO + SimDuration::from_millis(k);
+            assert_eq!(a.mark(500, t), b.mark(500, t));
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! A bitplane-structured quality model of the FGS enhancement layer.
+//!
+//! MPEG-4 FGS codes the DCT residual as *bitplanes*, most-significant
+//! first: each fully received plane roughly halves the residual error
+//! (≈ +6.02 dB), and planes grow in size toward the least-significant end
+//! (more coefficients become non-zero). This module models that structure
+//! explicitly — an alternative to the smooth R-D map in [`crate::psnr`]
+//! that reproduces the step-wise quality growth of a real FGS decoder.
+//!
+//! Both models implement [`QualityModel`], so experiments can swap them and
+//! check that conclusions do not hinge on the quality map's fine shape.
+
+use crate::psnr::RdModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Anything that maps `(frame, decodable enhancement bytes, base intact)`
+/// to a PSNR value.
+pub trait QualityModel {
+    /// PSNR of `frame` reconstructed with `useful_enh_bytes` of consecutive
+    /// enhancement data.
+    fn psnr(&self, frame: u64, useful_enh_bytes: u64, base_ok: bool) -> f64;
+
+    /// PSNR with no enhancement data.
+    fn base_psnr(&self, frame: u64) -> f64 {
+        self.psnr(frame, 0, true)
+    }
+}
+
+impl QualityModel for RdModel {
+    fn psnr(&self, frame: u64, useful_enh_bytes: u64, base_ok: bool) -> f64 {
+        RdModel::psnr(self, frame, useful_enh_bytes, base_ok)
+    }
+}
+
+/// Configuration of [`BitplaneModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BitplaneConfig {
+    /// Mean base-layer PSNR, dB.
+    pub base_psnr_mean: f64,
+    /// Std dev of per-frame base PSNR, dB.
+    pub base_psnr_sd: f64,
+    /// Number of enhancement bitplanes.
+    pub planes: usize,
+    /// Size of the first (most-significant) plane, bytes.
+    pub first_plane_bytes: f64,
+    /// Geometric growth factor of plane sizes toward the LSB end.
+    pub growth: f64,
+    /// PSNR gained by each complete plane (6.02 dB = one binary digit).
+    pub db_per_plane: f64,
+    /// Relative per-frame variation of plane sizes (scene complexity).
+    pub size_variation: f64,
+    /// PSNR penalty when the base layer is undecodable.
+    pub concealment_penalty_db: f64,
+}
+
+impl Default for BitplaneConfig {
+    fn default() -> Self {
+        BitplaneConfig {
+            base_psnr_mean: 29.0,
+            base_psnr_sd: 1.2,
+            planes: 5,
+            // Sizes 1.6k, 3.2k, 6.4k, 12.8k, 25.6k ~ 49.6 kB total — close
+            // to the paper's 52.5 kB full enhancement layer.
+            first_plane_bytes: 1_600.0,
+            growth: 2.0,
+            db_per_plane: 6.02,
+            size_variation: 0.2,
+            concealment_penalty_db: 12.0,
+        }
+    }
+}
+
+/// The bitplane quality model.
+///
+/// # Examples
+///
+/// ```
+/// use pels_fgs::bitplane::{BitplaneModel, QualityModel};
+///
+/// let m = BitplaneModel::foreman_like(300, 42);
+/// // One full plane (~1.6 kB) adds ~6 dB; half a plane adds ~3 dB.
+/// let base = m.base_psnr(0);
+/// assert!(m.psnr(0, 60_000, true) > base + 25.0); // all planes
+/// assert!(m.psnr(0, 0, true) == base);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitplaneModel {
+    cfg: BitplaneConfig,
+    base_psnr: Vec<f64>,
+    /// Per-frame plane sizes in bytes, MSB plane first.
+    plane_sizes: Vec<Vec<f64>>,
+}
+
+impl BitplaneModel {
+    /// Builds a model with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_frames == 0`, `planes == 0`, or sizes are non-positive.
+    pub fn new(n_frames: usize, cfg: BitplaneConfig, seed: u64) -> Self {
+        assert!(n_frames > 0, "need at least one frame");
+        assert!(cfg.planes > 0, "need at least one plane");
+        assert!(cfg.first_plane_bytes > 0.0 && cfg.growth > 0.0, "sizes must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut base_psnr = Vec::with_capacity(n_frames);
+        let mut plane_sizes = Vec::with_capacity(n_frames);
+        for _ in 0..n_frames {
+            let eps: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+            base_psnr.push(cfg.base_psnr_mean + cfg.base_psnr_sd * eps * 0.5);
+            let wiggle = 1.0 + cfg.size_variation * (rng.gen::<f64>() * 2.0 - 1.0);
+            let sizes = (0..cfg.planes)
+                .map(|k| cfg.first_plane_bytes * cfg.growth.powi(k as i32) * wiggle)
+                .collect();
+            plane_sizes.push(sizes);
+        }
+        BitplaneModel { cfg, base_psnr, plane_sizes }
+    }
+
+    /// The Foreman-like default.
+    pub fn foreman_like(n_frames: usize, seed: u64) -> Self {
+        Self::new(n_frames, BitplaneConfig::default(), seed)
+    }
+
+    /// Total enhancement bytes of frame `frame` (all planes).
+    pub fn full_enhancement_bytes(&self, frame: u64) -> u64 {
+        let i = (frame % self.plane_sizes.len() as u64) as usize;
+        self.plane_sizes[i].iter().sum::<f64>() as u64
+    }
+
+    /// Number of configured bitplanes.
+    pub fn planes(&self) -> usize {
+        self.cfg.planes
+    }
+}
+
+impl QualityModel for BitplaneModel {
+    fn psnr(&self, frame: u64, useful_enh_bytes: u64, base_ok: bool) -> f64 {
+        let i = (frame % self.base_psnr.len() as u64) as usize;
+        let base = self.base_psnr[i];
+        if !base_ok {
+            return (base - self.cfg.concealment_penalty_db).max(10.0);
+        }
+        let mut remaining = useful_enh_bytes as f64;
+        let mut delta = 0.0;
+        for &size in &self.plane_sizes[i] {
+            if remaining <= 0.0 {
+                break;
+            }
+            let fraction = (remaining / size).min(1.0);
+            // A partial plane refines a fraction of the coefficients:
+            // linear interpolation of the plane's dB contribution.
+            delta += self.cfg.db_per_plane * fraction;
+            remaining -= size;
+        }
+        base + delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_and_stepwise() {
+        let m = BitplaneModel::foreman_like(10, 1);
+        let mut last = 0.0;
+        for kb in 0..60u64 {
+            let v = m.psnr(2, kb * 1000, true);
+            assert!(v >= last - 1e-12, "monotone at {kb} kB");
+            last = v;
+        }
+        // Saturates once all planes are in.
+        let full = m.full_enhancement_bytes(2);
+        assert_eq!(m.psnr(2, full + 1, true), m.psnr(2, full + 100_000, true));
+    }
+
+    #[test]
+    fn complete_plane_adds_six_db() {
+        let cfg = BitplaneConfig { size_variation: 0.0, base_psnr_sd: 0.0, ..Default::default() };
+        let m = BitplaneModel::new(5, cfg, 1);
+        let base = m.base_psnr(0);
+        let one_plane = m.psnr(0, 1_600, true);
+        assert!((one_plane - base - 6.02).abs() < 1e-9);
+        let half_plane = m.psnr(0, 800, true);
+        assert!((half_plane - base - 3.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early_bytes_are_worth_more() {
+        // Diminishing returns: the first 2 kB gains more than the 2 kB
+        // after 20 kB (MSB planes are smaller and each worth 6 dB).
+        let cfg = BitplaneConfig { size_variation: 0.0, ..Default::default() };
+        let m = BitplaneModel::new(5, cfg, 1);
+        let early = m.psnr(0, 2_000, true) - m.psnr(0, 0, true);
+        let late = m.psnr(0, 22_000, true) - m.psnr(0, 20_000, true);
+        assert!(early > 3.0 * late, "early {early} vs late {late}");
+    }
+
+    #[test]
+    fn total_size_near_paper_enhancement_layer() {
+        let m = BitplaneModel::foreman_like(300, 3);
+        let mean: f64 = (0..300)
+            .map(|f| m.full_enhancement_bytes(f) as f64)
+            .sum::<f64>()
+            / 300.0;
+        assert!(
+            (mean - 49_600.0).abs() < 5_000.0,
+            "mean full enhancement {mean} should approximate 52.5 kB"
+        );
+    }
+
+    #[test]
+    fn broken_base_penalized() {
+        let m = BitplaneModel::foreman_like(10, 1);
+        assert!(m.psnr(0, 50_000, false) < m.base_psnr(0));
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        // Both models behind the same trait.
+        let models: Vec<Box<dyn QualityModel>> = vec![
+            Box::new(BitplaneModel::foreman_like(10, 1)),
+            Box::new(crate::psnr::RdModel::foreman_like(10, 1)),
+        ];
+        for m in &models {
+            assert!(m.psnr(0, 9_000, true) > m.base_psnr(0) + 5.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            BitplaneModel::foreman_like(50, 9),
+            BitplaneModel::foreman_like(50, 9)
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The model is monotone in useful bytes and bounded by
+        /// base + planes * db_per_plane, for any frame and byte count.
+        #[test]
+        fn bounded_and_monotone(frame in 0u64..500, bytes in 0u64..100_000, seed in 0u64..50) {
+            let m = BitplaneModel::foreman_like(100, seed);
+            let v = m.psnr(frame, bytes, true);
+            let base = m.base_psnr(frame);
+            prop_assert!(v >= base);
+            prop_assert!(v <= base + 5.0 * 6.02 + 1e-9);
+            prop_assert!(m.psnr(frame, bytes + 500, true) >= v - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! The receiver-side FGS decoder model.
+//!
+//! FGS enhancement data is only decodable as a *consecutive prefix*: a
+//! single gap renders everything above it useless (paper Section 3, Fig. 3).
+//! The base layer requires *all* of its packets — motion compensation and
+//! VLC coding propagate any base-layer loss across the GOP.
+
+use crate::packetize::{PacketPlan, Segment};
+use serde::{Deserialize, Serialize};
+
+/// Reception record of one transmitted frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameReception {
+    /// Frame index.
+    pub frame: u64,
+    /// Number of packets the frame was transmitted with.
+    pub total: u16,
+    /// Number of those that were base-layer packets.
+    pub base_count: u16,
+    /// Per-packet receive flag, indexed by packet index within the frame.
+    received: Vec<bool>,
+    /// Per-packet payload sizes, indexed by packet index (0 if unknown).
+    sizes: Vec<u32>,
+}
+
+impl FrameReception {
+    /// Creates an empty record for a frame transmitted as `plan`.
+    pub fn from_plan(frame: u64, plan: &[PacketPlan]) -> Self {
+        FrameReception {
+            frame,
+            total: plan.len() as u16,
+            base_count: plan.iter().filter(|p| p.segment == Segment::Base).count() as u16,
+            received: vec![false; plan.len()],
+            sizes: plan.iter().map(|p| p.bytes).collect(),
+        }
+    }
+
+    /// Creates a record when only counts are known (packet sizes assumed
+    /// uniform `packet_bytes`).
+    pub fn with_counts(frame: u64, total: u16, base_count: u16, packet_bytes: u32) -> Self {
+        FrameReception {
+            frame,
+            total,
+            base_count,
+            received: vec![false; total as usize],
+            sizes: vec![packet_bytes; total as usize],
+        }
+    }
+
+    /// Marks packet `index` as received. Out-of-range indices are ignored
+    /// (they belong to a stale generation of the frame).
+    pub fn mark_received(&mut self, index: u16) {
+        if let Some(slot) = self.received.get_mut(index as usize) {
+            *slot = true;
+        }
+    }
+
+    /// Marks packet `index` as received and records its actual payload size
+    /// (used by receivers that learn sizes from the wire, where tail packets
+    /// of a segment may be shorter than the MTU).
+    pub fn mark_received_sized(&mut self, index: u16, bytes: u32) {
+        if let Some(slot) = self.received.get_mut(index as usize) {
+            *slot = true;
+            self.sizes[index as usize] = bytes;
+        }
+    }
+
+    /// Whether packet `index` was received.
+    pub fn is_received(&self, index: u16) -> bool {
+        self.received.get(index as usize).copied().unwrap_or(false)
+    }
+
+    /// Decodes the frame (see [`DecodedFrame`]).
+    pub fn decode(&self) -> DecodedFrame {
+        let base = self.base_count as usize;
+        let base_ok = self.received[..base].iter().all(|&r| r);
+        let mut useful_packets = 0u32;
+        let mut useful_bytes = 0u64;
+        let mut counting = true;
+        let mut received_packets = 0u32;
+        let mut received_bytes = 0u64;
+        for i in base..self.total as usize {
+            if self.received[i] {
+                received_packets += 1;
+                received_bytes += self.sizes[i] as u64;
+                if counting {
+                    useful_packets += 1;
+                    useful_bytes += self.sizes[i] as u64;
+                }
+            } else {
+                counting = false;
+            }
+        }
+        DecodedFrame {
+            frame: self.frame,
+            base_ok,
+            enh_sent_packets: self.total as u32 - self.base_count as u32,
+            enh_received_packets: received_packets,
+            enh_received_bytes: received_bytes,
+            enh_useful_packets: useful_packets,
+            enh_useful_bytes: if base_ok { useful_bytes } else { 0 },
+        }
+    }
+}
+
+/// Result of decoding one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodedFrame {
+    /// Frame index.
+    pub frame: u64,
+    /// Whether the base layer arrived intact (all base packets received).
+    pub base_ok: bool,
+    /// Enhancement packets transmitted.
+    pub enh_sent_packets: u32,
+    /// Enhancement packets received (any position).
+    pub enh_received_packets: u32,
+    /// Enhancement bytes received (any position).
+    pub enh_received_bytes: u64,
+    /// Enhancement packets in the decodable consecutive prefix
+    /// (`Y_j` in the paper's Lemma 1).
+    pub enh_useful_packets: u32,
+    /// Bytes in the decodable prefix; zero when the base layer is broken
+    /// (enhancement is useless without its base).
+    pub enh_useful_bytes: u64,
+}
+
+impl DecodedFrame {
+    /// Per-frame utility: useful / received enhancement packets
+    /// (paper Eq. 3's numerator/denominator for one frame). `None` when no
+    /// enhancement packets were received.
+    pub fn utility(&self) -> Option<f64> {
+        if self.enh_received_packets == 0 {
+            None
+        } else {
+            Some(self.enh_useful_packets as f64 / self.enh_received_packets as f64)
+        }
+    }
+}
+
+/// Aggregate utility over many decoded frames.
+///
+/// # Examples
+///
+/// ```
+/// use pels_fgs::decoder::{FrameReception, UtilityStats};
+/// use pels_fgs::packetize::packetize;
+/// use pels_fgs::scaling::ScaledFrame;
+///
+/// let frame = ScaledFrame { base_bytes: 500, enhancement_bytes: 1_500 };
+/// let plan = packetize(&frame, 1_500, 0, 500);
+/// let mut rx = FrameReception::from_plan(0, &plan);
+/// for i in [0u16, 1, 2] { rx.mark_received(i); } // lose the last packet
+/// let mut stats = UtilityStats::new();
+/// stats.add(&rx.decode());
+/// assert_eq!(stats.utility(), 1.0); // the received prefix is consecutive
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UtilityStats {
+    /// Frames accumulated.
+    pub frames: u64,
+    /// Frames whose base layer survived.
+    pub base_ok_frames: u64,
+    /// Total enhancement packets sent.
+    pub enh_sent: u64,
+    /// Total enhancement packets received.
+    pub enh_received: u64,
+    /// Total useful enhancement packets.
+    pub enh_useful: u64,
+    /// Total useful enhancement bytes.
+    pub enh_useful_bytes: u64,
+}
+
+impl UtilityStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates one decoded frame.
+    pub fn add(&mut self, d: &DecodedFrame) {
+        self.frames += 1;
+        self.base_ok_frames += d.base_ok as u64;
+        self.enh_sent += d.enh_sent_packets as u64;
+        self.enh_received += d.enh_received_packets as u64;
+        self.enh_useful += d.enh_useful_packets as u64;
+        self.enh_useful_bytes += d.enh_useful_bytes;
+    }
+
+    /// Aggregate utility `U` = useful / received enhancement packets
+    /// (paper Eq. 3). Zero when nothing was received.
+    pub fn utility(&self) -> f64 {
+        if self.enh_received == 0 {
+            0.0
+        } else {
+            self.enh_useful as f64 / self.enh_received as f64
+        }
+    }
+
+    /// Mean useful enhancement packets per frame (`E[Y_j]`).
+    pub fn mean_useful_per_frame(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.enh_useful as f64 / self.frames as f64
+        }
+    }
+
+    /// Observed enhancement-layer packet loss.
+    pub fn loss_rate(&self) -> f64 {
+        if self.enh_sent == 0 {
+            0.0
+        } else {
+            1.0 - self.enh_received as f64 / self.enh_sent as f64
+        }
+    }
+
+    /// Merges another accumulator into this one (e.g. across flows).
+    pub fn merge(&mut self, other: &UtilityStats) {
+        self.frames += other.frames;
+        self.base_ok_frames += other.base_ok_frames;
+        self.enh_sent += other.enh_sent;
+        self.enh_received += other.enh_received;
+        self.enh_useful += other.enh_useful;
+        self.enh_useful_bytes += other.enh_useful_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packetize::packetize;
+    use crate::scaling::ScaledFrame;
+
+    fn reception(base: u32, enh: u32) -> FrameReception {
+        let frame = ScaledFrame { base_bytes: base, enhancement_bytes: enh };
+        let plan = packetize(&frame, enh, 0, 500);
+        FrameReception::from_plan(0, &plan)
+    }
+
+    #[test]
+    fn all_received_is_fully_useful() {
+        let mut rx = reception(1_000, 5_000);
+        for i in 0..rx.total {
+            rx.mark_received(i);
+        }
+        let d = rx.decode();
+        assert!(d.base_ok);
+        assert_eq!(d.enh_useful_packets, 10);
+        assert_eq!(d.enh_useful_bytes, 5_000);
+        assert_eq!(d.utility(), Some(1.0));
+    }
+
+    #[test]
+    fn gap_truncates_useful_prefix() {
+        let mut rx = reception(500, 5_000); // 1 base + 10 enhancement
+        rx.mark_received(0); // base
+        for i in [1u16, 2, 3, /* gap at 4 */ 5, 6, 7, 8, 9, 10] {
+            rx.mark_received(i);
+        }
+        let d = rx.decode();
+        assert!(d.base_ok);
+        assert_eq!(d.enh_received_packets, 9);
+        assert_eq!(d.enh_useful_packets, 3);
+        assert_eq!(d.enh_useful_bytes, 1_500);
+        assert!((d.utility().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broken_base_zeroes_useful_bytes() {
+        let mut rx = reception(1_000, 2_000); // 2 base + 4 enhancement
+        rx.mark_received(0); // only half the base
+        for i in 2..6u16 {
+            rx.mark_received(i);
+        }
+        let d = rx.decode();
+        assert!(!d.base_ok);
+        assert_eq!(d.enh_useful_bytes, 0);
+        // Packet-level prefix accounting is still reported for diagnostics.
+        assert_eq!(d.enh_useful_packets, 4);
+    }
+
+    #[test]
+    fn first_enhancement_lost_means_nothing_useful() {
+        let mut rx = reception(500, 2_000);
+        rx.mark_received(0);
+        for i in 2..5u16 {
+            rx.mark_received(i); // index 1 (first enhancement) missing
+        }
+        let d = rx.decode();
+        assert_eq!(d.enh_useful_packets, 0);
+        assert_eq!(d.utility(), Some(0.0));
+    }
+
+    #[test]
+    fn out_of_range_marks_are_ignored() {
+        let mut rx = reception(500, 500);
+        rx.mark_received(200);
+        assert!(!rx.is_received(200));
+        assert_eq!(rx.decode().enh_received_packets, 0);
+    }
+
+    #[test]
+    fn utility_stats_merge_equals_single_stream() {
+        let d1 = DecodedFrame {
+            frame: 0,
+            base_ok: true,
+            enh_sent_packets: 10,
+            enh_received_packets: 9,
+            enh_received_bytes: 4_500,
+            enh_useful_packets: 7,
+            enh_useful_bytes: 3_500,
+        };
+        let d2 = DecodedFrame { frame: 1, enh_useful_packets: 2, ..d1 };
+        let mut whole = UtilityStats::new();
+        whole.add(&d1);
+        whole.add(&d2);
+        let mut a = UtilityStats::new();
+        a.add(&d1);
+        let mut b = UtilityStats::new();
+        b.add(&d2);
+        a.merge(&b);
+        assert_eq!(a.frames, whole.frames);
+        assert_eq!(a.enh_useful, whole.enh_useful);
+        assert!((a.utility() - whole.utility()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utility_stats_aggregate() {
+        let mut stats = UtilityStats::new();
+        // Frame 1: everything received.
+        let mut rx = reception(500, 2_500);
+        for i in 0..rx.total {
+            rx.mark_received(i);
+        }
+        stats.add(&rx.decode());
+        // Frame 2: half the enhancement received, prefix of 1.
+        let mut rx = reception(500, 2_500);
+        rx.mark_received(0);
+        rx.mark_received(1);
+        rx.mark_received(3);
+        rx.mark_received(5);
+        stats.add(&rx.decode());
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.enh_sent, 10);
+        assert_eq!(stats.enh_received, 8);
+        assert_eq!(stats.enh_useful, 6);
+        assert!((stats.utility() - 0.75).abs() < 1e-12);
+        assert!((stats.loss_rate() - 0.2).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::packetize::packetize;
+    use crate::scaling::ScaledFrame;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Useful packets are always a prefix: useful <= received, and if a
+        /// packet at enhancement position k is useful then all positions
+        /// before k were received.
+        #[test]
+        fn useful_is_prefix(
+            enh_packets in 1usize..60,
+            lost in proptest::collection::vec(any::<bool>(), 61),
+        ) {
+            let frame = ScaledFrame { base_bytes: 500, enhancement_bytes: (enh_packets as u32) * 500 };
+            let plan = packetize(&frame, frame.enhancement_bytes, 0, 500);
+            let mut rx = FrameReception::from_plan(0, &plan);
+            rx.mark_received(0); // keep base intact
+            let mut first_gap = enh_packets;
+            for k in 0..enh_packets {
+                if !lost[k] {
+                    rx.mark_received((k + 1) as u16);
+                } else if first_gap == enh_packets {
+                    first_gap = k;
+                }
+            }
+            let d = rx.decode();
+            prop_assert!(d.enh_useful_packets <= d.enh_received_packets);
+            prop_assert_eq!(d.enh_useful_packets as usize, first_gap);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Video frames and traces.
+//!
+//! An FGS-coded video consists of a *base layer* (must be received intact to
+//! display anything) and a single *enhancement layer* per frame that can be
+//! truncated at any byte boundary (Fine Granular Scalability, the streaming
+//! profile of MPEG-4; paper Section 2.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Sizes of one coded video frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameSpec {
+    /// Frame index in display order.
+    pub index: u64,
+    /// Bytes in the base layer of this frame.
+    pub base_bytes: u32,
+    /// Bytes in the full (R_max-coded) FGS enhancement layer of this frame.
+    pub enhancement_bytes: u32,
+}
+
+impl FrameSpec {
+    /// Total coded size at `R_max` (base + full enhancement).
+    pub fn total_bytes(&self) -> u32 {
+        self.base_bytes + self.enhancement_bytes
+    }
+}
+
+/// A sequence of frames with a fixed frame rate.
+///
+/// # Examples
+///
+/// ```
+/// use pels_fgs::frame::VideoTrace;
+///
+/// let trace = VideoTrace::constant(300, 10.0, 10_500, 52_500);
+/// assert_eq!(trace.len(), 300);
+/// assert_eq!(trace.frame(0).total_bytes(), 63_000);
+/// assert!((trace.frame_interval_secs() - 0.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoTrace {
+    /// Frames per second.
+    pub fps: f64,
+    frames: Vec<FrameSpec>,
+}
+
+impl VideoTrace {
+    /// Creates a trace from explicit frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not positive/finite or `frames` is empty.
+    pub fn new(fps: f64, frames: Vec<FrameSpec>) -> Self {
+        assert!(fps.is_finite() && fps > 0.0, "invalid fps: {fps}");
+        assert!(!frames.is_empty(), "a trace needs at least one frame");
+        VideoTrace { fps, frames }
+    }
+
+    /// Creates a trace in which every frame has identical layer sizes —
+    /// the paper's evaluation setup (Section 6.1: 63,000-byte frames,
+    /// 126 packets of 500 bytes, 21 of them base-layer).
+    pub fn constant(n_frames: usize, fps: f64, base_bytes: u32, enhancement_bytes: u32) -> Self {
+        let frames = (0..n_frames as u64)
+            .map(|index| FrameSpec { index, base_bytes, enhancement_bytes })
+            .collect();
+        Self::new(fps, frames)
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the trace has no frames (never true for a constructed trace).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The `i`-th frame, wrapping around for looped playout.
+    pub fn frame(&self, i: u64) -> &FrameSpec {
+        &self.frames[(i % self.frames.len() as u64) as usize]
+    }
+
+    /// Seconds between successive frames.
+    pub fn frame_interval_secs(&self) -> f64 {
+        1.0 / self.fps
+    }
+
+    /// Iterates over the frames.
+    pub fn iter(&self) -> impl Iterator<Item = &FrameSpec> {
+        self.frames.iter()
+    }
+
+    /// Mean full-rate (R_max) bitrate of the trace in bits per second.
+    pub fn mean_full_bitrate_bps(&self) -> f64 {
+        let total: u64 = self.frames.iter().map(|f| f.total_bytes() as u64).sum();
+        total as f64 * 8.0 * self.fps / self.frames.len() as f64
+    }
+
+    /// Mean base-layer bitrate in bits per second.
+    pub fn base_bitrate_bps(&self) -> f64 {
+        let total: u64 = self.frames.iter().map(|f| f.base_bytes as u64).sum();
+        total as f64 * 8.0 * self.fps / self.frames.len() as f64
+    }
+}
+
+/// The paper's evaluation profile: CIF Foreman packetization constants.
+///
+/// One frame is 63,000 bytes = 126 packets x 500 bytes, 21 packets of which
+/// carry the base layer (Section 6.1). The frame rate is 10 fps (standard
+/// for CIF Foreman in FGS experiments; the paper does not state it
+/// explicitly — see EXPERIMENTS.md).
+pub mod foreman {
+    use super::VideoTrace;
+
+    /// Packet payload size on the wire, bytes.
+    pub const PACKET_BYTES: u32 = 500;
+    /// Packets per full frame.
+    pub const PACKETS_PER_FRAME: u32 = 126;
+    /// Base-layer (green) packets per frame.
+    pub const BASE_PACKETS: u32 = 21;
+    /// Base-layer bytes per frame.
+    pub const BASE_BYTES: u32 = BASE_PACKETS * PACKET_BYTES;
+    /// Full enhancement-layer bytes per frame.
+    pub const ENHANCEMENT_BYTES: u32 = (PACKETS_PER_FRAME - BASE_PACKETS) * PACKET_BYTES;
+    /// Frame rate used in this reproduction.
+    pub const FPS: f64 = 10.0;
+    /// Frames in the CIF Foreman sequence.
+    pub const NUM_FRAMES: usize = 300;
+
+    /// The constant-size Foreman trace used by the paper's simulations.
+    pub fn trace() -> VideoTrace {
+        VideoTrace::constant(NUM_FRAMES, FPS, BASE_BYTES, ENHANCEMENT_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let t = foreman::trace();
+        assert_eq!(t.frame(0).total_bytes(), 63_000);
+        assert_eq!(t.frame(0).base_bytes, 10_500);
+        assert_eq!(t.frame(0).enhancement_bytes, 52_500);
+        assert_eq!(foreman::PACKETS_PER_FRAME, 126);
+        assert_eq!(foreman::BASE_PACKETS, 21);
+    }
+
+    #[test]
+    fn wraps_for_looped_playout() {
+        let t = VideoTrace::constant(3, 10.0, 100, 200);
+        assert_eq!(t.frame(0).index, 0);
+        assert_eq!(t.frame(3).index, 0);
+        assert_eq!(t.frame(7).index, 1);
+    }
+
+    #[test]
+    fn bitrates() {
+        let t = VideoTrace::constant(10, 10.0, 1_000, 9_000);
+        // 10,000 B/frame * 8 * 10 fps = 800 kb/s.
+        assert!((t.mean_full_bitrate_bps() - 800_000.0).abs() < 1e-6);
+        assert!((t.base_bitrate_bps() - 80_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fps")]
+    fn rejects_bad_fps() {
+        let _ = VideoTrace::constant(10, 0.0, 100, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn rejects_empty() {
+        let _ = VideoTrace::new(10.0, vec![]);
+    }
+}
+
+/// Errors produced when parsing a trace from CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending row (0 = header/structure).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl VideoTrace {
+    /// Serializes the trace as CSV: a header `fps,<fps>` line followed by
+    /// `index,base_bytes,enhancement_bytes` rows. Round-trips through
+    /// [`VideoTrace::from_csv`].
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("fps,{}\nindex,base_bytes,enhancement_bytes\n", self.fps);
+        for f in &self.frames {
+            out.push_str(&format!("{},{},{}\n", f.index, f.base_bytes, f.enhancement_bytes));
+        }
+        out
+    }
+
+    /// Parses a trace from the CSV format written by [`VideoTrace::to_csv`]
+    /// (also accepts real coded-video frame-size tables exported in that
+    /// shape). Frame indices are re-assigned sequentially.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseTraceError`] for a malformed header, row, or an
+    /// empty trace.
+    pub fn from_csv(text: &str) -> Result<VideoTrace, ParseTraceError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or(ParseTraceError {
+            line: 0,
+            message: "empty input".into(),
+        })?;
+        let fps: f64 = header
+            .strip_prefix("fps,")
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|v: &f64| v.is_finite() && *v > 0.0)
+            .ok_or(ParseTraceError { line: 1, message: "expected `fps,<value>` header".into() })?;
+        let mut frames = Vec::new();
+        for (i, line) in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with("index,") {
+                continue;
+            }
+            let mut cols = line.split(',');
+            let parse = |v: Option<&str>| -> Option<u64> { v?.trim().parse().ok() };
+            let _index = parse(cols.next());
+            let base = parse(cols.next());
+            let enh = parse(cols.next());
+            match (base, enh) {
+                (Some(b), Some(e)) if b <= u32::MAX as u64 && e <= u32::MAX as u64 => {
+                    frames.push(FrameSpec {
+                        index: frames.len() as u64,
+                        base_bytes: b as u32,
+                        enhancement_bytes: e as u32,
+                    });
+                }
+                _ => {
+                    return Err(ParseTraceError {
+                        line: i + 1,
+                        message: format!("malformed row `{line}`"),
+                    })
+                }
+            }
+        }
+        if frames.is_empty() {
+            return Err(ParseTraceError { line: 0, message: "no frames in trace".into() });
+        }
+        Ok(VideoTrace::new(fps, frames))
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = VideoTrace::constant(5, 10.0, 1_600, 61_400);
+        let parsed = VideoTrace::from_csv(&t.to_csv()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn tolerates_column_header_and_blank_lines() {
+        let text = "fps,25\nindex,base_bytes,enhancement_bytes\n\n0,100,200\n1,100,300\n";
+        let t = VideoTrace::from_csv(text).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.fps, 25.0);
+        assert_eq!(t.frame(1).enhancement_bytes, 300);
+    }
+
+    #[test]
+    fn reports_offending_line() {
+        let text = "fps,25\n0,100,200\n1,oops,300\n";
+        let err = VideoTrace::from_csv(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("oops"));
+    }
+
+    #[test]
+    fn rejects_bad_header_and_empty() {
+        assert!(VideoTrace::from_csv("").is_err());
+        assert!(VideoTrace::from_csv("frames,10\n0,1,2\n").is_err());
+        assert!(VideoTrace::from_csv("fps,30\n").is_err());
+    }
+}

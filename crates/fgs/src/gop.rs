@@ -1,0 +1,187 @@
+//! GOP (Group of Pictures) loss propagation in the base layer.
+//!
+//! The paper's Section 6.5 explains why its best-effort comparator must
+//! "magically" protect the base layer: with motion compensation, "if packet
+//! loss is allowed in the base layer and retransmission is suppressed,
+//! best-effort streaming simply becomes impossible due to propagation of
+//! losses throughout each GOP". This module models exactly that: base
+//! layers are coded as one I-frame followed by P-frames that reference
+//! their predecessor, so a broken base corrupts every later frame of its
+//! GOP (until the next I-frame resynchronizes the decoder).
+
+use crate::decoder::DecodedFrame;
+use serde::{Deserialize, Serialize};
+
+/// GOP structure parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GopConfig {
+    /// Frames per GOP (the paper's CIF Foreman codings typically use 10–30;
+    /// an I-frame starts each group).
+    pub gop_size: u32,
+}
+
+impl Default for GopConfig {
+    fn default() -> Self {
+        GopConfig { gop_size: 15 }
+    }
+}
+
+/// Applies motion-compensation loss propagation to a sequence of decoded
+/// frames (sorted by frame index): once a frame's base layer is broken,
+/// every following frame in the same GOP is undecodable too — its base is
+/// marked broken and its enhancement bytes are useless.
+///
+/// Frames missing from the input (never received at all) are *not*
+/// inserted; callers who need gap awareness should pre-fill them as broken.
+///
+/// # Examples
+///
+/// ```
+/// use pels_fgs::decoder::DecodedFrame;
+/// use pels_fgs::gop::{propagate_base_loss, GopConfig};
+///
+/// let mk = |frame, base_ok| DecodedFrame {
+///     frame, base_ok,
+///     enh_sent_packets: 10, enh_received_packets: 10, enh_received_bytes: 5_000,
+///     enh_useful_packets: 10, enh_useful_bytes: 5_000,
+/// };
+/// // Frame 1's base is lost: frames 1..15 are corrupt, frame 15 (next I) recovers.
+/// let frames: Vec<_> = (0..16).map(|f| mk(f, f != 1)).collect();
+/// let fixed = propagate_base_loss(&frames, GopConfig { gop_size: 15 });
+/// assert!(fixed[0].base_ok);
+/// assert!(!fixed[7].base_ok, "P-frame after the loss is corrupt");
+/// assert!(fixed[15].base_ok, "next I-frame resynchronizes");
+/// ```
+pub fn propagate_base_loss(frames: &[DecodedFrame], cfg: GopConfig) -> Vec<DecodedFrame> {
+    assert!(cfg.gop_size >= 1, "gop size must be at least 1");
+    let mut out = Vec::with_capacity(frames.len());
+    let mut corrupt_gop: Option<u64> = None;
+    for d in frames {
+        let gop = d.frame / cfg.gop_size as u64;
+        let mut d = *d;
+        match corrupt_gop {
+            Some(g) if g == gop => {
+                d.base_ok = false;
+                d.enh_useful_bytes = 0;
+                d.enh_useful_packets = 0;
+            }
+            _ => {
+                corrupt_gop = None;
+                if !d.base_ok {
+                    corrupt_gop = Some(gop);
+                    d.enh_useful_bytes = 0;
+                    d.enh_useful_packets = 0;
+                }
+            }
+        }
+        out.push(d);
+    }
+    out
+}
+
+/// Fraction of frames decodable (base intact) after GOP propagation.
+pub fn decodable_fraction(frames: &[DecodedFrame], cfg: GopConfig) -> f64 {
+    if frames.is_empty() {
+        return 0.0;
+    }
+    let fixed = propagate_base_loss(frames, cfg);
+    fixed.iter().filter(|d| d.base_ok).count() as f64 / fixed.len() as f64
+}
+
+/// Expected decodable fraction under i.i.d. per-frame base-loss probability
+/// `q` (closed form): a frame at position `k` within its GOP survives iff
+/// positions `0..=k` all survive, so the mean over a GOP of size `G` is
+/// `(1/G) * Σ_{k=1}^{G} (1-q)^k`.
+pub fn expected_decodable_fraction(q: f64, gop_size: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "loss must be in [0,1]: {q}");
+    assert!(gop_size >= 1, "gop size must be at least 1");
+    let s = 1.0 - q;
+    if q == 0.0 {
+        return 1.0;
+    }
+    // Σ_{k=1}^{G} s^k = s (1 - s^G) / (1 - s)
+    s * (1.0 - s.powi(gop_size as i32)) / (1.0 - s) / gop_size as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(frame: u64, base_ok: bool) -> DecodedFrame {
+        DecodedFrame {
+            frame,
+            base_ok,
+            enh_sent_packets: 10,
+            enh_received_packets: 8,
+            enh_received_bytes: 4_000,
+            enh_useful_packets: 6,
+            enh_useful_bytes: 3_000,
+        }
+    }
+
+    #[test]
+    fn no_loss_no_change() {
+        let frames: Vec<_> = (0..30).map(|f| mk(f, true)).collect();
+        let fixed = propagate_base_loss(&frames, GopConfig::default());
+        assert!(fixed.iter().all(|d| d.base_ok && d.enh_useful_bytes == 3_000));
+    }
+
+    #[test]
+    fn loss_corrupts_rest_of_gop_only() {
+        // GOP size 10; base lost at frame 13 -> frames 13..19 corrupt,
+        // frame 20 (new GOP) fine.
+        let frames: Vec<_> = (0..30).map(|f| mk(f, f != 13)).collect();
+        let fixed = propagate_base_loss(&frames, GopConfig { gop_size: 10 });
+        for d in &fixed {
+            let expect = !(13..20).contains(&d.frame);
+            assert_eq!(d.base_ok, expect, "frame {}", d.frame);
+            if !expect {
+                assert_eq!(d.enh_useful_bytes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn loss_at_i_frame_kills_whole_gop() {
+        let frames: Vec<_> = (0..20).map(|f| mk(f, f != 10)).collect();
+        let fixed = propagate_base_loss(&frames, GopConfig { gop_size: 10 });
+        assert!(fixed[..10].iter().all(|d| d.base_ok));
+        assert!(fixed[10..].iter().all(|d| !d.base_ok));
+    }
+
+    #[test]
+    fn multiple_losses_across_gops() {
+        let frames: Vec<_> = (0..30).map(|f| mk(f, f != 2 && f != 25)).collect();
+        let fixed = propagate_base_loss(&frames, GopConfig { gop_size: 10 });
+        let broken: Vec<u64> =
+            fixed.iter().filter(|d| !d.base_ok).map(|d| d.frame).collect();
+        assert_eq!(broken, (2..10).chain(25..30).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn closed_form_matches_monte_carlo() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let q = 0.05;
+        let gop = 15;
+        let mut rng = StdRng::seed_from_u64(3);
+        let frames: Vec<_> = (0..60_000u64).map(|f| mk(f, rng.gen::<f64>() >= q)).collect();
+        let measured = decodable_fraction(&frames, GopConfig { gop_size: gop });
+        let expect = expected_decodable_fraction(q, gop);
+        assert!(
+            (measured - expect).abs() < 0.01,
+            "measured {measured} vs closed form {expect}"
+        );
+    }
+
+    #[test]
+    fn closed_form_limits() {
+        assert_eq!(expected_decodable_fraction(0.0, 15), 1.0);
+        assert!(expected_decodable_fraction(1.0, 15) < 1e-12);
+        // GOP of 1 (all-I): no propagation, fraction = 1 - q.
+        assert!((expected_decodable_fraction(0.1, 1) - 0.9).abs() < 1e-12);
+        // Large GOPs amplify small losses: 2% loss, GOP 15 -> ~85%.
+        let f = expected_decodable_fraction(0.02, 15);
+        assert!((0.8..0.9).contains(&f), "{f}");
+    }
+}

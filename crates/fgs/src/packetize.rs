@@ -1,0 +1,181 @@
+//! Packetization: splitting a scaled frame into wire packets.
+//!
+//! The paper transmits 500-byte packets; each frame's base layer goes first,
+//! then the yellow (lower-enhancement) bytes, then the red
+//! (upper-enhancement) bytes — the order matters because the receiver can
+//! only use a *consecutive prefix* of the enhancement layer.
+
+use crate::scaling::ScaledFrame;
+use serde::{Deserialize, Serialize};
+
+/// Which layer segment a packet belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// Base layer — required for decoding, highest priority (green).
+    Base,
+    /// Lower part of the enhancement layer (yellow).
+    Yellow,
+    /// Upper, expendable part of the enhancement layer (red).
+    Red,
+}
+
+/// One packet of a packetized frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketPlan {
+    /// Index of the packet within its frame (0-based, transmission order).
+    pub index: u16,
+    /// Payload bytes.
+    pub bytes: u32,
+    /// Layer segment.
+    pub segment: Segment,
+}
+
+/// Packetizes a frame: base bytes, then `yellow_bytes` of enhancement, then
+/// `red_bytes`, each cut into `packet_bytes`-sized packets (the final packet
+/// of each segment may be short).
+///
+/// # Examples
+///
+/// ```
+/// use pels_fgs::packetize::{packetize, Segment};
+/// use pels_fgs::scaling::ScaledFrame;
+///
+/// let frame = ScaledFrame { base_bytes: 1_000, enhancement_bytes: 1_200 };
+/// let pkts = packetize(&frame, 900, 300, 500);
+/// let segs: Vec<Segment> = pkts.iter().map(|p| p.segment).collect();
+/// assert_eq!(segs, vec![
+///     Segment::Base, Segment::Base,
+///     Segment::Yellow, Segment::Yellow,
+///     Segment::Red,
+/// ]);
+/// let total: u32 = pkts.iter().map(|p| p.bytes).sum();
+/// assert_eq!(total, 2_200);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `packet_bytes == 0` or `yellow_bytes + red_bytes` does not
+/// equal the frame's enhancement bytes.
+pub fn packetize(
+    frame: &ScaledFrame,
+    yellow_bytes: u32,
+    red_bytes: u32,
+    packet_bytes: u32,
+) -> Vec<PacketPlan> {
+    assert!(packet_bytes > 0, "packet size must be positive");
+    assert_eq!(
+        yellow_bytes + red_bytes,
+        frame.enhancement_bytes,
+        "partition must cover the enhancement layer exactly"
+    );
+    let mut out = Vec::new();
+    let mut index: u16 = 0;
+    let mut push_segment = |seg: Segment, mut remaining: u32, out: &mut Vec<PacketPlan>| {
+        while remaining > 0 {
+            let bytes = remaining.min(packet_bytes);
+            out.push(PacketPlan { index, bytes, segment: seg });
+            index += 1;
+            remaining -= bytes;
+        }
+    };
+    push_segment(Segment::Base, frame.base_bytes, &mut out);
+    push_segment(Segment::Yellow, yellow_bytes, &mut out);
+    push_segment(Segment::Red, red_bytes, &mut out);
+    out
+}
+
+/// Count of packets a frame would produce without materializing the plan.
+pub fn packet_count(frame: &ScaledFrame, yellow_bytes: u32, red_bytes: u32, packet_bytes: u32) -> u16 {
+    let ceil = |b: u32| b.div_ceil(packet_bytes) as u16;
+    debug_assert_eq!(yellow_bytes + red_bytes, frame.enhancement_bytes);
+    ceil(frame.base_bytes) + ceil(yellow_bytes) + ceil(red_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_frame_is_126_packets() {
+        // Full-rate frame, no red partition: 21 base + 105 yellow.
+        let frame = ScaledFrame { base_bytes: 10_500, enhancement_bytes: 52_500 };
+        let pkts = packetize(&frame, 52_500, 0, 500);
+        assert_eq!(pkts.len(), 126);
+        assert_eq!(pkts.iter().filter(|p| p.segment == Segment::Base).count(), 21);
+        assert!(pkts.iter().all(|p| p.bytes == 500));
+    }
+
+    #[test]
+    fn indices_are_contiguous_transmission_order() {
+        let frame = ScaledFrame { base_bytes: 1_500, enhancement_bytes: 2_000 };
+        let pkts = packetize(&frame, 1_500, 500, 500);
+        for (i, p) in pkts.iter().enumerate() {
+            assert_eq!(p.index as usize, i);
+        }
+        // Base before yellow before red.
+        let first_yellow = pkts.iter().position(|p| p.segment == Segment::Yellow).unwrap();
+        let first_red = pkts.iter().position(|p| p.segment == Segment::Red).unwrap();
+        let last_base = pkts.iter().rposition(|p| p.segment == Segment::Base).unwrap();
+        assert!(last_base < first_yellow && first_yellow < first_red);
+    }
+
+    #[test]
+    fn short_tail_packets() {
+        let frame = ScaledFrame { base_bytes: 750, enhancement_bytes: 600 };
+        let pkts = packetize(&frame, 450, 150, 500);
+        // Base: 500 + 250; yellow: 450; red: 150.
+        let sizes: Vec<u32> = pkts.iter().map(|p| p.bytes).collect();
+        assert_eq!(sizes, vec![500, 250, 450, 150]);
+    }
+
+    #[test]
+    fn zero_enhancement_is_base_only() {
+        let frame = ScaledFrame { base_bytes: 1_000, enhancement_bytes: 0 };
+        let pkts = packetize(&frame, 0, 0, 500);
+        assert_eq!(pkts.len(), 2);
+        assert!(pkts.iter().all(|p| p.segment == Segment::Base));
+    }
+
+    #[test]
+    fn packet_count_matches_plan() {
+        for (base, y, r) in [(10_500u32, 40_000u32, 12_500u32), (750, 450, 150), (1_000, 0, 0)] {
+            let frame = ScaledFrame { base_bytes: base, enhancement_bytes: y + r };
+            assert_eq!(
+                packet_count(&frame, y, r, 500) as usize,
+                packetize(&frame, y, r, 500).len()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partition must cover")]
+    fn rejects_inconsistent_partition() {
+        let frame = ScaledFrame { base_bytes: 100, enhancement_bytes: 1_000 };
+        let _ = packetize(&frame, 100, 100, 500);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::scaling::partition_enhancement;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Packetization conserves bytes and keeps segments in order for any
+        /// frame and gamma.
+        #[test]
+        fn conserves_bytes(base in 0u32..20_000, enh in 0u32..60_000, gamma in 0.0f64..=1.0) {
+            let frame = ScaledFrame { base_bytes: base, enhancement_bytes: enh };
+            let (y, r) = partition_enhancement(enh, gamma);
+            let pkts = packetize(&frame, y, r, 500);
+            let total: u64 = pkts.iter().map(|p| p.bytes as u64).sum();
+            prop_assert_eq!(total, base as u64 + enh as u64);
+            // Segment order is monotone: Base(0) <= Yellow(1) <= Red(2).
+            let rank = |s: Segment| match s { Segment::Base => 0, Segment::Yellow => 1, Segment::Red => 2 };
+            prop_assert!(pkts.windows(2).all(|w| rank(w[0].segment) <= rank(w[1].segment)));
+            // Every packet is non-empty and within the MTU.
+            prop_assert!(pkts.iter().all(|p| p.bytes > 0 && p.bytes <= 500));
+        }
+    }
+}

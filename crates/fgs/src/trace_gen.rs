@@ -1,0 +1,139 @@
+//! Synthetic variable-size frame traces.
+//!
+//! The paper's analysis (Lemma 1) covers arbitrary i.i.d. frame-size
+//! distributions; its simulations use constant sizes. For experiments beyond
+//! the paper's constant-size setup, this module generates seeded synthetic
+//! traces whose enhancement-layer sizes follow a smooth "scene complexity"
+//! process (an AR(1) random walk with reflective clamping), which is the
+//! standard first-order model of coded-video size variation.
+
+use crate::frame::{FrameSpec, VideoTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic trace generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceGenConfig {
+    /// Number of frames.
+    pub n_frames: usize,
+    /// Frames per second.
+    pub fps: f64,
+    /// Base-layer bytes per frame (constant — base layers are CBR-coded).
+    pub base_bytes: u32,
+    /// Mean enhancement bytes per frame.
+    pub mean_enhancement_bytes: u32,
+    /// Coefficient of variation of enhancement sizes (0 = constant).
+    pub cv: f64,
+    /// AR(1) smoothing factor in `[0, 1)`: 0 = i.i.d., near 1 = slow drift.
+    pub smoothness: f64,
+}
+
+impl Default for TraceGenConfig {
+    fn default() -> Self {
+        TraceGenConfig {
+            n_frames: 300,
+            fps: 10.0,
+            base_bytes: 10_500,
+            mean_enhancement_bytes: 52_500,
+            cv: 0.15,
+            smoothness: 0.9,
+        }
+    }
+}
+
+/// Generates a seeded synthetic trace.
+///
+/// # Examples
+///
+/// ```
+/// use pels_fgs::trace_gen::{generate, TraceGenConfig};
+///
+/// let t = generate(&TraceGenConfig::default(), 7);
+/// assert_eq!(t.len(), 300);
+/// // Same seed, same trace.
+/// assert_eq!(t, generate(&TraceGenConfig::default(), 7));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (`cv < 0`, `smoothness` outside
+/// `[0, 1)`, zero frames, or non-positive fps).
+pub fn generate(cfg: &TraceGenConfig, seed: u64) -> VideoTrace {
+    assert!(cfg.cv >= 0.0 && cfg.cv.is_finite(), "invalid cv: {}", cfg.cv);
+    assert!(
+        (0.0..1.0).contains(&cfg.smoothness),
+        "smoothness must be in [0,1): {}",
+        cfg.smoothness
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mean = cfg.mean_enhancement_bytes as f64;
+    let sigma = mean * cfg.cv;
+    // AR(1): x_k = a*x_{k-1} + sqrt(1-a^2)*eps_k keeps stationary variance
+    // equal to the innovation variance.
+    let a = cfg.smoothness;
+    let innov = (1.0 - a * a).sqrt();
+    let mut state = 0.0f64;
+    let frames = (0..cfg.n_frames as u64)
+        .map(|index| {
+            // Approximate a standard normal via the sum of 12 uniforms
+            // (Irwin-Hall), which is deterministic and dependency-free.
+            let eps: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+            state = a * state + innov * eps;
+            let enh = (mean + sigma * state).clamp(mean * 0.2, mean * 3.0);
+            FrameSpec {
+                index,
+                base_bytes: cfg.base_bytes,
+                enhancement_bytes: enh.round() as u32,
+            }
+        })
+        .collect();
+    VideoTrace::new(cfg.fps, frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_is_close_to_target() {
+        let cfg = TraceGenConfig { n_frames: 5_000, ..Default::default() };
+        let t = generate(&cfg, 3);
+        let mean: f64 = t.iter().map(|f| f.enhancement_bytes as f64).sum::<f64>() / 5_000.0;
+        let target = cfg.mean_enhancement_bytes as f64;
+        assert!(
+            (mean - target).abs() / target < 0.05,
+            "mean {mean} too far from {target}"
+        );
+    }
+
+    #[test]
+    fn zero_cv_is_constant() {
+        let cfg = TraceGenConfig { cv: 0.0, n_frames: 50, ..Default::default() };
+        let t = generate(&cfg, 1);
+        assert!(t.iter().all(|f| f.enhancement_bytes == cfg.mean_enhancement_bytes));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = TraceGenConfig::default();
+        assert_ne!(generate(&cfg, 1), generate(&cfg, 2));
+    }
+
+    #[test]
+    fn smoothness_reduces_frame_to_frame_jumps() {
+        let jitter = |smoothness: f64| {
+            let cfg = TraceGenConfig { smoothness, n_frames: 2_000, ..Default::default() };
+            let t = generate(&cfg, 5);
+            let sizes: Vec<f64> = t.iter().map(|f| f.enhancement_bytes as f64).collect();
+            sizes.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (sizes.len() - 1) as f64
+        };
+        assert!(jitter(0.95) < jitter(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothness")]
+    fn rejects_bad_smoothness() {
+        let cfg = TraceGenConfig { smoothness: 1.0, ..Default::default() };
+        let _ = generate(&cfg, 0);
+    }
+}

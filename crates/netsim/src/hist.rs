@@ -1,0 +1,238 @@
+//! A logarithmic-bucket histogram for latency-like quantities.
+//!
+//! Delays in this workspace span five orders of magnitude (sub-millisecond
+//! green service to multi-second red starvation), so buckets grow
+//! geometrically: `bucket(v) = floor(log(v / v_min) / log(growth))`.
+//! Quantile estimates are exact to within one bucket (a relative error of
+//! `growth - 1`).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with geometrically growing buckets.
+///
+/// # Examples
+///
+/// ```
+/// use pels_netsim::hist::Histogram;
+///
+/// let mut h = Histogram::new(1e-4, 1.2);
+/// for i in 1..=100 {
+///     h.record(i as f64 * 0.001); // 1..100 ms
+/// }
+/// let p50 = h.quantile(0.5).unwrap();
+/// assert!((0.04..0.07).contains(&p50));
+/// assert_eq!(h.count(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    v_min: f64,
+    log_growth: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram whose first bucket starts at `v_min` and whose
+    /// bucket boundaries grow by factor `growth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_min <= 0` or `growth <= 1`.
+    pub fn new(v_min: f64, growth: f64) -> Self {
+        assert!(v_min > 0.0 && v_min.is_finite(), "v_min must be positive");
+        assert!(growth > 1.0 && growth.is_finite(), "growth must exceed 1");
+        Histogram {
+            v_min,
+            log_growth: growth.ln(),
+            counts: Vec::new(),
+            underflow: 0,
+            total: 0,
+        }
+    }
+
+    /// A histogram suited to network delays: 10 µs floor, 10% buckets.
+    pub fn for_delays() -> Self {
+        Histogram::new(1e-5, 1.1)
+    }
+
+    /// Records one observation. Non-finite or negative values are ignored.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() || v < 0.0 {
+            return;
+        }
+        self.total += 1;
+        if v < self.v_min {
+            self.underflow += 1;
+            return;
+        }
+        let bucket = ((v / self.v_min).ln() / self.log_growth) as usize;
+        if self.counts.len() <= bucket {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Lower edge of bucket `i`.
+    fn bucket_low(&self, i: usize) -> f64 {
+        self.v_min * (self.log_growth * i as f64).exp()
+    }
+
+    /// Estimates quantile `q` (in `[0, 1]`) as the geometric midpoint of the
+    /// bucket containing it. Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]: {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if rank <= seen {
+            return Some(self.v_min / 2.0);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if rank <= seen {
+                let lo = self.bucket_low(i);
+                return Some(lo * self.log_growth.exp().sqrt());
+            }
+        }
+        Some(self.bucket_low(self.counts.len()))
+    }
+
+    /// Merges another histogram with identical parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            (self.v_min - other.v_min).abs() < 1e-12
+                && (self.log_growth - other.log_growth).abs() < 1e-12,
+            "histograms must share parameters to merge"
+        );
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.underflow += other.underflow;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_true_values() {
+        let mut h = Histogram::new(1e-4, 1.05);
+        for i in 1..=1000 {
+            h.record(i as f64 * 0.001);
+        }
+        for (q, expect) in [(0.1, 0.1), (0.5, 0.5), (0.9, 0.9), (0.99, 0.99)] {
+            let est = h.quantile(q).unwrap();
+            assert!(
+                (est / expect - 1.0).abs() < 0.06,
+                "q={q}: {est} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_underflow() {
+        let mut h = Histogram::new(1.0, 2.0);
+        assert_eq!(h.quantile(0.5), None);
+        h.record(0.001); // below v_min
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(0.5).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn ignores_garbage() {
+        let mut h = Histogram::for_delays();
+        h.record(f64::NAN);
+        h.record(-1.0);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_matches_combined_stream() {
+        let mut a = Histogram::for_delays();
+        let mut b = Histogram::for_delays();
+        let mut whole = Histogram::for_delays();
+        for i in 1..=500 {
+            let v = i as f64 * 2e-4;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for q in [0.25, 0.5, 0.75, 0.95] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share parameters")]
+    fn merge_rejects_mismatched() {
+        let mut a = Histogram::new(1.0, 2.0);
+        let b = Histogram::new(1.0, 3.0);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn wide_range_delays() {
+        let mut h = Histogram::for_delays();
+        h.record(2e-5); // 20 us
+        h.record(2e-3); // 2 ms
+        h.record(2.0); // 2 s
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile(1.0).unwrap() > 1.0);
+        assert!(h.quantile(0.0).unwrap() < 1e-4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Quantile estimates are within one bucket (10%) of the exact
+        /// empirical quantile, for any data.
+        #[test]
+        fn quantile_accuracy(mut data in proptest::collection::vec(1e-5f64..10.0, 10..300)) {
+            let mut h = Histogram::for_delays();
+            for &v in &data {
+                h.record(v);
+            }
+            data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for q in [0.1, 0.5, 0.9] {
+                let est = h.quantile(q).unwrap();
+                let rank = ((q * data.len() as f64).ceil() as usize).clamp(1, data.len());
+                let exact = data[rank - 1];
+                prop_assert!(
+                    est > exact / 1.22 && est < exact * 1.22,
+                    "q={}: est {} exact {}", q, est, exact
+                );
+            }
+        }
+    }
+}

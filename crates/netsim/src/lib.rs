@@ -1,0 +1,81 @@
+//! # pels-netsim — a discrete-event packet network simulator
+//!
+//! This crate is the ns2 substitute for the PELS reproduction: a
+//! deterministic, single-threaded, packet-level discrete-event simulator
+//! providing everything the paper's evaluation needs from the network:
+//!
+//! * a virtual clock and event heap with stable FIFO tie-breaking
+//!   ([`event`], [`time`]),
+//! * agents (hosts/routers) dispatched by id ([`sim`]),
+//! * output ports that serialize one packet at a time over links with a
+//!   configurable rate and propagation delay ([`port`]),
+//! * composable queue disciplines — DropTail, RED, strict priority,
+//!   deficit-weighted round robin, a uniform-loss FIFO ([`disc`]), and
+//!   Random Early Marking ([`rem`]) and virtual-finish-time WFQ ([`wfq`]),
+//! * a destination-routed store-and-forward router ([`router`]) and a
+//!   dumbbell topology builder ([`topology`]),
+//! * simplified TCP Reno cross traffic ([`tcp`]) and CBR load generators
+//!   ([`cbr`]),
+//! * and measurement helpers ([`stats`], [`hist`]).
+//!
+//! Determinism is a hard invariant: a run is a pure function of the topology
+//! and the seed. All randomness flows from seeded [`rand::rngs::StdRng`]
+//! instances, and simultaneous events fire in scheduling order.
+//!
+//! ## Example: two hosts over a bottleneck
+//!
+//! ```
+//! use pels_netsim::disc::{DropTail, QueueLimit};
+//! use pels_netsim::packet::{AgentId, FlowId};
+//! use pels_netsim::port::Port;
+//! use pels_netsim::router::{RouteTable, Router};
+//! use pels_netsim::sim::Simulator;
+//! use pels_netsim::tcp::{TcpSink, TcpSource};
+//! use pels_netsim::time::{Rate, SimDuration, SimTime};
+//!
+//! let mut sim = Simulator::new(42);
+//! let (src, router, sink) = (AgentId(0), AgentId(1), AgentId(2));
+//! let q = || Box::new(DropTail::new(QueueLimit::Packets(50)));
+//! let delay = SimDuration::from_millis(5);
+//!
+//! sim.add_agent(Box::new(TcpSource::new(
+//!     Port::new(0, router, Rate::from_mbps(10.0), delay, q()),
+//!     FlowId(1), sink, 1000, SimDuration::ZERO,
+//! )));
+//! let mut routes = RouteTable::new();
+//! routes.add(sink, 0).add(src, 1);
+//! sim.add_agent(Box::new(Router::new(vec![
+//!     Port::new(0, sink, Rate::from_mbps(1.0), delay, q()),
+//!     Port::new(1, src, Rate::from_mbps(10.0), delay, q()),
+//! ], routes)));
+//! sim.add_agent(Box::new(TcpSink::new(
+//!     Port::new(0, router, Rate::from_mbps(10.0), delay, q()),
+//!     FlowId(1),
+//! )));
+//!
+//! sim.run_until(SimTime::from_secs_f64(5.0));
+//! assert!(sim.agent::<TcpSink>(sink).delivered() > 100);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cbr;
+pub mod disc;
+pub mod hist;
+pub mod journal;
+pub mod event;
+pub mod packet;
+pub mod port;
+pub mod rem;
+pub mod router;
+pub mod sim;
+pub mod stats;
+pub mod tcp;
+pub mod time;
+pub mod topology;
+pub mod wfq;
+
+pub use packet::{AgentId, Feedback, FlowId, Packet, PacketId, PacketKind};
+pub use sim::{Agent, Context, Simulator};
+pub use time::{Rate, SimDuration, SimTime};

@@ -1,0 +1,317 @@
+//! Packets and their headers.
+//!
+//! A [`Packet`] is a plain struct: in a simulator, protocol headers are just
+//! fields. The fields are deliberately a superset of what every subsystem
+//! needs — e.g. [`Packet::class`] drives priority classification inside queue
+//! disciplines, and [`Packet::feedback`] carries the router-computed
+//! congestion label `(router id, epoch z, p)` of the PELS framework (the
+//! paper's Section 5.2).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an agent (host or router) registered with the simulator.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AgentId(pub u32);
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent#{}", self.0)
+    }
+}
+
+/// Identifier of an end-to-end flow.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FlowId(pub u32);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow#{}", self.0)
+    }
+}
+
+/// Globally unique packet identifier, assigned at creation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PacketId(pub u64);
+
+/// What a packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Application payload (video or cross-traffic data).
+    Data,
+    /// An acknowledgment travelling back to the source.
+    Ack,
+    /// A negative acknowledgment requesting retransmission of the packet
+    /// identified by the frame tag (used by the ARQ comparator).
+    Nack,
+}
+
+/// Congestion feedback label `(router ID, epoch z, packet loss p)` stamped by
+/// AQM routers into every passing packet (paper Eq. 11 and Section 5.2).
+///
+/// Two loss figures travel together:
+///
+/// * [`Feedback::loss`] — Eq. 11's `p = (R - C)/R` over *all* traffic of the
+///   queue, **signed**: negative values signal spare capacity, which is what
+///   lets Kelly-style control claim bandwidth multiplicatively (the
+///   "exponential" ramp of the paper's Fig. 9).
+/// * [`Feedback::fgs_loss`] — the loss borne by the FGS *enhancement* layer
+///   (classes yellow/red). Strict priority protects green, so all overload
+///   falls on the enhancement layer; the γ-controller (Eq. 4) is defined on
+///   exactly this quantity ("the measured average packet loss in the entire
+///   FGS layer", Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Feedback {
+    /// Identifier of the router that produced this label.
+    pub router: AgentId,
+    /// The router's local epoch number `z`; sources ignore stale epochs.
+    pub epoch: u64,
+    /// Signed total-queue loss `p = (R - C)/R`, in `(-inf, 1)`.
+    pub loss: f64,
+    /// Enhancement-layer (FGS) loss, in `[0, 1]`.
+    pub fgs_loss: f64,
+}
+
+impl Feedback {
+    /// Creates a feedback label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss >= 1`, `fgs_loss` is outside `[0, 1]`, or either is
+    /// not finite.
+    pub fn new(router: AgentId, epoch: u64, loss: f64, fgs_loss: f64) -> Self {
+        assert!(loss.is_finite() && loss < 1.0, "invalid loss value: {loss}");
+        assert!(
+            fgs_loss.is_finite() && (0.0..=1.0).contains(&fgs_loss),
+            "invalid fgs loss value: {fgs_loss}"
+        );
+        Feedback { router, epoch, loss, fgs_loss }
+    }
+}
+
+/// Position of a packet inside a video frame (used by the FGS decoder to
+/// reconstruct per-frame reception maps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FrameTag {
+    /// Frame index within the flow (0-based).
+    pub frame: u64,
+    /// Packet index within the frame (0-based; base-layer packets first).
+    pub index: u16,
+    /// Total packets this frame was transmitted with.
+    pub total: u16,
+    /// How many of those packets carry the base layer.
+    pub base: u16,
+}
+
+/// A simulated packet.
+///
+/// # Examples
+///
+/// ```
+/// use pels_netsim::packet::{Packet, PacketKind, FlowId, AgentId};
+///
+/// let pkt = Packet::data(FlowId(1), AgentId(0), AgentId(3), 500);
+/// assert_eq!(pkt.size_bytes, 500);
+/// assert_eq!(pkt.kind, PacketKind::Data);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Globally unique id (0 until assigned by [`Packet::with_id`] or a source).
+    pub id: PacketId,
+    /// Flow the packet belongs to.
+    pub flow: FlowId,
+    /// Originating agent.
+    pub src: AgentId,
+    /// Destination agent (routers forward based on this field).
+    pub dst: AgentId,
+    /// Size on the wire, bytes (headers included).
+    pub size_bytes: u32,
+    /// Payload type.
+    pub kind: PacketKind,
+    /// Priority class used by classifying queue disciplines.
+    /// Convention in this workspace: 0 = green, 1 = yellow, 2 = red,
+    /// 3 = best-effort Internet traffic.
+    pub class: u8,
+    /// Per-flow sequence number.
+    pub seq: u64,
+    /// Video-frame tag, when the packet carries FGS data.
+    pub frame: Option<FrameTag>,
+    /// Time the packet left its source.
+    pub sent_at: SimTime,
+    /// Congestion feedback stamped by routers along the path (data packets)
+    /// or echoed back to the source (ACKs).
+    pub feedback: Option<Feedback>,
+    /// For ACKs: the id of the data packet being acknowledged.
+    pub acks: Option<PacketId>,
+    /// For ACKs: cumulative acknowledgment number (used by the TCP model).
+    pub ack_no: u64,
+    /// The sender's rate (bits/s) when this packet left the source, echoed
+    /// back in ACKs. MKC applies its update to this *old* rate — the
+    /// `r(k − D)` base of Eq. 8, which is what makes its stability
+    /// independent of feedback delay (paper reference [34]).
+    pub rate_echo: f64,
+}
+
+impl Packet {
+    /// Creates a data packet with default class 3 (best-effort).
+    pub fn data(flow: FlowId, src: AgentId, dst: AgentId, size_bytes: u32) -> Self {
+        Packet {
+            id: PacketId(0),
+            flow,
+            src,
+            dst,
+            size_bytes,
+            kind: PacketKind::Data,
+            class: 3,
+            seq: 0,
+            frame: None,
+            sent_at: SimTime::ZERO,
+            feedback: None,
+            acks: None,
+            ack_no: 0,
+            rate_echo: 0.0,
+        }
+    }
+
+    /// Creates an ACK for `data`, addressed back to its source.
+    ///
+    /// The ACK echoes the data packet's feedback label so that the source
+    /// receives the freshest router state (paper Section 5.2).
+    pub fn ack_for(data: &Packet, size_bytes: u32) -> Self {
+        Packet {
+            id: PacketId(0),
+            flow: data.flow,
+            src: data.dst,
+            dst: data.src,
+            size_bytes,
+            kind: PacketKind::Ack,
+            class: data.class,
+            seq: data.seq,
+            frame: data.frame,
+            sent_at: SimTime::ZERO,
+            feedback: data.feedback,
+            acks: Some(data.id),
+            ack_no: 0,
+            rate_echo: data.rate_echo,
+        }
+    }
+
+    /// Sets the globally unique id (builder style).
+    pub fn with_id(mut self, id: PacketId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Sets the priority class (builder style).
+    pub fn with_class(mut self, class: u8) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Sets the per-flow sequence number (builder style).
+    pub fn with_seq(mut self, seq: u64) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Sets the frame tag (builder style).
+    pub fn with_frame(mut self, tag: FrameTag) -> Self {
+        self.frame = Some(tag);
+        self
+    }
+
+    /// Size of the packet in bits.
+    pub fn size_bits(&self) -> u64 {
+        self.size_bytes as u64 * 8
+    }
+
+    /// Applies a router's feedback label using the *max-loss override* rule:
+    /// the label in the header is replaced only if the new label reports
+    /// strictly larger loss, or if no label is present yet, or if the label
+    /// belongs to the same router (which refreshes its own epoch).
+    ///
+    /// This implements the multi-bottleneck rule of Section 5.2: "each router
+    /// compares its `p_l` with that inside arriving packets and overrides the
+    /// existing value only if its packet loss is larger".
+    pub fn stamp_feedback(&mut self, label: Feedback) {
+        match self.feedback {
+            None => self.feedback = Some(label),
+            Some(cur) if cur.router == label.router => self.feedback = Some(label),
+            Some(cur) if label.loss > cur.loss => self.feedback = Some(label),
+            Some(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt() -> Packet {
+        Packet::data(FlowId(7), AgentId(1), AgentId(2), 500)
+    }
+
+    #[test]
+    fn data_constructor_defaults() {
+        let p = pkt();
+        assert_eq!(p.kind, PacketKind::Data);
+        assert_eq!(p.class, 3);
+        assert_eq!(p.size_bits(), 4000);
+        assert!(p.feedback.is_none());
+    }
+
+    #[test]
+    fn ack_reverses_direction_and_echoes_feedback() {
+        let mut p = pkt().with_id(PacketId(42)).with_seq(9);
+        p.stamp_feedback(Feedback::new(AgentId(5), 3, 0.25, 0.3));
+        let ack = Packet::ack_for(&p, 40);
+        assert_eq!(ack.src, p.dst);
+        assert_eq!(ack.dst, p.src);
+        assert_eq!(ack.kind, PacketKind::Ack);
+        assert_eq!(ack.acks, Some(PacketId(42)));
+        assert_eq!(ack.seq, 9);
+        let fb = ack.feedback.expect("ack echoes feedback");
+        assert_eq!(fb.epoch, 3);
+        assert_eq!(fb.router, AgentId(5));
+    }
+
+    #[test]
+    fn stamp_feedback_max_override() {
+        let mut p = pkt();
+        p.stamp_feedback(Feedback::new(AgentId(1), 1, 0.10, 0.1));
+        // A different router with smaller loss must NOT override.
+        p.stamp_feedback(Feedback::new(AgentId(2), 8, 0.05, 0.05));
+        assert_eq!(p.feedback.unwrap().router, AgentId(1));
+        // A different router with larger loss overrides.
+        p.stamp_feedback(Feedback::new(AgentId(2), 9, 0.20, 0.2));
+        assert_eq!(p.feedback.unwrap().router, AgentId(2));
+        // The same router always refreshes its own label, even downward.
+        p.stamp_feedback(Feedback::new(AgentId(2), 10, 0.01, 0.0));
+        let fb = p.feedback.unwrap();
+        assert_eq!(fb.epoch, 10);
+        assert!((fb.loss - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid loss")]
+    fn feedback_rejects_invalid_loss() {
+        let _ = Feedback::new(AgentId(0), 0, 1.5, 0.0);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let tag = FrameTag { frame: 3, index: 5, total: 126, base: 21 };
+        let p = pkt().with_class(1).with_seq(77).with_frame(tag).with_id(PacketId(8));
+        assert_eq!(p.class, 1);
+        assert_eq!(p.seq, 77);
+        assert_eq!(p.frame, Some(tag));
+        assert_eq!(p.id, PacketId(8));
+    }
+}

@@ -1,0 +1,276 @@
+//! Output ports: a link (rate + propagation delay) fronted by a queue
+//! discipline.
+//!
+//! A [`Port`] serializes one packet at a time. While busy, arriving packets
+//! go to the discipline; when a transmission completes the port asks the
+//! discipline for the next packet. Agents embed ports and forward
+//! [`crate::sim::Agent::on_tx_complete`] callbacks to them.
+
+use crate::disc::Discipline;
+use crate::packet::{AgentId, Packet};
+use crate::sim::Context;
+use crate::time::{Rate, SimDuration, SimTime};
+
+/// Counters kept by every port.
+#[derive(Debug, Clone, Default)]
+pub struct PortStats {
+    /// Packets fully serialized onto the link.
+    pub tx_packets: u64,
+    /// Bytes fully serialized onto the link.
+    pub tx_bytes: u64,
+    /// Packets dropped by the discipline, total.
+    pub dropped_packets: u64,
+    /// Bytes dropped by the discipline, total.
+    pub dropped_bytes: u64,
+    /// Per-class drop counts (classes 0..=3; higher classes fold into 3).
+    pub drops_by_class: [u64; 4],
+    /// Per-class transmit counts.
+    pub tx_by_class: [u64; 4],
+    /// Accumulated busy time.
+    pub busy_time: SimDuration,
+}
+
+impl PortStats {
+    /// Link utilization over `elapsed` time.
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.busy_time.as_secs_f64() / elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// An output port transmitting towards a fixed peer agent.
+#[derive(Debug)]
+pub struct Port {
+    /// Agent at the far end of the link.
+    pub peer: AgentId,
+    /// Link rate.
+    pub rate: Rate,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Index of this port within its owning agent (used to route
+    /// `TxComplete` events back here).
+    pub index: usize,
+    disc: Box<dyn Discipline>,
+    busy: bool,
+    tx_started: SimTime,
+    /// Statistics.
+    pub stats: PortStats,
+    scratch_drops: Vec<Packet>,
+}
+
+impl Port {
+    /// Creates a port.
+    pub fn new(
+        index: usize,
+        peer: AgentId,
+        rate: Rate,
+        delay: SimDuration,
+        disc: Box<dyn Discipline>,
+    ) -> Self {
+        Port {
+            peer,
+            rate,
+            delay,
+            index,
+            disc,
+            busy: false,
+            tx_started: SimTime::ZERO,
+            stats: PortStats::default(),
+            scratch_drops: Vec::new(),
+        }
+    }
+
+    /// Whether the port is currently serializing a packet.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// The queue discipline, for inspection.
+    pub fn discipline(&self) -> &dyn Discipline {
+        self.disc.as_ref()
+    }
+
+    /// The queue discipline, for reconfiguration (e.g. updating a drop
+    /// probability).
+    pub fn discipline_mut(&mut self) -> &mut dyn Discipline {
+        self.disc.as_mut()
+    }
+
+    /// Replaces the queue discipline (only sensible before traffic flows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current discipline still holds packets.
+    pub fn set_discipline(&mut self, disc: Box<dyn Discipline>) {
+        assert!(self.disc.is_empty(), "cannot replace a non-empty discipline");
+        self.disc = disc;
+    }
+
+    /// Offers a packet for transmission. If the port is idle the packet
+    /// starts serializing immediately; otherwise it is queued (and possibly
+    /// dropped by the discipline). Returns the packets dropped by this call.
+    pub fn send(&mut self, pkt: Packet, ctx: &mut Context<'_>) -> &[Packet] {
+        self.scratch_drops.clear();
+        if self.busy {
+            self.disc.enqueue(pkt, ctx.now, &mut self.scratch_drops);
+            for d in &self.scratch_drops {
+                self.stats.dropped_packets += 1;
+                self.stats.dropped_bytes += d.size_bytes as u64;
+                self.stats.drops_by_class[d.class.min(3) as usize] += 1;
+            }
+        } else {
+            self.begin_tx(pkt, ctx);
+        }
+        &self.scratch_drops
+    }
+
+    fn begin_tx(&mut self, pkt: Packet, ctx: &mut Context<'_>) {
+        let tx = self.rate.tx_time(pkt.size_bytes);
+        self.busy = true;
+        self.tx_started = ctx.now;
+        self.stats.tx_packets += 1;
+        self.stats.tx_bytes += pkt.size_bytes as u64;
+        self.stats.tx_by_class[pkt.class.min(3) as usize] += 1;
+        ctx.schedule_tx_complete(self.index, tx);
+        ctx.deliver(self.peer, tx + self.delay, pkt);
+    }
+
+    /// Must be called from the owning agent's
+    /// [`crate::sim::Agent::on_tx_complete`] for this port's index.
+    pub fn on_tx_complete(&mut self, ctx: &mut Context<'_>) {
+        debug_assert!(self.busy, "tx-complete on an idle port");
+        self.stats.busy_time += ctx.now.duration_since(self.tx_started);
+        self.busy = false;
+        if let Some(next) = self.disc.dequeue(ctx.now) {
+            self.begin_tx(next, ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disc::{DropTail, QueueLimit};
+    use crate::packet::FlowId;
+    use crate::sim::{Agent, Simulator};
+    use std::any::Any;
+
+    /// A host that blasts `n` packets into its port at start.
+    struct Blaster {
+        port: Option<Port>,
+        n: usize,
+    }
+    impl Agent for Blaster {
+        fn start(&mut self, ctx: &mut Context<'_>) {
+            let port = self.port.as_mut().unwrap();
+            for seq in 0..self.n as u64 {
+                let pkt = Packet::data(FlowId(0), ctx.self_id, port.peer, 500)
+                    .with_seq(seq)
+                    .with_id(ctx.alloc_packet_id());
+                port.send(pkt, ctx);
+            }
+        }
+        fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+        fn on_tx_complete(&mut self, _port: usize, ctx: &mut Context<'_>) {
+            self.port.as_mut().unwrap().on_tx_complete(ctx);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct Counter {
+        got: Vec<(SimTime, u64)>,
+    }
+    impl Agent for Counter {
+        fn on_packet(&mut self, p: Packet, ctx: &mut Context<'_>) {
+            self.got.push((ctx.now, p.seq));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn serializes_back_to_back_at_link_rate() {
+        let mut sim = Simulator::new(1);
+        let sink_id = AgentId(1);
+        // 4 Mb/s, 10 ms delay: 500-byte packet = 1 ms serialization.
+        let port = Port::new(
+            0,
+            sink_id,
+            Rate::from_mbps(4.0),
+            SimDuration::from_millis(10),
+            Box::new(DropTail::new(QueueLimit::Packets(100))),
+        );
+        let src = sim.add_agent(Box::new(Blaster { port: Some(port), n: 3 }));
+        sim.add_agent(Box::new(Counter { got: vec![] }));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+
+        let got = &sim.agent::<Counter>(sink_id).got;
+        assert_eq!(got.len(), 3);
+        // Arrivals at 11, 12, 13 ms: serialization is pipelined, propagation adds 10 ms.
+        assert_eq!(got[0].0, SimTime::from_secs_f64(0.011));
+        assert_eq!(got[1].0, SimTime::from_secs_f64(0.012));
+        assert_eq!(got[2].0, SimTime::from_secs_f64(0.013));
+        // In order.
+        assert_eq!(got.iter().map(|g| g.1).collect::<Vec<_>>(), vec![0, 1, 2]);
+
+        let stats = &sim.agent::<Blaster>(src).port.as_ref().unwrap().stats;
+        assert_eq!(stats.tx_packets, 3);
+        assert_eq!(stats.tx_bytes, 1500);
+        assert_eq!(stats.busy_time, SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn drops_count_in_stats() {
+        let mut sim = Simulator::new(1);
+        let sink_id = AgentId(1);
+        let port = Port::new(
+            0,
+            sink_id,
+            Rate::from_mbps(4.0),
+            SimDuration::ZERO,
+            Box::new(DropTail::new(QueueLimit::Packets(2))),
+        );
+        // 10 packets into a queue of 2 (+1 in flight) -> 7 drops.
+        let src = sim.add_agent(Box::new(Blaster { port: Some(port), n: 10 }));
+        sim.add_agent(Box::new(Counter { got: vec![] }));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+
+        let stats = &sim.agent::<Blaster>(src).port.as_ref().unwrap().stats;
+        assert_eq!(stats.dropped_packets, 7);
+        assert_eq!(stats.tx_packets, 3);
+        assert_eq!(stats.drops_by_class[3], 7);
+        assert_eq!(sim.agent::<Counter>(sink_id).got.len(), 3);
+    }
+
+    #[test]
+    fn utilization_reflects_busy_fraction() {
+        let mut sim = Simulator::new(1);
+        let sink_id = AgentId(1);
+        let port = Port::new(
+            0,
+            sink_id,
+            Rate::from_mbps(4.0),
+            SimDuration::ZERO,
+            Box::new(DropTail::new(QueueLimit::Packets(100))),
+        );
+        let src = sim.add_agent(Box::new(Blaster { port: Some(port), n: 50 }));
+        sim.add_agent(Box::new(Counter { got: vec![] }));
+        sim.run_until(SimTime::from_secs_f64(0.1));
+        let stats = &sim.agent::<Blaster>(src).port.as_ref().unwrap().stats;
+        // 50 packets x 1 ms = 50 ms busy in a 100 ms window.
+        let util = stats.utilization(SimDuration::from_millis(100));
+        assert!((util - 0.5).abs() < 1e-9, "utilization {util}");
+    }
+}

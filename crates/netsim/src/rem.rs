@@ -1,0 +1,225 @@
+//! Random Early Marking (REM) — Lapsley & Low's optimization-based AQM,
+//! one of the router-assisted schemes the paper surveys (Section 2.2).
+//!
+//! REM maintains a link *price* updated from the queue backlog and the
+//! arrival/capacity mismatch, and drops (or marks) arrivals with
+//! probability `1 − φ^{−price}`. Unlike RED, the drop probability is
+//! exponential in the congestion measure, which decouples the performance
+//! from the queue length. Included as a classical baseline for comparing
+//! AQM behaviours against the PELS discipline.
+
+use crate::disc::{Discipline, DropTail, QueueLimit};
+use crate::packet::Packet;
+use crate::time::{Rate, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a [`Rem`] queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemConfig {
+    /// Price adaptation gain γ.
+    pub gamma: f64,
+    /// Weight α on the backlog term (packets).
+    pub alpha: f64,
+    /// Target backlog `b*`, packets.
+    pub target_backlog: f64,
+    /// Exponential base φ of the drop law (> 1).
+    pub phi: f64,
+    /// Link capacity, used to estimate the rate mismatch term.
+    pub capacity: Rate,
+    /// Price-update interval.
+    pub interval: SimDuration,
+}
+
+impl Default for RemConfig {
+    fn default() -> Self {
+        RemConfig {
+            gamma: 0.005,
+            alpha: 0.1,
+            target_backlog: 20.0,
+            phi: 1.001,
+            capacity: Rate::from_mbps(4.0),
+            interval: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// The REM discipline: a drop-tail queue fronted by price-based dropping.
+///
+/// Price updates happen lazily, driven by packet arrival timestamps (the
+/// discipline has no timer of its own): all intervals that elapsed since
+/// the last update are applied before the arrival is considered.
+#[derive(Debug)]
+pub struct Rem {
+    inner: DropTail,
+    cfg: RemConfig,
+    price: f64,
+    bytes_since_update: u64,
+    last_update: SimTime,
+    rng: StdRng,
+    /// Price-based drops performed.
+    pub early_drops: u64,
+}
+
+impl Rem {
+    /// Creates a REM queue with physical limit `limit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi <= 1`, gains are non-positive, or the interval is zero.
+    pub fn new(limit: QueueLimit, cfg: RemConfig, seed: u64) -> Self {
+        assert!(cfg.phi > 1.0, "phi must exceed 1");
+        assert!(cfg.gamma > 0.0 && cfg.alpha > 0.0, "gains must be positive");
+        assert!(!cfg.interval.is_zero(), "interval must be positive");
+        Rem {
+            inner: DropTail::new(limit),
+            cfg,
+            price: 0.0,
+            bytes_since_update: 0,
+            last_update: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            early_drops: 0,
+        }
+    }
+
+    /// Current link price.
+    pub fn price(&self) -> f64 {
+        self.price
+    }
+
+    fn advance_price(&mut self, now: SimTime) {
+        let dt = self.cfg.interval;
+        while now.duration_since(self.last_update) >= dt {
+            self.last_update = self.last_update + dt;
+            // Rate mismatch (packets of 500 B equivalent) over the interval.
+            let arrived = self.bytes_since_update as f64 * 8.0 / dt.as_secs_f64();
+            self.bytes_since_update = 0;
+            let capacity = self.cfg.capacity.as_bps() as f64;
+            let backlog = self.inner.len_packets() as f64;
+            let gradient = self.cfg.alpha * (backlog - self.cfg.target_backlog)
+                + (arrived - capacity) / 8.0 / 500.0;
+            self.price = (self.price + self.cfg.gamma * gradient).max(0.0);
+        }
+    }
+
+    fn drop_probability(&self) -> f64 {
+        1.0 - self.cfg.phi.powf(-self.price)
+    }
+}
+
+impl Discipline for Rem {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn enqueue(&mut self, pkt: Packet, now: SimTime, dropped: &mut Vec<Packet>) {
+        self.advance_price(now);
+        let p = self.drop_probability();
+        if p > 0.0 && self.rng.gen::<f64>() < p {
+            self.early_drops += 1;
+            dropped.push(pkt);
+            return;
+        }
+        // The rate-mismatch term uses the *accepted* rate, so the price has
+        // a well-defined equilibrium even against unresponsive sources
+        // (accepted rate -> capacity, drop rate -> overload fraction).
+        self.bytes_since_update += pkt.size_bytes as u64;
+        self.inner.enqueue(pkt, now, dropped);
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        self.inner.dequeue(now)
+    }
+
+    fn peek_size(&self) -> Option<u32> {
+        self.inner.peek_size()
+    }
+
+    fn len_packets(&self) -> usize {
+        self.inner.len_packets()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.inner.len_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{AgentId, FlowId};
+
+    fn pkt() -> Packet {
+        Packet::data(FlowId(0), AgentId(0), AgentId(1), 500)
+    }
+
+    /// Feeds `rate_mbps` of arrivals over `[start_s, start_s + secs)` while
+    /// draining at `service_mbps`, and returns (early drops, final price).
+    /// Time must be monotone across calls on the same queue.
+    fn drive(
+        rem: &mut Rem,
+        rate_mbps: f64,
+        service_mbps: f64,
+        start_s: f64,
+        secs: f64,
+    ) -> (u64, f64) {
+        let mut dropped = Vec::new();
+        let arrivals = (rate_mbps * 1e6 * secs / 8.0 / 500.0) as u64;
+        let start_ns = (start_s * 1e9) as u64;
+        let gap_ns = (secs * 1e9 / arrivals as f64) as u64;
+        let service_gap_ns = (500.0 * 8.0 / (service_mbps * 1e6) * 1e9) as u64;
+        let mut next_service = start_ns;
+        let before = rem.early_drops;
+        for k in 0..arrivals {
+            let now = SimTime::from_nanos(start_ns + k * gap_ns);
+            rem.enqueue(pkt(), now, &mut dropped);
+            while next_service <= now.as_nanos() {
+                rem.dequeue(now);
+                next_service += service_gap_ns;
+            }
+        }
+        (rem.early_drops - before, rem.price())
+    }
+
+    #[test]
+    fn no_congestion_no_price() {
+        let mut rem = Rem::new(QueueLimit::Packets(500), RemConfig::default(), 1);
+        let (drops, price) = drive(&mut rem, 2.0, 4.0, 0.0, 5.0);
+        assert_eq!(drops, 0, "underload must not drop");
+        assert!(price < 0.1, "price {price}");
+    }
+
+    #[test]
+    fn overload_raises_price_and_drops() {
+        let mut rem = Rem::new(QueueLimit::Packets(5_000), RemConfig::default(), 1);
+        let (drops, price) = drive(&mut rem, 6.0, 4.0, 0.0, 10.0);
+        assert!(price > 0.0);
+        assert!(drops > 100, "drops {drops}");
+    }
+
+    #[test]
+    fn price_decays_after_congestion_clears() {
+        let mut rem = Rem::new(QueueLimit::Packets(5_000), RemConfig::default(), 1);
+        drive(&mut rem, 6.0, 4.0, 0.0, 10.0);
+        let high = rem.price();
+        // Drain the queue, then run underloaded.
+        let mut t = SimTime::from_secs_f64(10.0);
+        while rem.dequeue(t).is_some() {
+            t = t + SimDuration::from_micros(100);
+        }
+        drive(&mut rem, 1.0, 4.0, 20.0, 40.0);
+        assert!(rem.price() < 0.5 * high, "price {} vs {high}", rem.price());
+    }
+
+    #[test]
+    fn matches_loss_equilibrium_roughly() {
+        // In equilibrium REM drops the overload fraction: 6 Mb/s offered on
+        // 4 Mb/s capacity -> ~1/3 loss.
+        let mut rem = Rem::new(QueueLimit::Packets(50_000), RemConfig::default(), 2);
+        drive(&mut rem, 6.0, 4.0, 0.0, 30.0); // warm up
+        let (drops, _) = drive(&mut rem, 6.0, 4.0, 30.0, 30.0);
+        let offered = (6.0 * 1e6 * 30.0 / 8.0 / 500.0) as u64;
+        let rate = drops as f64 / offered as f64;
+        assert!((rate - 1.0 / 3.0).abs() < 0.12, "loss {rate}");
+    }
+}

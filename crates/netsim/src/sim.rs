@@ -1,0 +1,447 @@
+//! The simulation engine: the [`Agent`] trait, the dispatch [`Context`], and
+//! the [`Simulator`] event loop.
+//!
+//! Agents (hosts, routers, sinks) are owned by the simulator in a slab and
+//! addressed by [`AgentId`]. The event loop pops the earliest event, moves
+//! the target agent out of the slab, and invokes its handler with a
+//! [`Context`] that can schedule further events — no interior mutability, no
+//! unsafe, fully deterministic.
+
+use crate::event::{Event, EventQueue};
+use crate::journal::Journal;
+use crate::packet::{AgentId, Packet, PacketId};
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::any::Any;
+
+/// A simulation participant.
+///
+/// Implementors also provide `as_any`/`as_any_mut` so that scenario code can
+/// recover the concrete type (and its collected statistics) after a run via
+/// [`Simulator::agent`] / [`Simulator::agent_mut`].
+pub trait Agent: Any {
+    /// Called once at simulation start (time zero), in registration order.
+    fn start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called when a packet arrives at this agent.
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>);
+
+    /// Called when a timer scheduled with [`Context::schedule_timer`] fires.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Context<'_>) {}
+
+    /// Called when output port `port` finishes serializing a packet.
+    fn on_tx_complete(&mut self, _port: usize, _ctx: &mut Context<'_>) {}
+
+    /// Upcast for post-run inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Upcast for post-run inspection (mutable).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Handle given to agent callbacks for interacting with the simulator.
+#[derive(Debug)]
+pub struct Context<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Id of the agent being dispatched.
+    pub self_id: AgentId,
+    queue: &'a mut EventQueue,
+    rng: &'a mut StdRng,
+    next_packet_id: &'a mut u64,
+}
+
+impl Context<'_> {
+    /// Schedules a timer for the current agent, `delay` from now.
+    pub fn schedule_timer(&mut self, delay: SimDuration, token: u64) {
+        self.queue.schedule(
+            self.now + delay,
+            Event::Timer { agent: self.self_id, token },
+        );
+    }
+
+    /// Delivers `packet` to `dst` after `delay` (propagation is modelled by
+    /// the caller; ports use this internally).
+    pub fn deliver(&mut self, dst: AgentId, delay: SimDuration, packet: Packet) {
+        self.queue
+            .schedule(self.now + delay, Event::PacketArrival { dst, packet });
+    }
+
+    /// Schedules a transmit-complete callback for port `port` of the current
+    /// agent, `delay` from now. Used by [`crate::port::Port`].
+    pub fn schedule_tx_complete(&mut self, port: usize, delay: SimDuration) {
+        self.queue.schedule(
+            self.now + delay,
+            Event::TxComplete { agent: self.self_id, port },
+        );
+    }
+
+    /// Allocates a fresh globally-unique packet id.
+    pub fn alloc_packet_id(&mut self) -> PacketId {
+        *self.next_packet_id += 1;
+        PacketId(*self.next_packet_id)
+    }
+
+    /// The simulation-wide deterministic random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// # Examples
+///
+/// ```
+/// use pels_netsim::sim::{Agent, Context, Simulator};
+/// use pels_netsim::packet::Packet;
+/// use pels_netsim::time::{SimDuration, SimTime};
+/// use std::any::Any;
+///
+/// struct Ticker { ticks: u32 }
+/// impl Agent for Ticker {
+///     fn start(&mut self, ctx: &mut Context<'_>) {
+///         ctx.schedule_timer(SimDuration::from_millis(10), 0);
+///     }
+///     fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+///     fn on_timer(&mut self, _tok: u64, ctx: &mut Context<'_>) {
+///         self.ticks += 1;
+///         ctx.schedule_timer(SimDuration::from_millis(10), 0);
+///     }
+///     fn as_any(&self) -> &dyn Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn Any { self }
+/// }
+///
+/// let mut sim = Simulator::new(42);
+/// let id = sim.add_agent(Box::new(Ticker { ticks: 0 }));
+/// sim.run_until(SimTime::from_secs_f64(0.1));
+/// assert_eq!(sim.agent::<Ticker>(id).ticks, 10);
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    now: SimTime,
+    queue: EventQueue,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    rng: StdRng,
+    next_packet_id: u64,
+    started: bool,
+    events_processed: u64,
+    journal: Option<Journal>,
+}
+
+impl std::fmt::Debug for dyn Agent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<agent>")
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with a deterministic RNG seeded by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            agents: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            next_packet_id: 0,
+            started: false,
+            events_processed: 0,
+            journal: None,
+        }
+    }
+
+    /// Enables the event journal, keeping the most recent `capacity`
+    /// dispatches. Call before (or during) a run; recording starts
+    /// immediately.
+    pub fn enable_journal(&mut self, capacity: usize) {
+        self.journal = Some(Journal::new(capacity));
+    }
+
+    /// The event journal, if enabled.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Registers an agent and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulation has started.
+    pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> AgentId {
+        assert!(!self.started, "cannot add agents after the simulation started");
+        let id = AgentId(self.agents.len() as u32);
+        self.agents.push(Some(agent));
+        id
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Immutable access to a registered agent, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the agent is not a `T`.
+    pub fn agent<T: Agent>(&self, id: AgentId) -> &T {
+        self.agents[id.0 as usize]
+            .as_ref()
+            .expect("agent is currently being dispatched")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("agent type mismatch")
+    }
+
+    /// Mutable access to a registered agent, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the agent is not a `T`.
+    pub fn agent_mut<T: Agent>(&mut self, id: AgentId) -> &mut T {
+        self.agents[id.0 as usize]
+            .as_mut()
+            .expect("agent is currently being dispatched")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("agent type mismatch")
+    }
+
+    fn start_agents(&mut self) {
+        self.started = true;
+        for i in 0..self.agents.len() {
+            let mut agent = self.agents[i].take().expect("agent present at start");
+            let mut ctx = Context {
+                now: self.now,
+                self_id: AgentId(i as u32),
+                queue: &mut self.queue,
+                rng: &mut self.rng,
+                next_packet_id: &mut self.next_packet_id,
+            };
+            agent.start(&mut ctx);
+            self.agents[i] = Some(agent);
+        }
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        if !self.started {
+            self.start_agents();
+        }
+        let Some((time, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "time must be monotone");
+        self.now = time;
+        self.events_processed += 1;
+        if let Some(journal) = &mut self.journal {
+            journal.record(time, &event);
+        }
+        let target = event.target();
+        let idx = target.0 as usize;
+        let mut agent = self.agents[idx]
+            .take()
+            .unwrap_or_else(|| panic!("event addressed to unknown or re-entrant {target}"));
+        let mut ctx = Context {
+            now: self.now,
+            self_id: target,
+            queue: &mut self.queue,
+            rng: &mut self.rng,
+            next_packet_id: &mut self.next_packet_id,
+        };
+        match event {
+            Event::PacketArrival { packet, .. } => agent.on_packet(packet, &mut ctx),
+            Event::TxComplete { port, .. } => agent.on_tx_complete(port, &mut ctx),
+            Event::Timer { token, .. } => agent.on_timer(token, &mut ctx),
+        }
+        self.agents[idx] = Some(agent);
+        true
+    }
+
+    /// Runs until simulated time reaches `deadline` (events at exactly
+    /// `deadline` are processed) or the event queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        if !self.started {
+            self.start_agents();
+        }
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `d` of simulated time from the current instant.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PacketKind};
+
+    /// Sends one packet to a peer at start; the peer echoes it back.
+    struct Echo {
+        peer: Option<AgentId>,
+        got: Vec<(SimTime, PacketKind)>,
+    }
+
+    impl Agent for Echo {
+        fn start(&mut self, ctx: &mut Context<'_>) {
+            if let Some(peer) = self.peer {
+                let id = ctx.alloc_packet_id();
+                let pkt =
+                    Packet::data(FlowId(0), ctx.self_id, peer, 500).with_id(id);
+                ctx.deliver(peer, SimDuration::from_millis(5), pkt);
+            }
+        }
+        fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+            self.got.push((ctx.now, packet.kind));
+            if packet.kind == PacketKind::Data {
+                let ack = Packet::ack_for(&packet, 40).with_id(ctx.alloc_packet_id());
+                ctx.deliver(ack.dst, SimDuration::from_millis(5), ack);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn round_trip_delivery() {
+        let mut sim = Simulator::new(1);
+        let b_id = AgentId(1);
+        let a = sim.add_agent(Box::new(Echo { peer: Some(b_id), got: vec![] }));
+        let b = sim.add_agent(Box::new(Echo { peer: None, got: vec![] }));
+        assert_eq!(b, b_id);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+
+        let bv = &sim.agent::<Echo>(b).got;
+        assert_eq!(bv.len(), 1);
+        assert_eq!(bv[0].0, SimTime::from_secs_f64(0.005));
+        assert_eq!(bv[0].1, PacketKind::Data);
+
+        let av = &sim.agent::<Echo>(a).got;
+        assert_eq!(av.len(), 1);
+        assert_eq!(av[0].0, SimTime::from_secs_f64(0.010));
+        assert_eq!(av[0].1, PacketKind::Ack);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_without_events() {
+        let mut sim = Simulator::new(1);
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        assert_eq!(sim.now(), SimTime::from_secs_f64(2.0));
+    }
+
+    #[test]
+    fn packet_ids_are_unique_and_monotone() {
+        let mut sim = Simulator::new(1);
+        let b = AgentId(1);
+        sim.add_agent(Box::new(Echo { peer: Some(b), got: vec![] }));
+        sim.add_agent(Box::new(Echo { peer: Some(AgentId(0)), got: vec![] }));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        // 2 data + 2 acks = 4 ids allocated.
+        assert_eq!(sim.events_processed(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "after the simulation started")]
+    fn adding_agents_after_start_panics() {
+        let mut sim = Simulator::new(1);
+        sim.add_agent(Box::new(Echo { peer: None, got: vec![] }));
+        sim.step();
+        sim.add_agent(Box::new(Echo { peer: None, got: vec![] }));
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        fn run() -> Vec<(SimTime, PacketKind)> {
+            let mut sim = Simulator::new(99);
+            let b = AgentId(1);
+            let a = sim.add_agent(Box::new(Echo { peer: Some(b), got: vec![] }));
+            sim.add_agent(Box::new(Echo { peer: Some(AgentId(0)), got: vec![] }));
+            sim.run_until(SimTime::from_secs_f64(1.0));
+            sim.agent::<Echo>(a).got.clone()
+        }
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod journal_tests {
+    use super::*;
+    use crate::journal::EntryKind;
+    use crate::packet::{FlowId, PacketKind};
+    use crate::time::SimDuration;
+    use std::any::Any;
+
+    struct Ping {
+        peer: Option<AgentId>,
+    }
+    impl Agent for Ping {
+        fn start(&mut self, ctx: &mut Context<'_>) {
+            if let Some(peer) = self.peer {
+                let pkt = Packet::data(FlowId(3), ctx.self_id, peer, 500)
+                    .with_id(ctx.alloc_packet_id());
+                ctx.deliver(peer, SimDuration::from_millis(1), pkt);
+                ctx.schedule_timer(SimDuration::from_millis(2), 9);
+            }
+        }
+        fn on_packet(&mut self, p: Packet, ctx: &mut Context<'_>) {
+            if p.kind == PacketKind::Data {
+                let ack = Packet::ack_for(&p, 40).with_id(ctx.alloc_packet_id());
+                ctx.deliver(ack.dst, SimDuration::from_millis(1), ack);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn journal_records_all_dispatches() {
+        let mut sim = Simulator::new(1);
+        sim.enable_journal(100);
+        let b = AgentId(1);
+        sim.add_agent(Box::new(Ping { peer: Some(b) }));
+        sim.add_agent(Box::new(Ping { peer: None }));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+
+        let j = sim.journal().expect("enabled");
+        // data arrival + ack arrival + timer = 3 events.
+        assert_eq!(j.total_recorded, sim.events_processed());
+        assert_eq!(j.len(), 3);
+        let kinds: Vec<bool> = j
+            .iter()
+            .map(|e| matches!(e.kind, EntryKind::PacketArrival { .. }))
+            .collect();
+        assert_eq!(kinds.iter().filter(|&&k| k).count(), 2);
+        assert_eq!(j.for_flow(FlowId(3)).len(), 2);
+    }
+
+    #[test]
+    fn journal_disabled_by_default() {
+        let sim = Simulator::new(1);
+        assert!(sim.journal().is_none());
+    }
+}

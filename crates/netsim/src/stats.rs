@@ -1,0 +1,362 @@
+//! Measurement helpers: time series, running summaries, and delay recorders.
+
+use crate::hist::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// A `(time, value)` series sampled during a simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use pels_netsim::stats::TimeSeries;
+///
+/// let mut s = TimeSeries::new("rate");
+/// s.push(0.0, 128.0);
+/// s.push(1.0, 256.0);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.last_value(), Some(256.0));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Series name (used as a CSV column header).
+    pub name: String,
+    /// `(time seconds, value)` samples in push order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries { name: name.into(), points: Vec::new() }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, t: f64, v: f64) {
+        self.points.push((t, v));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last sampled value.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Mean of the values sampled at `t >= from`.
+    pub fn mean_after(&self, from: f64) -> Option<f64> {
+        let vals: Vec<f64> =
+            self.points.iter().filter(|&&(t, _)| t >= from).map(|&(_, v)| v).collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Minimum and maximum value over samples at `t >= from`.
+    pub fn min_max_after(&self, from: f64) -> Option<(f64, f64)> {
+        let mut it = self.points.iter().filter(|&&(t, _)| t >= from).map(|&(_, v)| v);
+        let first = it.next()?;
+        Some(it.fold((first, first), |(lo, hi), v| (lo.min(v), hi.max(v))))
+    }
+
+    /// Iterates over the `(time, value)` samples.
+    pub fn iter(&self) -> impl Iterator<Item = &(f64, f64)> {
+        self.points.iter()
+    }
+}
+
+/// Streaming summary statistics (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use pels_netsim::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0] { s.record(v); }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Per-class delay statistics (classes 0..=3), plus a time series of
+/// individual delays for plotting.
+#[derive(Debug, Clone, Default)]
+pub struct DelayRecorder {
+    /// Aggregate per class.
+    pub by_class: [Summary; 4],
+    /// Log-bucket histograms per class (for quantiles).
+    pub hist_by_class: [Option<Histogram>; 4],
+    /// Raw `(arrival time s, delay s)` samples per class, for figures.
+    pub series: [TimeSeries; 4],
+    /// Whether raw samples are kept (aggregates always are).
+    pub keep_series: bool,
+}
+
+impl DelayRecorder {
+    /// Creates a recorder; `keep_series` retains raw samples for plotting.
+    pub fn new(keep_series: bool) -> Self {
+        DelayRecorder {
+            by_class: Default::default(),
+            hist_by_class: [
+                Some(Histogram::for_delays()),
+                Some(Histogram::for_delays()),
+                Some(Histogram::for_delays()),
+                Some(Histogram::for_delays()),
+            ],
+            series: [
+                TimeSeries::new("class0"),
+                TimeSeries::new("class1"),
+                TimeSeries::new("class2"),
+                TimeSeries::new("class3"),
+            ],
+            keep_series,
+        }
+    }
+
+    /// Records a one-way delay observation for `class` at time `now_s`.
+    pub fn record(&mut self, class: u8, now_s: f64, delay_s: f64) {
+        let c = class.min(3) as usize;
+        self.by_class[c].record(delay_s);
+        if let Some(h) = &mut self.hist_by_class[c] {
+            h.record(delay_s);
+        }
+        if self.keep_series {
+            self.series[c].push(now_s, delay_s);
+        }
+    }
+
+    /// Delay quantile `q` for `class`, when any samples exist.
+    pub fn quantile(&self, class: u8, q: f64) -> Option<f64> {
+        self.hist_by_class[class.min(3) as usize]
+            .as_ref()
+            .and_then(|h| h.quantile(q))
+    }
+}
+
+/// Writes series as CSV text: `time,<name1>,<name2>,...` with one row per
+/// sample index (series are written column-aligned by index, padding short
+/// series with blanks).
+pub fn to_csv(series: &[&TimeSeries]) -> String {
+    let mut out = String::new();
+    out.push_str("idx");
+    for s in series {
+        out.push_str(&format!(",{}_t,{}_v", s.name, s.name));
+    }
+    out.push('\n');
+    let rows = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        out.push_str(&i.to_string());
+        for s in series {
+            match s.points.get(i) {
+                Some((t, v)) => out.push_str(&format!(",{t:.6},{v:.6}")),
+                None => out.push_str(",,"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_single_stream() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &v in &data {
+            whole.record(v);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &v in &data[..37] {
+            a.record(v);
+        }
+        for &v in &data[37..] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeseries_queries() {
+        let mut s = TimeSeries::new("x");
+        for i in 0..10 {
+            s.push(i as f64, (i * i) as f64);
+        }
+        assert_eq!(s.mean_after(8.0), Some((64.0 + 81.0) / 2.0));
+        assert_eq!(s.min_max_after(5.0), Some((25.0, 81.0)));
+        assert_eq!(s.mean_after(100.0), None);
+    }
+
+    #[test]
+    fn delay_recorder_aggregates_and_series() {
+        let mut r = DelayRecorder::new(true);
+        r.record(0, 1.0, 0.016);
+        r.record(0, 2.0, 0.018);
+        r.record(2, 1.5, 0.4);
+        assert_eq!(r.by_class[0].count(), 2);
+        assert!((r.by_class[0].mean() - 0.017).abs() < 1e-12);
+        assert_eq!(r.series[2].len(), 1);
+        // Class out of range folds into 3.
+        r.record(200, 0.0, 0.1);
+        assert_eq!(r.by_class[3].count(), 1);
+    }
+
+    #[test]
+    fn csv_output_shape() {
+        let mut a = TimeSeries::new("a");
+        a.push(0.0, 1.0);
+        a.push(1.0, 2.0);
+        let mut b = TimeSeries::new("b");
+        b.push(0.5, 9.0);
+        let csv = to_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 rows
+        assert!(lines[0].starts_with("idx,a_t,a_v,b_t,b_v"));
+        assert!(lines[2].ends_with(",,"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Merging summaries in any split is equivalent to one stream.
+        #[test]
+        fn merge_invariance(data in proptest::collection::vec(-1e6f64..1e6, 2..200), split in 0usize..200) {
+            let split = split % data.len();
+            let mut whole = Summary::new();
+            for &v in &data { whole.record(v); }
+            let mut a = Summary::new();
+            let mut b = Summary::new();
+            for &v in &data[..split] { a.record(v); }
+            for &v in &data[split..] { b.record(v); }
+            a.merge(&b);
+            prop_assert_eq!(a.count(), whole.count());
+            prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+            prop_assert!((a.min() - whole.min()).abs() < 1e-12);
+            prop_assert!((a.max() - whole.max()).abs() < 1e-12);
+        }
+    }
+}

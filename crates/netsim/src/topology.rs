@@ -1,0 +1,252 @@
+//! Reusable topology builders.
+//!
+//! The dumbbell — N host pairs across two routers and one shared bottleneck
+//! — is the canonical congestion-control evaluation topology (and the
+//! PELS paper's Fig. 6). [`build_dumbbell`] wires routers, ports, and
+//! routes, and lets the caller supply each host agent through a factory
+//! closure that receives the host's ready-made access port.
+
+use crate::disc::{DropTail, QueueLimit};
+use crate::packet::AgentId;
+use crate::port::Port;
+use crate::router::{RouteTable, Router};
+use crate::sim::{Agent, Simulator};
+use crate::time::{Rate, SimDuration};
+
+/// Which side of the dumbbell a host sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Sender side (left of the bottleneck).
+    Left,
+    /// Receiver side (right of the bottleneck).
+    Right,
+}
+
+/// Identity of a host being created by the factory closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostSlot {
+    /// Which side the host is on.
+    pub side: Side,
+    /// Pair index (left host `i` is paired with right host `i`).
+    pub index: usize,
+    /// The agent id this host will receive.
+    pub id: AgentId,
+    /// The agent id of its counterpart on the other side.
+    pub peer: AgentId,
+}
+
+/// Shape parameters of a dumbbell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DumbbellSpec {
+    /// Number of host pairs.
+    pub pairs: usize,
+    /// Bottleneck link rate (both directions).
+    pub bottleneck: Rate,
+    /// Access link rate.
+    pub access: Rate,
+    /// One-way access-link propagation delay.
+    pub access_delay: SimDuration,
+    /// One-way bottleneck propagation delay.
+    pub bottleneck_delay: SimDuration,
+    /// Queue limit (packets) for every port built here.
+    pub queue_packets: usize,
+}
+
+impl Default for DumbbellSpec {
+    fn default() -> Self {
+        DumbbellSpec {
+            pairs: 2,
+            bottleneck: Rate::from_mbps(4.0),
+            access: Rate::from_mbps(10.0),
+            access_delay: SimDuration::from_millis(1),
+            bottleneck_delay: SimDuration::from_millis(5),
+            queue_packets: 100,
+        }
+    }
+}
+
+/// Agent ids of a built dumbbell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumbbellIds {
+    /// Left (sender-side) router.
+    pub left_router: AgentId,
+    /// Right (receiver-side) router.
+    pub right_router: AgentId,
+    /// Left hosts, in pair order.
+    pub left_hosts: Vec<AgentId>,
+    /// Right hosts, in pair order.
+    pub right_hosts: Vec<AgentId>,
+}
+
+/// Builds a dumbbell into `sim`. For each host slot, `make_host` receives
+/// the slot description and the host's access [`Port`] (already aimed at
+/// the correct router) and returns the agent to register.
+///
+/// Host ids are assigned deterministically: routers first (left, right),
+/// then left hosts 0..N, then right hosts 0..N — and `make_host` is told
+/// the id its host will get, plus its peer's id, so protocol endpoints can
+/// address each other before either exists.
+///
+/// # Examples
+///
+/// ```
+/// use pels_netsim::sim::Simulator;
+/// use pels_netsim::tcp::{TcpSink, TcpSource};
+/// use pels_netsim::packet::FlowId;
+/// use pels_netsim::time::{SimDuration, SimTime};
+/// use pels_netsim::topology::{build_dumbbell, DumbbellSpec, Side};
+///
+/// let mut sim = Simulator::new(1);
+/// let ids = build_dumbbell(&mut sim, &DumbbellSpec::default(), |slot, port| {
+///     let flow = FlowId(slot.index as u32);
+///     match slot.side {
+///         Side::Left => Box::new(TcpSource::new(port, flow, slot.peer, 1000, SimDuration::ZERO)),
+///         Side::Right => Box::new(TcpSink::new(port, flow)),
+///     }
+/// });
+/// sim.run_until(SimTime::from_secs_f64(5.0));
+/// assert!(sim.agent::<TcpSink>(ids.right_hosts[0]).delivered() > 100);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `spec.pairs == 0` or the simulator has already started.
+pub fn build_dumbbell<F>(sim: &mut Simulator, spec: &DumbbellSpec, mut make_host: F) -> DumbbellIds
+where
+    F: FnMut(HostSlot, Port) -> Box<dyn Agent>,
+{
+    assert!(spec.pairs > 0, "a dumbbell needs at least one host pair");
+    let n = spec.pairs;
+    let left_router = AgentId(0);
+    let right_router = AgentId(1);
+    let left_id = |i: usize| AgentId((2 + i) as u32);
+    let right_id = |i: usize| AgentId((2 + n + i) as u32);
+    let q = |limit: usize| Box::new(DropTail::new(QueueLimit::Packets(limit)));
+
+    // Left router: port 0 = bottleneck to the right router, ports 1..=N to
+    // the left hosts.
+    let mut ports = vec![Port::new(
+        0,
+        right_router,
+        spec.bottleneck,
+        spec.bottleneck_delay,
+        q(spec.queue_packets),
+    )];
+    let mut routes = RouteTable::new();
+    for i in 0..n {
+        routes.add(right_id(i), 0);
+        routes.add(left_id(i), 1 + i);
+        ports.push(Port::new(
+            1 + i,
+            left_id(i),
+            spec.access,
+            spec.access_delay,
+            q(spec.queue_packets),
+        ));
+    }
+    sim.add_agent(Box::new(Router::new(ports, routes)));
+
+    // Right router, mirrored.
+    let mut ports = vec![Port::new(
+        0,
+        left_router,
+        spec.bottleneck,
+        spec.bottleneck_delay,
+        q(spec.queue_packets),
+    )];
+    let mut routes = RouteTable::new();
+    for i in 0..n {
+        routes.add(left_id(i), 0);
+        routes.add(right_id(i), 1 + i);
+        ports.push(Port::new(
+            1 + i,
+            right_id(i),
+            spec.access,
+            spec.access_delay,
+            q(spec.queue_packets),
+        ));
+    }
+    sim.add_agent(Box::new(Router::new(ports, routes)));
+
+    let mut left_hosts = Vec::with_capacity(n);
+    for i in 0..n {
+        let slot = HostSlot { side: Side::Left, index: i, id: left_id(i), peer: right_id(i) };
+        let port = Port::new(0, left_router, spec.access, spec.access_delay, q(spec.queue_packets));
+        let id = sim.add_agent(make_host(slot, port));
+        debug_assert_eq!(id, left_id(i));
+        left_hosts.push(id);
+    }
+    let mut right_hosts = Vec::with_capacity(n);
+    for i in 0..n {
+        let slot = HostSlot { side: Side::Right, index: i, id: right_id(i), peer: left_id(i) };
+        let port =
+            Port::new(0, right_router, spec.access, spec.access_delay, q(spec.queue_packets));
+        let id = sim.add_agent(make_host(slot, port));
+        debug_assert_eq!(id, right_id(i));
+        right_hosts.push(id);
+    }
+
+    DumbbellIds { left_router, right_router, left_hosts, right_hosts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+    use crate::tcp::{TcpSink, TcpSource};
+    use crate::time::SimTime;
+
+    fn tcp_dumbbell(pairs: usize) -> (Simulator, DumbbellIds) {
+        let mut sim = Simulator::new(5);
+        let spec = DumbbellSpec { pairs, ..Default::default() };
+        let ids = build_dumbbell(&mut sim, &spec, |slot, port| {
+            let flow = FlowId(slot.index as u32);
+            match slot.side {
+                Side::Left => {
+                    Box::new(TcpSource::new(port, flow, slot.peer, 1000, SimDuration::ZERO))
+                }
+                Side::Right => Box::new(TcpSink::new(port, flow)),
+            }
+        });
+        (sim, ids)
+    }
+
+    #[test]
+    fn tcp_pairs_share_the_bottleneck() {
+        let (mut sim, ids) = tcp_dumbbell(3);
+        sim.run_until(SimTime::from_secs_f64(20.0));
+        let delivered: Vec<u64> = ids
+            .right_hosts
+            .iter()
+            .map(|&id| sim.agent::<TcpSink>(id).delivered())
+            .collect();
+        let total: u64 = delivered.iter().sum();
+        // 4 Mb/s for 20 s = 10 MB = 10k packets of 1000 B; expect most.
+        assert!(total > 7_000, "total {total} ({delivered:?})");
+        // Rough TCP fairness: each flow within a factor of 3 of the mean.
+        let mean = total as f64 / 3.0;
+        for (i, &d) in delivered.iter().enumerate() {
+            assert!(
+                (d as f64) > mean / 3.0 && (d as f64) < mean * 3.0,
+                "flow {i}: {d} vs mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn ids_are_deterministic() {
+        let (_, ids) = tcp_dumbbell(2);
+        assert_eq!(ids.left_router, AgentId(0));
+        assert_eq!(ids.right_router, AgentId(1));
+        assert_eq!(ids.left_hosts, vec![AgentId(2), AgentId(3)]);
+        assert_eq!(ids.right_hosts, vec![AgentId(4), AgentId(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host pair")]
+    fn rejects_empty() {
+        let mut sim = Simulator::new(1);
+        let spec = DumbbellSpec { pairs: 0, ..Default::default() };
+        let _ = build_dumbbell(&mut sim, &spec, |_, _| unreachable!());
+    }
+}

@@ -1,0 +1,83 @@
+//! Retransmission-based recovery vs PELS, plus the simulator's event
+//! journal in action.
+//!
+//! The paper argues (Section 1) that retransmission is the wrong tool for
+//! congested video paths: recoveries ride the same congested queues and
+//! miss their decoding deadlines. This example runs an ARQ comparator over
+//! a FIFO bottleneck with a playout deadline, prints the recovery ledger,
+//! and uses the event journal to show one packet's journey through the
+//! network.
+//!
+//! Run with: `cargo run --release --example arq_recovery`
+
+use pels_core::receiver::NackConfig;
+use pels_core::router::QueueMode;
+use pels_core::scenario::{wideband_config, Scenario};
+use pels_core::source::{ArqConfig, SourceMode};
+use pels_netsim::journal::EntryKind;
+use pels_netsim::time::{SimDuration, SimTime};
+
+fn main() {
+    // ARQ over a short FIFO: recovery mostly works.
+    let mut cfg = wideband_config(4, 0.10);
+    cfg.aqm.mode = QueueMode::Fifo;
+    cfg.aqm.best_effort_limit = 100;
+    for f in &mut cfg.flows {
+        f.mode = SourceMode::BestEffort;
+        f.arq = Some(ArqConfig::default());
+    }
+    cfg.nack = Some(NackConfig::default());
+    cfg.playout_deadline = Some(SimDuration::from_millis(300));
+
+    let mut s = Scenario::build(cfg);
+    // Enable the journal for a window of the run (ring of 50k events).
+    s.sim.enable_journal(50_000);
+    s.run_until(SimTime::from_secs_f64(20.0));
+
+    println!("=== ARQ recovery over a congested FIFO (300 ms playout deadline) ===\n");
+    let mut nacks = 0;
+    let mut retx = 0;
+    let mut on_time = 0;
+    let mut late = 0;
+    for i in 0..4 {
+        nacks += s.receiver(i).nacks_sent;
+        retx += s.source(i).retransmissions;
+        on_time += s.receiver(i).recovered_on_time;
+        late += s.receiver(i).recovered_late;
+    }
+    println!("NACKs sent:            {nacks}");
+    println!("retransmissions:       {retx}");
+    println!("recovered on time:     {on_time}");
+    println!("recovered too late:    {late}");
+    let u = s.total_utility();
+    println!("utility with recovery: {:.3}", u.utility());
+    assert!(retx > 0 && on_time > 0);
+
+    // The journal: reconstruct the journey of a recently delivered packet.
+    let journal = s.sim.journal().expect("journal enabled");
+    println!(
+        "\njournal: {} events retained of {} recorded",
+        journal.len(),
+        journal.total_recorded
+    );
+    let last_arrival = journal
+        .iter()
+        .rev()
+        .find_map(|e| match e.kind {
+            EntryKind::PacketArrival { id, .. } if e.target == s.receivers[0] => Some(id),
+            _ => None,
+        })
+        .expect("receiver 0 saw traffic");
+    println!("journey of packet {last_arrival:?}:");
+    for hop in journal.packet_journey(last_arrival) {
+        println!("  t={} -> {}", hop.time, hop.target);
+    }
+    let journey = journal.packet_journey(last_arrival);
+    assert!(journey.len() >= 3, "source -> R1 -> R2 -> receiver hops");
+
+    println!(
+        "\ncompare: `cargo run -p pels-bench --bin ablation_retransmission` shows the\n\
+         same machinery over a bloated buffer, where 100% of recoveries miss the\n\
+         deadline — the paper's argument for a retransmission-free design."
+    );
+}

@@ -1,0 +1,62 @@
+//! MKC congestion control dynamics — the paper's Fig. 9 (right): flow F1
+//! starts at 128 kb/s, exponentially claims the whole PELS share; F2 joins
+//! at t = 10 s and both converge, with no steady-state oscillation, to the
+//! fair allocation C/N + alpha/beta (Lemma 6).
+//!
+//! Run with: `cargo run --release --example mkc_convergence`
+
+use pels_core::scenario::{pels_flows, Scenario, ScenarioConfig};
+use pels_netsim::time::SimTime;
+
+fn main() {
+    let cfg = ScenarioConfig {
+        flows: pels_flows(&[0.0, 10.0]),
+        ..Default::default()
+    };
+    let mut s = Scenario::build(cfg);
+    s.run_until(SimTime::from_secs_f64(30.0));
+
+    println!("=== MKC convergence (alpha = 20 kb/s, beta = 0.5) ===\n");
+    println!("{:>6} {:>10} {:>10}", "t(s)", "F1 kb/s", "F2 kb/s");
+    let rate_at = |i: usize, t: f64| -> f64 {
+        s.source(i)
+            .rate_series
+            .points
+            .iter()
+            .take_while(|&&(pt, _)| pt <= t)
+            .last()
+            .map(|&(_, v)| v)
+            .unwrap_or(128.0)
+    };
+    for t in [0.05, 0.1, 0.2, 0.5, 2.0, 5.0, 9.9, 10.2, 11.0, 13.0, 20.0, 29.9] {
+        println!("{t:>6.2} {:>10.0} {:>10.0}", rate_at(0, t), rate_at(1, t));
+    }
+
+    // F1 alone: r* = 2000 + 40 = 2040 kb/s. Both: 1000 + 40 = 1040 kb/s.
+    let f1_solo = rate_at(0, 9.5);
+    assert!(
+        (f1_solo - 2_040.0).abs() < 0.05 * 2_040.0,
+        "single-flow stationary rate (Lemma 6): got {f1_solo}"
+    );
+    let f1 = s.source(0).rate_bps() / 1e3;
+    let f2 = s.source(1).rate_bps() / 1e3;
+    assert!((f1 - 1_040.0).abs() < 0.05 * 1_040.0, "F1 fair share: {f1}");
+    assert!((f2 - 1_040.0).abs() < 0.05 * 1_040.0, "F2 fair share: {f2}");
+
+    // No steady-state oscillation: tail swing under 5%.
+    let tail: Vec<f64> = s
+        .source(0)
+        .rate_series
+        .points
+        .iter()
+        .filter(|&&(t, _)| t > 25.0)
+        .map(|&(_, v)| v)
+        .collect();
+    let (min, max) = tail
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    println!("\nsteady-state swing of F1 over t in [25, 30]: {:.1}%", (max - min) / max * 100.0);
+    assert!((max - min) / max < 0.05, "MKC must not oscillate in steady state");
+
+    println!("Lemma 6 confirmed: single flow 2040 kb/s, two flows 1040 kb/s each.");
+}

@@ -1,0 +1,5 @@
+//! Workspace umbrella crate: re-exports the PELS reproduction crates for examples and integration tests.
+pub use pels_analysis as analysis;
+pub use pels_core as pels;
+pub use pels_fgs as fgs;
+pub use pels_netsim as netsim;

@@ -1,0 +1,107 @@
+//! Property-based integration tests: randomized configurations of the full
+//! stack must preserve the framework's invariants. (Each case runs a short
+//! packet simulation, so case counts are kept deliberately small.)
+
+use pels_core::gamma::GammaConfig;
+use pels_core::mkc::MkcConfig;
+use pels_core::scenario::{pels_flows, Scenario, ScenarioConfig};
+use pels_core::source::CcSpec;
+use pels_core::FlowSpec;
+use pels_netsim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// For any in-range controller gains and moderate flow counts:
+    /// green never drops, every steady-state frame decodes its base layer,
+    /// and utility stays above 0.9.
+    #[test]
+    fn pels_invariants_hold_for_random_configs(
+        n_flows in 2usize..6,
+        sigma in 0.2f64..1.5,
+        beta in 0.3f64..0.7,
+        p_thr in 0.6f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let flow = FlowSpec {
+            cc: CcSpec::Mkc(MkcConfig { beta, ..Default::default() }),
+            gamma: GammaConfig { sigma, p_thr, ..Default::default() },
+            ..Default::default()
+        };
+        let cfg = ScenarioConfig {
+            seed,
+            flows: vec![flow; n_flows],
+            keep_series: false,
+            ..Default::default()
+        };
+        let mut s = Scenario::build(cfg);
+        s.run_until(SimTime::from_secs_f64(25.0));
+        let report = s.report();
+        prop_assert_eq!(report.bottleneck_drops_by_class[0], 0, "green must never drop");
+
+        let mut u = pels_fgs::UtilityStats::new();
+        for i in 0..n_flows {
+            for d in s.receiver(i).decode_all() {
+                if d.frame >= 80 {
+                    u.add(&d);
+                }
+            }
+        }
+        prop_assert!(u.frames > 0);
+        prop_assert_eq!(u.base_ok_frames, u.frames, "base layers stay intact");
+        prop_assert!(u.utility() > 0.9, "utility {} too low", u.utility());
+    }
+
+    /// Fairness: all flows converge to rates within 15% of each other for
+    /// any staggered start pattern.
+    #[test]
+    fn flows_converge_to_fair_shares(
+        stagger in 0.0f64..8.0,
+        seed in 0u64..1000,
+    ) {
+        let cfg = ScenarioConfig {
+            seed,
+            flows: pels_flows(&[0.0, stagger, stagger * 1.5]),
+            keep_series: false,
+            ..Default::default()
+        };
+        let mut s = Scenario::build(cfg);
+        s.run_until(SimTime::from_secs_f64(30.0));
+        let rates: Vec<f64> = (0..3).map(|i| s.source(i).rate_bps()).collect();
+        let mean = rates.iter().sum::<f64>() / 3.0;
+        for (i, r) in rates.iter().enumerate() {
+            prop_assert!(
+                (r - mean).abs() < 0.15 * mean,
+                "flow {} rate {} vs mean {}", i, r, mean
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Determinism is configuration-independent: any (seed, flows, delay)
+    /// triple replays identically.
+    #[test]
+    fn determinism_for_any_config(
+        seed in 0u64..10_000,
+        n_flows in 1usize..4,
+        delay_ms in 1u64..20,
+    ) {
+        let run = || {
+            let cfg = ScenarioConfig {
+                seed,
+                flows: pels_flows(&vec![0.0; n_flows]),
+                access_delay: SimDuration::from_millis(delay_ms),
+                keep_series: false,
+                ..Default::default()
+            };
+            let mut s = Scenario::build(cfg);
+            s.run_until(SimTime::from_secs_f64(5.0));
+            (s.sim.events_processed(), s.source(0).rate_bps().to_bits())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
