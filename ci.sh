@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI gate: build, tests, lints, formatting. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "CI OK"

@@ -101,11 +101,7 @@ impl BurstStats {
         if total == 0 {
             return 0.0;
         }
-        self.counts
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (i as f64 + 1.0) * c as f64)
-            .sum::<f64>()
+        self.counts.iter().enumerate().map(|(i, &c)| (i as f64 + 1.0) * c as f64).sum::<f64>()
             / total as f64
     }
 
@@ -170,11 +166,7 @@ mod tests {
         // PMF matches the geometric law at small k.
         for k in 1..=4 {
             let expect = geometric_burst_pmf(0.3, k);
-            assert!(
-                (b.pmf(k) - expect).abs() < 0.01,
-                "k={k}: {} vs {expect}",
-                b.pmf(k)
-            );
+            assert!((b.pmf(k) - expect).abs() < 0.01, "k={k}: {} vs {expect}", b.pmf(k));
         }
     }
 

@@ -12,10 +12,7 @@
 /// Panics if inputs are non-positive or not finite.
 pub fn utilization(lambda: f64, mean_service_s: f64) -> f64 {
     assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive");
-    assert!(
-        mean_service_s > 0.0 && mean_service_s.is_finite(),
-        "service time must be positive"
-    );
+    assert!(mean_service_s > 0.0 && mean_service_s.is_finite(), "service time must be positive");
     lambda * mean_service_s
 }
 

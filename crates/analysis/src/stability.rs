@@ -53,9 +53,7 @@ pub fn gamma_trajectory(
 /// Whether a trajectory converged to `target` (its tail stays within `tol`).
 pub fn converged(traj: &[f64], target: f64, tol: f64) -> bool {
     let tail = traj.len() / 5;
-    traj[traj.len() - tail..]
-        .iter()
-        .all(|&v| v.is_finite() && (v - target).abs() <= tol)
+    traj[traj.len() - tail..].iter().all(|&v| v.is_finite() && (v - target).abs() <= tol)
 }
 
 /// Whether a trajectory diverged (left any fixed bound or became non-finite).
@@ -149,13 +147,13 @@ pub fn mkc_simulate(cfg: &MkcSimConfig) -> MkcSimResult {
         // the same sample the update is based on. This exact pairing is
         // what makes MKC's stability delay-independent (reference [34] of
         // the paper; the router-side ordering below preserves it).
-        for i in 0..n {
+        for (i, row) in rates.iter_mut().enumerate() {
             let d = cfg.delays[i];
             let bwd = d - d / 2;
-            let r_old = rates[i][k.saturating_sub(d)];
+            let r_old = row[k.saturating_sub(d)];
             let p_old = loss[k.saturating_sub(bwd)];
             let r_new = r_old + cfg.alpha - cfg.beta * r_old * p_old;
-            rates[i][k] = r_new.max(0.0);
+            row[k] = r_new.max(0.0);
         }
         // Router feedback from forward-delayed rates r_j(k - D_j^→).
         let total: f64 = (0..n)
@@ -164,11 +162,7 @@ pub fn mkc_simulate(cfg: &MkcSimConfig) -> MkcSimResult {
                 rates[j][k.saturating_sub(fwd)]
             })
             .sum();
-        loss[k] = if total > cfg.capacity {
-            (total - cfg.capacity) / total
-        } else {
-            0.0
-        };
+        loss[k] = if total > cfg.capacity { (total - cfg.capacity) / total } else { 0.0 };
     }
     MkcSimResult { rates, loss }
 }
@@ -234,7 +228,8 @@ mod tests {
     fn gamma_stability_region_is_zero_to_two_for_delays() {
         // Lemma 3: the region does not shrink with feedback delay.
         for delay in [1usize, 2, 5, 10] {
-            let scan = gamma_stability_scan(&[0.1, 0.5, 1.0, 1.5, 1.9, 2.1, 3.0], 0.3, 0.75, delay, 4_000);
+            let scan =
+                gamma_stability_scan(&[0.1, 0.5, 1.0, 1.5, 1.9, 2.1, 3.0], 0.3, 0.75, delay, 4_000);
             for (sigma, stable) in scan {
                 assert_eq!(
                     stable,
@@ -282,10 +277,7 @@ mod tests {
                 // Mean of the tail (delayed systems ring around the target).
                 let tail = &traj[7_000..];
                 let mean = tail.iter().sum::<f64>() / tail.len() as f64;
-                assert!(
-                    (mean - target).abs() < 0.05 * target,
-                    "tail mean {mean} vs {target}"
-                );
+                assert!((mean - target).abs() < 0.05 * target, "tail mean {mean} vs {target}");
             }
         }
     }

@@ -35,16 +35,9 @@
 pub fn expected_useful_general(p: f64, pmf: &[f64]) -> f64 {
     assert!(p > 0.0 && p <= 1.0, "loss must be in (0,1]: {p}");
     let total: f64 = pmf.iter().sum();
-    assert!(
-        (total - 1.0).abs() < 1e-6,
-        "PMF must sum to 1 (got {total})"
-    );
+    assert!((total - 1.0).abs() < 1e-6, "PMF must sum to 1 (got {total})");
     let q = 1.0 - p;
-    let sum: f64 = pmf
-        .iter()
-        .enumerate()
-        .map(|(i, &qk)| (1.0 - q.powi(i as i32 + 1)) * qk)
-        .sum();
+    let sum: f64 = pmf.iter().enumerate().map(|(i, &qk)| (1.0 - q.powi(i as i32 + 1)) * qk).sum();
     q / p * sum
 }
 
@@ -164,8 +157,7 @@ mod tests {
             let mut pmf = vec![0.0; h];
             pmf[h - 1] = 1.0;
             assert!(
-                (expected_useful_general(0.05, &pmf) - expected_useful_fixed(0.05, h as u32))
-                    .abs()
+                (expected_useful_general(0.05, &pmf) - expected_useful_fixed(0.05, h as u32)).abs()
                     < 1e-12
             );
         }

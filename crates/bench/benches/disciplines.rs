@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pels_netsim::disc::{Discipline, DropTail, QueueLimit, Red, StrictPriority, Wrr};
-use pels_netsim::wfq::Wfq;
 use pels_netsim::packet::{AgentId, FlowId, Packet};
 use pels_netsim::time::SimTime;
+use pels_netsim::wfq::Wfq;
 use std::hint::black_box;
 
 fn pkt(class: u8) -> Packet {

@@ -4,13 +4,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pels_analysis::useful::{best_effort_utility, expected_useful_fixed};
+use pels_fgs::bitplane::{BitplaneModel, QualityModel};
 use pels_fgs::decoder::FrameReception;
+use pels_fgs::gop::{propagate_base_loss, GopConfig};
 use pels_fgs::packetize::packetize;
 use pels_fgs::psnr::RdModel;
-use pels_fgs::scaling::{partition_enhancement, scale_to_rate};
-use pels_fgs::bitplane::{BitplaneModel, QualityModel};
-use pels_fgs::gop::{propagate_base_loss, GopConfig};
 use pels_fgs::rd_scaling::{allocate_equal_quality, FrameBudget};
+use pels_fgs::scaling::{partition_enhancement, scale_to_rate};
 use pels_fgs::trace_gen::{generate, TraceGenConfig};
 use pels_fgs::FrameSpec;
 use std::hint::black_box;

@@ -54,7 +54,12 @@ fn main() {
         fmt(s.mean_useful_per_frame(), 2),
         fmt(s.utility(), 3),
     ]);
-    csv.push_str(&format!("bernoulli,{:.3},{:.3},{:.4}\n", b.mean(), s.mean_useful_per_frame(), s.utility()));
+    csv.push_str(&format!(
+        "bernoulli,{:.3},{:.3},{:.4}\n",
+        b.mean(),
+        s.mean_useful_per_frame(),
+        s.utility()
+    ));
     results.push(s.mean_useful_per_frame());
 
     for mean_burst in [3.0, 8.0] {

@@ -8,9 +8,9 @@
 
 use pels_bench::{fmt, print_table, write_result};
 use pels_core::aimd::AimdConfig;
-use pels_core::tfrc::TfrcConfig;
 use pels_core::scenario::{FlowSpec, Scenario, ScenarioConfig};
 use pels_core::source::CcSpec;
+use pels_core::tfrc::TfrcConfig;
 use pels_netsim::time::SimTime;
 
 struct Outcome {
@@ -80,10 +80,7 @@ fn main() {
             fmt(tfrc.yellow_loss, 4),
         ],
     ];
-    print_table(
-        &["controller", "utility", "mean rate kb/s", "rate CV %", "yellow loss"],
-        &rows,
-    );
+    print_table(&["controller", "utility", "mean rate kb/s", "rate CV %", "yellow loss"], &rows);
     write_result(
         "ablation_cc.csv",
         &format!(

@@ -48,23 +48,14 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = String::from("deadline_ms,utility,late_green,late_yellow,late_red\n");
     let mut baseline_utility = 0.0;
-    for (label, deadline) in [
-        ("none", None),
-        ("2000 ms", Some(2_000)),
-        ("500 ms", Some(500)),
-        ("200 ms", Some(200)),
-    ] {
+    for (label, deadline) in
+        [("none", None), ("2000 ms", Some(2_000)), ("500 ms", Some(500)), ("200 ms", Some(200))]
+    {
         let (u, late, p99) = run(deadline);
         if deadline.is_none() {
             baseline_utility = u.utility();
         }
-        csv.push_str(&format!(
-            "{label},{:.4},{},{},{}\n",
-            u.utility(),
-            late[0],
-            late[1],
-            late[2]
-        ));
+        csv.push_str(&format!("{label},{:.4},{},{},{}\n", u.utility(), late[0], late[1], late[2]));
         rows.push(vec![
             label.to_string(),
             fmt(u.utility(), 3),

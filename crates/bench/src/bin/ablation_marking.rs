@@ -60,11 +60,7 @@ fn main() {
     let app = run(None);
     // Give the marker a committed rate matching the aggregate base-layer
     // bitrate (4 flows x 128 kb/s) — the most favorable honest setting.
-    let tcm = run(Some(TcmConfig {
-        cir: Rate::from_kbps(512.0),
-        cbs: 8_000,
-        ebs: 64_000,
-    }));
+    let tcm = run(Some(TcmConfig { cir: Rate::from_kbps(512.0), cbs: 8_000, ebs: 64_000 }));
 
     let rows = vec![
         vec![

@@ -17,10 +17,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = String::from("p_thr,fgs_loss,utility,eq6_bound,red_loss,yellow_loss\n");
     for p_thr in [0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.95] {
-        let flow = FlowSpec {
-            gamma: GammaConfig { p_thr, ..Default::default() },
-            ..Default::default()
-        };
+        let flow =
+            FlowSpec { gamma: GammaConfig { p_thr, ..Default::default() }, ..Default::default() };
         let cfg = ScenarioConfig { flows: vec![flow; 4], ..Default::default() };
         let mut s = Scenario::build(cfg);
         s.run_until(SimTime::from_secs_f64(40.0));
@@ -55,10 +53,7 @@ fn main() {
             "p_thr={p_thr}: measured utility {} violates the Eq. 6 bound {bound}",
             u.utility()
         );
-        assert!(
-            (red - p_thr).abs() < 0.2,
-            "p_thr={p_thr}: red loss {red} should track the target"
-        );
+        assert!((red - p_thr).abs() < 0.2, "p_thr={p_thr}: red loss {red} should track the target");
     }
     print_table(
         &["p_thr", "FGS loss p", "utility", "Eq.6 bound", "red loss", "yellow loss"],

@@ -27,11 +27,7 @@ fn main() {
         let rd = allocate_equal_quality(&model, &frames, budget);
 
         let mean = |alloc: &[u64]| {
-            frames
-                .iter()
-                .zip(alloc)
-                .map(|(fb, &b)| model.psnr(fb.frame, b, true))
-                .sum::<f64>()
+            frames.iter().zip(alloc).map(|(fb, &b)| model.psnr(fb.frame, b, true)).sum::<f64>()
                 / 300.0
         };
         let (fm, fsd) = (mean(&fixed), psnr_std_dev(&model, &frames, &fixed));

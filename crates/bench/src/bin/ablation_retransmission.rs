@@ -30,11 +30,7 @@ struct Outcome {
 fn run(arq: bool, fifo_limit: usize, deadline_ms: u64) -> Outcome {
     let mut cfg: ScenarioConfig = pels_core::scenario::wideband_config(4, 0.10);
     if arq {
-        cfg.aqm = AqmConfig {
-            mode: QueueMode::Fifo,
-            best_effort_limit: fifo_limit,
-            ..cfg.aqm
-        };
+        cfg.aqm = AqmConfig { mode: QueueMode::Fifo, best_effort_limit: fifo_limit, ..cfg.aqm };
         for f in &mut cfg.flows {
             f.mode = SourceMode::BestEffort;
             f.arq = Some(ArqConfig::default());
@@ -86,11 +82,12 @@ fn main() {
     ]);
     csv.push_str(&format!("pels,{:.4},0,0,0\n", pels.utility));
 
-    for (label, fifo_limit) in [("ARQ, small FIFO (100 pkts)", 100), ("ARQ, large FIFO (2000 pkts)", 2_000)]
+    for (label, fifo_limit) in
+        [("ARQ, small FIFO (100 pkts)", 100), ("ARQ, large FIFO (2000 pkts)", 2_000)]
     {
         let o = run(true, fifo_limit, 300);
-        let late_frac = o.recovered_late as f64
-            / (o.recovered_on_time + o.recovered_late).max(1) as f64;
+        let late_frac =
+            o.recovered_late as f64 / (o.recovered_on_time + o.recovered_late).max(1) as f64;
         rows.push(vec![
             label.into(),
             fmt(o.utility, 3),

@@ -27,11 +27,11 @@ fn main() {
     let reports = run_parallel(configs, 30.0, threads);
 
     let mut rows = Vec::new();
-    let mut csv = String::from("flows,lemma6_kbps,mean_rate_kbps,utility,jain,green_delay_ms,green_drops\n");
+    let mut csv =
+        String::from("flows,lemma6_kbps,mean_rate_kbps,utility,jain,green_delay_ms,green_drops\n");
     for (&n, report) in counts.iter().zip(&reports) {
         let lemma6 = 2_000.0 / n as f64 + 40.0;
-        let mean_rate: f64 =
-            report.flows.iter().map(|f| f.final_rate_kbps).sum::<f64>() / n as f64;
+        let mean_rate: f64 = report.flows.iter().map(|f| f.final_rate_kbps).sum::<f64>() / n as f64;
         let utility: f64 = report.flows.iter().map(|f| f.utility).sum::<f64>() / n as f64;
         let green_ms: f64 =
             report.flows.iter().map(|f| f.mean_delay_s[0] * 1e3).sum::<f64>() / n as f64;

@@ -41,12 +41,8 @@ fn run(mode: QueueMode) -> Outcome {
     let mut gop_num = 0.0;
     let mut gop_den = 0.0;
     for i in 0..4 {
-        let decoded: Vec<_> = s
-            .receiver(i)
-            .decode_all()
-            .into_iter()
-            .filter(|d| d.frame >= 100)
-            .collect();
+        let decoded: Vec<_> =
+            s.receiver(i).decode_all().into_iter().filter(|d| d.frame >= 100).collect();
         for d in &decoded {
             u.add(d);
         }

@@ -11,10 +11,8 @@ use pels_core::scenario::{FlowSpec, Scenario, ScenarioConfig};
 use pels_netsim::time::SimTime;
 
 fn run_sim(sigma: f64) -> (f64, f64, f64) {
-    let flow = FlowSpec {
-        gamma: GammaConfig { sigma, ..Default::default() },
-        ..Default::default()
-    };
+    let flow =
+        FlowSpec { gamma: GammaConfig { sigma, ..Default::default() }, ..Default::default() };
     let cfg = ScenarioConfig { flows: vec![flow; 4], ..Default::default() };
     let mut s = Scenario::build(cfg);
     s.run_until(SimTime::from_secs_f64(40.0));
@@ -32,7 +30,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = String::from("sigma,delay,stable\n");
     for delay in [1usize, 5, 20] {
-        let scan = pels_analysis::stability::gamma_stability_scan(&sigmas, 0.3, 0.75, delay, 60_000);
+        let scan =
+            pels_analysis::stability::gamma_stability_scan(&sigmas, 0.3, 0.75, delay, 60_000);
         for (sigma, stable) in &scan {
             csv.push_str(&format!("{sigma},{delay},{stable}\n"));
             assert_eq!(*stable, *sigma < 2.0, "Lemma 2/3 boundary (sigma={sigma}, delay={delay})");

@@ -6,7 +6,9 @@
 //! the optimal scheme grows as H(1-p); best-effort utility decays ~1/(Hp)
 //! while optimal utility is identically 1.
 
-use pels_analysis::useful::{best_effort_utility, expected_useful_fixed, optimal_useful, useful_saturation};
+use pels_analysis::useful::{
+    best_effort_utility, expected_useful_fixed, optimal_useful, useful_saturation,
+};
 use pels_bench::{fmt, print_table, write_result};
 
 fn main() {
@@ -14,7 +16,8 @@ fn main() {
     println!("== Fig. 2: useful packets (left) and utility (right) vs H, p = {p} ==\n");
     let hs: Vec<u32> = vec![1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 3000];
     let mut rows = Vec::new();
-    let mut csv = String::from("H,useful_best_effort,useful_optimal,utility_best_effort,utility_optimal\n");
+    let mut csv =
+        String::from("H,useful_best_effort,useful_optimal,utility_best_effort,utility_optimal\n");
     for &h in &hs {
         let ey = expected_useful_fixed(p, h);
         let opt = optimal_useful(p, h);
@@ -22,10 +25,7 @@ fn main() {
         rows.push(vec![h.to_string(), fmt(ey, 3), fmt(opt, 1), fmt(u, 4), "1.0000".into()]);
         csv.push_str(&format!("{h},{ey:.6},{opt:.6},{u:.6},1.0\n"));
     }
-    print_table(
-        &["H", "E[Y] best-effort", "optimal H(1-p)", "U best-effort", "U optimal"],
-        &rows,
-    );
+    print_table(&["H", "E[Y] best-effort", "optimal H(1-p)", "U best-effort", "U optimal"], &rows);
     write_result("fig2.csv", &csv);
 
     // Shape assertions from Section 3.1.

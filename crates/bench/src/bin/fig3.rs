@@ -3,9 +3,7 @@
 //! with the same number of drops. Rendered as ASCII drop maps plus
 //! aggregate statistics over many frames.
 
-use pels_analysis::montecarlo::{
-    ideal_drop_pattern, random_drop_pattern, received_in, useful_in,
-};
+use pels_analysis::montecarlo::{ideal_drop_pattern, random_drop_pattern, received_in, useful_in};
 use pels_bench::{fmt, print_table, write_result};
 
 fn render(map: &[bool]) -> String {

@@ -54,9 +54,7 @@ fn main() {
     let mut disc = pels_discipline();
     let mut dropped = Vec::new();
     let mk = |class: u8, seq: u64| {
-        Packet::data(FlowId(0), AgentId(0), AgentId(1), 500)
-            .with_class(class)
-            .with_seq(seq)
+        Packet::data(FlowId(0), AgentId(0), AgentId(1), 500).with_class(class).with_seq(seq)
     };
     let input: Vec<u8> = vec![2, 3, 1, 0, 2, 3, 1, 0, 2, 3, 1, 0, 2, 2, 2, 2, 2, 2, 2, 2];
     for (i, &c) in input.iter().enumerate() {
@@ -85,10 +83,7 @@ fn main() {
     let rows = vec![
         vec!["arrival order".to_string(), input_str.clone()],
         vec!["service order".to_string(), service.clone()],
-        vec![
-            "dropped".to_string(),
-            format!("{} red (band overflow)", dropped.len()),
-        ],
+        vec!["dropped".to_string(), format!("{} red (band overflow)", dropped.len())],
     ];
     print_table(&["", "packets"], &rows);
     write_result(
@@ -98,8 +93,7 @@ fn main() {
 
     // Invariants of the figure: greens precede yellows precede reds within
     // the video share; Internet packets interleave ~1:1 by WRR.
-    let video_positions: Vec<u8> =
-        order.iter().copied().filter(|&c| c < 3).collect();
+    let video_positions: Vec<u8> = order.iter().copied().filter(|&c| c < 3).collect();
     let first_y = video_positions.iter().position(|&c| c == 1).unwrap();
     let first_r = video_positions.iter().position(|&c| c == 2).unwrap();
     let last_g = video_positions.iter().rposition(|&c| c == 0).unwrap();

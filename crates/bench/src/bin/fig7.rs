@@ -24,10 +24,7 @@ struct LoadResult {
 }
 
 fn run(n_flows: usize) -> LoadResult {
-    let cfg = ScenarioConfig {
-        flows: pels_flows(&vec![0.0; n_flows]),
-        ..Default::default()
-    };
+    let cfg = ScenarioConfig { flows: pels_flows(&vec![0.0; n_flows]), ..Default::default() };
     let mut s = Scenario::build(cfg);
     s.run_until(SimTime::from_secs_f64(60.0));
     let router = s.router();

@@ -12,21 +12,14 @@ use pels_netsim::time::SimTime;
 fn main() {
     println!("== Fig. 8: green and yellow packet delays (joins every 50 s) ==\n");
     let starts = [0.0, 0.0, 50.0, 50.0, 100.0, 100.0, 150.0, 150.0, 200.0, 200.0];
-    let cfg = ScenarioConfig {
-        flows: pels_flows(&starts),
-        ..Default::default()
-    };
+    let cfg = ScenarioConfig { flows: pels_flows(&starts), ..Default::default() };
     let mut s = Scenario::build(cfg);
     s.run_until(SimTime::from_secs_f64(250.0));
 
     // Per-epoch mean delays of flow 0 in 25-second buckets.
     let bucket = |series: &pels_netsim::stats::TimeSeries, lo: f64, hi: f64| -> Option<f64> {
-        let vals: Vec<f64> = series
-            .points
-            .iter()
-            .filter(|&&(t, _)| t >= lo && t < hi)
-            .map(|&(_, v)| v)
-            .collect();
+        let vals: Vec<f64> =
+            series.points.iter().filter(|&&(t, _)| t >= lo && t < hi).map(|&(_, v)| v).collect();
         if vals.is_empty() {
             None
         } else {
@@ -55,22 +48,13 @@ fn main() {
     let yellow_mean = rx.delays.by_class[1].mean() * 1e3;
     println!("\noverall means: green {green_mean:.1} ms, yellow {yellow_mean:.1} ms (paper: ~16 / ~25 ms)");
 
-    write_series(
-        "fig8_delays.csv",
-        &[&rx.delays.series[0], &rx.delays.series[1]],
-    );
+    write_series("fig8_delays.csv", &[&rx.delays.series[0], &rx.delays.series[1]]);
 
     assert!(green_mean < 50.0, "green delays stay small: {green_mean}");
     assert!(yellow_mean < 80.0, "yellow delays stay small: {yellow_mean}");
     assert!(yellow_mean > green_mean, "yellow waits behind green");
     // Flat in time: last-window green delay within 3x of the first window's.
-    let first = rx.delays.series[0]
-        .points
-        .iter()
-        .take(100)
-        .map(|&(_, v)| v)
-        .sum::<f64>()
-        / 100.0;
+    let first = rx.delays.series[0].points.iter().take(100).map(|&(_, v)| v).sum::<f64>() / 100.0;
     let lastw = bucket(&rx.delays.series[0], 225.0, 250.0).unwrap();
     assert!(lastw < 3.0 * first.max(0.005), "green delay stays flat under load");
     println!("green/yellow service is insulated from the red-queue congestion.");

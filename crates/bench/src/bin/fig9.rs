@@ -19,10 +19,7 @@ use pels_netsim::time::SimTime;
 fn red_delays() {
     println!("-- Fig. 9 (left): red packet delays, joins every 50 s --\n");
     let starts = [0.0, 0.0, 50.0, 50.0, 100.0, 100.0, 150.0, 150.0, 200.0, 200.0];
-    let cfg = ScenarioConfig {
-        flows: pels_flows(&starts),
-        ..Default::default()
-    };
+    let cfg = ScenarioConfig { flows: pels_flows(&starts), ..Default::default() };
     let mut s = Scenario::build(cfg);
     s.run_until(SimTime::from_secs_f64(250.0));
     let rx = s.receiver(0);
@@ -37,11 +34,8 @@ fn red_delays() {
             .filter(|&&(t, _)| t >= lo && t < hi)
             .map(|&(_, v)| v)
             .collect();
-        let mean = if vals.is_empty() {
-            f64::NAN
-        } else {
-            vals.iter().sum::<f64>() / vals.len() as f64
-        };
+        let mean =
+            if vals.is_empty() { f64::NAN } else { vals.iter().sum::<f64>() / vals.len() as f64 };
         let active = starts.iter().filter(|&&st| st < hi).count();
         rows.push(vec![format!("[{lo:>3.0},{hi:>3.0})"), active.to_string(), fmt(mean * 1e3, 0)]);
     }
@@ -55,10 +49,7 @@ fn red_delays() {
 
 fn mkc_convergence() {
     println!("\n-- Fig. 9 (right): MKC convergence and fairness --\n");
-    let cfg = ScenarioConfig {
-        flows: pels_flows(&[0.0, 10.0]),
-        ..Default::default()
-    };
+    let cfg = ScenarioConfig { flows: pels_flows(&[0.0, 10.0]), ..Default::default() };
     let mut s = Scenario::build(cfg);
     s.run_until(SimTime::from_secs_f64(30.0));
 
@@ -66,13 +57,8 @@ fn mkc_convergence() {
     let f2 = s.source(1).rate_series.clone();
     let mut rows = Vec::new();
     for (t, v) in downsample(&f1, 20) {
-        let v2 = f2
-            .points
-            .iter()
-            .take_while(|&&(pt, _)| pt <= t)
-            .last()
-            .map(|&(_, v)| v)
-            .unwrap_or(0.0);
+        let v2 =
+            f2.points.iter().take_while(|&&(pt, _)| pt <= t).last().map(|&(_, v)| v).unwrap_or(0.0);
         rows.push(vec![fmt(t, 2), fmt(v, 0), fmt(v2, 0)]);
     }
     print_table(&["t(s)", "F1 (kb/s)", "F2 (kb/s)"], &rows);

@@ -26,19 +26,13 @@ fn main() {
             fmt(paper_sim, 2),
             fmt(paper_model, 2),
         ]);
-        csv.push_str(&format!(
-            "{h},{p},{:.4},{:.4},{paper_sim},{paper_model}\n",
-            sim.mean, model
-        ));
+        csv.push_str(&format!("{h},{p},{:.4},{:.4},{paper_sim},{paper_model}\n", sim.mean, model));
         assert!(
             (sim.mean - model).abs() < 5.0 * sim.std_error.max(0.01),
             "simulation must agree with Eq. 2"
         );
     }
-    print_table(
-        &["H", "p", "simulated", "model (2)", "paper sim", "paper model"],
-        &rows,
-    );
+    print_table(&["H", "p", "simulated", "model (2)", "paper sim", "paper model"], &rows);
     write_result("table1.csv", &csv);
     println!("\nSimulation and Eq. (2) agree; both match the paper's Table 1.");
 }

@@ -87,9 +87,7 @@ pub fn downsample(series: &TimeSeries, n: usize) -> Vec<(f64, f64)> {
         return series.points.clone();
     }
     let step = series.points.len() as f64 / n as f64;
-    (0..n)
-        .map(|i| series.points[(i as f64 * step) as usize])
-        .collect()
+    (0..n).map(|i| series.points[(i as f64 * step) as usize]).collect()
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! pels sweep --flows-list 1,2,4,8 [--duration SECS] [--json]
 //! pels model --p LOSS --h PACKETS        # Section 3 closed forms
 //! pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]
+//! pels chaos [--seed S] [--duration SECS] [--json]  # fault-injection matrix
 //! pels trace --frames N [--cv CV] [--seed S]   # synthetic trace as CSV
 //! pels config-template                    # print a ScenarioConfig JSON
 //! ```
@@ -61,6 +62,15 @@ pub enum Command {
         /// Simulated seconds per run.
         duration_s: f64,
         /// Emit JSON reports.
+        json: bool,
+    },
+    /// Run the fault-injection matrix and report invariant verdicts.
+    Chaos {
+        /// Simulator seed.
+        seed: u64,
+        /// Simulated seconds per fault case.
+        duration_s: f64,
+        /// Emit the report as JSON instead of text.
         json: bool,
     },
     /// Generate a synthetic frame-size trace as CSV on stdout.
@@ -117,9 +127,9 @@ fn get_parsed<T: std::str::FromStr>(
 ) -> Result<T, ParseArgsError> {
     match map.get(key) {
         None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| ParseArgsError(format!("invalid value for --{key}: `{v}`"))),
+        Some(v) => {
+            v.parse().map_err(|_| ParseArgsError(format!("invalid value for --{key}: `{v}`")))
+        }
     }
 }
 
@@ -194,14 +204,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
         }
         "sweep" => {
             let map = flag_map(rest)?;
-            let list = map
-                .get("flows-list")
-                .cloned()
-                .unwrap_or_else(|| "1,2,4,8".to_string());
+            let list = map.get("flows-list").cloned().unwrap_or_else(|| "1,2,4,8".to_string());
             let counts: Result<Vec<usize>, _> =
                 list.split(',').map(|t| t.trim().parse::<usize>()).collect();
-            let counts = counts
-                .map_err(|_| ParseArgsError(format!("bad --flows-list `{list}`")))?;
+            let counts =
+                counts.map_err(|_| ParseArgsError(format!("bad --flows-list `{list}`")))?;
             if counts.is_empty() || counts.contains(&0) {
                 return Err(ParseArgsError("--flows-list needs positive counts".into()));
             }
@@ -210,6 +217,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                 return Err(ParseArgsError("--duration must be positive".into()));
             }
             Ok(Command::Sweep { counts, duration_s, json: map.contains_key("json") })
+        }
+        "chaos" => {
+            let map = flag_map(rest)?;
+            let seed: u64 = get_parsed(&map, "seed", 1)?;
+            let duration_s: f64 = get_parsed(&map, "duration", 30.0)?;
+            if !(duration_s >= 5.0) {
+                return Err(ParseArgsError(
+                    "--duration must be at least 5 seconds to measure recovery".into(),
+                ));
+            }
+            Ok(Command::Chaos { seed, duration_s, json: map.contains_key("json") })
         }
         "trace" => {
             let map = flag_map(rest)?;
@@ -233,17 +251,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
 ///
 /// Returns an error string suitable for printing to stderr.
 pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String> {
-    let w = |out: &mut dyn std::io::Write, s: String| {
-        writeln!(out, "{s}").map_err(|e| e.to_string())
-    };
+    let w =
+        |out: &mut dyn std::io::Write, s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
     match cmd {
         Command::Help => w(out, usage()),
         Command::Trace { frames, cv, seed } => {
-            let cfg = pels_fgs::trace_gen::TraceGenConfig {
-                n_frames: frames,
-                cv,
-                ..Default::default()
-            };
+            let cfg =
+                pels_fgs::trace_gen::TraceGenConfig { n_frames: frames, cv, ..Default::default() };
             let trace = pels_fgs::trace_gen::generate(&cfg, seed);
             w(out, trace.to_csv().trim_end().to_string())
         }
@@ -269,7 +283,8 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             )
         }
         Command::Gamma { p, p_thr, sigma, steps } => {
-            let traj = pels_analysis::stability::gamma_trajectory(0.5, sigma, p_thr, 1, steps, |_| p);
+            let traj =
+                pels_analysis::stability::gamma_trajectory(0.5, sigma, p_thr, 1, steps, |_| p);
             for (k, g) in traj.iter().enumerate() {
                 w(out, format!("{k:>4}  {g:.6}"))?;
             }
@@ -284,8 +299,7 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                     ..Default::default()
                 })
                 .collect();
-            let threads =
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
             let reports = pels_core::sweep::run_parallel(configs, duration_s, threads);
             if json {
                 let j = serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())?;
@@ -294,8 +308,7 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             for (n, r) in counts.iter().zip(&reports) {
                 let mean_rate: f64 =
                     r.flows.iter().map(|f| f.final_rate_kbps).sum::<f64>() / *n as f64;
-                let utility: f64 =
-                    r.flows.iter().map(|f| f.utility).sum::<f64>() / *n as f64;
+                let utility: f64 = r.flows.iter().map(|f| f.utility).sum::<f64>() / *n as f64;
                 w(
                     out,
                     format!(
@@ -305,6 +318,44 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 )?;
             }
             Ok(())
+        }
+        Command::Chaos { seed, duration_s, json } => {
+            use pels_netsim::time::SimDuration;
+            // Fault window scales with the run: onset at 1/3, lasting 1/20 of
+            // the run (the 30 s default reproduces the 10–11.5 s window used
+            // by the chaos bench binary).
+            let cfg = pels_core::chaos::ChaosConfig {
+                seed,
+                duration: SimDuration::from_secs_f64(duration_s),
+                fault_from: SimDuration::from_secs_f64(duration_s / 3.0),
+                fault_to: SimDuration::from_secs_f64(duration_s / 3.0 + duration_s / 20.0),
+                ..Default::default()
+            };
+            let report = pels_core::chaos::run_matrix(&cfg).map_err(|e| e.to_string())?;
+            if json {
+                let j = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                return w(out, j);
+            }
+            w(out, format!("chaos matrix: seed {seed}, {duration_s} s per case"))?;
+            for c in &report.cases {
+                w(
+                    out,
+                    format!(
+                        "  {:<18} green {:.4}  recovery {:>4}  decays {:>3}  faults {:>3}  {}",
+                        c.name,
+                        c.green_delivery,
+                        c.recovery_epochs.map_or("-".to_string(), |e| e.to_string()),
+                        c.stale_decays,
+                        c.faults_applied,
+                        if c.ok { "ok" } else { "FAIL" }
+                    ),
+                )?;
+            }
+            if report.all_ok {
+                w(out, "all invariants held".to_string())
+            } else {
+                Err("chaos invariants violated".to_string())
+            }
         }
         Command::Run { config, duration_s, json } => {
             let mut s = Scenario::build(*config);
@@ -356,6 +407,7 @@ pub fn usage() -> String {
        pels sweep [--flows-list 1,2,4,8] [--duration SECS] [--json]\n\
        pels model --p LOSS --h PACKETS\n\
        pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]\n\
+       pels chaos [--seed S] [--duration SECS] [--json]\n\
        pels trace [--frames N] [--cv CV] [--seed S]\n\
        pels config-template\n\
        pels help"
@@ -385,8 +437,9 @@ mod tests {
 
     #[test]
     fn parses_run_flags() {
-        let cmd = parse_args(&args("run --flows 4 --duration 10 --mode besteffort --json --seed 7"))
-            .unwrap();
+        let cmd =
+            parse_args(&args("run --flows 4 --duration 10 --mode besteffort --json --seed 7"))
+                .unwrap();
         match cmd {
             Command::Run { config, duration_s, json } => {
                 assert_eq!(config.flows.len(), 4);
@@ -476,17 +529,39 @@ mod tests {
     }
 
     #[test]
+    fn parses_chaos_flags() {
+        let cmd = parse_args(&args("chaos --seed 9 --duration 12 --json")).unwrap();
+        match cmd {
+            Command::Chaos { seed, duration_s, json } => {
+                assert_eq!(seed, 9);
+                assert_eq!(duration_s, 12.0);
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("chaos --duration 2")).is_err());
+        assert!(parse_args(&args("chaos --seed x")).is_err());
+    }
+
+    #[test]
+    fn chaos_command_runs_matrix() {
+        let cmd = parse_args(&args("chaos --seed 3 --duration 12 --json")).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&buf).unwrap();
+        assert_eq!(v["cases"].as_array().unwrap().len(), 6);
+        assert_eq!(v["all_ok"], serde_json::Value::Bool(true));
+    }
+
+    #[test]
     fn config_file_roundtrip_via_disk() {
         let dir = std::env::temp_dir().join("pels_cli_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("cfg.json");
         let cfg = ScenarioConfig::default();
         std::fs::write(&path, serde_json::to_string(&cfg).unwrap()).unwrap();
-        let cmd = parse_args(&args(&format!(
-            "run --config {} --duration 1",
-            path.display()
-        )))
-        .unwrap();
+        let cmd =
+            parse_args(&args(&format!("run --config {} --duration 1", path.display()))).unwrap();
         match cmd {
             Command::Run { config, .. } => assert_eq!(config.flows.len(), 2),
             other => panic!("{other:?}"),

@@ -102,10 +102,8 @@ impl AimdController {
         } else {
             self.rate_bps + self.cfg.increase_bps
         };
-        self.rate_bps = next.clamp(
-            self.cfg.min_rate.as_bps() as f64,
-            self.cfg.max_rate.as_bps() as f64,
-        );
+        self.rate_bps =
+            next.clamp(self.cfg.min_rate.as_bps() as f64, self.cfg.max_rate.as_bps() as f64);
         self.updates += 1;
         self.rate_bps
     }

@@ -7,6 +7,8 @@
 //! every passing packet; receivers echo it in ACKs; sources apply each epoch
 //! at most once.
 
+use crate::SimError;
+use pels_netsim::error::invalid_config;
 use pels_netsim::packet::{AgentId, Feedback};
 use pels_netsim::time::{Rate, SimDuration};
 use serde::{Deserialize, Serialize};
@@ -75,13 +77,26 @@ impl FeedbackEstimator {
     /// Panics if the capacity or interval is zero, or `smoothing` is outside
     /// `(0, 1]`.
     pub fn with_smoothing(capacity: Rate, interval: SimDuration, smoothing: f64) -> Self {
-        assert!(capacity.as_bps() > 0, "capacity must be positive");
-        assert!(!interval.is_zero(), "interval must be positive");
-        assert!(
-            smoothing > 0.0 && smoothing <= 1.0,
-            "smoothing must be in (0,1]: {smoothing}"
-        );
-        FeedbackEstimator {
+        Self::try_with_smoothing(capacity, interval, smoothing).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`FeedbackEstimator::with_smoothing`]: returns
+    /// [`SimError::InvalidConfig`] instead of panicking.
+    pub fn try_with_smoothing(
+        capacity: Rate,
+        interval: SimDuration,
+        smoothing: f64,
+    ) -> Result<Self, SimError> {
+        if capacity.as_bps() == 0 {
+            return Err(invalid_config("capacity must be positive"));
+        }
+        if interval.is_zero() {
+            return Err(invalid_config("interval must be positive"));
+        }
+        if !(smoothing > 0.0 && smoothing <= 1.0) {
+            return Err(invalid_config(format!("smoothing must be in (0,1]: {smoothing}")));
+        }
+        Ok(FeedbackEstimator {
             capacity,
             interval,
             smoothing,
@@ -94,7 +109,7 @@ impl FeedbackEstimator {
             rate_enh: 0.0,
             last_loss: IDLE_LOSS,
             last_fgs_loss: 0.0,
-        }
+        })
     }
 
     /// Records the arrival of a PELS packet of `bytes` with wire `class`
@@ -131,20 +146,14 @@ impl FeedbackEstimator {
         self.rate_green = r_green;
         self.rate_enh = r_enh;
 
-        self.last_loss = if r_total > 0.0 {
-            ((r_total - c) / r_total).max(IDLE_LOSS)
-        } else {
-            IDLE_LOSS
-        };
+        self.last_loss =
+            if r_total > 0.0 { ((r_total - c) / r_total).max(IDLE_LOSS) } else { IDLE_LOSS };
         // Strict priority serves green first: the enhancement layer gets
         // whatever capacity the green traffic leaves, and absorbs the whole
         // overload.
         let avail_enh = (c - r_green).max(0.0);
-        self.last_fgs_loss = if r_enh > 0.0 {
-            ((r_enh - avail_enh) / r_enh).clamp(0.0, 1.0)
-        } else {
-            0.0
-        };
+        self.last_fgs_loss =
+            if r_enh > 0.0 { ((r_enh - avail_enh) / r_enh).clamp(0.0, 1.0) } else { 0.0 };
 
         self.epoch += 1;
         self.bytes_total = 0;
@@ -227,11 +236,7 @@ mod tests {
     fn est() -> FeedbackEstimator {
         // 40 ms interval: 1 Mb/s = exactly ten 500-byte packets.
         // Smoothing 1.0 so each window's closed form is exact.
-        FeedbackEstimator::with_smoothing(
-            Rate::from_mbps(2.0),
-            SimDuration::from_millis(40),
-            1.0,
-        )
+        FeedbackEstimator::with_smoothing(Rate::from_mbps(2.0), SimDuration::from_millis(40), 1.0)
     }
 
     #[test]

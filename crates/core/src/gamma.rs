@@ -11,7 +11,14 @@
 //! loss (Lemma 4). The production controller here clamps γ to
 //! `[gamma_low, 1]` as the paper's simulations do (Fig. 7: γ falls to
 //! `γ_low = 0.05` while there is no loss).
+//!
+//! Robustness: when a loss sample is missing or garbled (non-finite) — as
+//! happens under feedback loss or link failure — the controller *holds* the
+//! last stable γ instead of treating the gap as zero loss, which would
+//! wrongly decay γ to the floor and mispartition yellow/red on recovery.
 
+use crate::SimError;
+use pels_netsim::error::invalid_config;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of [`GammaController`].
@@ -53,6 +60,8 @@ pub struct GammaController {
     cfg: GammaConfig,
     gamma: f64,
     updates: u64,
+    /// Control steps where the loss sample was missing and γ was held.
+    held: u64,
 }
 
 impl GammaController {
@@ -64,18 +73,25 @@ impl GammaController {
     /// `p_thr` outside `(0, 1]`, `γ0`/`γ_low` outside `[0, 1]`, or
     /// `γ_low > γ0`).
     pub fn new(cfg: GammaConfig) -> Self {
-        assert!(cfg.sigma > 0.0 && cfg.sigma.is_finite(), "sigma must be positive");
-        assert!(
-            cfg.p_thr > 0.0 && cfg.p_thr <= 1.0,
-            "p_thr must be in (0,1]: {}",
-            cfg.p_thr
-        );
-        assert!(
-            (0.0..=1.0).contains(&cfg.gamma0) && (0.0..=1.0).contains(&cfg.gamma_low),
-            "gamma bounds must be in [0,1]"
-        );
-        assert!(cfg.gamma_low <= cfg.gamma0, "gamma_low must not exceed gamma0");
-        GammaController { cfg, gamma: cfg.gamma0, updates: 0 }
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a controller, rejecting invalid configurations as
+    /// [`SimError::InvalidConfig`] instead of panicking.
+    pub fn try_new(cfg: GammaConfig) -> Result<Self, SimError> {
+        if !(cfg.sigma > 0.0 && cfg.sigma.is_finite()) {
+            return Err(invalid_config("sigma must be positive"));
+        }
+        if !(cfg.p_thr > 0.0 && cfg.p_thr <= 1.0) {
+            return Err(invalid_config(format!("p_thr must be in (0,1]: {}", cfg.p_thr)));
+        }
+        if !((0.0..=1.0).contains(&cfg.gamma0) && (0.0..=1.0).contains(&cfg.gamma_low)) {
+            return Err(invalid_config("gamma bounds must be in [0,1]"));
+        }
+        if cfg.gamma_low > cfg.gamma0 {
+            return Err(invalid_config("gamma_low must not exceed gamma0"));
+        }
+        Ok(GammaController { cfg, gamma: cfg.gamma0, updates: 0, held: 0 })
     }
 
     /// The current partition fraction γ.
@@ -95,13 +111,32 @@ impl GammaController {
 
     /// Applies one control step with the measured FGS-layer loss `p`
     /// (Eq. 4). Negative `p` (spare capacity in the congestion-control
-    /// feedback) is treated as zero loss. Returns the new γ.
+    /// feedback) is treated as zero loss; a non-finite `p` (missing sample)
+    /// holds γ via [`GammaController::hold`]. Returns the new γ.
     pub fn update(&mut self, p: f64) -> f64 {
-        let p = if p.is_finite() { p.clamp(0.0, 1.0) } else { 0.0 };
+        if !p.is_finite() {
+            return self.hold();
+        }
+        let p = p.clamp(0.0, 1.0);
         let raw = self.gamma + self.cfg.sigma * (p / self.cfg.p_thr - self.gamma);
         self.gamma = raw.clamp(self.cfg.gamma_low, 1.0);
         self.updates += 1;
         self.gamma
+    }
+
+    /// Explicitly holds the last stable γ for one control interval whose
+    /// loss sample is missing (feedback lost or stale). The clamp to
+    /// `[gamma_low, 1]` is re-applied defensively; the update counter does
+    /// not advance, but the hold is counted in [`GammaController::held`].
+    pub fn hold(&mut self) -> f64 {
+        self.gamma = self.gamma.clamp(self.cfg.gamma_low, 1.0);
+        self.held += 1;
+        self.gamma
+    }
+
+    /// Number of control intervals where γ was held for lack of a sample.
+    pub fn held(&self) -> u64 {
+        self.held
     }
 
     /// The fixed point γ* = p/p_thr the controller converges to under
@@ -141,17 +176,25 @@ impl DelayedGammaController {
     /// Panics if `delay == 0` or the configuration is invalid (see
     /// [`GammaController::new`]).
     pub fn new(cfg: GammaConfig, delay: usize) -> Self {
-        assert!(delay >= 1, "delay must be at least 1");
+        Self::try_new(cfg, delay).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a controller, rejecting invalid configurations as
+    /// [`SimError::InvalidConfig`] instead of panicking.
+    pub fn try_new(cfg: GammaConfig, delay: usize) -> Result<Self, SimError> {
+        if delay < 1 {
+            return Err(invalid_config("delay must be at least 1"));
+        }
         // Reuse the validation.
-        let _ = GammaController::new(cfg);
-        DelayedGammaController {
+        let _ = GammaController::try_new(cfg)?;
+        Ok(DelayedGammaController {
             cfg,
             gamma_hist: vec![cfg.gamma0; delay],
             p_hist: vec![0.0; delay - 1],
             next_gamma: 0,
             next_p: 0,
             updates: 0,
-        }
+        })
     }
 
     /// The γ value currently in effect (the most recently computed one).
@@ -165,7 +208,11 @@ impl DelayedGammaController {
     /// the sample from `D − 1` calls earlier, i.e. `p(k−D)`, together with
     /// `γ(k−D)` (Eq. 5).
     pub fn update(&mut self, p: f64) -> f64 {
-        let p = if p.is_finite() { p.clamp(0.0, 1.0) } else { 0.0 };
+        if !p.is_finite() {
+            // Missing sample: hold the γ in effect (see GammaController).
+            return self.gamma();
+        }
+        let p = p.clamp(0.0, 1.0);
         let old_gamma = self.gamma_hist[self.next_gamma];
         let old_p = if self.p_hist.is_empty() {
             p
@@ -226,6 +273,48 @@ mod tests {
     }
 
     #[test]
+    fn missing_sample_holds_last_stable_gamma() {
+        let mut g = GammaController::new(GammaConfig::default());
+        for _ in 0..100 {
+            g.update(0.3); // converge to 0.4
+        }
+        let stable = g.gamma();
+        for _ in 0..50 {
+            g.update(f64::NAN); // feedback lost: hold, do not decay
+        }
+        assert!((g.gamma() - stable).abs() < 1e-12);
+        assert_eq!(g.held(), 50);
+        assert_eq!(g.updates(), 100, "holds are not control steps");
+        // Explicit hold behaves identically.
+        g.hold();
+        assert!((g.gamma() - stable).abs() < 1e-12);
+        assert_eq!(g.held(), 51);
+    }
+
+    #[test]
+    fn delayed_holds_on_missing_sample() {
+        let mut g = DelayedGammaController::new(GammaConfig::default(), 3);
+        for _ in 0..300 {
+            g.update(0.3);
+        }
+        let stable = g.gamma();
+        for _ in 0..10 {
+            assert!((g.update(f64::INFINITY) - stable).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configs() {
+        use pels_netsim::SimError;
+        assert!(GammaController::try_new(GammaConfig::default()).is_ok());
+        assert!(matches!(
+            GammaController::try_new(GammaConfig { sigma: -1.0, ..Default::default() }),
+            Err(SimError::InvalidConfig(_))
+        ));
+        assert!(DelayedGammaController::try_new(GammaConfig::default(), 0).is_err());
+    }
+
+    #[test]
     fn tracks_loss_changes_both_directions() {
         let mut g = GammaController::new(GammaConfig::default());
         for _ in 0..100 {
@@ -275,11 +364,7 @@ mod tests {
             for _ in 0..2_000 {
                 g.update(0.3);
             }
-            assert!(
-                (g.gamma() - 0.4).abs() < 1e-6,
-                "delay {delay}: gamma {} vs 0.4",
-                g.gamma()
-            );
+            assert!((g.gamma() - 0.4).abs() < 1e-6, "delay {delay}: gamma {} vs 0.4", g.gamma());
         }
     }
 

@@ -16,6 +16,8 @@
 //!   utility measurement.
 //! * [`scenario`] — the dumbbell evaluation topology (Fig. 6) with TCP
 //!   cross traffic, plus serializable run reports.
+//! * [`chaos`] — scripted fault scenarios (link failures, feedback loss,
+//!   router flushes) with recovery invariants.
 //!
 //! ## Example: PELS keeps utility ≈ 1 where best-effort collapses
 //!
@@ -35,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub mod aimd;
+pub mod chaos;
 pub mod color;
 pub mod feedback;
 pub mod gamma;
@@ -44,19 +47,20 @@ pub mod router;
 pub mod scenario;
 pub mod source;
 pub mod sweep;
-pub mod tcm;
 pub mod tandem;
+pub mod tcm;
 pub mod tfrc;
 
+pub use aimd::{AimdConfig, AimdController};
 pub use color::Color;
 pub use feedback::{EpochFilter, FeedbackEstimator};
 pub use gamma::{DelayedGammaController, GammaConfig, GammaController};
 pub use mkc::{MkcConfig, MkcController};
+pub use pels_netsim::SimError;
 pub use receiver::{NackConfig, PelsReceiver};
 pub use router::{AqmConfig, AqmRouter, QueueMode};
 pub use scenario::{FlowSpec, Scenario, ScenarioConfig, ScenarioReport};
+pub use source::{ArqConfig, CcSpec, PelsSource, SourceConfig, SourceMode};
 pub use tandem::{Tandem, TandemConfig};
 pub use tcm::{SrTcm, TcmConfig};
 pub use tfrc::{TfrcConfig, TfrcController};
-pub use aimd::{AimdConfig, AimdController};
-pub use source::{ArqConfig, CcSpec, PelsSource, SourceConfig, SourceMode};

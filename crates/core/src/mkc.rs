@@ -9,8 +9,22 @@
 //! claiming; the positive regime converges, without oscillation, to the
 //! stationary rate `r* = C/N + α/β` (Lemma 6), independent of feedback
 //! delay, and is stable iff `0 < β < 2` (Lemma 5).
+//!
+//! ## Stale-feedback fallback
+//!
+//! Eq. 8 assumes a steady stream of feedback epochs. When the reverse path
+//! fails (link cut, ACK loss), the last `p` becomes arbitrarily stale and
+//! holding the last rate can overload a recovering network. The controller
+//! therefore tracks the arrival time of the freshest accepted epoch: once
+//! the age exceeds [`MkcConfig::stale_timeout`], each watchdog check applies
+//! a multiplicative decrease ([`MkcConfig::stale_decay`]) toward
+//! [`MkcConfig::min_rate`] — TCP-like conservatism under silence. The first
+//! fresh epoch exits fallback, and Lemma 6 guarantees reconvergence to
+//! `r* = C/N + α/β` from whatever rate the decay reached.
 
-use pels_netsim::time::Rate;
+use crate::SimError;
+use pels_netsim::error::invalid_config;
+use pels_netsim::time::{Rate, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of [`MkcController`].
@@ -29,6 +43,15 @@ pub struct MkcConfig {
     /// Clamp on how negative the feedback may be treated (bounds the
     /// multiplicative ramp when the link is nearly idle).
     pub min_feedback: f64,
+    /// Feedback older than this is considered stale and triggers the
+    /// multiplicative-decrease fallback (10 feedback epochs at the default
+    /// 30 ms interval). Staleness is only declared after at least one fresh
+    /// epoch has ever arrived, so a source that never hears feedback —
+    /// e.g. a best-effort comparator run — keeps its initial rate.
+    pub stale_timeout: SimDuration,
+    /// Multiplicative decrease applied per watchdog check while stale.
+    /// Must be in `(0, 1)`.
+    pub stale_decay: f64,
 }
 
 impl Default for MkcConfig {
@@ -40,6 +63,8 @@ impl Default for MkcConfig {
             min_rate: Rate::from_kbps(64.0),
             max_rate: Rate::from_mbps(10.0),
             min_feedback: -10.0,
+            stale_timeout: SimDuration::from_millis(300),
+            stale_decay: 0.85,
         }
     }
 }
@@ -62,6 +87,13 @@ pub struct MkcController {
     cfg: MkcConfig,
     rate_bps: f64,
     updates: u64,
+    /// When the freshest accepted feedback epoch arrived (`None` until the
+    /// first epoch — startup silence is not staleness).
+    last_fresh: Option<SimTime>,
+    /// Whether the controller is currently in the stale fallback.
+    in_fallback: bool,
+    /// Multiplicative decreases applied while stale (diagnostic).
+    stale_decays: u64,
 }
 
 impl MkcController {
@@ -72,13 +104,40 @@ impl MkcController {
     /// Panics if gains are out of range (`α <= 0` or `β` outside `(0, 2)`),
     /// or the rate bounds are inconsistent.
     pub fn new(cfg: MkcConfig) -> Self {
-        assert!(cfg.alpha_bps > 0.0 && cfg.alpha_bps.is_finite(), "alpha must be positive");
-        assert!(cfg.beta > 0.0 && cfg.beta < 2.0, "beta must be in (0,2) for stability");
-        assert!(cfg.min_rate <= cfg.max_rate, "min_rate must not exceed max_rate");
-        assert!(cfg.min_feedback < 0.0, "min_feedback must be negative");
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a controller, rejecting invalid configurations as
+    /// [`SimError::InvalidConfig`] instead of panicking.
+    pub fn try_new(cfg: MkcConfig) -> Result<Self, SimError> {
+        if !(cfg.alpha_bps > 0.0 && cfg.alpha_bps.is_finite()) {
+            return Err(invalid_config("alpha must be positive"));
+        }
+        if !(cfg.beta > 0.0 && cfg.beta < 2.0) {
+            return Err(invalid_config("beta must be in (0,2) for stability"));
+        }
+        if cfg.min_rate > cfg.max_rate {
+            return Err(invalid_config("min_rate must not exceed max_rate"));
+        }
+        if cfg.min_feedback >= 0.0 {
+            return Err(invalid_config("min_feedback must be negative"));
+        }
+        if !(cfg.stale_decay > 0.0 && cfg.stale_decay < 1.0) {
+            return Err(invalid_config("stale_decay must be in (0,1)"));
+        }
+        if cfg.stale_timeout.is_zero() {
+            return Err(invalid_config("stale_timeout must be positive"));
+        }
         let rate = (cfg.initial.as_bps() as f64)
             .clamp(cfg.min_rate.as_bps() as f64, cfg.max_rate.as_bps() as f64);
-        MkcController { cfg, rate_bps: rate, updates: 0 }
+        Ok(MkcController {
+            cfg,
+            rate_bps: rate,
+            updates: 0,
+            last_fresh: None,
+            in_fallback: false,
+            stale_decays: 0,
+        })
     }
 
     /// Current sending rate in bits/s.
@@ -117,21 +176,11 @@ impl MkcController {
     /// Non-positive or non-finite bases fall back to the current rate.
     /// Returns the new rate in bits/s.
     pub fn update_from(&mut self, base_bps: f64, p: f64) -> f64 {
-        let p = if p.is_finite() {
-            p.clamp(self.cfg.min_feedback, 1.0)
-        } else {
-            0.0
-        };
-        let base = if base_bps.is_finite() && base_bps > 0.0 {
-            base_bps
-        } else {
-            self.rate_bps
-        };
+        let p = if p.is_finite() { p.clamp(self.cfg.min_feedback, 1.0) } else { 0.0 };
+        let base = if base_bps.is_finite() && base_bps > 0.0 { base_bps } else { self.rate_bps };
         let next = base + self.cfg.alpha_bps - self.cfg.beta * base * p;
-        self.rate_bps = next.clamp(
-            self.cfg.min_rate.as_bps() as f64,
-            self.cfg.max_rate.as_bps() as f64,
-        );
+        self.rate_bps =
+            next.clamp(self.cfg.min_rate.as_bps() as f64, self.cfg.max_rate.as_bps() as f64);
         self.updates += 1;
         self.rate_bps
     }
@@ -141,6 +190,46 @@ impl MkcController {
     pub fn stationary_rate_bps(&self, c: Rate, n: usize) -> f64 {
         assert!(n > 0, "need at least one flow");
         c.as_bps() as f64 / n as f64 + self.cfg.alpha_bps / self.cfg.beta
+    }
+
+    /// Notes that a fresh feedback epoch was accepted at `now`, exiting the
+    /// stale fallback if it was active. Call alongside
+    /// [`MkcController::update_from`].
+    pub fn record_fresh(&mut self, now: SimTime) {
+        self.last_fresh = Some(now);
+        self.in_fallback = false;
+    }
+
+    /// Whether feedback is stale at `now`: some epoch has arrived before,
+    /// and the freshest one is older than [`MkcConfig::stale_timeout`].
+    pub fn is_stale(&self, now: SimTime) -> bool {
+        self.last_fresh.is_some_and(|t| now.duration_since(t) > self.cfg.stale_timeout)
+    }
+
+    /// Watchdog hook: if feedback is stale at `now`, applies one
+    /// multiplicative decrease `r ← max(r · stale_decay, min_rate)` and
+    /// returns `true`. Invoke periodically (the PELS source does so every
+    /// quarter of the stale timeout); the first fresh epoch after the fault
+    /// clears ends the fallback and MKC reconverges to `r*` per Lemma 6.
+    pub fn apply_staleness(&mut self, now: SimTime) -> bool {
+        if !self.is_stale(now) {
+            return false;
+        }
+        self.in_fallback = true;
+        self.stale_decays += 1;
+        self.rate_bps =
+            (self.rate_bps * self.cfg.stale_decay).max(self.cfg.min_rate.as_bps() as f64);
+        true
+    }
+
+    /// Whether the controller is currently decreasing for lack of feedback.
+    pub fn in_stale_fallback(&self) -> bool {
+        self.in_fallback
+    }
+
+    /// Total multiplicative decreases applied while stale.
+    pub fn stale_decays(&self) -> u64 {
+        self.stale_decays
     }
 }
 
@@ -235,6 +324,59 @@ mod tests {
     #[should_panic(expected = "beta must be in (0,2)")]
     fn rejects_unstable_beta() {
         let _ = MkcController::new(MkcConfig { beta: 2.5, ..Default::default() });
+    }
+
+    #[test]
+    fn try_new_reports_invalid_configs() {
+        use pels_netsim::SimError;
+        assert!(MkcController::try_new(MkcConfig::default()).is_ok());
+        let bad = MkcController::try_new(MkcConfig { stale_decay: 1.5, ..Default::default() });
+        assert!(matches!(bad, Err(SimError::InvalidConfig(_))));
+        let bad = MkcController::try_new(MkcConfig { alpha_bps: -1.0, ..Default::default() });
+        assert_eq!(bad.unwrap_err().to_string(), "alpha must be positive");
+    }
+
+    #[test]
+    fn startup_silence_is_not_staleness() {
+        let mut m = ctl();
+        let late = SimTime::from_secs_f64(100.0);
+        assert!(!m.is_stale(late));
+        assert!(!m.apply_staleness(late));
+        assert!((m.rate_bps() - 128_000.0).abs() < 1e-9, "rate held");
+    }
+
+    #[test]
+    fn stale_fallback_decays_to_floor_then_recovers() {
+        let t = SimTime::from_secs_f64;
+        let mut m = ctl();
+        m.record_fresh(t(10.0));
+        for _ in 0..10 {
+            m.update(-5.0); // ramp well above the floor
+        }
+        let high = m.rate_bps();
+        assert!(!m.is_stale(t(10.2)), "within the 300 ms timeout");
+        assert!(m.is_stale(t(10.4)));
+
+        assert!(m.apply_staleness(t(10.4)));
+        assert!(m.in_stale_fallback());
+        assert!((m.rate_bps() - high * 0.85).abs() < 1e-6);
+        for i in 0..200 {
+            m.apply_staleness(t(10.5 + 0.1 * i as f64));
+        }
+        assert!((m.rate_bps() - 64_000.0).abs() < 1e-9, "decayed to min_rate");
+        assert!(m.stale_decays() > 100);
+
+        // The first fresh epoch ends the fallback; Lemma 6 reconvergence.
+        m.record_fresh(t(40.0));
+        assert!(!m.in_stale_fallback());
+        assert!(!m.is_stale(t(40.1)));
+        let c = Rate::from_mbps(2.0);
+        let target = m.stationary_rate_bps(c, 1);
+        for _ in 0..50 {
+            let r = m.rate_bps();
+            m.update((r - c.as_bps() as f64) / r);
+        }
+        assert!((m.rate_bps() - target).abs() < 1.0, "reconverged to r*");
     }
 }
 

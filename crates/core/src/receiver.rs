@@ -22,16 +22,36 @@ pub const ACK_BYTES: u32 = 40;
 /// Receiver-side NACK configuration for the ARQ comparator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct NackConfig {
-    /// How many NACK rounds each frame may trigger.
+    /// How many NACK rounds each frame may trigger. The same value caps how
+    /// often any single packet may be requested, so a duplicate or late
+    /// retransmission can never restart a frame's rounds.
     pub max_rounds: u8,
     /// Cap on NACKs per frame per round.
     pub max_per_round: usize,
+    /// Frames to wait before the first retry round; the wait doubles every
+    /// round (exponential backoff).
+    pub backoff_base: u64,
+    /// Lifetime cap on NACKs this receiver may send. Requests beyond the
+    /// budget are counted in [`PelsReceiver::nacks_suppressed`] instead of
+    /// transmitted, bounding reverse-path load under pathological loss.
+    pub retry_budget: u64,
 }
 
 impl Default for NackConfig {
     fn default() -> Self {
-        NackConfig { max_rounds: 2, max_per_round: 64 }
+        NackConfig { max_rounds: 2, max_per_round: 64, backoff_base: 1, retry_budget: 65_536 }
     }
+}
+
+/// Per-frame retransmission-request bookkeeping.
+#[derive(Debug, Clone)]
+struct FrameNackState {
+    /// Rounds already issued for this frame.
+    rounds: u8,
+    /// The frame horizon at which the next round may fire (backoff gate).
+    next_round_frame: u64,
+    /// Per-packet request counts, indexed by packet index within the frame.
+    per_packet: Vec<u8>,
 }
 
 /// The receiving end of a PELS flow.
@@ -56,10 +76,16 @@ pub struct PelsReceiver {
     pub received_packets: u64,
     /// NACK generation (ARQ comparator), when enabled.
     nack: Option<NackConfig>,
-    /// Per-frame NACK rounds already issued.
-    nack_rounds: BTreeMap<u64, u8>,
+    /// Per-frame NACK state (rounds, backoff gate, per-packet counts).
+    nack_state: BTreeMap<u64, FrameNackState>,
+    /// Highest frame number seen in any data packet. Monotone: late
+    /// retransmissions carry old frame tags and must not rewind the NACK
+    /// window.
+    max_frame_seen: u64,
     /// NACK packets sent.
     pub nacks_sent: u64,
+    /// NACK requests suppressed by an exhausted retry budget.
+    pub nacks_suppressed: u64,
     /// Retransmitted packets received in time to decode.
     pub recovered_on_time: u64,
     /// Retransmitted packets that missed the playout deadline.
@@ -84,8 +110,10 @@ impl PelsReceiver {
             late_by_color: [0; 3],
             received_packets: 0,
             nack: None,
-            nack_rounds: BTreeMap::new(),
+            nack_state: BTreeMap::new(),
+            max_frame_seen: 0,
             nacks_sent: 0,
+            nacks_suppressed: 0,
             recovered_on_time: 0,
             recovered_late: 0,
         }
@@ -106,27 +134,46 @@ impl PelsReceiver {
         self
     }
 
-    /// Issues NACKs for frames behind `current_frame` that still have gaps.
-    fn issue_nacks(&mut self, current_frame: u64, ctx: &mut Context<'_>) {
+    /// Issues NACKs for frames behind the (monotone) frame horizon that
+    /// still have gaps.
+    ///
+    /// Round pacing is exponential: round `r` of frame `g` fires only once
+    /// the horizon reaches the backoff gate set when round `r−1` fired
+    /// (`backoff_base · 2^r` frames past that horizon). Every request is
+    /// charged against a per-packet cap of `max_rounds` and a lifetime
+    /// `retry_budget`, so duplicate NACK responses — which re-enter
+    /// [`Agent::on_packet`] with *old* frame tags — can neither rewind the
+    /// window nor reset any counter.
+    fn issue_nacks(&mut self, ctx: &mut Context<'_>) {
         let Some(cfg) = self.nack else { return };
-        let lo = current_frame.saturating_sub(4);
-        for g in lo..current_frame {
-            let rounds = *self.nack_rounds.get(&g).unwrap_or(&0);
-            if rounds >= cfg.max_rounds {
-                continue;
-            }
-            // Round r of frame g fires once frame g + r + 1 is flowing.
-            if current_frame < g + rounds as u64 + 1 {
-                continue;
-            }
+        let horizon = self.max_frame_seen;
+        let lo = horizon.saturating_sub(4);
+        for g in lo..horizon {
             let Some(rx) = self.frames.get(&g) else { continue };
-            let mut sent_this_round = 0usize;
             let (total, base) = (rx.total, rx.base_count);
-            let missing: Vec<u16> =
-                (0..total).filter(|&i| !rx.is_received(i)).collect();
+            let missing: Vec<u16> = (0..total).filter(|&i| !rx.is_received(i)).collect();
+            if missing.is_empty() {
+                continue;
+            }
+            let st = self.nack_state.entry(g).or_insert_with(|| FrameNackState {
+                rounds: 0,
+                next_round_frame: g + cfg.backoff_base.max(1),
+                per_packet: vec![0u8; total as usize],
+            });
+            if st.rounds >= cfg.max_rounds || horizon < st.next_round_frame {
+                continue;
+            }
+            let mut sent_this_round = 0usize;
             for index in missing {
                 if sent_this_round >= cfg.max_per_round {
                     break;
+                }
+                if st.per_packet.get(index as usize).is_some_and(|&c| c >= cfg.max_rounds) {
+                    continue;
+                }
+                if self.nacks_sent >= cfg.retry_budget {
+                    self.nacks_suppressed += 1;
+                    continue;
                 }
                 let mut nack = Packet::data(self.flow, ctx.self_id, self.src_hint, 40)
                     .with_frame(pels_netsim::packet::FrameTag { frame: g, index, total, base })
@@ -135,11 +182,18 @@ impl PelsReceiver {
                 nack.sent_at = ctx.now;
                 self.port.send(nack, ctx);
                 self.nacks_sent += 1;
+                if let Some(c) = st.per_packet.get_mut(index as usize) {
+                    *c += 1;
+                }
                 sent_this_round += 1;
             }
-            self.nack_rounds.insert(g, rounds + 1);
-            self.nack_rounds.retain(|&f, _| f + 16 > current_frame);
+            st.rounds += 1;
+            st.next_round_frame = horizon + (cfg.backoff_base.max(1) << st.rounds.min(32));
         }
+        // Evict far behind the 4-frame NACK window: a re-created entry can
+        // never re-enter the active loop with reset counters because the
+        // horizon is monotone.
+        self.nack_state.retain(|&f, _| f + 64 > horizon);
     }
 
     /// The flow this receiver serves.
@@ -180,6 +234,7 @@ impl Agent for PelsReceiver {
         let Some(tag) = packet.frame else { return };
         self.src_hint = packet.src;
         self.received_packets += 1;
+        self.max_frame_seen = self.max_frame_seen.max(tag.frame);
         let delay = ctx.now.duration_since(packet.sent_at);
         let late = self.deadline.is_some_and(|d| delay > d);
         if packet.ack_no == RETX_MARKER {
@@ -190,7 +245,7 @@ impl Agent for PelsReceiver {
             }
         }
         if self.nack.is_some() {
-            self.issue_nacks(tag.frame, ctx);
+            self.issue_nacks(ctx);
         }
         if (packet.class as usize) < 3 {
             if late {
@@ -383,6 +438,86 @@ mod tests {
         assert_eq!(d[0].enh_received_packets, 0, "late packet not decodable");
         // Both packets were still ACKed (feedback must flow).
         assert_eq!(sim.agent::<AckSink>(ack_sink_id).acks.len(), 2);
+    }
+
+    fn build_nack(packets: Vec<Packet>, cfg: NackConfig) -> (Simulator, AgentId, AgentId) {
+        let mut sim = Simulator::new(1);
+        let rx_id = AgentId(0);
+        let ack_sink_id = AgentId(1);
+        let port = Port::new(
+            0,
+            ack_sink_id,
+            Rate::from_mbps(10.0),
+            SimDuration::from_millis(1),
+            Box::new(DropTail::new(QueueLimit::Packets(100))),
+        );
+        sim.add_agent(Box::new(PelsReceiver::new(FlowId(1), port, true).with_nack(cfg)));
+        sim.add_agent(Box::new(AckSink { acks: vec![] }));
+        sim.add_agent(Box::new(Feeder { rx: rx_id, packets }));
+        (sim, rx_id, ack_sink_id)
+    }
+
+    #[test]
+    fn nack_rounds_follow_exponential_backoff() {
+        // Frame 0 misses index 1 of 3; frames 1..=8 arrive complete.
+        let mut pkts = vec![video_packet(0, 0, 3, 1, 0), video_packet(0, 2, 3, 1, 1)];
+        for f in 1..=8u64 {
+            pkts.push(video_packet(f, 0, 1, 1, 0));
+        }
+        let (mut sim, rx, acks) = build_nack(pkts, NackConfig::default());
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let r = sim.agent::<PelsReceiver>(rx);
+        // Round 0 fires at horizon 1, then backoff gates round 1 to
+        // horizon 3 (1 + base·2^1); max_rounds = 2 stops it there.
+        assert_eq!(r.nacks_sent, 2, "one NACK per round for the single gap");
+        assert_eq!(r.nacks_suppressed, 0);
+        let nacks: Vec<_> =
+            sim.agent::<AckSink>(acks).acks.iter().filter(|p| p.kind == PacketKind::Nack).collect();
+        assert_eq!(nacks.len(), 2);
+        for n in &nacks {
+            let tag = n.frame.expect("NACK carries the missing packet's tag");
+            assert_eq!((tag.frame, tag.index), (0, 1));
+        }
+    }
+
+    #[test]
+    fn duplicate_late_retx_cannot_reset_nack_rounds() {
+        // Satellite regression: a late retransmission carrying an old frame
+        // tag used to rewind the NACK window after the per-frame round
+        // counter had been evicted, restarting rounds for frames with gaps.
+        let mut pkts = vec![video_packet(10, 0, 3, 1, 0), video_packet(10, 2, 3, 1, 1)];
+        for f in 11..=30u64 {
+            pkts.push(video_packet(f, 0, 1, 1, 0));
+        }
+        // Duplicate retransmission of frame 10 index 2, arriving last with
+        // an old tag (frame 14 window under the legacy gating).
+        let mut dup = video_packet(14, 0, 1, 1, 0);
+        dup.ack_no = RETX_MARKER;
+        pkts.push(dup);
+        let (mut sim, rx, _acks) = build_nack(pkts, NackConfig::default());
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let r = sim.agent::<PelsReceiver>(rx);
+        assert_eq!(
+            r.nacks_sent, 2,
+            "max_rounds is per-packet: the late duplicate must not restart rounds"
+        );
+    }
+
+    #[test]
+    fn retry_budget_suppresses_excess_nacks() {
+        // Frame 0 misses indices 1 and 2 of 3; budget allows only one NACK.
+        let pkts = vec![
+            video_packet(0, 0, 3, 1, 0),
+            video_packet(1, 0, 1, 1, 0),
+            video_packet(2, 0, 1, 1, 0),
+            video_packet(3, 0, 1, 1, 0),
+        ];
+        let cfg = NackConfig { retry_budget: 1, ..NackConfig::default() };
+        let (mut sim, rx, _acks) = build_nack(pkts, cfg);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let r = sim.agent::<PelsReceiver>(rx);
+        assert_eq!(r.nacks_sent, 1, "budget caps lifetime NACKs");
+        assert!(r.nacks_suppressed >= 1, "suppressed requests are counted");
     }
 
     #[test]

@@ -18,7 +18,10 @@
 use crate::color::{Color, INTERNET_CLASS};
 use crate::feedback::FeedbackEstimator;
 use crate::tcm::{SrTcm, TcmConfig};
+use crate::SimError;
 use pels_netsim::disc::{Discipline, DropTail, QueueLimit, StrictPriority, Wrr};
+use pels_netsim::error::invalid_config;
+use pels_netsim::faults::{apply_port_fault, FaultAction};
 use pels_netsim::packet::{AgentId, Packet, PacketKind};
 use pels_netsim::port::Port;
 use pels_netsim::router::RouteTable;
@@ -143,34 +146,52 @@ impl AqmRouter {
     ///
     /// Panics if `pels_share` is outside `(0, 1)` or port indices are wrong.
     pub fn new(
-        mut bottleneck_port: Port,
+        bottleneck_port: Port,
         reverse_ports: Vec<Port>,
         routes: RouteTable,
         cfg: AqmConfig,
         keep_series: bool,
     ) -> Self {
-        assert!(
-            cfg.pels_share > 0.0 && cfg.pels_share < 1.0,
-            "pels_share must be in (0,1): {}",
-            cfg.pels_share
-        );
-        assert_eq!(bottleneck_port.index, 0, "bottleneck must be port 0");
+        Self::try_new(bottleneck_port, reverse_ports, routes, cfg, keep_series)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`AqmRouter::new`]: returns
+    /// [`SimError::InvalidConfig`] instead of panicking.
+    pub fn try_new(
+        mut bottleneck_port: Port,
+        reverse_ports: Vec<Port>,
+        routes: RouteTable,
+        cfg: AqmConfig,
+        keep_series: bool,
+    ) -> Result<Self, SimError> {
+        if !(cfg.pels_share > 0.0 && cfg.pels_share < 1.0) {
+            return Err(invalid_config(format!("pels_share must be in (0,1): {}", cfg.pels_share)));
+        }
+        if bottleneck_port.index != 0 {
+            return Err(invalid_config("bottleneck must be port 0"));
+        }
+        if cfg.feedback_interval.is_zero() {
+            return Err(invalid_config("feedback_interval must be positive"));
+        }
         bottleneck_port.set_discipline(Self::build_discipline(&cfg));
         let pels_capacity = bottleneck_port.rate.scale(cfg.pels_share);
         let mut ports = vec![bottleneck_port];
         for (i, p) in reverse_ports.into_iter().enumerate() {
-            assert_eq!(p.index, i + 1, "reverse port indices must follow the bottleneck");
+            if p.index != i + 1 {
+                return Err(invalid_config("reverse port indices must follow the bottleneck"));
+            }
             ports.push(p);
         }
-        AqmRouter {
+        Ok(AqmRouter {
             ports,
             routes,
             cfg,
-            estimator: FeedbackEstimator::with_smoothing(
+            estimator: FeedbackEstimator::try_with_smoothing(
                 pels_capacity,
                 cfg.feedback_interval,
                 cfg.feedback_smoothing,
-            ),
+            )?,
             self_id: AgentId(u32::MAX),
             no_route_drops: 0,
             random_drops: 0,
@@ -186,7 +207,7 @@ impl AqmRouter {
             backlog_series: TimeSeries::new("video_backlog_pkts"),
             red_backlog_series: TimeSeries::new("red_backlog_pkts"),
             keep_series,
-        }
+        })
     }
 
     /// The ingress marker's per-color counts, when configured.
@@ -209,11 +230,7 @@ impl AqmRouter {
         // Express the share as integer WRR weights with 1% resolution.
         let w_video = (cfg.pels_share * 100.0).round().clamp(1.0, 99.0) as u32;
         let w_inet = 100 - w_video;
-        Box::new(Wrr::new(
-            vec![(w_video, video), (w_inet, internet)],
-            wrr_classify,
-            500,
-        ))
+        Box::new(Wrr::new(vec![(w_video, video), (w_inet, internet)], wrr_classify, 500))
     }
 
     /// Access a port (0 = bottleneck).
@@ -261,11 +278,8 @@ impl AqmRouter {
     }
 
     fn push_loss_window(&mut self, now_s: f64) {
-        let series = [
-            &mut self.green_loss_series,
-            &mut self.yellow_loss_series,
-            &mut self.red_loss_series,
-        ];
+        let series =
+            [&mut self.green_loss_series, &mut self.yellow_loss_series, &mut self.red_loss_series];
         for (class, s) in series.into_iter().enumerate() {
             let a = self.window_arrivals[class];
             if a > 0 {
@@ -313,9 +327,7 @@ impl Agent for AqmRouter {
             let disc = self.ports[0].discipline();
             if let Some(wrr) = disc.as_any().downcast_ref::<Wrr>() {
                 self.backlog_series.push(t, wrr.child_len_packets(0) as f64);
-                if let Some(sp) =
-                    wrr.child(0).as_any().downcast_ref::<StrictPriority>()
-                {
+                if let Some(sp) = wrr.child(0).as_any().downcast_ref::<StrictPriority>() {
                     self.red_backlog_series.push(t, sp.band_len_packets(2) as f64);
                 }
             }
@@ -331,6 +343,10 @@ impl Agent for AqmRouter {
 
     fn on_tx_complete(&mut self, port: usize, ctx: &mut Context<'_>) {
         self.ports[port].on_tx_complete(ctx);
+    }
+
+    fn on_fault(&mut self, action: &FaultAction, ctx: &mut Context<'_>) {
+        apply_port_fault(&mut self.ports, action, ctx);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -453,15 +469,10 @@ mod tests {
         // so the last *delivered* packet carries an epoch from ~1.6 s.)
         let (mut sim, _router, sink) = build(QueueMode::Pels, 1_000, vec![1]);
         sim.run_until(SimTime::from_secs_f64(2.0));
-        let got: Vec<&Packet> = sim
-            .agent::<Sink>(sink)
-            .got
-            .iter()
-            .filter(|p| Color::is_pels_class(p.class))
-            .collect();
+        let got: Vec<&Packet> =
+            sim.agent::<Sink>(sink).got.iter().filter(|p| Color::is_pels_class(p.class)).collect();
         assert!(!got.is_empty());
-        let epochs: Vec<u64> =
-            got.iter().filter_map(|p| p.feedback.map(|f| f.epoch)).collect();
+        let epochs: Vec<u64> = got.iter().filter_map(|p| p.feedback.map(|f| f.epoch)).collect();
         assert_eq!(epochs.len(), got.len(), "every video packet is stamped");
         assert!(epochs.windows(2).all(|w| w[0] <= w[1]), "epochs non-decreasing");
         assert!(*epochs.last().unwrap() > 20, "epochs advance with T=30 ms");
@@ -493,12 +504,8 @@ mod tests {
         sim.run_until(SimTime::from_secs_f64(5.0));
         let r = sim.agent::<AqmRouter>(router);
         assert!(r.random_drops > 100, "random drops {}", r.random_drops);
-        let got: Vec<&Packet> = sim
-            .agent::<Sink>(sink)
-            .got
-            .iter()
-            .filter(|p| Color::is_pels_class(p.class))
-            .collect();
+        let got: Vec<&Packet> =
+            sim.agent::<Sink>(sink).got.iter().filter(|p| Color::is_pels_class(p.class)).collect();
         let green = got.iter().filter(|p| p.class == 0).count() as f64;
         // 1-in-4 video packets green at 4 Mb/s offered = 1 Mb/s green, all
         // delivered; yellow is thinned, so the delivered green share

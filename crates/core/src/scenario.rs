@@ -148,7 +148,18 @@ impl Scenario {
     ///
     /// Panics if the configuration has no video flows.
     pub fn build(cfg: ScenarioConfig) -> Self {
-        assert!(!cfg.flows.is_empty(), "a scenario needs at least one video flow");
+        Self::try_build(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Scenario::build`]: returns
+    /// [`crate::SimError::InvalidConfig`] instead of panicking on a bad
+    /// configuration.
+    pub fn try_build(cfg: ScenarioConfig) -> Result<Self, crate::SimError> {
+        if cfg.flows.is_empty() {
+            return Err(pels_netsim::error::invalid_config(
+                "a scenario needs at least one video flow",
+            ));
+        }
         let n = cfg.flows.len();
         let n_tcp = cfg.n_tcp;
 
@@ -183,15 +194,21 @@ impl Scenario {
             r1_routes.add(tcp_sink_id(j), 0);
             let port_idx = 1 + n + j;
             r1_routes.add(tcp_src_id(j), port_idx);
-            r1_reverse.push(Port::new(port_idx, tcp_src_id(j), cfg.access, cfg.access_delay, q(200)));
+            r1_reverse.push(Port::new(
+                port_idx,
+                tcp_src_id(j),
+                cfg.access,
+                cfg.access_delay,
+                q(200),
+            ));
         }
-        sim.add_agent(Box::new(AqmRouter::new(
+        sim.add_agent(Box::new(AqmRouter::try_new(
             bottleneck_port,
             r1_reverse,
             r1_routes,
             cfg.aqm,
             cfg.keep_series,
-        )));
+        )?));
 
         // --- R2: plain far-side router ---
         let mut r2_ports = vec![Port::new(0, r1, cfg.bottleneck, cfg.bottleneck_delay, q(200))];
@@ -206,7 +223,13 @@ impl Scenario {
             r2_routes.add(tcp_src_id(j), 0);
             let port_idx = 1 + n + j;
             r2_routes.add(tcp_sink_id(j), port_idx);
-            r2_ports.push(Port::new(port_idx, tcp_sink_id(j), cfg.access, cfg.access_delay, q(200)));
+            r2_ports.push(Port::new(
+                port_idx,
+                tcp_sink_id(j),
+                cfg.access,
+                cfg.access_delay,
+                q(200),
+            ));
         }
         sim.add_agent(Box::new(Router::new(r2_ports, r2_routes)));
 
@@ -259,13 +282,16 @@ impl Scenario {
         let mut tcp_sinks = Vec::new();
         for j in 0..n_tcp {
             let port = Port::new(0, r2, cfg.access, cfg.access_delay, q(400));
-            tcp_sinks.push(sim.add_agent(Box::new(TcpSink::new(
-                port,
-                FlowId((1000 + j) as u32),
-            ))));
+            tcp_sinks.push(sim.add_agent(Box::new(TcpSink::new(port, FlowId((1000 + j) as u32)))));
         }
 
-        Scenario { sim, r1, r2, sources, receivers, tcp_sources, tcp_sinks, cfg }
+        Ok(Scenario { sim, r1, r2, sources, receivers, tcp_sources, tcp_sinks, cfg })
+    }
+
+    /// Installs a scripted fault schedule into the underlying simulator
+    /// (see [`pels_netsim::faults::FaultSchedule`]).
+    pub fn install_faults(&mut self, schedule: &pels_netsim::faults::FaultSchedule) {
+        self.sim.install_faults(schedule);
     }
 
     /// Runs the scenario until `t` (absolute simulation time).
@@ -348,9 +374,7 @@ impl Scenario {
             router_final_loss: router.estimator().loss(),
             router_final_fgs_loss: router.estimator().fgs_loss(),
             random_drops: router.random_drops,
-            tcp_delivered: (0..self.tcp_sinks.len())
-                .map(|j| self.tcp_sink(j).delivered())
-                .sum(),
+            tcp_delivered: (0..self.tcp_sinks.len()).map(|j| self.tcp_sink(j).delivered()).sum(),
         }
     }
 
@@ -451,11 +475,7 @@ pub fn wideband_config(n_flows: usize, target_fgs_loss: f64) -> ScenarioConfig {
         }),
         ..Default::default()
     };
-    ScenarioConfig {
-        bottleneck,
-        flows: vec![flow; n_flows],
-        ..Default::default()
-    }
+    ScenarioConfig { bottleneck, flows: vec![flow; n_flows], ..Default::default() }
 }
 
 /// Convenience: a scenario with `n` identical PELS flows starting at given
@@ -463,10 +483,7 @@ pub fn wideband_config(n_flows: usize, target_fgs_loss: f64) -> ScenarioConfig {
 pub fn pels_flows(starts_s: &[f64]) -> Vec<FlowSpec> {
     starts_s
         .iter()
-        .map(|&s| FlowSpec {
-            start_at: SimDuration::from_secs_f64(s),
-            ..Default::default()
-        })
+        .map(|&s| FlowSpec { start_at: SimDuration::from_secs_f64(s), ..Default::default() })
         .collect()
 }
 
@@ -497,10 +514,7 @@ mod tests {
     use super::*;
 
     fn short_cfg(n_flows: usize, secs: u64) -> (ScenarioConfig, SimTime) {
-        let cfg = ScenarioConfig {
-            flows: pels_flows(&vec![0.0; n_flows]),
-            ..Default::default()
-        };
+        let cfg = ScenarioConfig { flows: pels_flows(&vec![0.0; n_flows]), ..Default::default() };
         (cfg, SimTime::from_secs_f64(secs as f64))
     }
 
@@ -541,11 +555,7 @@ mod tests {
         s.run_until(t);
         let u = s.total_utility();
         assert!(u.enh_received > 1_000);
-        assert!(
-            u.utility() < 0.7,
-            "best-effort utility should collapse, got {}",
-            u.utility()
-        );
+        assert!(u.utility() < 0.7, "best-effort utility should collapse, got {}", u.utility());
     }
 
     #[test]
@@ -575,11 +585,7 @@ mod tests {
         let report = s.report();
         // Internet share is 2 Mb/s; 30 s at 1000 B packets = 7500 packets
         // at full utilization. Expect a decent fraction of that.
-        assert!(
-            report.tcp_delivered > 4_000,
-            "tcp delivered {}",
-            report.tcp_delivered
-        );
+        assert!(report.tcp_delivered > 4_000, "tcp delivered {}", report.tcp_delivered);
     }
 
     #[test]

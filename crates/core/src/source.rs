@@ -8,11 +8,11 @@
 //! step (Eq. 4).
 
 use crate::aimd::{AimdConfig, AimdController};
-use crate::tfrc::{TfrcConfig, TfrcController};
 use crate::color::Color;
 use crate::feedback::EpochFilter;
 use crate::gamma::{GammaConfig, GammaController};
 use crate::mkc::{MkcConfig, MkcController};
+use crate::tfrc::{TfrcConfig, TfrcController};
 use pels_fgs::frame::VideoTrace;
 use pels_fgs::packetize::packetize;
 use pels_fgs::scaling::{partition_enhancement, scale_to_rate};
@@ -84,6 +84,20 @@ impl Cc {
             Cc::Tfrc(t) => t.update(p),
         }
     }
+
+    fn mkc(&self) -> Option<&MkcController> {
+        match self {
+            Cc::Mkc(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn mkc_mut(&mut self) -> Option<&mut MkcController> {
+        match self {
+            Cc::Mkc(m) => Some(m),
+            _ => None,
+        }
+    }
 }
 
 /// Retransmission (ARQ) configuration for the comparator experiments.
@@ -132,6 +146,17 @@ pub struct SourceConfig {
 const START_TOKEN: u64 = 0;
 const FRAME_TOKEN: u64 = 1;
 const PACE_TOKEN: u64 = 2;
+/// Periodic stale-feedback watchdog (MKC sources only).
+const WATCHDOG_TOKEN: u64 = 3;
+
+/// Shed the red class when the controlled rate drops below this multiple of
+/// the current frame's base bitrate: close to the base floor, spending the
+/// scarce budget on droppable red packets only competes with the base layer
+/// on a degraded path.
+const RED_SHED_HEADROOM: f64 = 1.1;
+/// Within 5% of the base floor every enhancement byte is shed; only the
+/// base layer flows until the rate recovers.
+const YELLOW_SHED_HEADROOM: f64 = 1.05;
 
 /// Sentinel in [`Packet::ack_no`] marking a retransmitted data packet
 /// (whose `sent_at` is the original frame emission time and must not be
@@ -154,6 +179,12 @@ pub struct PelsSource {
     pub sent_by_color: [u64; 3],
     /// Frame packets that missed their interval and were abandoned.
     pub abandoned_packets: u64,
+    /// Frames whose red enhancement was shed because the rate collapsed
+    /// toward the base-layer floor.
+    pub shed_red_frames: u64,
+    /// Frames whose entire enhancement (yellow and red) was shed because
+    /// the rate fell below the base-layer floor.
+    pub shed_yellow_frames: u64,
     /// Retransmissions performed in response to NACKs.
     pub retransmissions: u64,
     /// Retransmission buffer: frame -> (emitted_at, per-packet (bytes, class)).
@@ -183,6 +214,8 @@ impl PelsSource {
             pace_gap: SimDuration::ZERO,
             sent_by_color: [0; 3],
             abandoned_packets: 0,
+            shed_red_frames: 0,
+            shed_yellow_frames: 0,
             retransmissions: 0,
             retx_buffer: HashMap::new(),
             rate_series: TimeSeries::new("rate_kbps"),
@@ -211,6 +244,11 @@ impl PelsSource {
         self.frame_idx
     }
 
+    /// The MKC controller, when this source runs MKC (staleness state).
+    pub fn mkc(&self) -> Option<&MkcController> {
+        self.cc.mkc()
+    }
+
     fn emit_frame(&mut self, ctx: &mut Context<'_>) {
         // Unsent packets from the previous frame interval have missed their
         // deadline; drop them rather than let the backlog snowball.
@@ -219,18 +257,33 @@ impl PelsSource {
 
         let trace = &self.cfg.trace;
         let spec = *trace.frame(self.frame_idx);
-        let scaled = scale_to_rate(&spec, self.cc.rate_bps(), trace.fps);
+        let mut scaled = scale_to_rate(&spec, self.cc.rate_bps(), trace.fps);
         let gamma = match self.cfg.mode {
             SourceMode::Pels => self.gamma.gamma(),
             SourceMode::BestEffort => 0.0,
         };
-        let (yellow, red) = partition_enhancement(scaled.enhancement_bytes, gamma);
+        let (mut yellow, mut red) = partition_enhancement(scaled.enhancement_bytes, gamma);
+        // Layer shedding: when the controlled rate collapses toward the
+        // base-layer floor (link failure, stale-feedback decay), drop the
+        // red class first and then all enhancement, so the base layer keeps
+        // flowing through the degraded path. Restores by itself once the
+        // rate recovers.
+        let base_floor_bps = f64::from(spec.base_bytes) * 8.0 * trace.fps;
+        let rate_bps = self.cc.rate_bps();
+        if rate_bps < YELLOW_SHED_HEADROOM * base_floor_bps {
+            if yellow > 0 || red > 0 {
+                self.shed_yellow_frames += 1;
+            }
+            yellow = 0;
+            red = 0;
+        } else if rate_bps < RED_SHED_HEADROOM * base_floor_bps && red > 0 {
+            self.shed_red_frames += 1;
+            red = 0;
+        }
+        scaled.enhancement_bytes = yellow + red;
         let plan = packetize(&scaled, yellow, red, self.cfg.packet_bytes);
         let total = plan.len() as u16;
-        let base = plan
-            .iter()
-            .filter(|p| p.segment == pels_fgs::Segment::Base)
-            .count() as u16;
+        let base = plan.iter().filter(|p| p.segment == pels_fgs::Segment::Base).count() as u16;
         for pp in &plan {
             let color = Color::from(pp.segment);
             let mut pkt = Packet::data(self.cfg.flow, ctx.self_id, self.cfg.dst, pp.bytes)
@@ -243,13 +296,9 @@ impl PelsSource {
             self.pending.push_back(pkt);
         }
         if let Some(arq) = self.cfg.arq {
-            let meta = plan
-                .iter()
-                .map(|pp| (pp.bytes, Color::from(pp.segment).class()))
-                .collect();
+            let meta = plan.iter().map(|pp| (pp.bytes, Color::from(pp.segment).class())).collect();
             self.retx_buffer.insert(self.frame_idx, (ctx.now, meta));
-            self.retx_buffer
-                .retain(|&f, _| f + arq.buffer_frames > self.frame_idx);
+            self.retx_buffer.retain(|&f, _| f + arq.buffer_frames > self.frame_idx);
         }
         self.frame_idx += 1;
         // Pace the frame's packets evenly across the interval (first packet
@@ -313,6 +362,9 @@ impl PelsSource {
         // Eq. 8 base r(k - D): the rate echoed through the ACK, i.e. the
         // rate in effect when the acknowledged packet was sent.
         self.cc.update_from(pkt.rate_echo, fb.loss);
+        if let Some(m) = self.cc.mkc_mut() {
+            m.record_fresh(ctx.now);
+        }
         if self.cfg.mode == SourceMode::Pels {
             self.gamma.update(fb.fgs_loss);
         }
@@ -328,6 +380,12 @@ impl PelsSource {
 impl Agent for PelsSource {
     fn start(&mut self, ctx: &mut Context<'_>) {
         ctx.schedule_timer(self.cfg.start_at, START_TOKEN);
+        if let Some(m) = self.cc.mkc() {
+            // Stale-feedback watchdog: checked every quarter timeout so a
+            // fault is detected within 1.25 timeouts of the last fresh epoch.
+            let period = m.config().stale_timeout / 4;
+            ctx.schedule_timer(self.cfg.start_at + period, WATCHDOG_TOKEN);
+        }
     }
 
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
@@ -345,6 +403,16 @@ impl Agent for PelsSource {
         match token {
             START_TOKEN | FRAME_TOKEN => self.emit_frame(ctx),
             PACE_TOKEN => self.pace_one(ctx),
+            WATCHDOG_TOKEN => {
+                if let Some(m) = self.cc.mkc_mut() {
+                    let decayed = m.apply_staleness(ctx.now);
+                    let (rate, period) = (m.rate_bps(), m.config().stale_timeout / 4);
+                    if decayed && self.cfg.keep_series {
+                        self.rate_series.push(ctx.now.as_secs_f64(), rate / 1_000.0);
+                    }
+                    ctx.schedule_timer(period, WATCHDOG_TOKEN);
+                }
+            }
             other => unreachable!("unknown timer token {other}"),
         }
     }
@@ -463,8 +531,11 @@ mod tests {
 
     #[test]
     fn stale_epochs_do_not_drive_control() {
-        let (mut sim, src, dst) = build(SourceMode::Pels, Some(Feedback::new(AgentId(7), 5, -1.0, 0.0)));
-        sim.run_until(SimTime::from_secs_f64(2.0));
+        let (mut sim, src, dst) =
+            build(SourceMode::Pels, Some(Feedback::new(AgentId(7), 5, -1.0, 0.0)));
+        // Stop before the 300 ms stale timeout: this test isolates the
+        // epoch filter, not the staleness watchdog.
+        sim.run_until(SimTime::from_secs_f64(0.25));
         let s = sim.agent::<PelsSource>(src);
         // Every ACK carries the same epoch 5: exactly one MKC step applies.
         // One step from 128k with p=-1: 128k + 20k + 0.5*128k = 212k.
@@ -474,8 +545,65 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_decays_rate_when_feedback_goes_stale() {
+        // One fresh epoch arrives early, then only duplicates: after the
+        // stale timeout the watchdog multiplicatively decreases the rate
+        // down to the configured floor.
+        let (mut sim, src, _dst) =
+            build(SourceMode::Pels, Some(Feedback::new(AgentId(7), 5, -1.0, 0.0)));
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        let s = sim.agent::<PelsSource>(src);
+        let m = s.mkc().expect("default CC is MKC");
+        assert!(m.in_stale_fallback(), "stale for ~1.7 s");
+        assert!(m.stale_decays() > 5);
+        assert!(
+            (s.rate_bps() - 64_000.0).abs() < 1.0,
+            "decayed to the 64 kb/s floor, got {}",
+            s.rate_bps()
+        );
+    }
+
+    #[test]
+    fn sheds_red_then_yellow_as_rate_nears_base_floor() {
+        // Base bitrate is 128 kb/s (1600 B at 10 fps). At 135 kb/s the
+        // source is inside the red-shed band (< 1.1×base); at 130 kb/s it
+        // is inside the yellow-shed band (< 1.05×base).
+        for (kbps, expect_red_shed, expect_yellow_shed) in
+            [(135.0, true, false), (130.0, false, true)]
+        {
+            let mut sim = Simulator::new(5);
+            let dst_id = AgentId(1);
+            let port = Port::new(
+                0,
+                dst_id,
+                Rate::from_mbps(10.0),
+                SimDuration::from_millis(1),
+                Box::new(DropTail::new(QueueLimit::Packets(1000))),
+            );
+            let cfg = SourceConfig {
+                cc: CcSpec::Mkc(MkcConfig { initial: Rate::from_kbps(kbps), ..Default::default() }),
+                ..source_cfg(dst_id)
+            };
+            sim.add_agent(Box::new(PelsSource::new(cfg, port)));
+            sim.add_agent(Box::new(Recorder { got: vec![], reply_feedback: None }));
+            sim.run_until(SimTime::from_secs_f64(1.0));
+            let s = sim.agent::<PelsSource>(AgentId(0));
+            assert_eq!(s.sent_by_color[2], 0, "red shed at {kbps} kb/s");
+            assert_eq!(s.shed_red_frames > 0, expect_red_shed, "{kbps} kb/s");
+            assert_eq!(s.shed_yellow_frames > 0, expect_yellow_shed, "{kbps} kb/s");
+            if expect_red_shed {
+                assert!(s.sent_by_color[1] > 0, "yellow still flows in the red-shed band");
+            }
+            if expect_yellow_shed {
+                assert_eq!(s.sent_by_color[1], 0, "base-only below the yellow-shed floor");
+            }
+        }
+    }
+
+    #[test]
     fn best_effort_mode_sends_no_red_and_keeps_gamma_idle() {
-        let (mut sim, src, dst) = build(SourceMode::BestEffort, Some(Feedback::new(AgentId(7), 1, -1.0, 0.2)));
+        let (mut sim, src, dst) =
+            build(SourceMode::BestEffort, Some(Feedback::new(AgentId(7), 1, -1.0, 0.2)));
         sim.run_until(SimTime::from_secs_f64(2.0));
         let s = sim.agent::<PelsSource>(src);
         assert_eq!(s.sent_by_color[2], 0, "best-effort sends no red");

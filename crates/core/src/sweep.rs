@@ -64,10 +64,7 @@ pub fn run_parallel(
         }
     });
 
-    reports
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    reports.into_iter().map(|r| r.expect("every slot filled")).collect()
 }
 
 #[cfg(test)]

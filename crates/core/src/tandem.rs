@@ -192,10 +192,8 @@ impl Tandem {
             // only the second hop), marked yellow so it loads the PELS
             // share that RB's estimator watches.
             let port = Port::new(0, rb, cfg.access, cfg.link_delay, q(400));
-            let bg_cfg = CbrConfig {
-                start_at,
-                ..CbrConfig::new(FlowId(9_999), bg_sink_id, rate, 500, 1)
-            };
+            let bg_cfg =
+                CbrConfig { start_at, ..CbrConfig::new(FlowId(9_999), bg_sink_id, rate, 500, 1) };
             sim.add_agent(Box::new(CbrSource::new(bg_cfg, port)))
         });
         if cfg.background_on_b.is_some() {

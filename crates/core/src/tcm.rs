@@ -62,13 +62,7 @@ impl SrTcm {
     pub fn new(cfg: TcmConfig) -> Self {
         assert!(cfg.cir.as_bps() > 0, "CIR must be positive");
         assert!(cfg.cbs > 0, "CBS must be positive");
-        SrTcm {
-            cfg,
-            tc: cfg.cbs as f64,
-            te: cfg.ebs as f64,
-            last: SimTime::ZERO,
-            marked: [0; 3],
-        }
+        SrTcm { cfg, tc: cfg.cbs as f64, te: cfg.ebs as f64, last: SimTime::ZERO, marked: [0; 3] }
     }
 
     fn refill(&mut self, now: SimTime) {

@@ -122,10 +122,8 @@ impl TfrcController {
         };
         // Rate moves toward the equation value, capped at doubling.
         let next = target.min(self.rate_bps * 2.0).max(self.rate_bps * 0.2);
-        self.rate_bps = next.clamp(
-            self.cfg.min_rate.as_bps() as f64,
-            self.cfg.max_rate.as_bps() as f64,
-        );
+        self.rate_bps =
+            next.clamp(self.cfg.min_rate.as_bps() as f64, self.cfg.max_rate.as_bps() as f64);
         self.updates += 1;
         self.rate_bps
     }
@@ -161,11 +159,7 @@ mod tests {
             t.update(0.05);
         }
         let expect = t.equation(0.05);
-        assert!(
-            (t.rate_bps() - expect).abs() < 0.05 * expect,
-            "{} vs {expect}",
-            t.rate_bps()
-        );
+        assert!((t.rate_bps() - expect).abs() < 0.05 * expect, "{} vs {expect}", t.rate_bps());
     }
 
     #[test]

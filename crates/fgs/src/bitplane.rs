@@ -201,10 +201,7 @@ mod tests {
     #[test]
     fn total_size_near_paper_enhancement_layer() {
         let m = BitplaneModel::foreman_like(300, 3);
-        let mean: f64 = (0..300)
-            .map(|f| m.full_enhancement_bytes(f) as f64)
-            .sum::<f64>()
-            / 300.0;
+        let mean: f64 = (0..300).map(|f| m.full_enhancement_bytes(f) as f64).sum::<f64>() / 300.0;
         assert!(
             (mean - 49_600.0).abs() < 5_000.0,
             "mean full enhancement {mean} should approximate 52.5 kB"
@@ -231,10 +228,7 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(
-            BitplaneModel::foreman_like(50, 9),
-            BitplaneModel::foreman_like(50, 9)
-        );
+        assert_eq!(BitplaneModel::foreman_like(50, 9), BitplaneModel::foreman_like(50, 9));
     }
 }
 

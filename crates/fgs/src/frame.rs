@@ -216,10 +216,8 @@ impl VideoTrace {
     /// empty trace.
     pub fn from_csv(text: &str) -> Result<VideoTrace, ParseTraceError> {
         let mut lines = text.lines().enumerate();
-        let (_, header) = lines.next().ok_or(ParseTraceError {
-            line: 0,
-            message: "empty input".into(),
-        })?;
+        let (_, header) =
+            lines.next().ok_or(ParseTraceError { line: 0, message: "empty input".into() })?;
         let fps: f64 = header
             .strip_prefix("fps,")
             .and_then(|v| v.trim().parse().ok())

@@ -153,8 +153,7 @@ mod tests {
     fn multiple_losses_across_gops() {
         let frames: Vec<_> = (0..30).map(|f| mk(f, f != 2 && f != 25)).collect();
         let fixed = propagate_base_loss(&frames, GopConfig { gop_size: 10 });
-        let broken: Vec<u64> =
-            fixed.iter().filter(|d| !d.base_ok).map(|d| d.frame).collect();
+        let broken: Vec<u64> = fixed.iter().filter(|d| !d.base_ok).map(|d| d.frame).collect();
         assert_eq!(broken, (2..10).chain(25..30).collect::<Vec<u64>>());
     }
 
@@ -168,10 +167,7 @@ mod tests {
         let frames: Vec<_> = (0..60_000u64).map(|f| mk(f, rng.gen::<f64>() >= q)).collect();
         let measured = decodable_fraction(&frames, GopConfig { gop_size: gop });
         let expect = expected_decodable_fraction(q, gop);
-        assert!(
-            (measured - expect).abs() < 0.01,
-            "measured {measured} vs closed form {expect}"
-        );
+        assert!((measured - expect).abs() < 0.01, "measured {measured} vs closed form {expect}");
     }
 
     #[test]

@@ -85,7 +85,12 @@ pub fn packetize(
 }
 
 /// Count of packets a frame would produce without materializing the plan.
-pub fn packet_count(frame: &ScaledFrame, yellow_bytes: u32, red_bytes: u32, packet_bytes: u32) -> u16 {
+pub fn packet_count(
+    frame: &ScaledFrame,
+    yellow_bytes: u32,
+    red_bytes: u32,
+    packet_bytes: u32,
+) -> u16 {
     let ceil = |b: u32| b.div_ceil(packet_bytes) as u16;
     debug_assert_eq!(yellow_bytes + red_bytes, frame.enhancement_bytes);
     ceil(frame.base_bytes) + ceil(yellow_bytes) + ceil(red_bytes)

@@ -135,10 +135,7 @@ impl RdModel {
     }
 
     /// Mean PSNR over a whole sequence given per-frame useful bytes.
-    pub fn mean_psnr<'a>(
-        &self,
-        per_frame: impl Iterator<Item = &'a (u64, u64, bool)>,
-    ) -> f64 {
+    pub fn mean_psnr<'a>(&self, per_frame: impl Iterator<Item = &'a (u64, u64, bool)>) -> f64 {
         let mut sum = 0.0;
         let mut n = 0u64;
         for &(frame, bytes, base_ok) in per_frame {

@@ -48,7 +48,11 @@ pub struct FrameBudget {
 /// # Panics
 ///
 /// Panics if `frames` is empty.
-pub fn allocate_equal_quality(model: &RdModel, frames: &[FrameBudget], total_bytes: u64) -> Vec<u64> {
+pub fn allocate_equal_quality(
+    model: &RdModel,
+    frames: &[FrameBudget],
+    total_bytes: u64,
+) -> Vec<u64> {
     assert!(!frames.is_empty(), "need at least one frame");
 
     // Bytes frame `i` needs to reach PSNR level `q` (clamped to its cap).
@@ -76,10 +80,7 @@ pub fn allocate_equal_quality(model: &RdModel, frames: &[FrameBudget], total_byt
     let spend = |q: f64| -> u64 { frames.iter().map(|fb| need(fb, q)).sum() };
 
     // Binary search the water level q.
-    let mut q_lo = frames
-        .iter()
-        .map(|fb| model.base_psnr(fb.frame))
-        .fold(f64::INFINITY, f64::min);
+    let mut q_lo = frames.iter().map(|fb| model.base_psnr(fb.frame)).fold(f64::INFINITY, f64::min);
     let mut q_hi = frames
         .iter()
         .map(|fb| model.psnr(fb.frame, fb.max_bytes, true))
@@ -107,11 +108,8 @@ pub fn allocate_fixed(frames: &[FrameBudget], total_bytes: u64) -> Vec<u64> {
 /// "fluctuation" metric of the paper's Fig. 10 discussion).
 pub fn psnr_std_dev(model: &RdModel, frames: &[FrameBudget], alloc: &[u64]) -> f64 {
     assert_eq!(frames.len(), alloc.len(), "allocation length mismatch");
-    let vals: Vec<f64> = frames
-        .iter()
-        .zip(alloc)
-        .map(|(fb, &b)| model.psnr(fb.frame, b, true))
-        .collect();
+    let vals: Vec<f64> =
+        frames.iter().zip(alloc).map(|(fb, &b)| model.psnr(fb.frame, b, true)).collect();
     let mean = vals.iter().sum::<f64>() / vals.len() as f64;
     (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()
 }
@@ -179,11 +177,8 @@ mod tests {
         let bases: Vec<f64> = fs.iter().map(|f| model.base_psnr(f.frame)).collect();
         let mean_b = bases.iter().sum::<f64>() / 30.0;
         let mean_a = alloc.iter().sum::<u64>() as f64 / 30.0;
-        let cov: f64 = bases
-            .iter()
-            .zip(&alloc)
-            .map(|(b, &a)| (b - mean_b) * (a as f64 - mean_a))
-            .sum();
+        let cov: f64 =
+            bases.iter().zip(&alloc).map(|(b, &a)| (b - mean_b) * (a as f64 - mean_a)).sum();
         assert!(cov < 0.0, "covariance {cov} should be negative");
     }
 

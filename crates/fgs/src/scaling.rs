@@ -78,10 +78,7 @@ pub fn scale_to_rate(frame: &FrameSpec, rate_bps: f64, fps: f64) -> ScaledFrame 
 ///
 /// Panics if `gamma` is outside `[0, 1]`.
 pub fn partition_enhancement(x_bytes: u32, gamma: f64) -> (u32, u32) {
-    assert!(
-        gamma.is_finite() && (0.0..=1.0).contains(&gamma),
-        "gamma must be in [0,1]: {gamma}"
-    );
+    assert!(gamma.is_finite() && (0.0..=1.0).contains(&gamma), "gamma must be in [0,1]: {gamma}");
     let yellow = ((1.0 - gamma) * x_bytes as f64).floor() as u32;
     (yellow, x_bytes - yellow)
 }

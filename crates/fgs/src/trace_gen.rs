@@ -80,11 +80,7 @@ pub fn generate(cfg: &TraceGenConfig, seed: u64) -> VideoTrace {
             let eps: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
             state = a * state + innov * eps;
             let enh = (mean + sigma * state).clamp(mean * 0.2, mean * 3.0);
-            FrameSpec {
-                index,
-                base_bytes: cfg.base_bytes,
-                enhancement_bytes: enh.round() as u32,
-            }
+            FrameSpec { index, base_bytes: cfg.base_bytes, enhancement_bytes: enh.round() as u32 }
         })
         .collect();
     VideoTrace::new(cfg.fps, frames)
@@ -100,10 +96,7 @@ mod tests {
         let t = generate(&cfg, 3);
         let mean: f64 = t.iter().map(|f| f.enhancement_bytes as f64).sum::<f64>() / 5_000.0;
         let target = cfg.mean_enhancement_bytes as f64;
-        assert!(
-            (mean - target).abs() / target < 0.05,
-            "mean {mean} too far from {target}"
-        );
+        assert!((mean - target).abs() / target < 0.05, "mean {mean} too far from {target}");
     }
 
     #[test]

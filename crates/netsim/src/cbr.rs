@@ -64,9 +64,8 @@ impl CbrSource {
     pub fn new(cfg: CbrConfig, port: Port) -> Self {
         assert!(cfg.rate.as_bps() > 0, "rate must be positive");
         assert!(cfg.packet_bytes > 0, "packet size must be positive");
-        let gap = SimDuration::from_secs_f64(
-            cfg.packet_bytes as f64 * 8.0 / cfg.rate.as_bps() as f64,
-        );
+        let gap =
+            SimDuration::from_secs_f64(cfg.packet_bytes as f64 * 8.0 / cfg.rate.as_bps() as f64);
         CbrSource { cfg, port, gap, seq: 0, sent: 0 }
     }
 

@@ -582,9 +582,8 @@ mod tests {
         sp.enqueue(pkt(1, 100), SimTime::ZERO, &mut d); // yellow
         sp.enqueue(pkt(0, 100), SimTime::ZERO, &mut d); // green
         sp.enqueue(pkt(0, 100), SimTime::ZERO, &mut d); // green
-        let order: Vec<u8> = std::iter::from_fn(|| sp.dequeue(SimTime::ZERO))
-            .map(|p| p.class)
-            .collect();
+        let order: Vec<u8> =
+            std::iter::from_fn(|| sp.dequeue(SimTime::ZERO)).map(|p| p.class).collect();
         assert_eq!(order, vec![0, 0, 1, 2]);
     }
 

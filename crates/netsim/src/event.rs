@@ -6,6 +6,7 @@
 //! bit-reproducible for a fixed seed — a hard invariant of this workspace
 //! (see the property tests in this module and in `tests/`).
 
+use crate::faults::FaultAction;
 use crate::packet::{AgentId, Packet};
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -35,6 +36,15 @@ pub enum Event {
         /// Opaque token chosen by the agent when scheduling.
         token: u64,
     },
+    /// A scripted fault fires (see [`crate::faults`]). Agent-targeted
+    /// actions dispatch to [`crate::sim::Agent::on_fault`]; global control
+    /// policy actions are absorbed by the simulator itself.
+    Fault {
+        /// Targeted agent ([`crate::faults::GLOBAL`] for policy actions).
+        agent: AgentId,
+        /// The fault to apply.
+        action: FaultAction,
+    },
 }
 
 impl Event {
@@ -44,6 +54,7 @@ impl Event {
             Event::PacketArrival { dst, .. } => *dst,
             Event::TxComplete { agent, .. } => *agent,
             Event::Timer { agent, .. } => *agent,
+            Event::Fault { agent, .. } => *agent,
         }
     }
 }
@@ -65,10 +76,7 @@ impl Eq for Scheduled {}
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest event.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl PartialOrd for Scheduled {
@@ -147,11 +155,12 @@ mod tests {
         for (t, tok) in [(30u64, 3u64), (10, 1), (20, 2)] {
             q.schedule(SimTime::from_nanos(t), timer(tok));
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| match e {
-            Event::Timer { token, .. } => token,
-            _ => unreachable!(),
-        })
-        .collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 

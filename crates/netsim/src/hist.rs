@@ -42,13 +42,7 @@ impl Histogram {
     pub fn new(v_min: f64, growth: f64) -> Self {
         assert!(v_min > 0.0 && v_min.is_finite(), "v_min must be positive");
         assert!(growth > 1.0 && growth.is_finite(), "growth must exceed 1");
-        Histogram {
-            v_min,
-            log_growth: growth.ln(),
-            counts: Vec::new(),
-            underflow: 0,
-            total: 0,
-        }
+        Histogram { v_min, log_growth: growth.ln(), counts: Vec::new(), underflow: 0, total: 0 }
     }
 
     /// A histogram suited to network delays: 10 µs floor, 10% buckets.
@@ -143,10 +137,7 @@ mod tests {
         }
         for (q, expect) in [(0.1, 0.1), (0.5, 0.5), (0.9, 0.9), (0.99, 0.99)] {
             let est = h.quantile(q).unwrap();
-            assert!(
-                (est / expect - 1.0).abs() < 0.06,
-                "q={q}: {est} vs {expect}"
-            );
+            assert!((est / expect - 1.0).abs() < 0.06, "q={q}: {est} vs {expect}");
         }
     }
 

@@ -7,12 +7,13 @@
 //! query helpers.
 
 use crate::event::Event;
+use crate::faults::FaultAction;
 use crate::packet::{AgentId, FlowId, PacketId};
 use crate::time::SimTime;
 use std::collections::VecDeque;
 
 /// What kind of event a journal entry describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EntryKind {
     /// A packet arrived at the target agent.
     PacketArrival {
@@ -34,6 +35,11 @@ pub enum EntryKind {
     Timer {
         /// The agent-chosen token.
         token: u64,
+    },
+    /// A scripted fault was applied at the target agent (or globally).
+    Fault {
+        /// The fault that fired.
+        action: FaultAction,
     },
 }
 
@@ -76,7 +82,11 @@ impl Journal {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "journal capacity must be positive");
-        Journal { entries: VecDeque::with_capacity(capacity.min(1 << 16)), capacity, total_recorded: 0 }
+        Journal {
+            entries: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            total_recorded: 0,
+        }
     }
 
     /// Records one dispatch (called by the simulator).
@@ -93,6 +103,7 @@ impl Journal {
                 },
                 Event::TxComplete { port, .. } => EntryKind::TxComplete { port: *port },
                 Event::Timer { token, .. } => EntryKind::Timer { token: *token },
+                Event::Fault { action, .. } => EntryKind::Fault { action: *action },
             },
         };
         if self.entries.len() == self.capacity {
@@ -119,11 +130,7 @@ impl Journal {
 
     /// Retained entries within `[from, to]`.
     pub fn between(&self, from: SimTime, to: SimTime) -> Vec<Entry> {
-        self.entries
-            .iter()
-            .filter(|e| e.time >= from && e.time <= to)
-            .copied()
-            .collect()
+        self.entries.iter().filter(|e| e.time >= from && e.time <= to).copied().collect()
     }
 
     /// Retained entries involving packets of `flow`, oldest first.
@@ -159,6 +166,9 @@ impl Journal {
                 EntryKind::Timer { token } => {
                     out.push_str(&format!("{} {} timer {token}\n", e.time, e.target))
                 }
+                EntryKind::Fault { action } => {
+                    out.push_str(&format!("{} {} fault {action:?}\n", e.time, e.target))
+                }
             }
         }
         out
@@ -171,8 +181,7 @@ mod tests {
     use crate::packet::Packet;
 
     fn arrival(t: u64, dst: u32, flow: u32, id: u64) -> Event {
-        let pkt = Packet::data(FlowId(flow), AgentId(0), AgentId(dst), 500)
-            .with_id(PacketId(id));
+        let pkt = Packet::data(FlowId(flow), AgentId(0), AgentId(dst), 500).with_id(PacketId(id));
         let _ = t;
         Event::PacketArrival { dst: AgentId(dst), packet: pkt }
     }
@@ -195,10 +204,7 @@ mod tests {
         j.record(SimTime::from_nanos(10), &arrival(10, 1, 7, 100));
         j.record(SimTime::from_nanos(20), &arrival(20, 2, 8, 101));
         j.record(SimTime::from_nanos(30), &arrival(30, 3, 7, 100));
-        j.record(
-            SimTime::from_nanos(40),
-            &Event::Timer { agent: AgentId(5), token: 3 },
-        );
+        j.record(SimTime::from_nanos(40), &Event::Timer { agent: AgentId(5), token: 3 });
 
         assert_eq!(j.between(SimTime::from_nanos(15), SimTime::from_nanos(35)).len(), 2);
         assert_eq!(j.for_flow(FlowId(7)).len(), 2);

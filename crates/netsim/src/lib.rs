@@ -16,6 +16,9 @@
 //!   dumbbell topology builder ([`topology`]),
 //! * simplified TCP Reno cross traffic ([`tcp`]) and CBR load generators
 //!   ([`cbr`]),
+//! * deterministic fault injection — scripted link outages, bandwidth
+//!   degradation, control-packet loss/duplication/reordering, and queue
+//!   flushes ([`faults`], [`error`]),
 //! * and measurement helpers ([`stats`], [`hist`]).
 //!
 //! Determinism is a hard invariant: a run is a pure function of the topology
@@ -62,9 +65,11 @@
 
 pub mod cbr;
 pub mod disc;
+pub mod error;
+pub mod event;
+pub mod faults;
 pub mod hist;
 pub mod journal;
-pub mod event;
 pub mod packet;
 pub mod port;
 pub mod rem;
@@ -76,6 +81,8 @@ pub mod time;
 pub mod topology;
 pub mod wfq;
 
+pub use error::SimError;
+pub use faults::{ControlFaultPolicy, FaultAction, FaultSchedule, FaultStats};
 pub use packet::{AgentId, Feedback, FlowId, Packet, PacketId, PacketKind};
 pub use sim::{Agent, Context, Simulator};
 pub use time::{Rate, SimDuration, SimTime};

@@ -55,6 +55,11 @@ pub struct Port {
     pub index: usize,
     disc: Box<dyn Discipline>,
     busy: bool,
+    /// Rate the port was built with; [`Port::set_rate_factor`] scales
+    /// relative to this so repeated degradations do not compound.
+    nominal_rate: Rate,
+    /// Link state: while down the port stops serializing (fault injection).
+    up: bool,
     tx_started: SimTime,
     /// Statistics.
     pub stats: PortStats,
@@ -77,6 +82,8 @@ impl Port {
             index,
             disc,
             busy: false,
+            nominal_rate: rate,
+            up: true,
             tx_started: SimTime::ZERO,
             stats: PortStats::default(),
             scratch_drops: Vec::new(),
@@ -86,6 +93,58 @@ impl Port {
     /// Whether the port is currently serializing a packet.
     pub fn is_busy(&self) -> bool {
         self.busy
+    }
+
+    /// Whether the link is up (it is unless fault injection cut it).
+    pub fn link_up(&self) -> bool {
+        self.up
+    }
+
+    /// Cuts or restores the link. While down, offered packets queue (and may
+    /// be dropped by the discipline) but nothing serializes. Restoring does
+    /// not by itself resume transmission — call [`Port::restart`] from a
+    /// dispatch context to drain the backlog.
+    pub fn set_link_up(&mut self, up: bool) {
+        self.up = up;
+    }
+
+    /// Scales the link rate to `factor` x the nominal (construction-time)
+    /// rate. `1.0` restores full rate. Takes effect from the next packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn set_rate_factor(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "rate factor must be finite and positive: {factor}"
+        );
+        self.rate = self.nominal_rate.scale(factor);
+    }
+
+    /// Begins transmitting from the queue if the port is idle, the link is
+    /// up, and a packet is waiting. Used after [`Port::set_link_up`] to
+    /// resume a restored link.
+    pub fn restart(&mut self, ctx: &mut Context<'_>) {
+        if self.up && !self.busy {
+            if let Some(next) = self.disc.dequeue(ctx.now) {
+                self.begin_tx(next, ctx);
+            }
+        }
+    }
+
+    /// Discards every queued packet (a simulated reboot), counting each in
+    /// the drop statistics. A packet already serializing is not recalled.
+    /// Returns the number of packets flushed.
+    pub fn flush(&mut self, now: SimTime) -> usize {
+        let mut flushed = 0;
+        while let Some(p) = self.disc.dequeue(now) {
+            self.stats.dropped_packets += 1;
+            self.stats.dropped_bytes += p.size_bytes as u64;
+            self.stats.drops_by_class[p.class.min(3) as usize] += 1;
+            flushed += 1;
+        }
+        flushed
     }
 
     /// The queue discipline, for inspection.
@@ -114,7 +173,7 @@ impl Port {
     /// dropped by the discipline). Returns the packets dropped by this call.
     pub fn send(&mut self, pkt: Packet, ctx: &mut Context<'_>) -> &[Packet] {
         self.scratch_drops.clear();
-        if self.busy {
+        if self.busy || !self.up {
             self.disc.enqueue(pkt, ctx.now, &mut self.scratch_drops);
             for d in &self.scratch_drops {
                 self.stats.dropped_packets += 1;
@@ -144,6 +203,11 @@ impl Port {
         debug_assert!(self.busy, "tx-complete on an idle port");
         self.stats.busy_time += ctx.now.duration_since(self.tx_started);
         self.busy = false;
+        if !self.up {
+            // Link cut mid-transmission: the in-flight packet completes,
+            // but the backlog waits for restart() after link-up.
+            return;
+        }
         if let Some(next) = self.disc.dequeue(ctx.now) {
             self.begin_tx(next, ctx);
         }

@@ -90,7 +90,7 @@ impl Rem {
     fn advance_price(&mut self, now: SimTime) {
         let dt = self.cfg.interval;
         while now.duration_since(self.last_update) >= dt {
-            self.last_update = self.last_update + dt;
+            self.last_update += dt;
             // Rate mismatch (packets of 500 B equivalent) over the interval.
             let arrived = self.bytes_since_update as f64 * 8.0 / dt.as_secs_f64();
             self.bytes_since_update = 0;

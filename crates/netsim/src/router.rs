@@ -4,6 +4,7 @@
 //! live in `pels-core` and embed the same [`Port`]s; this one provides plain
 //! destination-based forwarding for access/aggregation nodes and tests.
 
+use crate::faults::{apply_port_fault, FaultAction};
 use crate::packet::{AgentId, Packet};
 use crate::port::Port;
 use crate::sim::{Agent, Context};
@@ -94,6 +95,10 @@ impl Agent for Router {
         self.ports[port].on_tx_complete(ctx);
     }
 
+    fn on_fault(&mut self, action: &FaultAction, ctx: &mut Context<'_>) {
+        apply_port_fault(&mut self.ports, action, ctx);
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -166,10 +171,7 @@ mod tests {
 
         let mut routes = RouteTable::new();
         routes.add(sink_a, 0).add(sink_b, 1);
-        sim.add_agent(Box::new(Router::new(
-            vec![port_to(0, sink_a), port_to(1, sink_b)],
-            routes,
-        )));
+        sim.add_agent(Box::new(Router::new(vec![port_to(0, sink_a), port_to(1, sink_b)], routes)));
         sim.add_agent(Box::new(Sink { got: vec![] }));
         sim.add_agent(Box::new(Sink { got: vec![] }));
         sim.add_agent(Box::new(Injector { router: router_id, dsts: vec![sink_a, sink_b, sink_a] }));

@@ -7,12 +7,14 @@
 //! [`Context`] that can schedule further events — no interior mutability, no
 //! unsafe, fully deterministic.
 
+use crate::error::SimError;
 use crate::event::{Event, EventQueue};
+use crate::faults::{ControlFaultPolicy, FaultAction, FaultSchedule, FaultStats};
 use crate::journal::Journal;
-use crate::packet::{AgentId, Packet, PacketId};
+use crate::packet::{AgentId, Packet, PacketId, PacketKind};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::any::Any;
 
 /// A simulation participant.
@@ -32,6 +34,12 @@ pub trait Agent: Any {
 
     /// Called when output port `port` finishes serializing a packet.
     fn on_tx_complete(&mut self, _port: usize, _ctx: &mut Context<'_>) {}
+
+    /// Called when a scripted fault targets this agent (see
+    /// [`crate::faults`]). Port-owning agents typically forward to
+    /// [`crate::faults::apply_port_fault`]; the default ignores faults, so
+    /// agents without ports are unaffected.
+    fn on_fault(&mut self, _action: &FaultAction, _ctx: &mut Context<'_>) {}
 
     /// Upcast for post-run inspection.
     fn as_any(&self) -> &dyn Any;
@@ -55,26 +63,19 @@ pub struct Context<'a> {
 impl Context<'_> {
     /// Schedules a timer for the current agent, `delay` from now.
     pub fn schedule_timer(&mut self, delay: SimDuration, token: u64) {
-        self.queue.schedule(
-            self.now + delay,
-            Event::Timer { agent: self.self_id, token },
-        );
+        self.queue.schedule(self.now + delay, Event::Timer { agent: self.self_id, token });
     }
 
     /// Delivers `packet` to `dst` after `delay` (propagation is modelled by
     /// the caller; ports use this internally).
     pub fn deliver(&mut self, dst: AgentId, delay: SimDuration, packet: Packet) {
-        self.queue
-            .schedule(self.now + delay, Event::PacketArrival { dst, packet });
+        self.queue.schedule(self.now + delay, Event::PacketArrival { dst, packet });
     }
 
     /// Schedules a transmit-complete callback for port `port` of the current
     /// agent, `delay` from now. Used by [`crate::port::Port`].
     pub fn schedule_tx_complete(&mut self, port: usize, delay: SimDuration) {
-        self.queue.schedule(
-            self.now + delay,
-            Event::TxComplete { agent: self.self_id, port },
-        );
+        self.queue.schedule(self.now + delay, Event::TxComplete { agent: self.self_id, port });
     }
 
     /// Allocates a fresh globally-unique packet id.
@@ -128,6 +129,8 @@ pub struct Simulator {
     started: bool,
     events_processed: u64,
     journal: Option<Journal>,
+    control_policy: Option<ControlFaultPolicy>,
+    fault_stats: FaultStats,
 }
 
 impl std::fmt::Debug for dyn Agent {
@@ -148,6 +151,8 @@ impl Simulator {
             started: false,
             events_processed: 0,
             journal: None,
+            control_policy: None,
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -169,10 +174,43 @@ impl Simulator {
     ///
     /// Panics if called after the simulation has started.
     pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> AgentId {
-        assert!(!self.started, "cannot add agents after the simulation started");
+        self.try_add_agent(agent).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Registers an agent and returns its id, or
+    /// [`SimError::SimulationStarted`] if the simulation already started.
+    pub fn try_add_agent(&mut self, agent: Box<dyn Agent>) -> Result<AgentId, SimError> {
+        if self.started {
+            return Err(SimError::SimulationStarted);
+        }
         let id = AgentId(self.agents.len() as u32);
         self.agents.push(Some(agent));
-        id
+        Ok(id)
+    }
+
+    /// Schedules every fault in `schedule` into the event queue. Faults are
+    /// ordinary events: they interleave deterministically with traffic and
+    /// appear in the journal. Install before simulated time reaches the
+    /// earliest fault (normally before the run starts).
+    pub fn install_faults(&mut self, schedule: &FaultSchedule) {
+        for ev in schedule.events() {
+            self.queue.schedule(ev.at, Event::Fault { agent: ev.agent, action: ev.action });
+        }
+    }
+
+    /// Schedules a single fault at absolute time `at`.
+    pub fn schedule_fault(&mut self, at: SimTime, agent: AgentId, action: FaultAction) {
+        self.queue.schedule(at, Event::Fault { agent, action });
+    }
+
+    /// Counters for applied faults and control-plane packet mangling.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// The control-packet fault policy currently in force, if any.
+    pub fn control_policy(&self) -> Option<ControlFaultPolicy> {
+        self.control_policy
     }
 
     /// Current simulation time.
@@ -191,12 +229,18 @@ impl Simulator {
     ///
     /// Panics if `id` is unknown or the agent is not a `T`.
     pub fn agent<T: Agent>(&self, id: AgentId) -> &T {
-        self.agents[id.0 as usize]
-            .as_ref()
-            .expect("agent is currently being dispatched")
+        self.try_agent(id).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Immutable access to a registered agent, downcast to its concrete
+    /// type, as a `Result` instead of panicking.
+    pub fn try_agent<T: Agent>(&self, id: AgentId) -> Result<&T, SimError> {
+        let slot = self.agents.get(id.0 as usize).ok_or(SimError::UnknownAgent(id))?;
+        slot.as_ref()
+            .ok_or(SimError::AgentBusy(id))?
             .as_any()
             .downcast_ref::<T>()
-            .expect("agent type mismatch")
+            .ok_or(SimError::AgentTypeMismatch { agent: id, expected: std::any::type_name::<T>() })
     }
 
     /// Mutable access to a registered agent, downcast to its concrete type.
@@ -205,12 +249,18 @@ impl Simulator {
     ///
     /// Panics if `id` is unknown or the agent is not a `T`.
     pub fn agent_mut<T: Agent>(&mut self, id: AgentId) -> &mut T {
-        self.agents[id.0 as usize]
-            .as_mut()
-            .expect("agent is currently being dispatched")
+        self.try_agent_mut(id).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Mutable access to a registered agent, downcast to its concrete type,
+    /// as a `Result` instead of panicking.
+    pub fn try_agent_mut<T: Agent>(&mut self, id: AgentId) -> Result<&mut T, SimError> {
+        let slot = self.agents.get_mut(id.0 as usize).ok_or(SimError::UnknownAgent(id))?;
+        slot.as_mut()
+            .ok_or(SimError::AgentBusy(id))?
             .as_any_mut()
             .downcast_mut::<T>()
-            .expect("agent type mismatch")
+            .ok_or(SimError::AgentTypeMismatch { agent: id, expected: std::any::type_name::<T>() })
     }
 
     fn start_agents(&mut self) {
@@ -243,6 +293,47 @@ impl Simulator {
         if let Some(journal) = &mut self.journal {
             journal.record(time, &event);
         }
+        // Control-plane fault policy: arriving ACK/NACK packets may be
+        // dropped, duplicated, or delayed. One uniform draw per arrival
+        // keeps the run deterministic. Re-injected copies pass through the
+        // policy again on their own arrival (geometric, terminates almost
+        // surely while fractions stay below 1).
+        if let (Some(policy), Event::PacketArrival { dst, packet }) = (self.control_policy, &event)
+        {
+            if matches!(packet.kind, PacketKind::Ack | PacketKind::Nack) {
+                let u: f64 = self.rng.gen();
+                if u < policy.drop {
+                    self.fault_stats.control_dropped += 1;
+                    return true;
+                } else if u < policy.drop + policy.duplicate {
+                    self.fault_stats.control_duplicated += 1;
+                    let copy = Event::PacketArrival { dst: *dst, packet: packet.clone() };
+                    self.queue.schedule(self.now + policy.reorder_delay, copy);
+                    // The original still dispatches below.
+                } else if u < policy.drop + policy.duplicate + policy.reorder {
+                    self.fault_stats.control_reordered += 1;
+                    self.queue.schedule(self.now + policy.reorder_delay, event);
+                    return true;
+                }
+            }
+        }
+        // Global fault actions are absorbed by the simulator itself;
+        // agent-targeted ones fall through to normal dispatch.
+        if let Event::Fault { action, .. } = &event {
+            self.fault_stats.faults_applied += 1;
+            match action {
+                FaultAction::SetControlPolicy(p) => {
+                    p.validate().unwrap_or_else(|e| panic!("{e}"));
+                    self.control_policy = Some(*p);
+                    return true;
+                }
+                FaultAction::ClearControlPolicy => {
+                    self.control_policy = None;
+                    return true;
+                }
+                _ => {}
+            }
+        }
         let target = event.target();
         let idx = target.0 as usize;
         let mut agent = self.agents[idx]
@@ -259,6 +350,7 @@ impl Simulator {
             Event::PacketArrival { packet, .. } => agent.on_packet(packet, &mut ctx),
             Event::TxComplete { port, .. } => agent.on_tx_complete(port, &mut ctx),
             Event::Timer { token, .. } => agent.on_timer(token, &mut ctx),
+            Event::Fault { action, .. } => agent.on_fault(&action, &mut ctx),
         }
         self.agents[idx] = Some(agent);
         true
@@ -303,8 +395,7 @@ mod tests {
         fn start(&mut self, ctx: &mut Context<'_>) {
             if let Some(peer) = self.peer {
                 let id = ctx.alloc_packet_id();
-                let pkt =
-                    Packet::data(FlowId(0), ctx.self_id, peer, 500).with_id(id);
+                let pkt = Packet::data(FlowId(0), ctx.self_id, peer, 500).with_id(id);
                 ctx.deliver(peer, SimDuration::from_millis(5), pkt);
             }
         }
@@ -385,6 +476,224 @@ mod tests {
 }
 
 #[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::disc::{DropTail, QueueLimit};
+    use crate::faults::{apply_port_fault, GLOBAL};
+    use crate::journal::EntryKind;
+    use crate::packet::FlowId;
+    use crate::port::Port;
+    use crate::time::Rate;
+
+    /// Blasts `n` packets into its port at start and honours fault events.
+    struct PortHost {
+        port: Port,
+        n: usize,
+    }
+    impl Agent for PortHost {
+        fn start(&mut self, ctx: &mut Context<'_>) {
+            for seq in 0..self.n as u64 {
+                let pkt = Packet::data(FlowId(0), ctx.self_id, self.port.peer, 500)
+                    .with_seq(seq)
+                    .with_id(ctx.alloc_packet_id());
+                self.port.send(pkt, ctx);
+            }
+        }
+        fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+        fn on_tx_complete(&mut self, _port: usize, ctx: &mut Context<'_>) {
+            self.port.on_tx_complete(ctx);
+        }
+        fn on_fault(&mut self, action: &FaultAction, ctx: &mut Context<'_>) {
+            apply_port_fault(std::slice::from_mut(&mut self.port), action, ctx);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct Sink {
+        arrivals: Vec<SimTime>,
+    }
+    impl Agent for Sink {
+        fn on_packet(&mut self, _p: Packet, ctx: &mut Context<'_>) {
+            self.arrivals.push(ctx.now);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn host(n: usize) -> PortHost {
+        // 4 Mb/s, zero delay: one 500-byte packet serializes in 1 ms.
+        PortHost {
+            port: Port::new(
+                0,
+                AgentId(1),
+                Rate::from_mbps(4.0),
+                SimDuration::ZERO,
+                Box::new(DropTail::new(QueueLimit::Packets(100))),
+            ),
+            n,
+        }
+    }
+
+    #[test]
+    fn link_outage_pauses_then_drains_without_loss() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_agent(Box::new(host(10)));
+        let sink = sim.add_agent(Box::new(Sink { arrivals: vec![] }));
+        let mut faults = FaultSchedule::new();
+        faults.link_outage(src, 0, SimTime::from_secs_f64(0.001), SimTime::from_secs_f64(0.050));
+        sim.install_faults(&faults);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+
+        let arrivals = &sim.agent::<Sink>(sink).arrivals;
+        assert_eq!(arrivals.len(), 10, "nothing is lost across an outage");
+        // First packet made it out before the cut; the rest drain after.
+        assert_eq!(arrivals[0], SimTime::from_secs_f64(0.001));
+        assert_eq!(arrivals[1], SimTime::from_secs_f64(0.051));
+        assert_eq!(arrivals[9], SimTime::from_secs_f64(0.059));
+        let stats = &sim.agent::<PortHost>(src).port.stats;
+        assert_eq!(stats.dropped_packets, 0);
+        assert_eq!(sim.fault_stats().faults_applied, 2);
+    }
+
+    #[test]
+    fn flush_discards_backlog_and_counts_drops() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_agent(Box::new(host(10)));
+        let sink = sim.add_agent(Box::new(Sink { arrivals: vec![] }));
+        let mut faults = FaultSchedule::new();
+        // At t = 4.5 ms, packets 0-3 have serialized, 4 is on the wire,
+        // 5-9 are queued: the flush discards those five.
+        faults.flush_at(src, SimTime::from_secs_f64(0.0045));
+        sim.install_faults(&faults);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+
+        assert_eq!(sim.agent::<Sink>(sink).arrivals.len(), 5);
+        let stats = &sim.agent::<PortHost>(src).port.stats;
+        assert_eq!(stats.dropped_packets, 5);
+        assert_eq!(stats.tx_packets, 5);
+    }
+
+    #[test]
+    fn degraded_link_slows_serialization() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_agent(Box::new(host(10)));
+        let sink = sim.add_agent(Box::new(Sink { arrivals: vec![] }));
+        let mut faults = FaultSchedule::new();
+        // Half rate from the start: 2 ms per packet instead of 1 ms.
+        faults.push(SimTime::ZERO, src, FaultAction::DegradeLink { port: 0, factor: 0.5 });
+        sim.install_faults(&faults);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+
+        let arrivals = &sim.agent::<Sink>(sink).arrivals;
+        assert_eq!(arrivals.len(), 10);
+        // Packet 0 started at full rate (before the fault fired); the rest
+        // serialize at half rate.
+        assert_eq!(*arrivals.last().unwrap(), SimTime::from_secs_f64(0.019));
+    }
+
+    #[test]
+    fn control_policy_drops_acks_and_is_journaled() {
+        // Echo pair: A sends data, B acks; a full-drop policy starves A.
+        struct EchoPeer {
+            peer: Option<AgentId>,
+            acks: u32,
+        }
+        impl Agent for EchoPeer {
+            fn start(&mut self, ctx: &mut Context<'_>) {
+                if let Some(peer) = self.peer {
+                    let pkt = Packet::data(FlowId(0), ctx.self_id, peer, 500)
+                        .with_id(ctx.alloc_packet_id());
+                    ctx.deliver(peer, SimDuration::from_millis(5), pkt);
+                }
+            }
+            fn on_packet(&mut self, p: Packet, ctx: &mut Context<'_>) {
+                match p.kind {
+                    PacketKind::Data => {
+                        let ack = Packet::ack_for(&p, 40).with_id(ctx.alloc_packet_id());
+                        ctx.deliver(ack.dst, SimDuration::from_millis(5), ack);
+                    }
+                    _ => self.acks += 1,
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let mut sim = Simulator::new(1);
+        sim.enable_journal(64);
+        let b = AgentId(1);
+        let a = sim.add_agent(Box::new(EchoPeer { peer: Some(b), acks: 0 }));
+        sim.add_agent(Box::new(EchoPeer { peer: None, acks: 0 }));
+        let mut faults = FaultSchedule::new();
+        faults.control_fault_window(
+            ControlFaultPolicy::drop_fraction(1.0),
+            SimTime::ZERO,
+            SimTime::from_secs_f64(1.0),
+        );
+        sim.install_faults(&faults);
+        sim.run_until(SimTime::from_secs_f64(2.0));
+
+        assert_eq!(sim.agent::<EchoPeer>(a).acks, 0, "every ACK dropped");
+        assert_eq!(sim.fault_stats().control_dropped, 1);
+        assert!(sim.control_policy().is_none(), "window cleared the policy");
+        let journal = sim.journal().expect("enabled");
+        let faults_recorded =
+            journal.iter().filter(|e| matches!(e.kind, EntryKind::Fault { .. })).count();
+        assert_eq!(faults_recorded, 2);
+        assert_eq!(journal.iter().next().unwrap().target, GLOBAL);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        fn run() -> (Vec<SimTime>, u64) {
+            let mut sim = Simulator::new(33);
+            let src = sim.add_agent(Box::new(host(10)));
+            let sink = sim.add_agent(Box::new(Sink { arrivals: vec![] }));
+            let mut rng = StdRng::seed_from_u64(5);
+            let faults = FaultSchedule::random_link_flaps(
+                &mut rng,
+                src,
+                0,
+                (SimTime::ZERO, SimTime::from_secs_f64(0.5)),
+                3,
+                SimDuration::from_millis(40),
+            );
+            sim.install_faults(&faults);
+            sim.run_until(SimTime::from_secs_f64(1.0));
+            (sim.agent::<Sink>(sink).arrivals.clone(), sim.events_processed())
+        }
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn try_accessors_report_errors() {
+        let mut sim = Simulator::new(1);
+        let id = sim.add_agent(Box::new(Sink { arrivals: vec![] }));
+        assert!(sim.try_agent::<Sink>(id).is_ok());
+        assert!(matches!(sim.try_agent::<PortHost>(id), Err(SimError::AgentTypeMismatch { .. })));
+        assert!(matches!(sim.try_agent::<Sink>(AgentId(99)), Err(SimError::UnknownAgent(_))));
+        sim.step();
+        assert!(matches!(
+            sim.try_add_agent(Box::new(Sink { arrivals: vec![] })),
+            Err(SimError::SimulationStarted)
+        ));
+    }
+}
+
+#[cfg(test)]
 mod journal_tests {
     use super::*;
     use crate::journal::EntryKind;
@@ -398,8 +707,8 @@ mod journal_tests {
     impl Agent for Ping {
         fn start(&mut self, ctx: &mut Context<'_>) {
             if let Some(peer) = self.peer {
-                let pkt = Packet::data(FlowId(3), ctx.self_id, peer, 500)
-                    .with_id(ctx.alloc_packet_id());
+                let pkt =
+                    Packet::data(FlowId(3), ctx.self_id, peer, 500).with_id(ctx.alloc_packet_id());
                 ctx.deliver(peer, SimDuration::from_millis(1), pkt);
                 ctx.schedule_timer(SimDuration::from_millis(2), 9);
             }
@@ -431,10 +740,8 @@ mod journal_tests {
         // data arrival + ack arrival + timer = 3 events.
         assert_eq!(j.total_recorded, sim.events_processed());
         assert_eq!(j.len(), 3);
-        let kinds: Vec<bool> = j
-            .iter()
-            .map(|e| matches!(e.kind, EntryKind::PacketArrival { .. }))
-            .collect();
+        let kinds: Vec<bool> =
+            j.iter().map(|e| matches!(e.kind, EntryKind::PacketArrival { .. })).collect();
         assert_eq!(kinds.iter().filter(|&&k| k).count(), 2);
         assert_eq!(j.for_flow(FlowId(3)).len(), 2);
     }

@@ -227,9 +227,7 @@ impl DelayRecorder {
 
     /// Delay quantile `q` for `class`, when any samples exist.
     pub fn quantile(&self, class: u8, q: f64) -> Option<f64> {
-        self.hist_by_class[class.min(3) as usize]
-            .as_ref()
-            .and_then(|h| h.quantile(q))
+        self.hist_by_class[class.min(3) as usize].as_ref().and_then(|h| h.quantile(q))
     }
 }
 

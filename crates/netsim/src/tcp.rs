@@ -244,13 +244,7 @@ pub struct TcpSink {
 impl TcpSink {
     /// Creates a sink answering flow `flow` through `port`.
     pub fn new(port: Port, flow: FlowId) -> Self {
-        TcpSink {
-            port,
-            flow,
-            next_expected: 0,
-            out_of_order: BTreeSet::new(),
-            received_packets: 0,
-        }
+        TcpSink { port, flow, next_expected: 0, out_of_order: BTreeSet::new(), received_packets: 0 }
     }
 
     /// Highest in-order packet count delivered to the "application".
@@ -333,13 +327,8 @@ mod tests {
             delay,
             Box::new(DropTail::new(QueueLimit::Packets(qlen))),
         );
-        let to_src = Port::new(
-            1,
-            src_id,
-            access,
-            delay,
-            Box::new(DropTail::new(QueueLimit::Packets(1000))),
-        );
+        let to_src =
+            Port::new(1, src_id, access, delay, Box::new(DropTail::new(QueueLimit::Packets(1000))));
         sim.add_agent(Box::new(Router::new(vec![to_sink, to_src], routes)));
 
         let sink_port = Port::new(
@@ -360,10 +349,7 @@ mod tests {
         let delivered = sim.agent::<TcpSink>(sink).delivered();
         // 1 Mb/s for 30 s = 3.75 MB = 3750 packets of 1000 B. Expect most
         // of it (slow start ramp + loss recovery overhead allowed).
-        assert!(
-            delivered > 3200,
-            "delivered only {delivered} packets (expected near 3750)"
-        );
+        assert!(delivered > 3200, "delivered only {delivered} packets (expected near 3750)");
         let srtt = sim.agent::<TcpSource>(src).srtt().unwrap();
         assert!(srtt > 0.015, "srtt {srtt} too small");
     }

@@ -18,7 +18,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let t = SimTime::ZERO + SimDuration::from_millis(30);
 /// assert_eq!(t.as_secs_f64(), 0.030);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
@@ -31,7 +33,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_secs_f64(1.5);
 /// assert_eq!(d.as_nanos(), 1_500_000_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -221,7 +225,9 @@ impl fmt::Display for SimDuration {
 /// // A 500-byte packet takes 1 ms to serialize at 4 Mb/s.
 /// assert_eq!(bottleneck.tx_time(500).as_nanos(), 1_000_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Rate(u64);
 
 impl Rate {
@@ -320,10 +326,7 @@ mod tests {
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
-        assert_eq!(
-            SimDuration::from_secs_f64(0.002),
-            SimDuration::from_millis(2)
-        );
+        assert_eq!(SimDuration::from_secs_f64(0.002), SimDuration::from_millis(2));
     }
 
     #[test]
@@ -337,15 +340,9 @@ mod tests {
     #[test]
     fn rate_tx_time_paper_constants() {
         // The paper's packets: 500 bytes at a 4 Mb/s bottleneck -> 1 ms.
-        assert_eq!(
-            Rate::from_mbps(4.0).tx_time(500),
-            SimDuration::from_millis(1)
-        );
+        assert_eq!(Rate::from_mbps(4.0).tx_time(500), SimDuration::from_millis(1));
         // 10 Mb/s access link -> 0.4 ms.
-        assert_eq!(
-            Rate::from_mbps(10.0).tx_time(500),
-            SimDuration::from_micros(400)
-        );
+        assert_eq!(Rate::from_mbps(10.0).tx_time(500), SimDuration::from_micros(400));
     }
 
     #[test]

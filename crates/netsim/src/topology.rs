@@ -215,11 +215,8 @@ mod tests {
     fn tcp_pairs_share_the_bottleneck() {
         let (mut sim, ids) = tcp_dumbbell(3);
         sim.run_until(SimTime::from_secs_f64(20.0));
-        let delivered: Vec<u64> = ids
-            .right_hosts
-            .iter()
-            .map(|&id| sim.agent::<TcpSink>(id).delivered())
-            .collect();
+        let delivered: Vec<u64> =
+            ids.right_hosts.iter().map(|&id| sim.agent::<TcpSink>(id).delivered()).collect();
         let total: u64 = delivered.iter().sum();
         // 4 Mb/s for 20 s = 10 MB = 10k packets of 1000 B; expect most.
         assert!(total > 7_000, "total {total} ({delivered:?})");

@@ -131,9 +131,7 @@ mod tests {
     use crate::packet::{AgentId, FlowId};
 
     fn pkt(class: u8, size: u32, seq: u64) -> Packet {
-        Packet::data(FlowId(0), AgentId(0), AgentId(1), size)
-            .with_class(class)
-            .with_seq(seq)
+        Packet::data(FlowId(0), AgentId(0), AgentId(1), size).with_class(class).with_seq(seq)
     }
 
     fn classify(p: &Packet) -> usize {
@@ -282,8 +280,10 @@ mod sim_tests {
         sim.add_agent(Box::new(ClassCounter { got: [0; 4] }));
         for class in [0u8, 1] {
             let q = Box::new(crate::disc::DropTail::new(crate::disc::QueueLimit::Packets(10)));
-            let port = Port::new(0, router_id, Rate::from_mbps(10.0), SimDuration::from_millis(1), q);
-            let cfg = CbrConfig::new(FlowId(class as u32), sink_id, Rate::from_mbps(4.0), 500, class);
+            let port =
+                Port::new(0, router_id, Rate::from_mbps(10.0), SimDuration::from_millis(1), q);
+            let cfg =
+                CbrConfig::new(FlowId(class as u32), sink_id, Rate::from_mbps(4.0), 500, class);
             sim.add_agent(Box::new(CbrSource::new(cfg, port)));
         }
         sim.run_until(SimTime::from_secs_f64(20.0));

@@ -55,11 +55,7 @@ fn main() {
 
     // The journal: reconstruct the journey of a recently delivered packet.
     let journal = s.sim.journal().expect("journal enabled");
-    println!(
-        "\njournal: {} events retained of {} recorded",
-        journal.len(),
-        journal.total_recorded
-    );
+    println!("\njournal: {} events retained of {} recorded", journal.len(), journal.total_recorded);
     let last_arrival = journal
         .iter()
         .rev()

@@ -9,10 +9,7 @@ use pels_core::scenario::{pels_flows, Scenario, ScenarioConfig};
 use pels_netsim::time::SimTime;
 
 fn main() {
-    let cfg = ScenarioConfig {
-        flows: pels_flows(&[0.0, 10.0]),
-        ..Default::default()
-    };
+    let cfg = ScenarioConfig { flows: pels_flows(&[0.0, 10.0]), ..Default::default() };
     let mut s = Scenario::build(cfg);
     s.run_until(SimTime::from_secs_f64(30.0));
 
@@ -52,9 +49,8 @@ fn main() {
         .filter(|&&(t, _)| t > 25.0)
         .map(|&(_, v)| v)
         .collect();
-    let (min, max) = tail
-        .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (min, max) =
+        tail.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
     println!("\nsteady-state swing of F1 over t in [25, 30]: {:.1}%", (max - min) / max * 100.0);
     assert!((max - min) / max < 0.05, "MKC must not oscillate in steady state");
 

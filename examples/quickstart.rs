@@ -10,10 +10,7 @@ fn main() {
     // The paper's Section 6.1 setup: a 4 Mb/s bottleneck, 10 Mb/s access
     // links, 50% of the bottleneck allocated to the PELS queue by WRR, TCP
     // cross traffic in the Internet queue, T = 30 ms feedback intervals.
-    let cfg = ScenarioConfig {
-        flows: pels_flows(&[0.0, 0.0]),
-        ..Default::default()
-    };
+    let cfg = ScenarioConfig { flows: pels_flows(&[0.0, 0.0]), ..Default::default() };
     let mut scenario = Scenario::build(cfg);
     scenario.run_until(SimTime::from_secs_f64(30.0));
 

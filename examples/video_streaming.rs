@@ -11,14 +11,14 @@ use pels_netsim::time::SimTime;
 fn main() {
     // Two flows at t = 0, two more at each of t = 50, 100, 150 s.
     let starts = [0.0, 0.0, 50.0, 50.0, 100.0, 100.0, 150.0, 150.0];
-    let cfg = ScenarioConfig {
-        flows: pels_flows(&starts),
-        ..Default::default()
-    };
+    let cfg = ScenarioConfig { flows: pels_flows(&starts), ..Default::default() };
     let mut scenario = Scenario::build(cfg);
 
     println!("=== PELS streaming session: flows join every 50 s ===\n");
-    println!("{:>5} {:>8} {:>9} {:>9} {:>8} {:>8}", "t(s)", "active", "p", "gamma0", "rate0", "util");
+    println!(
+        "{:>5} {:>8} {:>9} {:>9} {:>8} {:>8}",
+        "t(s)", "active", "p", "gamma0", "rate0", "util"
+    );
     for checkpoint in [25.0, 75.0, 125.0, 175.0, 200.0] {
         scenario.run_until(SimTime::from_secs_f64(checkpoint));
         let active = starts.iter().filter(|&&s| s < checkpoint).count();

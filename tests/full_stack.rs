@@ -52,17 +52,11 @@ fn headline_pels_beats_best_effort_by_an_order_of_magnitude() {
 #[test]
 fn full_scenario_is_bit_deterministic() {
     let run = |seed: u64| {
-        let cfg = ScenarioConfig {
-            seed,
-            flows: pels_flows(&[0.0, 5.0, 10.0]),
-            ..Default::default()
-        };
+        let cfg =
+            ScenarioConfig { seed, flows: pels_flows(&[0.0, 5.0, 10.0]), ..Default::default() };
         let mut s = Scenario::build(cfg);
         s.run_until(SimTime::from_secs_f64(20.0));
-        (
-            s.sim.events_processed(),
-            serde_json::to_string(&s.report()).unwrap(),
-        )
+        (s.sim.events_processed(), serde_json::to_string(&s.report()).unwrap())
     };
     assert_eq!(run(3), run(3), "same seed, same run");
 
@@ -109,11 +103,8 @@ fn lemma6_rate_is_independent_of_rtt_heterogeneity() {
     // TCP/AIMD, MKC does not penalize long-RTT flows (paper Section 5.1).
     let mut flows = pels_flows(&[0.0, 0.0]);
     flows[1].extra_delay = SimDuration::from_millis(30);
-    let cfg = ScenarioConfig {
-        flows,
-        access_delay: SimDuration::from_millis(1),
-        ..Default::default()
-    };
+    let cfg =
+        ScenarioConfig { flows, access_delay: SimDuration::from_millis(1), ..Default::default() };
     let mut s = Scenario::build(cfg);
     s.run_until(SimTime::from_secs_f64(40.0));
     let r0 = s.source(0).rate_series.mean_after(25.0).unwrap();
@@ -128,10 +119,7 @@ fn lemma6_rate_is_independent_of_rtt_heterogeneity() {
 
 #[test]
 fn green_never_drops_under_pels_even_at_extreme_load() {
-    let cfg = ScenarioConfig {
-        flows: pels_flows(&vec![0.0; 12]),
-        ..Default::default()
-    };
+    let cfg = ScenarioConfig { flows: pels_flows(&[0.0; 12]), ..Default::default() };
     let mut s = Scenario::build(cfg);
     s.run_until(SimTime::from_secs_f64(30.0));
     let report = s.report();
@@ -144,7 +132,7 @@ fn green_never_drops_under_pels_even_at_extreme_load() {
 #[test]
 fn tcp_share_is_respected_in_both_directions() {
     // WRR isolation: video load must not starve TCP, and vice versa.
-    let cfg = ScenarioConfig { flows: pels_flows(&vec![0.0; 8]), n_tcp: 2, ..Default::default() };
+    let cfg = ScenarioConfig { flows: pels_flows(&[0.0; 8]), n_tcp: 2, ..Default::default() };
     let mut s = Scenario::build(cfg);
     s.run_until(SimTime::from_secs_f64(30.0));
     let report = s.report();
@@ -207,11 +195,8 @@ fn controllers_with_custom_gains_flow_through_the_stack() {
         gamma: GammaConfig { p_thr: 0.9, ..Default::default() },
         ..Default::default()
     };
-    let cfg = ScenarioConfig {
-        flows: vec![flow; 2],
-        aqm: AqmConfig::default(),
-        ..Default::default()
-    };
+    let cfg =
+        ScenarioConfig { flows: vec![flow; 2], aqm: AqmConfig::default(), ..Default::default() };
     let mut s = Scenario::build(cfg);
     s.run_until(SimTime::from_secs_f64(30.0));
     // Lemma 6 with alpha = 40k: r* = 1000 + 80 = 1080 kb/s.
@@ -278,14 +263,12 @@ fn conclusions_hold_under_both_quality_models() {
     let mean_gain = |s: &Scenario, model: &dyn QualityModel| -> f64 {
         let mut sum = 0.0;
         let mut base = 0.0;
-        let mut n = 0u64;
         for d in s.receiver(0).decode_all() {
             if d.frame < 100 {
                 continue;
             }
             sum += model.psnr(d.frame, d.enh_useful_bytes, d.base_ok);
             base += model.base_psnr(d.frame);
-            n += 1;
         }
         sum / base - 1.0
     };
@@ -314,7 +297,8 @@ fn trace_csv_roundtrip_drives_a_simulation() {
     assert_eq!(reloaded, trace);
 
     let run = |tr: VideoTrace| {
-        let cfg = ScenarioConfig { trace: tr, flows: pels_flows(&[0.0, 0.0]), ..Default::default() };
+        let cfg =
+            ScenarioConfig { trace: tr, flows: pels_flows(&[0.0, 0.0]), ..Default::default() };
         let mut s = Scenario::build(cfg);
         s.run_until(SimTime::from_secs_f64(10.0));
         s.sim.events_processed()

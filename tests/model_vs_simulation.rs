@@ -79,9 +79,7 @@ fn uniform_loss_discipline_is_a_bernoulli_channel() {
     let mut lost_flags = Vec::with_capacity(100_000);
     for seq in 0..100_000u64 {
         let before = dropped.len();
-        let pkt = Packet::data(FlowId(0), AgentId(0), AgentId(1), 500)
-            .with_class(1)
-            .with_seq(seq);
+        let pkt = Packet::data(FlowId(0), AgentId(0), AgentId(1), 500).with_class(1).with_seq(seq);
         q.enqueue(pkt, SimTime::ZERO, &mut dropped);
         lost_flags.push(dropped.len() > before);
     }
@@ -160,7 +158,5 @@ fn saturation_effect_matches_model_at_large_h() {
         small.utility(),
         large.utility()
     );
-    assert!(
-        (small.mean_useful_per_frame() - expected_useful_fixed(0.1, 20)).abs() < 0.2
-    );
+    assert!((small.mean_useful_per_frame() - expected_useful_fixed(0.1, 20)).abs() < 0.2);
 }

@@ -78,10 +78,7 @@ fn md1_beats_mm1_variability() {
     let (measured, _) = measure_md1(rho, 7);
     let service_s = 0.001;
     let mm1_w = mm1_mean_in_system(rho) / (rho / service_s);
-    assert!(
-        measured < mm1_w,
-        "M/D/1 {measured:.6}s should undercut M/M/1 {mm1_w:.6}s"
-    );
+    assert!(measured < mm1_w, "M/D/1 {measured:.6}s should undercut M/M/1 {mm1_w:.6}s");
     assert!((utilization(rho / service_s, service_s) - rho).abs() < 1e-12);
 }
 

@@ -1,0 +1,377 @@
+//! Offline stand-in for `proptest`.
+//!
+//! crates.io is unreachable in this build environment, so the workspace
+//! vendors the slice of proptest it uses: the [`Strategy`] trait with
+//! `prop_map`/`prop_filter`, range and tuple strategies, `collection::vec`,
+//! `any::<T>()`, `Just`, [`ProptestConfig`], and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Failing cases are NOT shrunk — the failure panics with the usual assert
+//! message. Case generation is fully deterministic: the RNG seed is derived
+//! from the test function's name and the case index, so a failure reproduces
+//! on every run.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use rand::Rng as _;
+
+/// Deterministic per-case RNG handed to strategies.
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9E37)))
+    }
+
+    pub fn next_f64(&mut self) -> f64 {
+        rand::Rng::gen(&mut self.0)
+    }
+}
+
+/// Mirrors `proptest::test_runner::Config` for the fields the workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; the stub never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f, reason }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// `prop_filter` adapter: rejection-samples, panicking after too many misses.
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive samples: {}", self.reason);
+    }
+}
+
+/// Always produces a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(&mut rng.0, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(&mut rng.0, self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Uniform over the full domain of `T`.
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen(&mut rng.0)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy { AnyStrategy(core::marker::PhantomData) }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+macro_rules! impl_arbitrary_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                // Finite, sign-symmetric, spanning several orders of magnitude.
+                let u: f64 = rng.next_f64();
+                let mag: f64 = rng.next_f64();
+                let v = (u - 0.5) * 2.0 * (10f64).powf(mag * 9.0 - 3.0);
+                v as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy { AnyStrategy(core::marker::PhantomData) }
+        }
+    )*};
+}
+impl_arbitrary_float!(f32, f64);
+
+/// `proptest::prelude::any::<T>()`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specification for [`vec`]: a fixed size or a range of sizes.
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(&mut rng.0, self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, len)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+    /// Mirror of `proptest::prelude::prop` (the module alias).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current case when an assumption fails. Expands to `continue`
+/// inside the per-case loop generated by [`proptest!`].
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $( let $pat = $crate::Strategy::sample(&($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, f in -1.0f64..=2.5, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..=2.5).contains(&f));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in collection::vec((0u8..4, 10u32..20).prop_map(|(a, b)| a as u32 + b), 1..50)) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            for x in v {
+                prop_assert!((10..24).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::for_case("t", 3);
+        let mut b = crate::TestRng::for_case("t", 3);
+        let s = 0u64..1000;
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

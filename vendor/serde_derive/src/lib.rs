@@ -1,0 +1,398 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! crates.io (and therefore syn/quote) is unreachable in this build
+//! environment, so the derive parses the item's token stream by hand. It
+//! supports exactly the shapes the workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype `T(U)` serializes transparently; wider tuples
+//!   serialize as arrays),
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde: `"Variant"` / `{"Variant": ...}`).
+//!
+//! Generic types and `#[serde(...)]` attributes are rejected with a
+//! compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip one attribute (`#` then `[...]`), returning whether one was present.
+fn skip_attr(iter: &mut core::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        iter.next(); // the [...] group
+        true
+    } else {
+        false
+    }
+}
+
+/// Skip a `pub` / `pub(crate)` visibility marker if present.
+fn skip_vis(iter: &mut core::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = group.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        while skip_attr(&mut iter) {}
+        skip_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in fields: {other}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        names.push(name);
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    for tok in group {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while skip_attr(&mut iter) {}
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional discriminant and the trailing comma.
+        for tok in iter.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    let kind = loop {
+        while skip_attr(&mut iter) {}
+        skip_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // e.g. `union` or unexpected modifiers: keep scanning.
+            }
+            Some(_) => {}
+            None => return Err("no struct/enum found".into()),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde stub derive does not support generic type `{name}`"));
+    }
+    let shape = if kind == "struct" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        }
+    };
+    Ok(Item { name, shape })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "entries.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!("let mut entries = Vec::new(); {pushes} ::serde::Value::Object(entries)")
+        }
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "inner.push(({f:?}.to_string(), ::serde::Serialize::to_value({f})));"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{ let mut inner = Vec::new(); {pushes} ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Object(inner))]) }},"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> =
+                fields.iter().map(|f| format!("{f}: ::serde::field(entries, {f:?})?")).collect();
+            format!(
+                "let entries = v.as_object().ok_or_else(|| ::serde::Error::new(\
+                     format!(\"expected object for {name}, got {{v:?}}\")))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| ::serde::Error::new(\"array too short for {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::new(\
+                     format!(\"expected array for {name}, got {{v:?}}\")))?;\n\
+                 Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => format!("let _ = v; Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| ::serde::Error::new(\"variant payload too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ let items = inner.as_array().ok_or_else(|| ::serde::Error::new(\"expected array payload\"))?; Ok({name}::{vn}({})) }},",
+                                gets.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(entries, {f:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ let entries = inner.as_object().ok_or_else(|| ::serde::Error::new(\"expected object payload\"))?; Ok({name}::{vn} {{ {} }}) }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(::serde::Error::new(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\n\
+                             other => Err(::serde::Error::new(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }},\n\
+                     other => Err(::serde::Error::new(format!(\"expected {name}, got {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
