@@ -9,6 +9,9 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
+echo "== pels live smoke (loopback UDP, 2 s) =="
+timeout 120 cargo run --release -q -p pels-cli --bin pels -- live --duration 2
+
 echo "== cargo clippy (all targets, warnings are errors) =="
 cargo clippy --all-targets -- -D warnings
 

@@ -51,7 +51,7 @@ fn run(arq: bool, fifo_limit: usize, deadline_ms: u64) -> Outcome {
         let r = s.receiver(i);
         on_time += r.recovered_on_time;
         late += r.recovered_late;
-        nacks += r.nacks_sent;
+        nacks += r.nacks_sent();
         for d in r.decode_all() {
             if d.frame >= 100 {
                 u.add(&d);

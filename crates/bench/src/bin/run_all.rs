@@ -1,8 +1,15 @@
-//! Runs every table/figure/ablation binary in sequence and reports a
-//! summary. Binaries are located next to this executable (build the whole
-//! package first: `cargo build --release -p pels-bench`).
+//! Runs every table/figure/ablation binary and reports a summary.
+//! Binaries are located next to this executable (build the whole package
+//! first: `cargo build --release -p pels-bench`).
+//!
+//! With `--jobs N` the experiments fan out over `N` worker threads. Each
+//! experiment's output is captured and printed as one contiguous block the
+//! moment it finishes, so blocks never interleave (their order then follows
+//! completion, not the list below; the final summary is always ordered).
 
-use std::process::Command;
+use std::process::{Command, ExitCode};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 const BINARIES: &[&str] = &[
@@ -30,38 +37,102 @@ const BINARIES: &[&str] = &[
     "ablation_marking",
 ];
 
-fn main() {
-    let me = std::env::current_exe().expect("current_exe");
-    let dir = me.parent().expect("binary directory");
-    let mut failures = Vec::new();
-    for name in BINARIES {
-        let path = dir.join(name);
-        if !path.exists() {
-            eprintln!("[{name}] missing — run `cargo build --release -p pels-bench` first");
-            failures.push(*name);
-            continue;
-        }
-        println!("\n================ {name} ================");
-        let start = Instant::now();
-        match Command::new(&path).status() {
-            Ok(status) if status.success() => {
-                println!("[{name} ok in {:.1}s]", start.elapsed().as_secs_f64());
+const USAGE: &str = "run_all — run every PELS reproduction experiment\n\
+     \n\
+     USAGE:\n\
+       run_all [--jobs N]\n\
+     \n\
+     OPTIONS:\n\
+       --jobs N   run N experiments concurrently (default 1; experiments\n\
+                  are independent processes, so any N up to the core count\n\
+                  is safe — output blocks are printed whole, in completion\n\
+                  order)\n\
+       --help     show this text";
+
+fn parse_jobs() -> Result<usize, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
             }
-            Ok(status) => {
-                eprintln!("[{name} FAILED: {status}]");
-                failures.push(*name);
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = v.parse().map_err(|_| format!("invalid --jobs value `{v}`"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
             }
-            Err(e) => {
-                eprintln!("[{name} could not start: {e}]");
-                failures.push(*name);
-            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
         }
     }
+    Ok(jobs)
+}
+
+fn main() -> ExitCode {
+    let jobs = match parse_jobs() {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("binary directory").to_path_buf();
+
+    // Workers pull the next experiment index from a shared counter; the
+    // print lock keeps each finished block contiguous on stdout.
+    let next = AtomicUsize::new(0);
+    let failures: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let print_lock = Mutex::new(());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(BINARIES.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&name) = BINARIES.get(i) else { return };
+                let path = dir.join(name);
+                if !path.exists() {
+                    let _guard = print_lock.lock().unwrap();
+                    eprintln!("[{name}] missing — run `cargo build --release -p pels-bench` first");
+                    failures.lock().unwrap().push(name);
+                    continue;
+                }
+                let start = Instant::now();
+                let output = Command::new(&path).output();
+                let _guard = print_lock.lock().unwrap();
+                println!("\n================ {name} ================");
+                match output {
+                    Ok(out) => {
+                        print!("{}", String::from_utf8_lossy(&out.stdout));
+                        eprint!("{}", String::from_utf8_lossy(&out.stderr));
+                        if out.status.success() {
+                            println!("[{name} ok in {:.1}s]", start.elapsed().as_secs_f64());
+                        } else {
+                            eprintln!("[{name} FAILED: {}]", out.status);
+                            failures.lock().unwrap().push(name);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("[{name} could not start: {e}]");
+                        failures.lock().unwrap().push(name);
+                    }
+                }
+            });
+        }
+    });
+
     println!("\n================ summary ================");
-    if failures.is_empty() {
+    let mut failed = failures.into_inner().unwrap();
+    if failed.is_empty() {
         println!("all {} experiments reproduced their target shapes", BINARIES.len());
+        ExitCode::SUCCESS
     } else {
-        println!("FAILED: {failures:?}");
-        std::process::exit(1);
+        // Report in list order regardless of completion order.
+        failed.sort_by_key(|n| BINARIES.iter().position(|b| b == n));
+        println!("FAILED: {failed:?}");
+        ExitCode::FAILURE
     }
 }

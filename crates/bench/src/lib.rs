@@ -26,12 +26,31 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Directory where experiment outputs are written.
+///
+/// Resolution order:
+///
+/// 1. `$PELS_RESULTS_DIR`, created if needed — for CI and scripted runs
+///    that want outputs somewhere else entirely;
+/// 2. `<workspace root>/results`, anchored via this crate's
+///    `CARGO_MANIFEST_DIR` so the answer does not depend on the process
+///    working directory (binaries used to silently scatter `results/`
+///    wherever they were launched from);
+/// 3. `./results` as a last resort when the source tree is gone
+///    (e.g. an installed binary).
 pub fn results_dir() -> PathBuf {
-    // Walk up from the crate to the workspace root if needed.
-    let candidates = [Path::new("results"), Path::new("../../results")];
-    for c in candidates {
-        if c.is_dir() {
-            return c.to_path_buf();
+    if let Some(dir) = std::env::var_os("PELS_RESULTS_DIR") {
+        let p = PathBuf::from(dir);
+        let _ = fs::create_dir_all(&p);
+        return p;
+    }
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    if let Some(root) = manifest.ancestors().nth(2) {
+        if root.is_dir() {
+            let p = root.join("results");
+            let _ = fs::create_dir_all(&p);
+            if p.is_dir() {
+                return p;
+            }
         }
     }
     let p = PathBuf::from("results");
@@ -109,5 +128,25 @@ mod tests {
     #[test]
     fn fmt_precision() {
         assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+
+    /// One test covers both resolution branches: env-var mutation is
+    /// process-global, so splitting these would race under the parallel
+    /// test runner.
+    #[test]
+    fn results_dir_is_cwd_independent_and_overridable() {
+        std::env::remove_var("PELS_RESULTS_DIR");
+        let d = results_dir();
+        assert!(d.is_dir());
+        assert!(d.ends_with("results"));
+        // Anchored at the workspace root, not the process CWD.
+        assert!(d.parent().unwrap().join("Cargo.toml").is_file());
+
+        let tmp = std::env::temp_dir().join("pels_bench_results_test");
+        std::env::set_var("PELS_RESULTS_DIR", &tmp);
+        let overridden = results_dir();
+        std::env::remove_var("PELS_RESULTS_DIR");
+        assert_eq!(overridden, tmp);
+        assert!(tmp.is_dir());
     }
 }

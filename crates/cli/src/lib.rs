@@ -9,6 +9,8 @@
 //! pels model --p LOSS --h PACKETS        # Section 3 closed forms
 //! pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]
 //! pels chaos [--seed S] [--duration SECS] [--json]  # fault-injection matrix
+//! pels live  [--duration SECS] [--bottleneck-mbps M] [--share F]
+//!            [--mem] [--json]             # PELS over real loopback UDP
 //! pels trace --frames N [--cv CV] [--seed S]   # synthetic trace as CSV
 //! pels config-template                    # print a ScenarioConfig JSON
 //! ```
@@ -73,6 +75,19 @@ pub enum Command {
         /// Emit the report as JSON instead of text.
         json: bool,
     },
+    /// Stream one live PELS flow over a real transport and report.
+    Live {
+        /// Streaming seconds (wall time on the UDP backend).
+        duration_s: f64,
+        /// Full bottleneck capacity in Mb/s.
+        bottleneck_mbps: f64,
+        /// Fraction of the bottleneck reserved for PELS.
+        share: f64,
+        /// Use the deterministic in-memory transport instead of UDP.
+        mem: bool,
+        /// Emit the report as JSON instead of text.
+        json: bool,
+    },
     /// Generate a synthetic frame-size trace as CSV on stdout.
     Trace {
         /// Number of frames.
@@ -108,7 +123,7 @@ fn flag_map(args: &[String]) -> Result<HashMap<String, String>, ParseArgsError> 
             return Err(ParseArgsError(format!("unexpected argument `{a}`")));
         };
         // Boolean flags take no value.
-        if name == "json" {
+        if name == "json" || name == "mem" {
             map.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -228,6 +243,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                 ));
             }
             Ok(Command::Chaos { seed, duration_s, json: map.contains_key("json") })
+        }
+        "live" => {
+            let map = flag_map(rest)?;
+            let duration_s: f64 = get_parsed(&map, "duration", 6.0)?;
+            let bottleneck_mbps: f64 = get_parsed(&map, "bottleneck-mbps", 4.0)?;
+            let share: f64 = get_parsed(&map, "share", 0.5)?;
+            if !(duration_s > 0.0) {
+                return Err(ParseArgsError("--duration must be positive".into()));
+            }
+            if !(bottleneck_mbps > 0.0) {
+                return Err(ParseArgsError("--bottleneck-mbps must be positive".into()));
+            }
+            if !(share > 0.0 && share <= 1.0) {
+                return Err(ParseArgsError("--share must be in (0, 1]".into()));
+            }
+            Ok(Command::Live {
+                duration_s,
+                bottleneck_mbps,
+                share,
+                mem: map.contains_key("mem"),
+                json: map.contains_key("json"),
+            })
         }
         "trace" => {
             let map = flag_map(rest)?;
@@ -357,6 +394,69 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 Err("chaos invariants violated".to_string())
             }
         }
+        Command::Live { duration_s, bottleneck_mbps, share, mem, json } => {
+            use pels_netsim::time::{Rate, SimDuration};
+            use pels_wire::live::{run_live, to_csv, LiveBackend, LiveConfig};
+            let cfg = LiveConfig {
+                duration: SimDuration::from_secs_f64(duration_s),
+                bottleneck: Rate::from_mbps(bottleneck_mbps),
+                pels_share: share,
+                backend: if mem { LiveBackend::Memory } else { LiveBackend::UdpLoopback },
+                ..LiveConfig::default()
+            };
+            let outcome = run_live(&cfg).map_err(|e| format!("live run failed: {e}"))?;
+            pels_bench::write_result("live.csv", &to_csv(&outcome));
+            if json {
+                let j = serde_json::to_string_pretty(&outcome.report).map_err(|e| e.to_string())?;
+                return w(out, j);
+            }
+            let backend = if mem { "in-memory" } else { "loopback UDP" };
+            let r = &outcome.report;
+            let s = &outcome.stats;
+            w(
+                out,
+                format!(
+                    "streamed {duration_s} s over {backend}: router p {:+.4}",
+                    r.router_final_loss
+                ),
+            )?;
+            for f in &r.flows {
+                let green_ratio = if f.sent_by_color[0] > 0 {
+                    f.received_by_color[0] as f64 / f.sent_by_color[0] as f64
+                } else {
+                    0.0
+                };
+                w(
+                    out,
+                    format!(
+                        "  flow {}: rate {:>7.0} kb/s  gamma {:.3}  utility {:.3}  \
+                         frames {}/{}  green delivery {:.4}\n\
+                         \x20          delay G/Y/R {:>4.0}/{:>4.0}/{:>6.0} ms",
+                        f.flow,
+                        f.final_rate_kbps,
+                        f.final_gamma,
+                        f.utility,
+                        f.frames_seen,
+                        f.frames_sent,
+                        green_ratio,
+                        f.mean_delay_s[0] * 1e3,
+                        f.mean_delay_s[1] * 1e3,
+                        f.mean_delay_s[2] * 1e3
+                    ),
+                )?;
+            }
+            w(
+                out,
+                format!(
+                    "  wire: {} nacks, {} retx, {} recovered, {} abandoned, {} decode errors",
+                    s.nacks_sent,
+                    s.retransmissions,
+                    s.recovered_packets,
+                    s.abandoned_packets,
+                    s.decode_errors
+                ),
+            )
+        }
         Command::Run { config, duration_s, json } => {
             let mut s = Scenario::build(*config);
             s.run_until(SimTime::from_secs_f64(duration_s));
@@ -408,6 +508,7 @@ pub fn usage() -> String {
        pels model --p LOSS --h PACKETS\n\
        pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]\n\
        pels chaos [--seed S] [--duration SECS] [--json]\n\
+       pels live  [--duration SECS] [--bottleneck-mbps M] [--share F] [--mem] [--json]\n\
        pels trace [--frames N] [--cv CV] [--seed S]\n\
        pels config-template\n\
        pels help"
@@ -551,6 +652,48 @@ mod tests {
         let v: serde_json::Value = serde_json::from_slice(&buf).unwrap();
         assert_eq!(v["cases"].as_array().unwrap().len(), 6);
         assert_eq!(v["all_ok"], serde_json::Value::Bool(true));
+    }
+
+    #[test]
+    fn parses_live_flags() {
+        let cmd =
+            parse_args(&args("live --duration 2 --bottleneck-mbps 8 --share 0.25 --mem --json"))
+                .unwrap();
+        match cmd {
+            Command::Live { duration_s, bottleneck_mbps, share, mem, json } => {
+                assert_eq!(duration_s, 2.0);
+                assert_eq!(bottleneck_mbps, 8.0);
+                assert_eq!(share, 0.25);
+                assert!(mem);
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_args(&args("live")).unwrap(),
+            Command::Live { mem: false, json: false, .. }
+        ));
+        assert!(parse_args(&args("live --share 0")).is_err());
+        assert!(parse_args(&args("live --share 1.5")).is_err());
+        assert!(parse_args(&args("live --duration -1")).is_err());
+        assert!(parse_args(&args("live --bottleneck-mbps 0")).is_err());
+    }
+
+    #[test]
+    fn live_command_streams_in_memory_and_writes_csv() {
+        let dir = std::env::temp_dir().join("pels_cli_live_test");
+        std::env::set_var("PELS_RESULTS_DIR", &dir);
+        let cmd = parse_args(&args("live --duration 1 --mem --json")).unwrap();
+        let mut buf = Vec::new();
+        let res = execute(cmd, &mut buf);
+        std::env::remove_var("PELS_RESULTS_DIR");
+        res.unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&buf).unwrap();
+        let flows = v["flows"].as_array().unwrap();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0]["frames_sent"].as_u64(), Some(20), "1 s at 20 fps");
+        let csv = std::fs::read_to_string(dir.join("live.csv")).unwrap();
+        assert!(csv.lines().any(|l| l.starts_with("flow,1,")), "{csv}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::source::RETX_MARKER;
 use pels_fgs::decoder::{DecodedFrame, FrameReception, UtilityStats};
-use pels_netsim::packet::{FlowId, Packet, PacketKind};
+use pels_netsim::packet::{FlowId, FrameTag, Packet, PacketKind};
 use pels_netsim::port::Port;
 use pels_netsim::sim::{Agent, Context};
 use pels_netsim::stats::DelayRecorder;
@@ -54,6 +54,108 @@ struct FrameNackState {
     per_packet: Vec<u8>,
 }
 
+/// The NACK scheduling state machine, factored out of [`PelsReceiver`] so
+/// the live wire receiver (`pels-wire`) can run the identical ARQ policy
+/// over real sockets.
+///
+/// The tracker decides *which* packets to request; actually building and
+/// transmitting the NACK (a simulator [`Packet`] or a wire datagram) is the
+/// caller's job — one request per returned [`FrameTag`].
+///
+/// Round pacing is exponential: round `r` of frame `g` fires only once the
+/// (monotone) frame horizon reaches the backoff gate set when round `r−1`
+/// fired (`backoff_base · 2^r` frames past that horizon). Every request is
+/// charged against a per-packet cap of `max_rounds` and a lifetime
+/// `retry_budget`, so duplicate NACK responses — which re-enter the receive
+/// path with *old* frame tags — can neither rewind the window nor reset any
+/// counter.
+#[derive(Debug, Clone)]
+pub struct NackTracker {
+    cfg: NackConfig,
+    /// Per-frame NACK state (rounds, backoff gate, per-packet counts).
+    state: BTreeMap<u64, FrameNackState>,
+    nacks_sent: u64,
+    nacks_suppressed: u64,
+}
+
+impl NackTracker {
+    /// Creates a tracker with the given policy.
+    pub fn new(cfg: NackConfig) -> Self {
+        NackTracker { cfg, state: BTreeMap::new(), nacks_sent: 0, nacks_suppressed: 0 }
+    }
+
+    /// The configured policy.
+    pub fn config(&self) -> &NackConfig {
+        &self.cfg
+    }
+
+    /// NACK requests granted so far (each charged against the budget).
+    pub fn nacks_sent(&self) -> u64 {
+        self.nacks_sent
+    }
+
+    /// Requests suppressed by an exhausted retry budget.
+    pub fn nacks_suppressed(&self) -> u64 {
+        self.nacks_suppressed
+    }
+
+    /// Returns the frame tags whose packets are due for a retransmission
+    /// request at the given frame `horizon`, inspecting the per-frame
+    /// reception maps in `frames`. The caller must send exactly one NACK
+    /// per returned tag; the tracker's counters assume it does.
+    ///
+    /// `horizon` must be monotone across calls (the highest frame number
+    /// seen in any data packet, late retransmissions excluded by the
+    /// caller keeping its own running maximum).
+    pub fn due(&mut self, horizon: u64, frames: &BTreeMap<u64, FrameReception>) -> Vec<FrameTag> {
+        let cfg = self.cfg;
+        let mut out = Vec::new();
+        let lo = horizon.saturating_sub(4);
+        for g in lo..horizon {
+            let Some(rx) = frames.get(&g) else { continue };
+            let (total, base) = (rx.total, rx.base_count);
+            let missing: Vec<u16> = (0..total).filter(|&i| !rx.is_received(i)).collect();
+            if missing.is_empty() {
+                continue;
+            }
+            let st = self.state.entry(g).or_insert_with(|| FrameNackState {
+                rounds: 0,
+                next_round_frame: g + cfg.backoff_base.max(1),
+                per_packet: vec![0u8; total as usize],
+            });
+            if st.rounds >= cfg.max_rounds || horizon < st.next_round_frame {
+                continue;
+            }
+            let mut sent_this_round = 0usize;
+            for index in missing {
+                if sent_this_round >= cfg.max_per_round {
+                    break;
+                }
+                if st.per_packet.get(index as usize).is_some_and(|&c| c >= cfg.max_rounds) {
+                    continue;
+                }
+                if self.nacks_sent >= cfg.retry_budget {
+                    self.nacks_suppressed += 1;
+                    continue;
+                }
+                out.push(FrameTag { frame: g, index, total, base });
+                self.nacks_sent += 1;
+                if let Some(c) = st.per_packet.get_mut(index as usize) {
+                    *c += 1;
+                }
+                sent_this_round += 1;
+            }
+            st.rounds += 1;
+            st.next_round_frame = horizon + (cfg.backoff_base.max(1) << st.rounds.min(32));
+        }
+        // Evict far behind the 4-frame NACK window: a re-created entry can
+        // never re-enter the active loop with reset counters because the
+        // horizon is monotone.
+        self.state.retain(|&f, _| f + 64 > horizon);
+        out
+    }
+}
+
 /// The receiving end of a PELS flow.
 #[derive(Debug)]
 pub struct PelsReceiver {
@@ -75,17 +177,11 @@ pub struct PelsReceiver {
     /// Total video data packets received.
     pub received_packets: u64,
     /// NACK generation (ARQ comparator), when enabled.
-    nack: Option<NackConfig>,
-    /// Per-frame NACK state (rounds, backoff gate, per-packet counts).
-    nack_state: BTreeMap<u64, FrameNackState>,
+    nack: Option<NackTracker>,
     /// Highest frame number seen in any data packet. Monotone: late
     /// retransmissions carry old frame tags and must not rewind the NACK
     /// window.
     max_frame_seen: u64,
-    /// NACK packets sent.
-    pub nacks_sent: u64,
-    /// NACK requests suppressed by an exhausted retry budget.
-    pub nacks_suppressed: u64,
     /// Retransmitted packets received in time to decode.
     pub recovered_on_time: u64,
     /// Retransmitted packets that missed the playout deadline.
@@ -110,10 +206,7 @@ impl PelsReceiver {
             late_by_color: [0; 3],
             received_packets: 0,
             nack: None,
-            nack_state: BTreeMap::new(),
             max_frame_seen: 0,
-            nacks_sent: 0,
-            nacks_suppressed: 0,
             recovered_on_time: 0,
             recovered_late: 0,
         }
@@ -130,70 +223,32 @@ impl PelsReceiver {
     /// Enables NACK-based retransmission requests (builder style; the
     /// source must have ARQ enabled to answer them).
     pub fn with_nack(mut self, cfg: NackConfig) -> Self {
-        self.nack = Some(cfg);
+        self.nack = Some(NackTracker::new(cfg));
         self
     }
 
+    /// NACK packets sent (0 when NACKs are disabled).
+    pub fn nacks_sent(&self) -> u64 {
+        self.nack.as_ref().map_or(0, NackTracker::nacks_sent)
+    }
+
+    /// NACK requests suppressed by an exhausted retry budget.
+    pub fn nacks_suppressed(&self) -> u64 {
+        self.nack.as_ref().map_or(0, NackTracker::nacks_suppressed)
+    }
+
     /// Issues NACKs for frames behind the (monotone) frame horizon that
-    /// still have gaps.
-    ///
-    /// Round pacing is exponential: round `r` of frame `g` fires only once
-    /// the horizon reaches the backoff gate set when round `r−1` fired
-    /// (`backoff_base · 2^r` frames past that horizon). Every request is
-    /// charged against a per-packet cap of `max_rounds` and a lifetime
-    /// `retry_budget`, so duplicate NACK responses — which re-enter
-    /// [`Agent::on_packet`] with *old* frame tags — can neither rewind the
-    /// window nor reset any counter.
+    /// still have gaps — one packet per tag the [`NackTracker`] grants.
     fn issue_nacks(&mut self, ctx: &mut Context<'_>) {
-        let Some(cfg) = self.nack else { return };
-        let horizon = self.max_frame_seen;
-        let lo = horizon.saturating_sub(4);
-        for g in lo..horizon {
-            let Some(rx) = self.frames.get(&g) else { continue };
-            let (total, base) = (rx.total, rx.base_count);
-            let missing: Vec<u16> = (0..total).filter(|&i| !rx.is_received(i)).collect();
-            if missing.is_empty() {
-                continue;
-            }
-            let st = self.nack_state.entry(g).or_insert_with(|| FrameNackState {
-                rounds: 0,
-                next_round_frame: g + cfg.backoff_base.max(1),
-                per_packet: vec![0u8; total as usize],
-            });
-            if st.rounds >= cfg.max_rounds || horizon < st.next_round_frame {
-                continue;
-            }
-            let mut sent_this_round = 0usize;
-            for index in missing {
-                if sent_this_round >= cfg.max_per_round {
-                    break;
-                }
-                if st.per_packet.get(index as usize).is_some_and(|&c| c >= cfg.max_rounds) {
-                    continue;
-                }
-                if self.nacks_sent >= cfg.retry_budget {
-                    self.nacks_suppressed += 1;
-                    continue;
-                }
-                let mut nack = Packet::data(self.flow, ctx.self_id, self.src_hint, 40)
-                    .with_frame(pels_netsim::packet::FrameTag { frame: g, index, total, base })
-                    .with_id(ctx.alloc_packet_id());
-                nack.kind = PacketKind::Nack;
-                nack.sent_at = ctx.now;
-                self.port.send(nack, ctx);
-                self.nacks_sent += 1;
-                if let Some(c) = st.per_packet.get_mut(index as usize) {
-                    *c += 1;
-                }
-                sent_this_round += 1;
-            }
-            st.rounds += 1;
-            st.next_round_frame = horizon + (cfg.backoff_base.max(1) << st.rounds.min(32));
+        let Some(tracker) = self.nack.as_mut() else { return };
+        for tag in tracker.due(self.max_frame_seen, &self.frames) {
+            let mut nack = Packet::data(self.flow, ctx.self_id, self.src_hint, 40)
+                .with_frame(tag)
+                .with_id(ctx.alloc_packet_id());
+            nack.kind = PacketKind::Nack;
+            nack.sent_at = ctx.now;
+            self.port.send(nack, ctx);
         }
-        // Evict far behind the 4-frame NACK window: a re-created entry can
-        // never re-enter the active loop with reset counters because the
-        // horizon is monotone.
-        self.nack_state.retain(|&f, _| f + 64 > horizon);
     }
 
     /// The flow this receiver serves.
@@ -469,8 +524,8 @@ mod tests {
         let r = sim.agent::<PelsReceiver>(rx);
         // Round 0 fires at horizon 1, then backoff gates round 1 to
         // horizon 3 (1 + base·2^1); max_rounds = 2 stops it there.
-        assert_eq!(r.nacks_sent, 2, "one NACK per round for the single gap");
-        assert_eq!(r.nacks_suppressed, 0);
+        assert_eq!(r.nacks_sent(), 2, "one NACK per round for the single gap");
+        assert_eq!(r.nacks_suppressed(), 0);
         let nacks: Vec<_> =
             sim.agent::<AckSink>(acks).acks.iter().filter(|p| p.kind == PacketKind::Nack).collect();
         assert_eq!(nacks.len(), 2);
@@ -498,7 +553,8 @@ mod tests {
         sim.run_until(SimTime::from_secs_f64(1.0));
         let r = sim.agent::<PelsReceiver>(rx);
         assert_eq!(
-            r.nacks_sent, 2,
+            r.nacks_sent(),
+            2,
             "max_rounds is per-packet: the late duplicate must not restart rounds"
         );
     }
@@ -516,8 +572,8 @@ mod tests {
         let (mut sim, rx, _acks) = build_nack(pkts, cfg);
         sim.run_until(SimTime::from_secs_f64(1.0));
         let r = sim.agent::<PelsReceiver>(rx);
-        assert_eq!(r.nacks_sent, 1, "budget caps lifetime NACKs");
-        assert!(r.nacks_suppressed >= 1, "suppressed requests are counted");
+        assert_eq!(r.nacks_sent(), 1, "budget caps lifetime NACKs");
+        assert!(r.nacks_suppressed() >= 1, "suppressed requests are counted");
     }
 
     #[test]

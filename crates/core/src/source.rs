@@ -152,11 +152,12 @@ const WATCHDOG_TOKEN: u64 = 3;
 /// Shed the red class when the controlled rate drops below this multiple of
 /// the current frame's base bitrate: close to the base floor, spending the
 /// scarce budget on droppable red packets only competes with the base layer
-/// on a degraded path.
-const RED_SHED_HEADROOM: f64 = 1.1;
+/// on a degraded path. Public so the live wire source (`pels-wire`) applies
+/// the identical shedding policy.
+pub const RED_SHED_HEADROOM: f64 = 1.1;
 /// Within 5% of the base floor every enhancement byte is shed; only the
 /// base layer flows until the rate recovers.
-const YELLOW_SHED_HEADROOM: f64 = 1.05;
+pub const YELLOW_SHED_HEADROOM: f64 = 1.05;
 
 /// Sentinel in [`Packet::ack_no`] marking a retransmitted data packet
 /// (whose `sent_at` is the original frame emission time and must not be

@@ -19,7 +19,9 @@
 //! * deterministic fault injection — scripted link outages, bandwidth
 //!   degradation, control-packet loss/duplication/reordering, and queue
 //!   flushes ([`faults`], [`error`]),
-//! * and measurement helpers ([`stats`], [`hist`]).
+//! * measurement helpers ([`stats`], [`hist`]),
+//! * and the clock abstraction ([`clock`]) that lets the same agent state
+//!   machines run under simulated or wall time (see the `pels-wire` crate).
 //!
 //! Determinism is a hard invariant: a run is a pure function of the topology
 //! and the seed. All randomness flows from seeded [`rand::rngs::StdRng`]
@@ -64,6 +66,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cbr;
+pub mod clock;
 pub mod disc;
 pub mod error;
 pub mod event;
@@ -81,6 +84,7 @@ pub mod time;
 pub mod topology;
 pub mod wfq;
 
+pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use error::SimError;
 pub use faults::{ControlFaultPolicy, FaultAction, FaultSchedule, FaultStats};
 pub use packet::{AgentId, Feedback, FlowId, Packet, PacketId, PacketKind};

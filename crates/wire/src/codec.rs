@@ -1,0 +1,593 @@
+//! Binary on-the-wire codecs for PELS packets.
+//!
+//! Every datagram starts with a 4-byte header — magic `0x504C` ("PL"),
+//! format version, packet kind — and all multi-byte fields are big-endian
+//! (network byte order). Three kinds exist:
+//!
+//! * **Data** ([`WireData`]) — one video packet: flow, sequence number,
+//!   frame tag, color class, pacing metadata (send timestamp, rate echo),
+//!   an always-reserved feedback block that routers stamp *in place* (see
+//!   [`patch_feedback`]), and the payload. Decoding is zero-copy: the
+//!   payload borrows from the receive buffer.
+//! * **Ack** ([`WireAck`]) — the receiver's echo of a data packet's control
+//!   fields back to the source: sequence, send timestamp, rate echo, and
+//!   the router feedback label `(router, z, p, p_fgs)` (Eq. 11).
+//! * **Nack** ([`WireNack`]) — a retransmission request for one packet,
+//!   identified by its frame tag.
+//!
+//! ## Data packet layout (78-byte header + payload)
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0  | 2 | magic `0x504C` |
+//! | 2  | 1 | version (`1`) |
+//! | 3  | 1 | kind (`0` data) |
+//! | 4  | 4 | flow id |
+//! | 8  | 8 | sequence number |
+//! | 16 | 8 | frame number |
+//! | 24 | 2 | packet index within frame |
+//! | 26 | 2 | total packets in frame |
+//! | 28 | 2 | base-layer packets in frame |
+//! | 30 | 1 | class (0 green, 1 yellow, 2 red) |
+//! | 31 | 1 | flags (bit 0: feedback valid, bit 1: retransmission) |
+//! | 32 | 8 | send timestamp, nanoseconds |
+//! | 40 | 8 | rate echo, bits/s (f64) |
+//! | 48 | 4 | feedback: router id |
+//! | 52 | 8 | feedback: epoch `z` |
+//! | 60 | 8 | feedback: loss `p` (f64) |
+//! | 68 | 8 | feedback: FGS loss (f64) |
+//! | 76 | 2 | payload length |
+//! | 78 | n | payload |
+//!
+//! The 28-byte feedback block is *always* present (reserved when the valid
+//! flag is clear) so a router can stamp its label into a forwarded packet by
+//! patching bytes 31/48..76 without re-encoding or shifting the payload.
+//!
+//! ## Ack layout (61 bytes)
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 4  | 4 | flow id |
+//! | 8  | 8 | sequence number of the acknowledged packet |
+//! | 16 | 8 | echoed send timestamp, nanoseconds |
+//! | 24 | 8 | echoed rate, bits/s (f64) |
+//! | 32 | 1 | flags (bit 0: feedback valid) |
+//! | 33 | 28 | feedback block (router, epoch, loss, FGS loss) |
+//!
+//! ## Nack layout (22 bytes)
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 4  | 4 | flow id |
+//! | 8  | 8 | frame number |
+//! | 16 | 2 | packet index |
+//! | 18 | 2 | total packets in frame |
+//! | 20 | 2 | base-layer packets in frame |
+
+use pels_netsim::packet::{AgentId, Feedback, FlowId, FrameTag};
+use pels_netsim::time::SimTime;
+
+/// The protocol magic, `"PL"` in ASCII.
+pub const MAGIC: u16 = 0x504C;
+/// The wire-format version this crate encodes and accepts.
+pub const VERSION: u8 = 1;
+/// Bytes before the payload of a data packet.
+pub const DATA_HEADER_BYTES: usize = 78;
+/// Size of an encoded [`WireAck`].
+pub const ACK_BYTES: usize = 61;
+/// Size of an encoded [`WireNack`].
+pub const NACK_BYTES: usize = 22;
+
+/// Flag bit: the feedback block carries a valid label.
+const FLAG_FEEDBACK: u8 = 0b0000_0001;
+/// Flag bit: this data packet is a retransmission.
+const FLAG_RETX: u8 = 0b0000_0010;
+
+/// Packet kind discriminator (header byte 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireKind {
+    /// A video data packet.
+    Data,
+    /// A receiver acknowledgment echoing the feedback label.
+    Ack,
+    /// A retransmission request.
+    Nack,
+}
+
+impl WireKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            WireKind::Data => 0,
+            WireKind::Ack => 1,
+            WireKind::Nack => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, CodecError> {
+        match b {
+            0 => Ok(WireKind::Data),
+            1 => Ok(WireKind::Ack),
+            2 => Ok(WireKind::Nack),
+            other => Err(CodecError::BadKind(other)),
+        }
+    }
+}
+
+/// Decode failures. Every variant is a hard reject: a datagram that fails
+/// to decode is dropped, never partially applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer is shorter than the structure requires.
+    Truncated {
+        /// Bytes the decoder needed.
+        need: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The magic bytes do not spell `0x504C`.
+    BadMagic(u16),
+    /// The version byte is not [`VERSION`].
+    BadVersion(u8),
+    /// The kind byte names no known packet kind.
+    BadKind(u8),
+    /// A field failed semantic validation (bad class, inconsistent frame
+    /// tag, out-of-range feedback, trailing garbage).
+    InvalidField(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { need, got } => {
+                write!(f, "truncated packet: need {need} bytes, got {got}")
+            }
+            CodecError::BadMagic(m) => write!(f, "bad magic {m:#06x}"),
+            CodecError::BadVersion(v) => write!(f, "unsupported version {v} (expected {VERSION})"),
+            CodecError::BadKind(k) => write!(f, "unknown packet kind {k}"),
+            CodecError::InvalidField(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A decoded (or to-be-encoded) PELS data packet. The payload borrows from
+/// the receive buffer — decoding copies nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireData<'a> {
+    /// Flow identifier.
+    pub flow: FlowId,
+    /// Monotone per-flow sequence number.
+    pub seq: u64,
+    /// Position of this packet within its frame.
+    pub tag: FrameTag,
+    /// Color class: 0 green, 1 yellow, 2 red.
+    pub class: u8,
+    /// Whether this packet is an ARQ retransmission.
+    pub retransmission: bool,
+    /// When the source transmitted it (source-clock nanoseconds).
+    pub sent_at: SimTime,
+    /// The sending rate in effect at transmission (Eq. 8 needs `r(k − D)`).
+    pub rate_echo: f64,
+    /// Router feedback label, once a router has stamped one.
+    pub feedback: Option<Feedback>,
+    /// Video payload.
+    pub payload: &'a [u8],
+}
+
+/// A receiver acknowledgment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireAck {
+    /// Flow identifier.
+    pub flow: FlowId,
+    /// Sequence number of the acknowledged data packet.
+    pub seq: u64,
+    /// Echoed send timestamp of the acknowledged packet.
+    pub sent_at: SimTime,
+    /// Echoed sending rate of the acknowledged packet.
+    pub rate_echo: f64,
+    /// The echoed router feedback label.
+    pub feedback: Option<Feedback>,
+}
+
+/// A retransmission request for one packet of one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireNack {
+    /// Flow identifier.
+    pub flow: FlowId,
+    /// The missing packet's frame tag.
+    pub tag: FrameTag,
+}
+
+fn put_header(buf: &mut Vec<u8>, kind: WireKind) {
+    buf.extend_from_slice(&MAGIC.to_be_bytes());
+    buf.push(VERSION);
+    buf.push(kind.to_byte());
+}
+
+fn put_feedback(buf: &mut Vec<u8>, fb: Option<Feedback>) {
+    let fb = fb.unwrap_or(Feedback { router: AgentId(0), epoch: 0, loss: 0.0, fgs_loss: 0.0 });
+    buf.extend_from_slice(&fb.router.0.to_be_bytes());
+    buf.extend_from_slice(&fb.epoch.to_be_bytes());
+    buf.extend_from_slice(&fb.loss.to_be_bytes());
+    buf.extend_from_slice(&fb.fgs_loss.to_be_bytes());
+}
+
+fn get_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_be_bytes([buf[at], buf[at + 1]])
+}
+
+fn get_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_be_bytes(buf[at..at + 4].try_into().expect("length checked"))
+}
+
+fn get_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_be_bytes(buf[at..at + 8].try_into().expect("length checked"))
+}
+
+fn get_f64(buf: &[u8], at: usize) -> f64 {
+    f64::from_be_bytes(buf[at..at + 8].try_into().expect("length checked"))
+}
+
+/// Reads the 28-byte feedback block at `at`, validating ranges so a
+/// corrupted datagram can never smuggle a non-finite loss into a controller
+/// ([`Feedback::new`] enforces the same invariants by panicking).
+fn get_feedback(buf: &[u8], at: usize, valid: bool) -> Result<Option<Feedback>, CodecError> {
+    if !valid {
+        return Ok(None);
+    }
+    let loss = get_f64(buf, at + 12);
+    let fgs_loss = get_f64(buf, at + 20);
+    if !loss.is_finite() || loss >= 1.0 {
+        return Err(CodecError::InvalidField("feedback loss"));
+    }
+    if !fgs_loss.is_finite() || !(0.0..=1.0).contains(&fgs_loss) {
+        return Err(CodecError::InvalidField("feedback fgs loss"));
+    }
+    Ok(Some(Feedback {
+        router: AgentId(get_u32(buf, at)),
+        epoch: get_u64(buf, at + 4),
+        loss,
+        fgs_loss,
+    }))
+}
+
+/// Validates the common header and returns the packet kind.
+pub fn peek_kind(buf: &[u8]) -> Result<WireKind, CodecError> {
+    if buf.len() < 4 {
+        return Err(CodecError::Truncated { need: 4, got: buf.len() });
+    }
+    let magic = get_u16(buf, 0);
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    if buf[2] != VERSION {
+        return Err(CodecError::BadVersion(buf[2]));
+    }
+    WireKind::from_byte(buf[3])
+}
+
+fn expect_kind(buf: &[u8], want: WireKind) -> Result<(), CodecError> {
+    let kind = peek_kind(buf)?;
+    if kind != want {
+        return Err(CodecError::InvalidField("packet kind"));
+    }
+    Ok(())
+}
+
+impl<'a> WireData<'a> {
+    /// Encodes into a fresh datagram.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(DATA_HEADER_BYTES + self.payload.len());
+        put_header(&mut buf, WireKind::Data);
+        buf.extend_from_slice(&self.flow.0.to_be_bytes());
+        buf.extend_from_slice(&self.seq.to_be_bytes());
+        buf.extend_from_slice(&self.tag.frame.to_be_bytes());
+        buf.extend_from_slice(&self.tag.index.to_be_bytes());
+        buf.extend_from_slice(&self.tag.total.to_be_bytes());
+        buf.extend_from_slice(&self.tag.base.to_be_bytes());
+        buf.push(self.class);
+        let mut flags = 0u8;
+        if self.feedback.is_some() {
+            flags |= FLAG_FEEDBACK;
+        }
+        if self.retransmission {
+            flags |= FLAG_RETX;
+        }
+        buf.push(flags);
+        buf.extend_from_slice(&self.sent_at.as_nanos().to_be_bytes());
+        buf.extend_from_slice(&self.rate_echo.to_be_bytes());
+        put_feedback(&mut buf, self.feedback);
+        let len = u16::try_from(self.payload.len()).expect("payload fits a u16 length");
+        buf.extend_from_slice(&len.to_be_bytes());
+        buf.extend_from_slice(self.payload);
+        buf
+    }
+
+    /// Decodes a datagram, borrowing the payload from `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects short buffers, wrong magic/version/kind, classes outside
+    /// green/yellow/red, inconsistent frame tags, non-finite rate echoes,
+    /// out-of-range feedback, and length mismatches (a datagram must be
+    /// exactly header + payload; trailing bytes are corruption, not slack).
+    pub fn decode(buf: &'a [u8]) -> Result<Self, CodecError> {
+        expect_kind(buf, WireKind::Data)?;
+        if buf.len() < DATA_HEADER_BYTES {
+            return Err(CodecError::Truncated { need: DATA_HEADER_BYTES, got: buf.len() });
+        }
+        let payload_len = get_u16(buf, 76) as usize;
+        let need = DATA_HEADER_BYTES + payload_len;
+        if buf.len() < need {
+            return Err(CodecError::Truncated { need, got: buf.len() });
+        }
+        if buf.len() > need {
+            return Err(CodecError::InvalidField("trailing bytes"));
+        }
+        let tag = FrameTag {
+            frame: get_u64(buf, 16),
+            index: get_u16(buf, 24),
+            total: get_u16(buf, 26),
+            base: get_u16(buf, 28),
+        };
+        if tag.index >= tag.total || tag.base > tag.total {
+            return Err(CodecError::InvalidField("frame tag"));
+        }
+        let class = buf[30];
+        if class > 2 {
+            return Err(CodecError::InvalidField("class"));
+        }
+        let flags = buf[31];
+        let rate_echo = get_f64(buf, 40);
+        if !rate_echo.is_finite() || rate_echo < 0.0 {
+            return Err(CodecError::InvalidField("rate echo"));
+        }
+        Ok(WireData {
+            flow: FlowId(get_u32(buf, 4)),
+            seq: get_u64(buf, 8),
+            tag,
+            class,
+            retransmission: flags & FLAG_RETX != 0,
+            sent_at: SimTime::from_nanos(get_u64(buf, 32)),
+            rate_echo,
+            feedback: get_feedback(buf, 48, flags & FLAG_FEEDBACK != 0)?,
+            payload: &buf[DATA_HEADER_BYTES..],
+        })
+    }
+}
+
+impl WireAck {
+    /// Encodes into a fresh datagram.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(ACK_BYTES);
+        put_header(&mut buf, WireKind::Ack);
+        buf.extend_from_slice(&self.flow.0.to_be_bytes());
+        buf.extend_from_slice(&self.seq.to_be_bytes());
+        buf.extend_from_slice(&self.sent_at.as_nanos().to_be_bytes());
+        buf.extend_from_slice(&self.rate_echo.to_be_bytes());
+        buf.push(if self.feedback.is_some() { FLAG_FEEDBACK } else { 0 });
+        put_feedback(&mut buf, self.feedback);
+        buf
+    }
+
+    /// Decodes an acknowledgment datagram.
+    ///
+    /// # Errors
+    ///
+    /// Rejects short or oversized buffers, wrong magic/version/kind,
+    /// non-finite rate echoes, and out-of-range feedback.
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        expect_kind(buf, WireKind::Ack)?;
+        if buf.len() < ACK_BYTES {
+            return Err(CodecError::Truncated { need: ACK_BYTES, got: buf.len() });
+        }
+        if buf.len() > ACK_BYTES {
+            return Err(CodecError::InvalidField("trailing bytes"));
+        }
+        let rate_echo = get_f64(buf, 24);
+        if !rate_echo.is_finite() || rate_echo < 0.0 {
+            return Err(CodecError::InvalidField("rate echo"));
+        }
+        Ok(WireAck {
+            flow: FlowId(get_u32(buf, 4)),
+            seq: get_u64(buf, 8),
+            sent_at: SimTime::from_nanos(get_u64(buf, 16)),
+            rate_echo,
+            feedback: get_feedback(buf, 33, buf[32] & FLAG_FEEDBACK != 0)?,
+        })
+    }
+}
+
+impl WireNack {
+    /// Encodes into a fresh datagram.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(NACK_BYTES);
+        put_header(&mut buf, WireKind::Nack);
+        buf.extend_from_slice(&self.flow.0.to_be_bytes());
+        buf.extend_from_slice(&self.tag.frame.to_be_bytes());
+        buf.extend_from_slice(&self.tag.index.to_be_bytes());
+        buf.extend_from_slice(&self.tag.total.to_be_bytes());
+        buf.extend_from_slice(&self.tag.base.to_be_bytes());
+        buf
+    }
+
+    /// Decodes a retransmission-request datagram.
+    ///
+    /// # Errors
+    ///
+    /// Rejects short or oversized buffers, wrong magic/version/kind, and
+    /// inconsistent frame tags.
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        expect_kind(buf, WireKind::Nack)?;
+        if buf.len() < NACK_BYTES {
+            return Err(CodecError::Truncated { need: NACK_BYTES, got: buf.len() });
+        }
+        if buf.len() > NACK_BYTES {
+            return Err(CodecError::InvalidField("trailing bytes"));
+        }
+        let tag = FrameTag {
+            frame: get_u64(buf, 8),
+            index: get_u16(buf, 16),
+            total: get_u16(buf, 18),
+            base: get_u16(buf, 20),
+        };
+        if tag.index >= tag.total || tag.base > tag.total {
+            return Err(CodecError::InvalidField("frame tag"));
+        }
+        Ok(WireNack { flow: FlowId(get_u32(buf, 4)), tag })
+    }
+}
+
+/// Stamps a feedback label into an *encoded* data packet in place — the wire
+/// analogue of [`pels_netsim::packet::Packet::stamp_feedback`], with the same
+/// max-loss override semantics (Eq. 12): a packet with no label takes the
+/// new one; the same router always refreshes its own label; a different
+/// router overrides only with a strictly larger loss. The payload is never
+/// touched, so a router forwards without re-encoding.
+///
+/// # Errors
+///
+/// Fails if `buf` is not a valid data packet header (the feedback block
+/// itself is not validated — the router is about to overwrite it).
+pub fn patch_feedback(buf: &mut [u8], label: Feedback) -> Result<(), CodecError> {
+    expect_kind(buf, WireKind::Data)?;
+    if buf.len() < DATA_HEADER_BYTES {
+        return Err(CodecError::Truncated { need: DATA_HEADER_BYTES, got: buf.len() });
+    }
+    if buf[31] & FLAG_FEEDBACK != 0 {
+        let cur_router = AgentId(get_u32(buf, 48));
+        let cur_loss = get_f64(buf, 60);
+        if cur_router != label.router && !(label.loss > cur_loss) {
+            return Ok(());
+        }
+    }
+    buf[31] |= FLAG_FEEDBACK;
+    buf[48..52].copy_from_slice(&label.router.0.to_be_bytes());
+    buf[52..60].copy_from_slice(&label.epoch.to_be_bytes());
+    buf[60..68].copy_from_slice(&label.loss.to_be_bytes());
+    buf[68..76].copy_from_slice(&label.fgs_loss.to_be_bytes());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data<'a>(payload: &'a [u8]) -> WireData<'a> {
+        WireData {
+            flow: FlowId(7),
+            seq: 42,
+            tag: FrameTag { frame: 3, index: 5, total: 126, base: 21 },
+            class: 1,
+            retransmission: false,
+            sent_at: SimTime::from_nanos(123_456_789),
+            rate_echo: 1_500_000.0,
+            feedback: Some(Feedback::new(AgentId(1), 9, 0.25, 0.4)),
+            payload,
+        }
+    }
+
+    #[test]
+    fn data_roundtrip_zero_copy() {
+        let payload = [0xAB; 480];
+        let buf = data(&payload).encode();
+        assert_eq!(buf.len(), DATA_HEADER_BYTES + 480);
+        let d = WireData::decode(&buf).unwrap();
+        assert_eq!(d, data(&payload));
+        // Zero-copy: the payload points into the buffer.
+        assert_eq!(d.payload.as_ptr(), buf[DATA_HEADER_BYTES..].as_ptr());
+    }
+
+    #[test]
+    fn data_without_feedback_roundtrips() {
+        let d = WireData { feedback: None, retransmission: true, ..data(&[]) };
+        let decoded_buf = d.encode();
+        let back = WireData::decode(&decoded_buf).unwrap();
+        assert_eq!(back.feedback, None);
+        assert!(back.retransmission);
+    }
+
+    #[test]
+    fn ack_and_nack_roundtrip() {
+        let ack = WireAck {
+            flow: FlowId(7),
+            seq: 42,
+            sent_at: SimTime::from_nanos(55),
+            rate_echo: 128_000.0,
+            feedback: Some(Feedback::new(AgentId(2), 3, -1.5, 0.0)),
+        };
+        assert_eq!(WireAck::decode(&ack.encode()).unwrap(), ack);
+        let nack =
+            WireNack { flow: FlowId(7), tag: FrameTag { frame: 8, index: 0, total: 4, base: 1 } };
+        assert_eq!(WireNack::decode(&nack.encode()).unwrap(), nack);
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_kind() {
+        let mut buf = data(&[1, 2, 3]).encode();
+        buf[0] = 0xFF;
+        assert!(matches!(WireData::decode(&buf), Err(CodecError::BadMagic(_))));
+        let mut buf = data(&[1, 2, 3]).encode();
+        buf[2] = 9;
+        assert_eq!(WireData::decode(&buf), Err(CodecError::BadVersion(9)));
+        let mut buf = data(&[1, 2, 3]).encode();
+        buf[3] = 7;
+        assert_eq!(WireData::decode(&buf), Err(CodecError::BadKind(7)));
+        // An ACK buffer is not a data packet.
+        let ack = WireAck {
+            flow: FlowId(1),
+            seq: 0,
+            sent_at: SimTime::ZERO,
+            rate_echo: 0.0,
+            feedback: None,
+        };
+        assert_eq!(WireData::decode(&ack.encode()), Err(CodecError::InvalidField("packet kind")));
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_bytes() {
+        let buf = data(&[9; 100]).encode();
+        for cut in [0, 3, 10, DATA_HEADER_BYTES - 1, buf.len() - 1] {
+            assert!(WireData::decode(&buf[..cut]).is_err(), "prefix of {cut} must fail");
+        }
+        let mut long = buf.clone();
+        long.push(0);
+        assert_eq!(WireData::decode(&long), Err(CodecError::InvalidField("trailing bytes")));
+    }
+
+    #[test]
+    fn rejects_semantic_corruption() {
+        // class 3
+        let mut buf = data(&[]).encode();
+        buf[30] = 3;
+        assert_eq!(WireData::decode(&buf), Err(CodecError::InvalidField("class")));
+        // index >= total
+        let mut buf = data(&[]).encode();
+        buf[24..26].copy_from_slice(&200u16.to_be_bytes());
+        assert_eq!(WireData::decode(&buf), Err(CodecError::InvalidField("frame tag")));
+        // NaN feedback loss
+        let mut buf = data(&[]).encode();
+        buf[60..68].copy_from_slice(&f64::NAN.to_be_bytes());
+        assert_eq!(WireData::decode(&buf), Err(CodecError::InvalidField("feedback loss")));
+    }
+
+    #[test]
+    fn patch_feedback_max_loss_override() {
+        let mut buf = WireData { feedback: None, ..data(&[5; 10]) }.encode();
+        patch_feedback(&mut buf, Feedback::new(AgentId(1), 1, 0.10, 0.1)).unwrap();
+        // A different router with smaller loss must NOT override.
+        patch_feedback(&mut buf, Feedback::new(AgentId(2), 8, 0.05, 0.05)).unwrap();
+        assert_eq!(WireData::decode(&buf).unwrap().feedback.unwrap().router, AgentId(1));
+        // A different router with larger loss overrides.
+        patch_feedback(&mut buf, Feedback::new(AgentId(2), 9, 0.20, 0.2)).unwrap();
+        assert_eq!(WireData::decode(&buf).unwrap().feedback.unwrap().router, AgentId(2));
+        // The same router always refreshes, even downward.
+        patch_feedback(&mut buf, Feedback::new(AgentId(2), 10, 0.01, 0.0)).unwrap();
+        let fb = WireData::decode(&buf).unwrap().feedback.unwrap();
+        assert_eq!(fb.epoch, 10);
+        assert!((fb.loss - 0.01).abs() < 1e-12);
+        // The payload was never disturbed.
+        assert_eq!(WireData::decode(&buf).unwrap().payload, &[5; 10]);
+    }
+}

@@ -1,0 +1,42 @@
+//! `pels-wire`: the PELS protocol over actual datagrams.
+//!
+//! Everything upstream of this crate is a discrete-event *simulation* of
+//! the paper's protocol stack (Kang, Zhang, Dai & Loguinov, ICDCS 2004).
+//! This crate runs the same control laws in real time:
+//!
+//! * [`codec`] — versioned, big-endian on-the-wire formats for data
+//!   packets (with an in-place-patchable feedback block implementing the
+//!   Eq. 12 max-loss override), ACKs carrying the MKC feedback triplet
+//!   `(p, z, router)`, and NACKs. Decoding is zero-copy for payloads.
+//! * [`transport`] — the [`Transport`] datagram abstraction with a
+//!   deterministic in-memory hub ([`MemHub`]) and a non-blocking UDP
+//!   backend ([`UdpTransport`]).
+//! * [`source`], [`router`], [`receiver`] — `poll(now)`-driven live
+//!   agents reusing the simulator's controllers verbatim: MKC (Eq. 8),
+//!   the γ partitioner (Eq. 4), the router feedback estimator (Eq. 11),
+//!   and the receiver's NACK/ARQ scheduler.
+//! * [`live`] — a one-call harness ([`run_live`]) wiring the three agents
+//!   over loopback UDP or the in-memory hub and emitting the simulator's
+//!   `ScenarioReport` schema, so live and simulated runs are directly
+//!   comparable.
+//!
+//! Time comes from a [`Clock`](pels_netsim::clock::Clock): wall time for
+//! live runs, a hand-stepped mock for reproducible tests. Agents never
+//! read clocks themselves — they are pure state machines over `SimTime`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod live;
+pub mod receiver;
+pub mod router;
+pub mod source;
+pub mod transport;
+
+pub use codec::{WireAck, WireData, WireKind, WireNack};
+pub use live::{run_live, LiveBackend, LiveConfig, LiveOutcome, LiveStats};
+pub use receiver::{WireReceiver, WireReceiverConfig};
+pub use router::{WireRouter, WireRouterConfig};
+pub use source::{WireSource, WireSourceConfig};
+pub use transport::{MemHub, MemTransport, Transport, UdpTransport};

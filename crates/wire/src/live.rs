@@ -1,0 +1,379 @@
+//! End-to-end live runs: source → router → receiver over a real transport.
+//!
+//! [`run_live`] wires one [`WireSource`], one [`WireRouter`], and one
+//! [`WireReceiver`] together over either loopback UDP (wall clock) or the
+//! in-memory hub (mock clock, bit-reproducible) and produces the same
+//! [`ScenarioReport`] schema as the discrete-event simulator — so `pels
+//! live` output can be compared field-for-field with `pels run`, plotted
+//! by the same tooling, and written to the same CSV layout.
+
+use crate::receiver::{WireReceiver, WireReceiverConfig};
+use crate::router::{WireRouter, WireRouterConfig};
+use crate::source::{WireSource, WireSourceConfig};
+use crate::transport::{MemHub, Transport, UdpTransport};
+use pels_core::gamma::GammaConfig;
+use pels_core::mkc::MkcConfig;
+use pels_core::receiver::NackConfig;
+use pels_core::scenario::{FlowReport, ScenarioReport};
+use pels_fgs::frame::VideoTrace;
+use pels_netsim::clock::{Clock, ManualClock, MonotonicClock};
+use pels_netsim::packet::{AgentId, FlowId};
+use pels_netsim::time::{Rate, SimDuration};
+use std::io;
+
+/// Which transport carries the packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveBackend {
+    /// Non-blocking UDP sockets on `127.0.0.1` (ephemeral ports), driven
+    /// by wall time.
+    UdpLoopback,
+    /// The in-memory hub driven by a [`ManualClock`] stepping
+    /// `poll_interval` — deterministic, no wall-clock sensitivity.
+    Memory,
+}
+
+/// Configuration of a live run.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Streaming time (frames stop; in-flight packets then drain).
+    pub duration: SimDuration,
+    /// Full bottleneck capacity; the PELS share gets `pels_share` of it.
+    pub bottleneck: Rate,
+    /// Fraction of the bottleneck reserved for PELS (paper: 0.5).
+    pub pels_share: f64,
+    /// The video being streamed (looped).
+    pub trace: VideoTrace,
+    /// Wire packet payload size.
+    pub packet_bytes: u32,
+    /// Transport backend.
+    pub backend: LiveBackend,
+    /// MKC gains.
+    pub mkc: MkcConfig,
+    /// γ-controller gains.
+    pub gamma: GammaConfig,
+    /// Poll cadence: the mock clock's step, and the UDP loop's sleep.
+    pub poll_interval: SimDuration,
+    /// Frames kept retransmittable for NACK-driven ARQ; 0 disables ARQ.
+    pub arq_frames: u64,
+}
+
+impl Default for LiveConfig {
+    /// Six seconds of a 20 fps stream whose 800-byte base layer sits at
+    /// MKC's 128 kb/s floor — 120 frames, green always inside the PELS
+    /// share, enhancement contending for the rest.
+    fn default() -> Self {
+        LiveConfig {
+            duration: SimDuration::from_secs(6),
+            bottleneck: Rate::from_mbps(4.0),
+            pels_share: 0.5,
+            trace: VideoTrace::constant(120, 20.0, 800, 30_000),
+            packet_bytes: 500,
+            backend: LiveBackend::UdpLoopback,
+            mkc: MkcConfig::default(),
+            gamma: GammaConfig::default(),
+            poll_interval: SimDuration::from_millis(1),
+            arq_frames: 8,
+        }
+    }
+}
+
+/// Wire-layer counters that have no slot in the simulator's report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiveStats {
+    /// NACK-driven retransmissions performed by the source.
+    pub retransmissions: u64,
+    /// NACKs emitted by the receiver.
+    pub nacks_sent: u64,
+    /// Retransmitted packets that arrived (ARQ recoveries).
+    pub recovered_packets: u64,
+    /// Undecodable datagrams dropped across all three agents.
+    pub decode_errors: u64,
+    /// Frames whose red class was shed near the base floor.
+    pub shed_red_frames: u64,
+    /// Frames whose whole enhancement was shed at the base floor.
+    pub shed_yellow_frames: u64,
+    /// Packets abandoned at the source when their frame interval expired.
+    pub abandoned_packets: u64,
+}
+
+/// Result of a live run: the simulator-schema report plus wire counters.
+#[derive(Debug, Clone)]
+pub struct LiveOutcome {
+    /// Field-compatible with `pels run` output.
+    pub report: ScenarioReport,
+    /// Wire-only counters.
+    pub stats: LiveStats,
+}
+
+/// Runs one live flow through a router to a receiver and reports.
+///
+/// # Errors
+///
+/// Propagates socket errors (UDP backend only; the in-memory hub cannot
+/// fail).
+///
+/// # Panics
+///
+/// Panics if `pels_share` is outside `(0, 1]` or the configured capacity
+/// rounds to zero.
+pub fn run_live(cfg: &LiveConfig) -> io::Result<LiveOutcome> {
+    assert!(
+        cfg.pels_share > 0.0 && cfg.pels_share <= 1.0,
+        "pels_share must be in (0, 1]: {}",
+        cfg.pels_share
+    );
+    let pels_capacity =
+        Rate::from_bps((cfg.bottleneck.as_bps() as f64 * cfg.pels_share).round() as u64);
+    assert!(pels_capacity.as_bps() > 0, "PELS share of the bottleneck is zero");
+
+    match cfg.backend {
+        LiveBackend::Memory => {
+            let hub = MemHub::new();
+            let src_ep = hub.endpoint("127.0.0.1:9001".parse().expect("static addr"));
+            let router_ep = hub.endpoint("127.0.0.1:9002".parse().expect("static addr"));
+            let rx_ep = hub.endpoint("127.0.0.1:9003".parse().expect("static addr"));
+            run_wired(cfg, pels_capacity, src_ep, router_ep, rx_ep, ManualClock::new())
+        }
+        LiveBackend::UdpLoopback => {
+            let any = "127.0.0.1:0".parse().expect("static addr");
+            let src_ep = UdpTransport::bind(any)?;
+            let router_ep = UdpTransport::bind(any)?;
+            let rx_ep = UdpTransport::bind(any)?;
+            run_wired(cfg, pels_capacity, src_ep, router_ep, rx_ep, MonotonicClock::new())
+        }
+    }
+}
+
+/// A clock the run loop can both read and (for mock time) advance.
+trait RunClock: Clock {
+    /// Blocks (wall clock) or steps (mock clock) for one poll interval.
+    fn wait(&self, step: SimDuration);
+}
+
+impl RunClock for ManualClock {
+    fn wait(&self, step: SimDuration) {
+        self.advance(step);
+    }
+}
+
+impl RunClock for MonotonicClock {
+    fn wait(&self, step: SimDuration) {
+        // Sleeping the full interval would let scheduling jitter starve
+        // the pacer; half-interval sleeps keep the loop comfortably ahead
+        // of the packet schedule at negligible CPU cost.
+        std::thread::sleep(std::time::Duration::from_nanos((step.as_nanos() / 2).max(1)));
+    }
+}
+
+fn run_wired<T: Transport, C: RunClock>(
+    cfg: &LiveConfig,
+    pels_capacity: Rate,
+    src_ep: T,
+    router_ep: T,
+    rx_ep: T,
+    clock: C,
+) -> io::Result<LiveOutcome> {
+    let src_addr = src_ep.local_addr();
+    let router_addr = router_ep.local_addr();
+    let rx_addr = rx_ep.local_addr();
+
+    let mut source = WireSource::new(
+        WireSourceConfig {
+            flow: FlowId(1),
+            trace: cfg.trace.clone(),
+            mkc: cfg.mkc,
+            gamma: cfg.gamma,
+            packet_bytes: cfg.packet_bytes,
+            router: router_addr,
+            arq_frames: cfg.arq_frames,
+        },
+        src_ep,
+    );
+    let mut router =
+        WireRouter::new(WireRouterConfig::new(AgentId(1), pels_capacity, rx_addr), router_ep);
+    let mut receiver = WireReceiver::new(
+        WireReceiverConfig {
+            flow: FlowId(1),
+            feedback_to: src_addr,
+            nack: (cfg.arq_frames > 0).then(NackConfig::default),
+            packet_bytes: cfg.packet_bytes,
+        },
+        rx_ep,
+    );
+
+    // Stream for `duration`, then stop the source and drain in-flight
+    // packets (and their ARQ repairs) for a grace period so the delivery
+    // ratio is not clipped at the cutoff.
+    let drain = SimDuration::from_millis(300);
+    let deadline = clock.now().saturating_add(cfg.duration);
+    let drain_deadline = deadline.saturating_add(drain);
+    // The reported rate/γ are sampled at the stop deadline, like the
+    // simulator's end-of-run report: during the drain the router's arrival
+    // estimate decays toward idle and its (now meaningless) spare-capacity
+    // labels would push MKC far above the converged operating point.
+    let mut at_stop: Option<(f64, f64)> = None;
+    loop {
+        let now = clock.now();
+        if at_stop.is_none() && now >= deadline {
+            source.stop();
+            at_stop = Some((source.rate_bps(), source.gamma()));
+        }
+        if now >= drain_deadline {
+            break;
+        }
+        source.poll(now)?;
+        router.poll(now)?;
+        receiver.poll(now)?;
+        clock.wait(cfg.poll_interval);
+    }
+    let (final_rate_bps, final_gamma) =
+        at_stop.unwrap_or_else(|| (source.rate_bps(), source.gamma()));
+
+    let u = receiver.utility();
+    let flow = FlowReport {
+        flow: 1,
+        final_rate_kbps: final_rate_bps / 1_000.0,
+        final_gamma,
+        frames_sent: source.frames_sent,
+        frames_seen: receiver.frames_seen() as u64,
+        sent_by_color: source.sent_by_color,
+        received_by_color: receiver.received_by_color,
+        utility: u.utility(),
+        enh_loss: u.loss_rate(),
+        mean_delay_s: [
+            receiver.delays.by_class[0].mean(),
+            receiver.delays.by_class[1].mean(),
+            receiver.delays.by_class[2].mean(),
+        ],
+        max_delay_s: [
+            finite_or_zero(receiver.delays.by_class[0].max()),
+            finite_or_zero(receiver.delays.by_class[1].max()),
+            finite_or_zero(receiver.delays.by_class[2].max()),
+        ],
+    };
+    let stats = LiveStats {
+        retransmissions: source.retransmissions,
+        nacks_sent: receiver.nacks_sent(),
+        recovered_packets: receiver.recovered_packets,
+        decode_errors: source.decode_errors + router.decode_errors + receiver.decode_errors,
+        shed_red_frames: source.shed_red_frames,
+        shed_yellow_frames: source.shed_yellow_frames,
+        abandoned_packets: source.abandoned_packets,
+    };
+    let report = ScenarioReport {
+        duration_s: cfg.duration.as_secs_f64(),
+        flows: vec![flow],
+        bottleneck_tx_by_class: router.tx_by_class,
+        bottleneck_drops_by_class: router.drops_by_class,
+        router_final_loss: router.estimator().loss(),
+        router_final_fgs_loss: router.estimator().fgs_loss(),
+        random_drops: 0,
+        tcp_delivered: 0,
+    };
+    Ok(LiveOutcome { report, stats })
+}
+
+fn finite_or_zero(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+/// Renders a [`LiveOutcome`] as the CSV layout used under `results/`:
+/// one row per flow plus a `router` summary row.
+pub fn to_csv(outcome: &LiveOutcome) -> String {
+    let mut out = String::from(
+        "row,flow,final_rate_kbps,final_gamma,frames_sent,frames_seen,\
+         sent_green,sent_yellow,sent_red,recv_green,recv_yellow,recv_red,\
+         utility,enh_loss,mean_delay_green_s,mean_delay_yellow_s,mean_delay_red_s\n",
+    );
+    for f in &outcome.report.flows {
+        out.push_str(&format!(
+            "flow,{},{:.3},{:.4},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.6},{:.6},{:.6}\n",
+            f.flow,
+            f.final_rate_kbps,
+            f.final_gamma,
+            f.frames_sent,
+            f.frames_seen,
+            f.sent_by_color[0],
+            f.sent_by_color[1],
+            f.sent_by_color[2],
+            f.received_by_color[0],
+            f.received_by_color[1],
+            f.received_by_color[2],
+            f.utility,
+            f.enh_loss,
+            f.mean_delay_s[0],
+            f.mean_delay_s[1],
+            f.mean_delay_s[2],
+        ));
+    }
+    let r = &outcome.report;
+    out.push_str(&format!(
+        "router,,{:.6},{:.6},,,{},{},{},{},{},{},,,,,\n",
+        r.router_final_loss,
+        r.router_final_fgs_loss,
+        r.bottleneck_tx_by_class[0],
+        r.bottleneck_tx_by_class[1],
+        r.bottleneck_tx_by_class[2],
+        r.bottleneck_drops_by_class[0],
+        r.bottleneck_drops_by_class[1],
+        r.bottleneck_drops_by_class[2],
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_mem_cfg() -> LiveConfig {
+        LiveConfig {
+            duration: SimDuration::from_secs(2),
+            backend: LiveBackend::Memory,
+            ..LiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn memory_run_is_deterministic() {
+        let cfg = short_mem_cfg();
+        let a = run_live(&cfg).unwrap();
+        let b = run_live(&cfg).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a.report).unwrap(),
+            serde_json::to_string(&b.report).unwrap()
+        );
+    }
+
+    #[test]
+    fn memory_run_streams_and_delivers_green() {
+        let out = run_live(&short_mem_cfg()).unwrap();
+        let f = &out.report.flows[0];
+        assert_eq!(f.frames_sent, 40, "2 s at 20 fps");
+        assert!(f.sent_by_color[0] > 0);
+        let green_ratio = f.received_by_color[0] as f64 / f.sent_by_color[0] as f64;
+        assert!(green_ratio >= 0.99, "green delivery {green_ratio}");
+        // MKC climbed well above the 128 kb/s floor toward C/N + α/β.
+        assert!(f.final_rate_kbps > 500.0, "rate {}", f.final_rate_kbps);
+        assert!(f.received_by_color[1] > 0, "yellow goodput");
+        assert!(f.received_by_color[2] > 0, "red goodput");
+    }
+
+    #[test]
+    fn csv_has_flow_and_router_rows() {
+        let out = run_live(&LiveConfig {
+            duration: SimDuration::from_millis(500),
+            backend: LiveBackend::Memory,
+            ..LiveConfig::default()
+        })
+        .unwrap();
+        let csv = to_csv(&out);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("row,flow,final_rate_kbps"));
+        assert!(lines.next().unwrap().starts_with("flow,1,"));
+        assert!(lines.next().unwrap().starts_with("router,,"));
+    }
+}

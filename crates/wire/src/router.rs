@@ -1,0 +1,337 @@
+//! The live bottleneck: a userspace strict-priority forwarder.
+//!
+//! [`WireRouter`] reproduces the PELS AQM of the simulator's
+//! `pels_core::aqm` on real datagrams: three color queues (green, yellow,
+//! red) served in strict priority out of a wall-clock byte budget, with
+//! the router's [`FeedbackEstimator`] closing an Eq. 11 measurement
+//! interval every `T` and stamping the resulting `(p, z, fgs_loss)` label
+//! into departing data packets (max-loss override per Eq. 12 preserved by
+//! [`crate::codec::patch_feedback`]).
+//!
+//! Two deliberate deviations from the simulated router, both documented in
+//! `DESIGN.md` §9:
+//!
+//! * **Non-work-conserving.** The simulator's WRR shares a physical link
+//!   with TCP cross-traffic; here there is no cross-traffic, so the router
+//!   serves at *exactly* its configured PELS capacity instead of borrowing
+//!   idle bandwidth. A single live flow therefore converges to the same
+//!   contended operating point `r* = C/N + α/β` as the simulated scenario.
+//! * **Labels stamped at departure**, not arrival: fresher by at most one
+//!   queueing delay, and control-equivalent because MKC only consumes the
+//!   label's epoch and loss values.
+//! * **Payload-bit accounting.** Arrival measurement and service budget
+//!   both count payload bytes, excluding the 78-byte wire header — the
+//!   simulator's packets have no header, so this keeps the live operating
+//!   point (`r*`, `p*`) numerically identical to the simulated one. The
+//!   source's token bucket uses the same convention.
+
+use crate::codec::{patch_feedback, peek_kind, WireKind, DATA_HEADER_BYTES};
+use crate::transport::Transport;
+use pels_core::feedback::FeedbackEstimator;
+use pels_netsim::packet::{AgentId, Feedback};
+use pels_netsim::time::{Rate, SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::io;
+use std::net::SocketAddr;
+
+/// Configuration of a [`WireRouter`].
+#[derive(Debug, Clone)]
+pub struct WireRouterConfig {
+    /// Identifier stamped into feedback labels (Eq. 12 tie-breaking).
+    pub id: AgentId,
+    /// Service rate of the PELS share of the bottleneck.
+    pub pels_capacity: Rate,
+    /// Measurement interval `T` (paper: 30 ms).
+    pub feedback_interval: SimDuration,
+    /// EWMA smoothing for the arrival-rate estimate.
+    pub smoothing: f64,
+    /// Queue limits in packets per color (green, yellow, red).
+    pub color_limits: [usize; 3],
+    /// Next hop for data packets (the receiver).
+    pub forward_to: SocketAddr,
+}
+
+impl WireRouterConfig {
+    /// Paper defaults for everything except the addresses and capacity.
+    pub fn new(id: AgentId, pels_capacity: Rate, forward_to: SocketAddr) -> Self {
+        WireRouterConfig {
+            id,
+            pels_capacity,
+            feedback_interval: SimDuration::from_millis(30),
+            smoothing: 0.15,
+            color_limits: [200, 200, 50],
+            forward_to,
+        }
+    }
+}
+
+/// The live strict-priority forwarder.
+#[derive(Debug)]
+pub struct WireRouter<T: Transport> {
+    transport: T,
+    cfg: WireRouterConfig,
+    estimator: FeedbackEstimator,
+    /// One FIFO of raw datagrams per color.
+    queues: [VecDeque<Vec<u8>>; 3],
+    /// Transmission credit in bits, refilled at `pels_capacity`.
+    budget_bits: f64,
+    last_poll: Option<SimTime>,
+    next_tick_at: Option<SimTime>,
+    recv_buf: Vec<u8>,
+    /// Packets forwarded per color (index 3 unused, kept for
+    /// `ScenarioReport` symmetry).
+    pub tx_by_class: [u64; 4],
+    /// Packets dropped at full color queues.
+    pub drops_by_class: [u64; 4],
+    /// Datagrams discarded because they were not decodable data packets.
+    pub decode_errors: u64,
+}
+
+impl<T: Transport> WireRouter<T> {
+    /// Creates a router forwarding through `transport`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity, interval, or smoothing is invalid
+    /// (see [`FeedbackEstimator::with_smoothing`]).
+    pub fn new(cfg: WireRouterConfig, transport: T) -> Self {
+        let estimator = FeedbackEstimator::with_smoothing(
+            cfg.pels_capacity,
+            cfg.feedback_interval,
+            cfg.smoothing,
+        );
+        WireRouter {
+            transport,
+            cfg,
+            estimator,
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            budget_bits: 0.0,
+            last_poll: None,
+            next_tick_at: None,
+            recv_buf: vec![0u8; 2048],
+            tx_by_class: [0; 4],
+            drops_by_class: [0; 4],
+            decode_errors: 0,
+        }
+    }
+
+    /// The address sources should send data packets to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.transport.local_addr()
+    }
+
+    /// The router's feedback estimator (final `p`, `p_FGS`, epoch).
+    pub fn estimator(&self) -> &FeedbackEstimator {
+        &self.estimator
+    }
+
+    /// Packets currently queued across all colors.
+    pub fn backlog(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Advances the router to `now`: ingests arrivals into the color
+    /// queues, closes due measurement intervals, and forwards packets in
+    /// strict green→yellow→red priority within the accumulated byte
+    /// budget, stamping the current feedback label at departure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hard transport failures.
+    pub fn poll(&mut self, now: SimTime) -> io::Result<()> {
+        self.ingest()?;
+        let tick = *self.next_tick_at.get_or_insert(now + self.cfg.feedback_interval);
+        if now >= tick {
+            self.estimator.tick(self.cfg.id);
+            self.next_tick_at = Some(tick + self.cfg.feedback_interval);
+        }
+        self.forward(now)
+    }
+
+    fn ingest(&mut self) -> io::Result<()> {
+        loop {
+            let Some((n, _from)) = self.transport.try_recv(&mut self.recv_buf)? else {
+                return Ok(());
+            };
+            let buf = &self.recv_buf[..n];
+            // Only data packets traverse the bottleneck; the reverse path
+            // (ACKs/NACKs) goes receiver→source directly, modeling the
+            // paper's uncongested return channel.
+            if peek_kind(buf) != Ok(WireKind::Data) || n < DATA_HEADER_BYTES {
+                self.decode_errors += 1;
+                continue;
+            }
+            let class = buf[30].min(2) as usize;
+            // Payload bytes only — see the module doc on accounting.
+            self.estimator.on_arrival((n - DATA_HEADER_BYTES) as u32, class as u8);
+            if self.queues[class].len() >= self.cfg.color_limits[class] {
+                self.drops_by_class[class] += 1;
+            } else {
+                self.queues[class].push_back(buf.to_vec());
+            }
+        }
+    }
+
+    fn forward(&mut self, now: SimTime) -> io::Result<()> {
+        if let Some(last) = self.last_poll {
+            let dt = now.duration_since(last).as_secs_f64();
+            let cap_bps = self.cfg.pels_capacity.as_bps() as f64;
+            // Credit is capped at one interval's worth so an idle spell
+            // cannot bank an arbitrarily large burst.
+            let max_credit = cap_bps * self.cfg.feedback_interval.as_secs_f64();
+            self.budget_bits = (self.budget_bits + cap_bps * dt).min(max_credit);
+        }
+        self.last_poll = Some(now);
+
+        let label = self.estimator.label(self.cfg.id);
+        loop {
+            let Some(class) = (0..3).find(|&c| !self.queues[c].is_empty()) else {
+                return Ok(());
+            };
+            let cost = self.queues[class]
+                .front()
+                .map_or(0.0, |d| (d.len() - DATA_HEADER_BYTES) as f64 * 8.0);
+            if self.budget_bits < cost {
+                return Ok(());
+            }
+            let mut datagram = self.queues[class].pop_front().expect("front checked");
+            self.budget_bits -= cost;
+            self.stamp(&mut datagram, label);
+            self.tx_by_class[class] += 1;
+            self.transport.send_to(&datagram, self.cfg.forward_to)?;
+        }
+    }
+
+    fn stamp(&mut self, datagram: &mut [u8], label: Feedback) {
+        if patch_feedback(datagram, label).is_err() {
+            // Unreachable for packets that passed ingest validation, but a
+            // corrupt header must not kill the forwarding loop.
+            self.decode_errors += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::WireData;
+    use crate::transport::{MemHub, MemTransport};
+    use pels_netsim::packet::{FlowId, FrameTag};
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    fn data(seq: u64, class: u8, payload: &[u8]) -> Vec<u8> {
+        WireData {
+            flow: FlowId(1),
+            seq,
+            tag: FrameTag { frame: 0, index: 0, total: 1, base: 1 },
+            class,
+            retransmission: false,
+            sent_at: SimTime::ZERO,
+            rate_echo: 128_000.0,
+            feedback: None,
+            payload,
+        }
+        .encode()
+    }
+
+    fn drain(sink: &MemTransport) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut buf = [0u8; 2048];
+        while let Some((n, _)) = sink.try_recv(&mut buf).unwrap() {
+            out.push(buf[..n].to_vec());
+        }
+        out
+    }
+
+    #[test]
+    fn serves_green_before_enhancement() {
+        let hub = MemHub::new();
+        let rx = hub.endpoint(addr(3));
+        let router_ep = hub.endpoint(addr(2));
+        let src = hub.endpoint(addr(1));
+        let cfg = WireRouterConfig::new(AgentId(1), Rate::from_mbps(1.0), rx.local_addr());
+        let mut router = WireRouter::new(cfg, router_ep);
+        // Interleave red, yellow, green; the budget only covers a few, so
+        // the greens must all leave first.
+        for seq in 0..4 {
+            src.send_to(&data(seq, 2, &[0u8; 400]), addr(2)).unwrap();
+            src.send_to(&data(seq + 4, 1, &[0u8; 400]), addr(2)).unwrap();
+            src.send_to(&data(seq + 8, 0, &[0u8; 400]), addr(2)).unwrap();
+        }
+        router.poll(SimTime::ZERO).unwrap();
+        // 1 Mb/s × 10 ms = 10_000 bits ≈ 3.1 packets of 400 payload bytes.
+        router.poll(SimTime::from_nanos(10_000_000)).unwrap();
+        let out = drain(&rx);
+        assert_eq!(out.len(), 3);
+        for d in &out {
+            assert_eq!(WireData::decode(d).unwrap().class, 0);
+        }
+        assert_eq!(router.backlog(), 9);
+    }
+
+    #[test]
+    fn full_color_queue_drops_only_that_color() {
+        let hub = MemHub::new();
+        let rx = hub.endpoint(addr(3));
+        let router_ep = hub.endpoint(addr(2));
+        let src = hub.endpoint(addr(1));
+        let mut cfg = WireRouterConfig::new(AgentId(1), Rate::from_kbps(64.0), rx.local_addr());
+        cfg.color_limits = [2, 2, 1];
+        let mut router = WireRouter::new(cfg, router_ep);
+        for seq in 0..3 {
+            src.send_to(&data(seq, 2, &[0u8; 100]), addr(2)).unwrap();
+            src.send_to(&data(seq + 3, 0, &[0u8; 100]), addr(2)).unwrap();
+        }
+        router.poll(SimTime::ZERO).unwrap();
+        assert_eq!(router.drops_by_class, [1, 0, 2, 0]);
+    }
+
+    #[test]
+    fn overload_produces_positive_loss_and_stamped_labels() {
+        let hub = MemHub::new();
+        let rx = hub.endpoint(addr(3));
+        let router_ep = hub.endpoint(addr(2));
+        let src = hub.endpoint(addr(1));
+        // 256 kb/s capacity, offered ~1.3 Mb/s over one interval.
+        let cfg = WireRouterConfig::new(AgentId(7), Rate::from_kbps(256.0), rx.local_addr());
+        let interval = cfg.feedback_interval;
+        let mut router = WireRouter::new(cfg, router_ep);
+        router.poll(SimTime::ZERO).unwrap();
+        for seq in 0..10 {
+            src.send_to(&data(seq, 0, &[0u8; 400]), addr(2)).unwrap();
+        }
+        router.poll(SimTime::ZERO + interval).unwrap();
+        assert!(router.estimator().epoch() >= 1);
+        assert!(router.estimator().loss() > 0.0, "loss {}", router.estimator().loss());
+        let out = drain(&rx);
+        assert!(!out.is_empty());
+        let stamped = WireData::decode(&out[0]).unwrap();
+        let fb = stamped.feedback.expect("label stamped at departure");
+        assert_eq!(fb.router, AgentId(7));
+        assert!(fb.loss > 0.0);
+    }
+
+    #[test]
+    fn acks_bypass_the_queues() {
+        let hub = MemHub::new();
+        let rx = hub.endpoint(addr(3));
+        let router_ep = hub.endpoint(addr(2));
+        let src = hub.endpoint(addr(1));
+        let cfg = WireRouterConfig::new(AgentId(1), Rate::from_mbps(1.0), rx.local_addr());
+        let mut router = WireRouter::new(cfg, router_ep);
+        let ack = crate::codec::WireAck {
+            flow: FlowId(1),
+            seq: 0,
+            sent_at: SimTime::ZERO,
+            rate_echo: 0.0,
+            feedback: None,
+        };
+        src.send_to(&ack.encode(), addr(2)).unwrap();
+        router.poll(SimTime::ZERO).unwrap();
+        assert_eq!(router.backlog(), 0);
+        assert_eq!(router.decode_errors, 1);
+    }
+}

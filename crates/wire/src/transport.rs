@@ -1,0 +1,238 @@
+//! Datagram transports: a deterministic in-memory hub and real UDP.
+//!
+//! The agents in this crate ([`crate::WireSource`], [`crate::WireRouter`],
+//! [`crate::WireReceiver`]) speak to the network only through the
+//! [`Transport`] trait — unreliable, unordered-capable datagram I/O
+//! addressed by [`SocketAddr`]. Two backends exist:
+//!
+//! * [`MemHub`] / [`MemTransport`] — a process-local hub of per-endpoint
+//!   queues. Delivery is instantaneous and lossless in FIFO order, sends to
+//!   unregistered addresses vanish (like UDP to a closed port), and nothing
+//!   depends on wall time — paired with a
+//!   [`ManualClock`](pels_netsim::clock::ManualClock) it makes live-agent
+//!   runs bit-reproducible in tests.
+//! * [`UdpTransport`] — a non-blocking [`std::net::UdpSocket`], used by
+//!   `pels live` over loopback (and by any real deployment).
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Unreliable datagram I/O, addressed by socket address.
+///
+/// `try_recv` never blocks: agents are `poll`-driven state machines and a
+/// quiet network must not stall the control loops (pacing, feedback ticks,
+/// staleness watchdogs all run on the clock, not on packet arrival).
+pub trait Transport {
+    /// The address peers should send to to reach this endpoint.
+    fn local_addr(&self) -> SocketAddr;
+
+    /// Sends one datagram to `to`. Like UDP, delivery is not guaranteed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend I/O errors; an unreachable destination is *not*
+    /// an error (the datagram is silently lost).
+    fn send_to(&self, buf: &[u8], to: SocketAddr) -> io::Result<()>;
+
+    /// Receives one datagram into `buf` if one is ready, returning its
+    /// length and origin. Returns `Ok(None)` when nothing is pending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend I/O errors other than "would block".
+    fn try_recv(&self, buf: &mut [u8]) -> io::Result<Option<(usize, SocketAddr)>>;
+}
+
+type Queues = HashMap<SocketAddr, VecDeque<(SocketAddr, Vec<u8>)>>;
+
+/// A shared in-memory datagram switch. Clone it (cheap, `Arc` inside) and
+/// create one [`MemTransport`] per endpoint.
+///
+/// # Examples
+///
+/// ```
+/// use pels_wire::transport::{MemHub, Transport};
+///
+/// let hub = MemHub::new();
+/// let a = hub.endpoint("127.0.0.1:9001".parse().unwrap());
+/// let b = hub.endpoint("127.0.0.1:9002".parse().unwrap());
+/// a.send_to(b"hello", b.local_addr()).unwrap();
+/// let mut buf = [0u8; 64];
+/// let (n, from) = b.try_recv(&mut buf).unwrap().unwrap();
+/// assert_eq!(&buf[..n], b"hello");
+/// assert_eq!(from, a.local_addr());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemHub {
+    queues: Arc<Mutex<Queues>>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl MemHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `addr` and returns its endpoint handle. Re-registering an
+    /// address clears its pending queue.
+    pub fn endpoint(&self, addr: SocketAddr) -> MemTransport {
+        self.queues.lock().expect("hub lock").insert(addr, VecDeque::new());
+        MemTransport { hub: self.clone(), addr }
+    }
+
+    /// Datagrams sent to addresses with no registered endpoint.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// One endpoint of a [`MemHub`].
+#[derive(Debug, Clone)]
+pub struct MemTransport {
+    hub: MemHub,
+    addr: SocketAddr,
+}
+
+impl Transport for MemTransport {
+    fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn send_to(&self, buf: &[u8], to: SocketAddr) -> io::Result<()> {
+        let mut queues = self.hub.queues.lock().expect("hub lock");
+        match queues.get_mut(&to) {
+            Some(q) => q.push_back((self.addr, buf.to_vec())),
+            None => {
+                self.hub.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    fn try_recv(&self, buf: &mut [u8]) -> io::Result<Option<(usize, SocketAddr)>> {
+        let mut queues = self.hub.queues.lock().expect("hub lock");
+        let Some(q) = queues.get_mut(&self.addr) else { return Ok(None) };
+        let Some((from, datagram)) = q.pop_front() else { return Ok(None) };
+        // Like recvfrom: a too-small buffer truncates the datagram.
+        let n = datagram.len().min(buf.len());
+        buf[..n].copy_from_slice(&datagram[..n]);
+        Ok(Some((n, from)))
+    }
+}
+
+/// A non-blocking UDP socket.
+#[derive(Debug)]
+pub struct UdpTransport {
+    socket: UdpSocket,
+    addr: SocketAddr,
+}
+
+impl UdpTransport {
+    /// Binds `addr` (use port 0 for an ephemeral port) in non-blocking
+    /// mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures.
+    pub fn bind(addr: SocketAddr) -> io::Result<Self> {
+        let socket = UdpSocket::bind(addr)?;
+        socket.set_nonblocking(true)?;
+        let addr = socket.local_addr()?;
+        Ok(UdpTransport { socket, addr })
+    }
+}
+
+impl Transport for UdpTransport {
+    fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn send_to(&self, buf: &[u8], to: SocketAddr) -> io::Result<()> {
+        match self.socket.send_to(buf, to) {
+            Ok(_) => Ok(()),
+            // A full socket buffer drops the datagram — UDP semantics, not
+            // an error the pacing loop should die on.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            // Loopback can surface a peer's closed port as ECONNREFUSED on
+            // the *next* send; the peer being gone is still just loss.
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_recv(&self, buf: &mut [u8]) -> io::Result<Option<(usize, SocketAddr)>> {
+        match self.socket.recv_from(buf) {
+            Ok((n, from)) => Ok(Some((n, from))),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn mem_hub_delivers_fifo_per_endpoint() {
+        let hub = MemHub::new();
+        let a = hub.endpoint(addr(1));
+        let b = hub.endpoint(addr(2));
+        a.send_to(b"one", b.local_addr()).unwrap();
+        a.send_to(b"two", b.local_addr()).unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(b.try_recv(&mut buf).unwrap().unwrap().0, 3);
+        assert_eq!(&buf[..3], b"one");
+        assert_eq!(b.try_recv(&mut buf).unwrap().unwrap().0, 3);
+        assert_eq!(&buf[..3], b"two");
+        assert!(b.try_recv(&mut buf).unwrap().is_none());
+        // a's own queue is untouched.
+        assert!(a.try_recv(&mut buf).unwrap().is_none());
+    }
+
+    #[test]
+    fn mem_hub_drops_to_unregistered_addresses() {
+        let hub = MemHub::new();
+        let a = hub.endpoint(addr(1));
+        a.send_to(b"void", addr(99)).unwrap();
+        assert_eq!(hub.dropped(), 1);
+    }
+
+    #[test]
+    fn mem_hub_truncates_into_small_buffers() {
+        let hub = MemHub::new();
+        let a = hub.endpoint(addr(1));
+        let b = hub.endpoint(addr(2));
+        a.send_to(&[7u8; 100], b.local_addr()).unwrap();
+        let mut buf = [0u8; 10];
+        let (n, _) = b.try_recv(&mut buf).unwrap().unwrap();
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn udp_loopback_roundtrip() {
+        let a = UdpTransport::bind(addr(0)).unwrap();
+        let b = UdpTransport::bind(addr(0)).unwrap();
+        a.send_to(b"ping", b.local_addr()).unwrap();
+        let mut buf = [0u8; 16];
+        // Loopback delivery is fast but asynchronous: poll briefly.
+        for _ in 0..200 {
+            if let Some((n, from)) = b.try_recv(&mut buf).unwrap() {
+                assert_eq!(&buf[..n], b"ping");
+                assert_eq!(from, a.local_addr());
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("datagram never arrived on loopback");
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for the wire codecs: roundtrip identity over arbitrary
+//! valid packets, and hard rejection of truncation and version skew.
+
+use pels_netsim::packet::{AgentId, Feedback, FlowId, FrameTag};
+use pels_netsim::time::SimTime;
+use pels_wire::codec::{CodecError, WireAck, WireData, WireNack, VERSION};
+use proptest::prelude::*;
+
+/// Builds a semantically valid frame tag from raw generator output.
+fn tag(frame: u64, total_raw: u16, index_raw: u16, base_raw: u16) -> FrameTag {
+    let total = total_raw.clamp(1, 512);
+    FrameTag { frame, index: index_raw % total, total, base: base_raw % (total + 1) }
+}
+
+/// Builds a valid feedback label from raw generator output.
+fn label(router: u32, epoch: u64, loss: f64, fgs: f64) -> Feedback {
+    Feedback::new(AgentId(router), epoch, loss.clamp(-1e6, 0.999_999), fgs.clamp(0.0, 1.0))
+}
+
+proptest! {
+    /// Any valid data packet encodes and decodes back to itself, with the
+    /// payload decoded zero-copy out of the original buffer.
+    #[test]
+    fn data_roundtrips(
+        flow in any::<u32>(),
+        seq in any::<u64>(),
+        frame in any::<u64>(),
+        total_raw in any::<u16>(),
+        index_raw in any::<u16>(),
+        base_raw in any::<u16>(),
+        class in 0u8..3,
+        retx in any::<bool>(),
+        sent_ns in any::<u64>(),
+        rate in 0.0f64..1e10,
+        has_fb in any::<bool>(),
+        router in any::<u32>(),
+        epoch in any::<u64>(),
+        loss in -200.0f64..1.0,
+        fgs in 0.0f64..=1.0,
+        payload in proptest::collection::vec(any::<u8>(), 0..1200),
+    ) {
+        let original = WireData {
+            flow: FlowId(flow),
+            seq,
+            tag: tag(frame, total_raw, index_raw, base_raw),
+            class,
+            retransmission: retx,
+            sent_at: SimTime::from_nanos(sent_ns),
+            rate_echo: rate,
+            feedback: has_fb.then(|| label(router, epoch, loss, fgs)),
+            payload: &payload,
+        };
+        let buf = original.encode();
+        let back = WireData::decode(&buf).unwrap();
+        prop_assert_eq!(back, original);
+        // Zero-copy: the decoded payload aliases the encoded buffer.
+        prop_assert_eq!(back.payload.as_ptr(), buf[buf.len() - payload.len()..].as_ptr());
+    }
+
+    /// Any valid acknowledgment roundtrips.
+    #[test]
+    fn ack_roundtrips(
+        flow in any::<u32>(),
+        seq in any::<u64>(),
+        sent_ns in any::<u64>(),
+        rate in 0.0f64..1e10,
+        has_fb in any::<bool>(),
+        router in any::<u32>(),
+        epoch in any::<u64>(),
+        loss in -200.0f64..1.0,
+        fgs in 0.0f64..=1.0,
+    ) {
+        let original = WireAck {
+            flow: FlowId(flow),
+            seq,
+            sent_at: SimTime::from_nanos(sent_ns),
+            rate_echo: rate,
+            feedback: has_fb.then(|| label(router, epoch, loss, fgs)),
+        };
+        let back = WireAck::decode(&original.encode()).unwrap();
+        prop_assert_eq!(back, original);
+    }
+
+    /// Any valid retransmission request roundtrips.
+    #[test]
+    fn nack_roundtrips(
+        flow in any::<u32>(),
+        frame in any::<u64>(),
+        total_raw in any::<u16>(),
+        index_raw in any::<u16>(),
+        base_raw in any::<u16>(),
+    ) {
+        let original =
+            WireNack { flow: FlowId(flow), tag: tag(frame, total_raw, index_raw, base_raw) };
+        let back = WireNack::decode(&original.encode()).unwrap();
+        prop_assert_eq!(back, original);
+    }
+
+    /// Every strict prefix of a valid packet is rejected — no decoder reads
+    /// past what it validated, and none accepts a short buffer.
+    #[test]
+    fn any_truncation_is_rejected(
+        kind in 0u8..3,
+        cut in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let full = encode_kind(kind, &payload);
+        let len = usize::from(cut) % full.len();
+        let err = decode_kind(kind, &full[..len]);
+        prop_assert!(err.is_err(), "accepted a {len}-byte prefix of {} bytes", full.len());
+    }
+
+    /// A packet from any other protocol version is rejected with
+    /// `BadVersion`, regardless of kind.
+    #[test]
+    fn version_skew_is_rejected(
+        kind in 0u8..3,
+        version in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        prop_assume!(version != VERSION);
+        let mut buf = encode_kind(kind, &payload);
+        buf[2] = version;
+        prop_assert_eq!(decode_kind(kind, &buf).unwrap_err(), CodecError::BadVersion(version));
+    }
+
+    /// Corrupting the class byte of a data packet to an unknown color is
+    /// a hard reject (routers index queues by class).
+    #[test]
+    fn bad_class_is_rejected(class in 3u8..=255) {
+        let mut buf = encode_kind(0, &[1, 2, 3]);
+        buf[30] = class;
+        prop_assert_eq!(
+            WireData::decode(&buf).unwrap_err(),
+            CodecError::InvalidField("class")
+        );
+    }
+}
+
+/// Encodes a representative packet of the given wire kind.
+fn encode_kind(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let fb = Some(Feedback::new(AgentId(3), 7, 0.25, 0.5));
+    match kind {
+        0 => WireData {
+            flow: FlowId(1),
+            seq: 42,
+            tag: FrameTag { frame: 9, index: 2, total: 8, base: 4 },
+            class: 1,
+            retransmission: false,
+            sent_at: SimTime::from_nanos(1_000),
+            rate_echo: 500_000.0,
+            feedback: fb,
+            payload,
+        }
+        .encode(),
+        1 => WireAck {
+            flow: FlowId(1),
+            seq: 42,
+            sent_at: SimTime::from_nanos(1_000),
+            rate_echo: 500_000.0,
+            feedback: fb,
+        }
+        .encode(),
+        _ => WireNack { flow: FlowId(1), tag: FrameTag { frame: 9, index: 2, total: 8, base: 4 } }
+            .encode(),
+    }
+}
+
+/// Decodes with the matching decoder, erasing the differing `Ok` types.
+fn decode_kind(kind: u8, buf: &[u8]) -> Result<(), CodecError> {
+    match kind {
+        0 => WireData::decode(buf).map(|_| ()),
+        1 => WireAck::decode(buf).map(|_| ()),
+        _ => WireNack::decode(buf).map(|_| ()),
+    }
+}

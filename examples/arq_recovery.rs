@@ -40,7 +40,7 @@ fn main() {
     let mut on_time = 0;
     let mut late = 0;
     for i in 0..4 {
-        nacks += s.receiver(i).nacks_sent;
+        nacks += s.receiver(i).nacks_sent();
         retx += s.source(i).retransmissions;
         on_time += s.receiver(i).recovered_on_time;
         late += s.receiver(i).recovered_late;
