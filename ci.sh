@@ -12,6 +12,17 @@ cargo test -q
 echo "== pels live smoke (loopback UDP, 2 s) =="
 timeout 120 cargo run --release -q -p pels-cli --bin pels -- live --duration 2
 
+echo "== pels run telemetry smoke (JSON-lines stream) =="
+tel_file="$(mktemp -t pels_telemetry_XXXXXX.jsonl)"
+trap 'rm -f "$tel_file"' EXIT
+timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
+  run --flows 2 --duration 5 --telemetry "$tel_file" > /dev/null
+test -s "$tel_file" || { echo "telemetry stream is empty" >&2; exit 1; }
+# `pels metrics` fails unless every line parses as a snapshot.
+metrics_out="$(timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
+  metrics "$tel_file")"
+printf '%s\n' "$metrics_out" | head -n 3
+
 echo "== cargo clippy (all targets, warnings are errors) =="
 cargo clippy --all-targets -- -D warnings
 

@@ -7,10 +7,11 @@
 //! sets in; red loss stabilizes at p_thr = 75% at *both* load levels, so
 //! yellow packets see (near-)zero loss.
 
-use pels_bench::{downsample, fmt, print_table, write_series};
+use pels_bench::{downsample, fmt, print_table, telemetry_series, write_series};
 use pels_core::scenario::{pels_flows, Scenario, ScenarioConfig};
 use pels_netsim::stats::TimeSeries;
 use pels_netsim::time::SimTime;
+use pels_telemetry::Telemetry;
 
 struct LoadResult {
     label: String,
@@ -24,21 +25,31 @@ struct LoadResult {
 }
 
 fn run(n_flows: usize) -> LoadResult {
-    let cfg = ScenarioConfig { flows: pels_flows(&vec![0.0; n_flows]), ..Default::default() };
+    // All figure data comes from the telemetry layer; the bespoke
+    // per-agent series stay off.
+    let cfg = ScenarioConfig {
+        flows: pels_flows(&vec![0.0; n_flows]),
+        keep_series: false,
+        ..Default::default()
+    };
+    let tel = Telemetry::new();
     let mut s = Scenario::build(cfg);
+    s.attach_telemetry(&tel);
     s.run_until(SimTime::from_secs_f64(60.0));
-    let router = s.router();
-    let src = s.source(0);
+    let gamma = telemetry_series(&tel, "sim.flow0.gamma", "gamma");
+    let red_loss = telemetry_series(&tel, "sim.router.p_red", "p_red");
+    let fgs_loss = telemetry_series(&tel, "sim.router.p_fgs", "p_fgs");
+    let yellow = telemetry_series(&tel, "sim.router.p_yellow", "p_yellow");
     let settle = 30.0;
     LoadResult {
         label: format!("{n_flows} flows"),
-        gamma: src.gamma_series.clone(),
-        red_loss: router.red_loss_series.clone(),
-        fgs_loss: router.fgs_loss_series.clone(),
-        mean_fgs_loss: router.fgs_loss_series.mean_after(settle).unwrap_or(0.0),
-        mean_gamma: src.gamma_series.mean_after(settle).unwrap_or(0.0),
-        mean_red_loss: router.red_loss_series.mean_after(settle).unwrap_or(0.0),
-        yellow_loss: router.yellow_loss_series.mean_after(settle).unwrap_or(0.0),
+        mean_fgs_loss: fgs_loss.mean_after(settle).unwrap_or(0.0),
+        mean_gamma: gamma.mean_after(settle).unwrap_or(0.0),
+        mean_red_loss: red_loss.mean_after(settle).unwrap_or(0.0),
+        yellow_loss: yellow.mean_after(settle).unwrap_or(0.0),
+        gamma,
+        red_loss,
+        fgs_loss,
     }
 }
 

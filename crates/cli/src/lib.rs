@@ -4,16 +4,21 @@
 //!
 //! ```text
 //! pels run   [--flows N] [--duration SECS] [--mode pels|besteffort|fifo]
-//!            [--seed S] [--config FILE.json] [--json]
+//!            [--seed S] [--config FILE.json] [--telemetry FILE.jsonl] [--json]
 //! pels sweep --flows-list 1,2,4,8 [--duration SECS] [--json]
 //! pels model --p LOSS --h PACKETS        # Section 3 closed forms
 //! pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]
-//! pels chaos [--seed S] [--duration SECS] [--json]  # fault-injection matrix
+//! pels chaos [--seed S] [--duration SECS] [--telemetry FILE.jsonl] [--json]
 //! pels live  [--duration SECS] [--bottleneck-mbps M] [--share F]
-//!            [--mem] [--json]             # PELS over real loopback UDP
+//!            [--mem] [--telemetry FILE.jsonl] [--json]  # real loopback UDP
+//! pels metrics FILE.jsonl                 # summarize a telemetry stream
 //! pels trace --frames N [--cv CV] [--seed S]   # synthetic trace as CSV
 //! pels config-template                    # print a ScenarioConfig JSON
 //! ```
+//!
+//! `run`, `chaos`, and `live` all accept `--telemetry FILE.jsonl`, which
+//! streams cumulative [`pels_telemetry`] snapshots to the file as JSON
+//! lines; `pels metrics` renders the last snapshot of such a file.
 //!
 //! This module holds the argument parsing and command logic so it can be
 //! unit-tested; `main.rs` is a thin shim.
@@ -38,6 +43,8 @@ pub enum Command {
         duration_s: f64,
         /// Emit the report as JSON instead of text.
         json: bool,
+        /// Write telemetry snapshots (JSON lines) to this path.
+        telemetry: Option<String>,
     },
     /// Evaluate the Section 3 closed forms.
     Model {
@@ -74,6 +81,8 @@ pub enum Command {
         duration_s: f64,
         /// Emit the report as JSON instead of text.
         json: bool,
+        /// Write telemetry snapshots (JSON lines) to this path.
+        telemetry: Option<String>,
     },
     /// Stream one live PELS flow over a real transport and report.
     Live {
@@ -87,6 +96,13 @@ pub enum Command {
         mem: bool,
         /// Emit the report as JSON instead of text.
         json: bool,
+        /// Write telemetry snapshots (JSON lines) to this path.
+        telemetry: Option<String>,
+    },
+    /// Summarize a telemetry snapshot file written by `--telemetry`.
+    Metrics {
+        /// Path to the JSON-lines snapshot file.
+        path: String,
     },
     /// Generate a synthetic frame-size trace as CSV on stdout.
     Trace {
@@ -197,6 +213,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                 config: Box::new(config),
                 duration_s,
                 json: map.contains_key("json"),
+                telemetry: map.get("telemetry").cloned(),
             })
         }
         "model" => {
@@ -242,7 +259,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                     "--duration must be at least 5 seconds to measure recovery".into(),
                 ));
             }
-            Ok(Command::Chaos { seed, duration_s, json: map.contains_key("json") })
+            Ok(Command::Chaos {
+                seed,
+                duration_s,
+                json: map.contains_key("json"),
+                telemetry: map.get("telemetry").cloned(),
+            })
         }
         "live" => {
             let map = flag_map(rest)?;
@@ -264,7 +286,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                 share,
                 mem: map.contains_key("mem"),
                 json: map.contains_key("json"),
+                telemetry: map.get("telemetry").cloned(),
             })
+        }
+        "metrics" => {
+            let Some(path) = rest.first() else {
+                return Err(ParseArgsError("metrics needs a snapshot file path".into()));
+            };
+            if let Some(extra) = rest.get(1) {
+                return Err(ParseArgsError(format!("unexpected argument `{extra}`")));
+            }
+            Ok(Command::Metrics { path: path.clone() })
         }
         "trace" => {
             let map = flag_map(rest)?;
@@ -279,6 +311,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
         "config-template" => Ok(Command::ConfigTemplate),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseArgsError(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Opens a telemetry handle for `--telemetry PATH`: disabled when no path
+/// was given, otherwise enabled with a JSON-lines sink on the file.
+fn open_telemetry(path: Option<&str>) -> Result<pels_telemetry::Telemetry, String> {
+    use pels_telemetry::{JsonLinesSink, Telemetry};
+    match path {
+        None => Ok(Telemetry::disabled()),
+        Some(p) => {
+            let sink = JsonLinesSink::create(p)
+                .map_err(|e| format!("cannot create telemetry file {p}: {e}"))?;
+            let tel = Telemetry::new();
+            tel.attach_sink(Box::new(sink));
+            Ok(tel)
+        }
     }
 }
 
@@ -356,8 +404,9 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             }
             Ok(())
         }
-        Command::Chaos { seed, duration_s, json } => {
+        Command::Chaos { seed, duration_s, json, telemetry } => {
             use pels_netsim::time::SimDuration;
+            let tel = open_telemetry(telemetry.as_deref())?;
             // Fault window scales with the run: onset at 1/3, lasting 1/20 of
             // the run (the 30 s default reproduces the 10–11.5 s window used
             // by the chaos bench binary).
@@ -368,7 +417,8 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 fault_to: SimDuration::from_secs_f64(duration_s / 3.0 + duration_s / 20.0),
                 ..Default::default()
             };
-            let report = pels_core::chaos::run_matrix(&cfg).map_err(|e| e.to_string())?;
+            let report =
+                pels_core::chaos::run_matrix_instrumented(&cfg, &tel).map_err(|e| e.to_string())?;
             if json {
                 let j = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
                 return w(out, j);
@@ -394,14 +444,16 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 Err("chaos invariants violated".to_string())
             }
         }
-        Command::Live { duration_s, bottleneck_mbps, share, mem, json } => {
+        Command::Live { duration_s, bottleneck_mbps, share, mem, json, telemetry } => {
             use pels_netsim::time::{Rate, SimDuration};
             use pels_wire::live::{run_live, to_csv, LiveBackend, LiveConfig};
+            let tel = open_telemetry(telemetry.as_deref())?;
             let cfg = LiveConfig {
                 duration: SimDuration::from_secs_f64(duration_s),
                 bottleneck: Rate::from_mbps(bottleneck_mbps),
                 pels_share: share,
                 backend: if mem { LiveBackend::Memory } else { LiveBackend::UdpLoopback },
+                telemetry: tel,
                 ..LiveConfig::default()
             };
             let outcome = run_live(&cfg).map_err(|e| format!("live run failed: {e}"))?;
@@ -457,9 +509,72 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 ),
             )
         }
-        Command::Run { config, duration_s, json } => {
+        Command::Metrics { path } => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let lines = pels_telemetry::parse_snapshot_lines(&text)
+                .map_err(|e| format!("bad telemetry in {path}: {e}"))?;
+            let Some(last) = lines.last() else {
+                return Err(format!("{path} holds no snapshots"));
+            };
+            // Snapshots are cumulative, so the last line summarizes the run.
+            let s = &last.snapshot;
+            w(out, format!("{path}: {} snapshot(s), last at t = {:.3} s", lines.len(), last.t))?;
+            if !s.counters.is_empty() {
+                w(out, "counters:".to_string())?;
+                for (k, v) in &s.counters {
+                    w(out, format!("  {k:<36} {v}"))?;
+                }
+            }
+            if !s.gauges.is_empty() {
+                w(out, "gauges:".to_string())?;
+                for (k, g) in &s.gauges {
+                    w(out, format!("  {k:<36} {:<12.4} ({} updates)", g.value, g.updates))?;
+                }
+            }
+            if !s.stats.is_empty() {
+                w(out, "distributions:".to_string())?;
+                for (k, st) in &s.stats {
+                    let su = &st.summary;
+                    w(
+                        out,
+                        format!(
+                            "  {k:<36} n {:>7}  mean {:.4}  min {:.4}  max {:.4}  p99 {:.4}",
+                            su.count(),
+                            su.mean(),
+                            su.min().unwrap_or(f64::NAN),
+                            su.max().unwrap_or(f64::NAN),
+                            st.hist.quantile(0.99).unwrap_or(f64::NAN),
+                        ),
+                    )?;
+                }
+            }
+            if !s.series.is_empty() {
+                w(out, "series:".to_string())?;
+                for (k, pts) in &s.series {
+                    let last_v = pts.last().map_or(f64::NAN, |p| p.1);
+                    w(out, format!("  {k:<36} {:>7} samples  last {last_v:.4}", pts.len()))?;
+                }
+            }
+            Ok(())
+        }
+        Command::Run { config, duration_s, json, telemetry } => {
+            let tel = open_telemetry(telemetry.as_deref())?;
             let mut s = Scenario::build(*config);
-            s.run_until(SimTime::from_secs_f64(duration_s));
+            if tel.is_enabled() {
+                s.attach_telemetry(&tel);
+                // Flush a cumulative snapshot roughly once per simulated
+                // second so the stream shows the run's progression, not
+                // just its end state.
+                let mut t = 0.0;
+                while t < duration_s {
+                    t = (t + 1.0).min(duration_s);
+                    s.run_until(SimTime::from_secs_f64(t));
+                    s.flush_telemetry(&tel);
+                }
+            } else {
+                s.run_until(SimTime::from_secs_f64(duration_s));
+            }
             let report = s.report();
             if json {
                 let j = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -503,12 +618,14 @@ pub fn usage() -> String {
      \n\
      USAGE:\n\
        pels run   [--flows N] [--duration SECS] [--mode pels|besteffort|fifo]\n\
-                  [--seed S] [--config FILE.json] [--json]\n\
+                  [--seed S] [--config FILE.json] [--telemetry FILE.jsonl] [--json]\n\
        pels sweep [--flows-list 1,2,4,8] [--duration SECS] [--json]\n\
        pels model --p LOSS --h PACKETS\n\
        pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]\n\
-       pels chaos [--seed S] [--duration SECS] [--json]\n\
-       pels live  [--duration SECS] [--bottleneck-mbps M] [--share F] [--mem] [--json]\n\
+       pels chaos [--seed S] [--duration SECS] [--telemetry FILE.jsonl] [--json]\n\
+       pels live  [--duration SECS] [--bottleneck-mbps M] [--share F] [--mem]\n\
+                  [--telemetry FILE.jsonl] [--json]\n\
+       pels metrics FILE.jsonl                  # summarize a telemetry stream\n\
        pels trace [--frames N] [--cv CV] [--seed S]\n\
        pels config-template\n\
        pels help"
@@ -527,10 +644,11 @@ mod tests {
     fn parses_run_defaults() {
         let cmd = parse_args(&args("run")).unwrap();
         match cmd {
-            Command::Run { config, duration_s, json } => {
+            Command::Run { config, duration_s, json, telemetry } => {
                 assert_eq!(config.flows.len(), 2);
                 assert_eq!(duration_s, 30.0);
                 assert!(!json);
+                assert!(telemetry.is_none());
             }
             other => panic!("{other:?}"),
         }
@@ -542,7 +660,7 @@ mod tests {
             parse_args(&args("run --flows 4 --duration 10 --mode besteffort --json --seed 7"))
                 .unwrap();
         match cmd {
-            Command::Run { config, duration_s, json } => {
+            Command::Run { config, duration_s, json, .. } => {
                 assert_eq!(config.flows.len(), 4);
                 assert_eq!(config.seed, 7);
                 assert_eq!(duration_s, 10.0);
@@ -633,10 +751,11 @@ mod tests {
     fn parses_chaos_flags() {
         let cmd = parse_args(&args("chaos --seed 9 --duration 12 --json")).unwrap();
         match cmd {
-            Command::Chaos { seed, duration_s, json } => {
+            Command::Chaos { seed, duration_s, json, telemetry } => {
                 assert_eq!(seed, 9);
                 assert_eq!(duration_s, 12.0);
                 assert!(json);
+                assert!(telemetry.is_none());
             }
             other => panic!("{other:?}"),
         }
@@ -660,12 +779,13 @@ mod tests {
             parse_args(&args("live --duration 2 --bottleneck-mbps 8 --share 0.25 --mem --json"))
                 .unwrap();
         match cmd {
-            Command::Live { duration_s, bottleneck_mbps, share, mem, json } => {
+            Command::Live { duration_s, bottleneck_mbps, share, mem, json, telemetry } => {
                 assert_eq!(duration_s, 2.0);
                 assert_eq!(bottleneck_mbps, 8.0);
                 assert_eq!(share, 0.25);
                 assert!(mem);
                 assert!(json);
+                assert!(telemetry.is_none());
             }
             other => panic!("{other:?}"),
         }
@@ -694,6 +814,80 @@ mod tests {
         assert_eq!(flows[0]["frames_sent"].as_u64(), Some(20), "1 s at 20 fps");
         let csv = std::fs::read_to_string(dir.join("live.csv")).unwrap();
         assert!(csv.lines().any(|l| l.starts_with("flow,1,")), "{csv}");
+    }
+
+    #[test]
+    fn run_with_telemetry_writes_parseable_snapshots_and_metrics_reads_them() {
+        let dir = std::env::temp_dir().join("pels_cli_tel_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let cmd = parse_args(&args(&format!(
+            "run --flows 1 --duration 3 --json --telemetry {}",
+            path.display()
+        )))
+        .unwrap();
+        match &cmd {
+            Command::Run { telemetry: Some(p), .. } => assert!(p.ends_with("run.jsonl")),
+            other => panic!("{other:?}"),
+        }
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines = pels_telemetry::parse_snapshot_lines(&text).unwrap();
+        assert_eq!(lines.len(), 3, "one cumulative snapshot per simulated second");
+        let last = &lines.last().unwrap().snapshot;
+        assert!(last.counters["sim.flow0.feedback_epochs"] > 0);
+        assert!(last.series.contains_key("sim.flow0.rate_kbps"));
+        assert!(last.gauges.contains_key("sim.events"));
+
+        let cmd = parse_args(&args(&format!("metrics {}", path.display()))).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("3 snapshot(s)"), "{text}");
+        assert!(text.contains("counters:"), "{text}");
+        assert!(text.contains("sim.flow0.feedback_epochs"), "{text}");
+        assert!(text.contains("sim.flow0.rate_kbps"), "{text}");
+    }
+
+    #[test]
+    fn live_with_telemetry_streams_snapshots() {
+        let dir = std::env::temp_dir().join("pels_cli_tel_live");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("PELS_RESULTS_DIR", &dir);
+        let path = dir.join("live.jsonl");
+        let cmd = parse_args(&args(&format!(
+            "live --duration 1 --mem --json --telemetry {}",
+            path.display()
+        )))
+        .unwrap();
+        let mut buf = Vec::new();
+        let res = execute(cmd, &mut buf);
+        std::env::remove_var("PELS_RESULTS_DIR");
+        res.unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines = pels_telemetry::parse_snapshot_lines(&text).unwrap();
+        let last = &lines.last().unwrap().snapshot;
+        assert!(last.counters["wire.src.feedback_epochs"] > 0);
+        assert!(last.counters.contains_key("wire.router.tx.green"));
+    }
+
+    #[test]
+    fn metrics_rejects_missing_and_bad_files() {
+        assert!(parse_args(&args("metrics")).is_err());
+        assert!(parse_args(&args("metrics a.jsonl b.jsonl")).is_err());
+        let cmd = Command::Metrics { path: "/nonexistent/pels.jsonl".into() };
+        assert!(execute(cmd, &mut Vec::new()).is_err());
+        let dir = std::env::temp_dir().join("pels_cli_tel_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "not json\n").unwrap();
+        let cmd = parse_args(&args(&format!("metrics {}", bad.display()))).unwrap();
+        assert!(execute(cmd, &mut Vec::new()).is_err());
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        let cmd = parse_args(&args(&format!("metrics {}", empty.display()))).unwrap();
+        assert!(execute(cmd, &mut Vec::new()).is_err());
     }
 
     #[test]

@@ -204,6 +204,16 @@ fn schedule_for(case: ChaosCase, cfg: &ChaosConfig) -> FaultSchedule {
 
 /// Runs one fault case and evaluates its invariants.
 pub fn run_case(case: ChaosCase, cfg: &ChaosConfig) -> Result<CaseReport, SimError> {
+    run_case_instrumented(case, cfg, &pels_telemetry::Telemetry::disabled())
+}
+
+/// [`run_case`] with a telemetry handle attached to every agent for the
+/// case's run; one cumulative snapshot is flushed when the case ends.
+pub fn run_case_instrumented(
+    case: ChaosCase,
+    cfg: &ChaosConfig,
+    telemetry: &pels_telemetry::Telemetry,
+) -> Result<CaseReport, SimError> {
     cfg.validate()?;
     let sc = ScenarioConfig {
         seed: cfg.seed,
@@ -212,8 +222,10 @@ pub fn run_case(case: ChaosCase, cfg: &ChaosConfig) -> Result<CaseReport, SimErr
         ..Default::default()
     };
     let mut s = Scenario::try_build(sc)?;
+    s.attach_telemetry(telemetry);
     s.install_faults(&schedule_for(case, cfg));
     s.run_until(SimTime::from_secs_f64(cfg.duration.as_secs_f64()));
+    s.flush_telemetry(telemetry);
 
     let n = cfg.flows;
     let pels_capacity = s.config().bottleneck.scale(s.config().aqm.pels_share);
@@ -279,10 +291,19 @@ pub fn run_case(case: ChaosCase, cfg: &ChaosConfig) -> Result<CaseReport, SimErr
 
 /// Runs every [`ChaosCase`] and aggregates the verdicts.
 pub fn run_matrix(cfg: &ChaosConfig) -> Result<ChaosReport, SimError> {
+    run_matrix_instrumented(cfg, &pels_telemetry::Telemetry::disabled())
+}
+
+/// [`run_matrix`] with telemetry: all cases share the registry, so each
+/// flushed snapshot line is cumulative across the cases run so far.
+pub fn run_matrix_instrumented(
+    cfg: &ChaosConfig,
+    telemetry: &pels_telemetry::Telemetry,
+) -> Result<ChaosReport, SimError> {
     cfg.validate()?;
     let mut cases = Vec::with_capacity(ChaosCase::ALL.len());
     for case in ChaosCase::ALL {
-        cases.push(run_case(case, cfg)?);
+        cases.push(run_case_instrumented(case, cfg, telemetry)?);
     }
     let all_ok = cases.iter().all(|c| c.ok);
     Ok(ChaosReport { seed: cfg.seed, duration_s: cfg.duration.as_secs_f64(), cases, all_ok })

@@ -294,6 +294,32 @@ impl Scenario {
         self.sim.install_faults(schedule);
     }
 
+    /// Attaches a telemetry handle to every instrumented agent: the AQM
+    /// router and each video source and receiver share (clones of) the same
+    /// registry. Disabled handles keep all hot paths single-branch no-ops.
+    pub fn attach_telemetry(&mut self, telemetry: &pels_telemetry::Telemetry) {
+        self.sim.agent_mut::<AqmRouter>(self.r1).set_telemetry(telemetry.clone());
+        for &id in &self.sources {
+            self.sim.agent_mut::<PelsSource>(id).set_telemetry(telemetry.clone());
+        }
+        for &id in &self.receivers {
+            self.sim.agent_mut::<PelsReceiver>(id).set_telemetry(telemetry.clone());
+        }
+    }
+
+    /// Scrapes simulator-level gauges (event-loop progress, scheduler turns,
+    /// queue occupancy) into `telemetry` and flushes one snapshot stamped
+    /// with the current simulation time to every attached sink.
+    pub fn flush_telemetry(&self, telemetry: &pels_telemetry::Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        telemetry.gauge_set("sim.events", self.sim.events_processed() as f64);
+        let port = self.router().port(0);
+        telemetry.gauge_set("sim.router.queue_pkts", port.discipline().len_packets() as f64);
+        telemetry.flush(self.sim.now().as_secs_f64());
+    }
+
     /// Runs the scenario until `t` (absolute simulation time).
     pub fn run_until(&mut self, t: SimTime) {
         self.sim.run_until(t);
@@ -390,12 +416,8 @@ impl Scenario {
     }
 }
 
-fn finite_or_zero(v: f64) -> f64 {
-    if v.is_finite() {
-        v
-    } else {
-        0.0
-    }
+fn finite_or_zero(v: Option<f64>) -> f64 {
+    v.filter(|x| x.is_finite()).unwrap_or(0.0)
 }
 
 /// Per-flow summary of a run.
@@ -532,6 +554,49 @@ mod tests {
         let r0 = s.source(0).rate_bps();
         let r1 = s.source(1).rate_bps();
         assert!((r0 - r1).abs() < 0.1 * r0, "fairness: {r0} vs {r1}");
+    }
+
+    #[test]
+    fn telemetry_mirrors_bespoke_series_and_counts_hot_paths() {
+        let (cfg, t) = short_cfg(2, 10);
+        let mut s = Scenario::build(cfg);
+        let tel = pels_telemetry::Telemetry::new();
+        s.attach_telemetry(&tel);
+        s.run_until(t);
+        s.flush_telemetry(&tel);
+
+        // The telemetry series are recorded at the same code points as the
+        // agents' bespoke series, so they must be identical sample-for-sample.
+        let rate = tel.series("sim.flow0.rate_kbps").expect("rate series recorded");
+        assert_eq!(rate.points, s.source(0).rate_series.points);
+        let gamma = tel.series("sim.flow0.gamma").expect("gamma series recorded");
+        assert_eq!(gamma.points, s.source(0).gamma_series.points);
+        let p = tel.series("sim.router.p").expect("router feedback recorded");
+        assert_eq!(p.points, s.router().feedback_series.points);
+        let p_red = tel.series("sim.router.p_red").expect("red loss recorded");
+        assert_eq!(p_red.points, s.router().red_loss_series.points);
+        let delays = tel.series("sim.flow0.delay.green").expect("delays recorded");
+        assert_eq!(delays.points, s.receiver(0).delays.series[0].points);
+
+        // Counters and scraped gauges moved.
+        assert!(tel.counter("sim.flow0.feedback_epochs") > 100, "epochs drive MKC");
+        assert!(tel.counter("sim.router.feedback_ticks") > 100, "T = 30 ms over 10 s");
+        assert!(tel.counter("sim.router.drops.red") > 0, "red sheds under congestion");
+        assert!(tel.gauge("sim.events").unwrap_or(0.0) > 1_000.0);
+        assert!(tel.gauge("sim.router.wrr_turns").unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn disabled_telemetry_changes_nothing() {
+        let (cfg, t) = short_cfg(1, 5);
+        let mut plain = Scenario::build(cfg.clone());
+        plain.run_until(t);
+        let mut instrumented = Scenario::build(cfg);
+        instrumented.attach_telemetry(&pels_telemetry::Telemetry::disabled());
+        instrumented.run_until(t);
+        let a = serde_json::to_string(&plain.report()).expect("serialize");
+        let b = serde_json::to_string(&instrumented.report()).expect("serialize");
+        assert_eq!(a, b, "a disabled handle must not perturb the run");
     }
 
     #[test]

@@ -21,6 +21,7 @@ use pels_netsim::port::Port;
 use pels_netsim::sim::{Agent, Context};
 use pels_netsim::stats::TimeSeries;
 use pels_netsim::time::SimDuration;
+use pels_telemetry::Telemetry;
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 
@@ -196,6 +197,32 @@ pub struct PelsSource {
     pub gamma_series: TimeSeries,
     /// `(t, fgs loss)` as fed to the γ controller.
     pub loss_series: TimeSeries,
+    telemetry: Telemetry,
+    metric: FlowMetricNames,
+}
+
+/// Per-flow telemetry metric names, formatted once at construction so the
+/// per-update instrumentation never allocates.
+#[derive(Debug)]
+struct FlowMetricNames {
+    rate: String,
+    gamma: String,
+    fgs_loss: String,
+    epochs: String,
+    stale_decays: String,
+}
+
+impl FlowMetricNames {
+    fn new(flow: FlowId) -> Self {
+        let f = flow.0;
+        FlowMetricNames {
+            rate: format!("sim.flow{f}.rate_kbps"),
+            gamma: format!("sim.flow{f}.gamma"),
+            fgs_loss: format!("sim.flow{f}.fgs_loss"),
+            epochs: format!("sim.flow{f}.feedback_epochs"),
+            stale_decays: format!("sim.flow{f}.stale_decays"),
+        }
+    }
 }
 
 impl PelsSource {
@@ -203,6 +230,7 @@ impl PelsSource {
     pub fn new(cfg: SourceConfig, port: Port) -> Self {
         let cc = Cc::new(cfg.cc);
         let gamma = GammaController::new(cfg.gamma);
+        let metric = FlowMetricNames::new(cfg.flow);
         PelsSource {
             cfg,
             port,
@@ -222,7 +250,15 @@ impl PelsSource {
             rate_series: TimeSeries::new("rate_kbps"),
             gamma_series: TimeSeries::new("gamma"),
             loss_series: TimeSeries::new("fgs_loss"),
+            telemetry: Telemetry::disabled(),
+            metric,
         }
+    }
+
+    /// Attaches a telemetry handle. A disabled handle (the default) keeps
+    /// every instrumentation point a single-branch no-op.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The current congestion-controlled sending rate, bits/s.
@@ -375,6 +411,13 @@ impl PelsSource {
             self.gamma_series.push(t, self.gamma.gamma());
             self.loss_series.push(t, fb.fgs_loss);
         }
+        if self.telemetry.is_enabled() {
+            let t = ctx.now.as_secs_f64();
+            self.telemetry.counter_add(&self.metric.epochs, 1);
+            self.telemetry.sample(&self.metric.rate, t, self.cc.rate_bps() / 1_000.0);
+            self.telemetry.sample(&self.metric.gamma, t, self.gamma.gamma());
+            self.telemetry.sample(&self.metric.fgs_loss, t, fb.fgs_loss);
+        }
     }
 }
 
@@ -408,8 +451,16 @@ impl Agent for PelsSource {
                 if let Some(m) = self.cc.mkc_mut() {
                     let decayed = m.apply_staleness(ctx.now);
                     let (rate, period) = (m.rate_bps(), m.config().stale_timeout / 4);
-                    if decayed && self.cfg.keep_series {
-                        self.rate_series.push(ctx.now.as_secs_f64(), rate / 1_000.0);
+                    if decayed {
+                        if self.cfg.keep_series {
+                            self.rate_series.push(ctx.now.as_secs_f64(), rate / 1_000.0);
+                        }
+                        self.telemetry.counter_add(&self.metric.stale_decays, 1);
+                        self.telemetry.sample(
+                            &self.metric.rate,
+                            ctx.now.as_secs_f64(),
+                            rate / 1_000.0,
+                        );
                     }
                     ctx.schedule_timer(period, WATCHDOG_TOKEN);
                 }

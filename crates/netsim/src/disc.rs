@@ -227,6 +227,10 @@ pub struct Wrr {
     current: usize,
     /// Whether the current child has already received its quantum this visit.
     granted: bool,
+    /// Scheduler turns: quantum grants handed to a non-empty child. One turn
+    /// may serve many packets (while the deficit lasts); an idle scheduler
+    /// takes no turns. Monotone, scraped by telemetry consumers.
+    pub turns: u64,
 }
 
 impl Wrr {
@@ -254,7 +258,7 @@ impl Wrr {
                 WrrChild { disc, weight, deficit: 0 }
             })
             .collect();
-        Wrr { children, classify, quantum, current: 0, granted: false }
+        Wrr { children, classify, quantum, current: 0, granted: false, turns: 0 }
     }
 
     fn child_for(&self, pkt: &Packet) -> usize {
@@ -314,6 +318,7 @@ impl Discipline for Wrr {
                     if !self.granted {
                         child.deficit += self.quantum * child.weight as u64;
                         self.granted = true;
+                        self.turns += 1;
                     }
                     if child.deficit >= size as u64 {
                         child.deficit -= size as u64;
@@ -620,6 +625,9 @@ mod tests {
         }
         assert_eq!(counts[0], 50);
         assert_eq!(counts[1], 50);
+        // 500 B packets against a 500 B weight-1 quantum: every dequeue is
+        // its own scheduler turn.
+        assert_eq!(wrr.turns, 100);
     }
 
     #[test]

@@ -109,11 +109,20 @@ impl Histogram {
     ///
     /// Panics if the parameters differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert!(
-            (self.v_min - other.v_min).abs() < 1e-12
-                && (self.log_growth - other.log_growth).abs() < 1e-12,
-            "histograms must share parameters to merge"
-        );
+        assert!(self.try_merge(other), "histograms must share parameters to merge");
+    }
+
+    /// Merges another histogram if its parameters match; returns whether the
+    /// merge happened. The non-panicking form of [`Histogram::merge`] for
+    /// callers combining histograms of unknown provenance (e.g. telemetry
+    /// snapshots).
+    #[must_use]
+    pub fn try_merge(&mut self, other: &Histogram) -> bool {
+        if (self.v_min - other.v_min).abs() >= 1e-12
+            || (self.log_growth - other.log_growth).abs() >= 1e-12
+        {
+            return false;
+        }
         if self.counts.len() < other.counts.len() {
             self.counts.resize(other.counts.len(), 0);
         }
@@ -122,6 +131,7 @@ impl Histogram {
         }
         self.underflow += other.underflow;
         self.total += other.total;
+        true
     }
 }
 
@@ -186,6 +196,15 @@ mod tests {
         let mut a = Histogram::new(1.0, 2.0);
         let b = Histogram::new(1.0, 3.0);
         a.merge(&b);
+    }
+
+    #[test]
+    fn try_merge_reports_mismatch_without_panicking() {
+        let mut a = Histogram::new(1.0, 2.0);
+        let b = Histogram::new(1.0, 3.0);
+        a.record(5.0);
+        assert!(!a.try_merge(&b));
+        assert_eq!(a.count(), 1, "failed merge must leave the receiver untouched");
     }
 
     #[test]

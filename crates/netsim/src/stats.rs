@@ -85,8 +85,9 @@ impl TimeSeries {
 /// for v in [1.0, 2.0, 3.0] { s.record(v); }
 /// assert_eq!(s.mean(), 2.0);
 /// assert_eq!(s.count(), 3);
-/// assert_eq!(s.min(), 1.0);
-/// assert_eq!(s.max(), 3.0);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(3.0));
+/// assert_eq!(Summary::new().min(), None);
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Summary {
@@ -147,14 +148,15 @@ impl Summary {
         self.variance().sqrt()
     }
 
-    /// Smallest observation (`+inf` when empty).
-    pub fn min(&self) -> f64 {
-        self.min
+    /// Smallest observation, or `None` when empty (the internal `+inf`
+    /// sentinel must never leak into reports or CSV output).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
     }
 
-    /// Largest observation (`-inf` when empty).
-    pub fn max(&self) -> f64 {
-        self.max
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
     }
 
     /// Merges another summary into this one.
@@ -231,23 +233,47 @@ impl DelayRecorder {
     }
 }
 
-/// Writes series as CSV text: `time,<name1>,<name2>,...` with one row per
-/// sample index (series are written column-aligned by index, padding short
-/// series with blanks).
+/// Writes series as CSV text: `t,<name1>,<name2>,...` with rows merged on
+/// sample time, so series sampled at different cadences stay aligned on a
+/// single shared time column. Cells are blank where a series has no sample
+/// at that time. Duplicate timestamps within one series are preserved: each
+/// row consumes at most one sample per series, so a time recorded twice
+/// yields two rows (pairing with other series' duplicates in push order).
 pub fn to_csv(series: &[&TimeSeries]) -> String {
     let mut out = String::new();
-    out.push_str("idx");
+    out.push('t');
     for s in series {
-        out.push_str(&format!(",{}_t,{}_v", s.name, s.name));
+        out.push(',');
+        out.push_str(&s.name);
     }
     out.push('\n');
-    let rows = series.iter().map(|s| s.len()).max().unwrap_or(0);
-    for i in 0..rows {
-        out.push_str(&i.to_string());
-        for s in series {
-            match s.points.get(i) {
-                Some((t, v)) => out.push_str(&format!(",{t:.6},{v:.6}")),
-                None => out.push_str(",,"),
+    // Sort each series by time (stable, so same-time samples keep push
+    // order), then k-way merge: every row takes the smallest pending time
+    // and the head sample of each series stamped with exactly that time.
+    let streams: Vec<Vec<(f64, f64)>> = series
+        .iter()
+        .map(|s| {
+            let mut pts = s.points.clone();
+            pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+            pts
+        })
+        .collect();
+    let mut cursors = vec![0usize; streams.len()];
+    loop {
+        let next = streams
+            .iter()
+            .zip(&cursors)
+            .filter_map(|(pts, &i)| pts.get(i).map(|&(t, _)| t))
+            .min_by(f64::total_cmp);
+        let Some(row_t) = next else { break };
+        out.push_str(&format!("{row_t:.6}"));
+        for (pts, cur) in streams.iter().zip(cursors.iter_mut()) {
+            match pts.get(*cur) {
+                Some(&(t, v)) if t.total_cmp(&row_t).is_eq() => {
+                    out.push_str(&format!(",{v:.6}"));
+                    *cur += 1;
+                }
+                _ => out.push(','),
             }
         }
         out.push('\n');
@@ -269,8 +295,15 @@ mod tests {
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.variance() - 4.0).abs() < 1e-12);
         assert!((s.std_dev() - 2.0).abs() < 1e-12);
-        assert_eq!(s.min(), 2.0);
-        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_summary_has_no_extrema() {
+        let s = Summary::new();
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
     }
 
     #[test]
@@ -328,9 +361,52 @@ mod tests {
         b.push(0.5, 9.0);
         let csv = to_csv(&[&a, &b]);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 3); // header + 2 rows
-        assert!(lines[0].starts_with("idx,a_t,a_v,b_t,b_v"));
-        assert!(lines[2].ends_with(",,"));
+        assert_eq!(lines.len(), 4); // header + one row per distinct time
+        assert_eq!(lines[0], "t,a,b");
+        assert_eq!(lines[1], "0.000000,1.000000,");
+        assert_eq!(lines[2], "0.500000,,9.000000");
+        assert_eq!(lines[3], "1.000000,2.000000,");
+    }
+
+    #[test]
+    fn csv_merges_unequal_cadences_on_time() {
+        // One series every second, one every 0.4 s: every row's time column
+        // must be the actual sample time of each value on that row.
+        let mut slow = TimeSeries::new("slow");
+        let mut fast = TimeSeries::new("fast");
+        for i in 0..3 {
+            slow.push(i as f64, 10.0 + i as f64);
+        }
+        for i in 0..5 {
+            fast.push(i as f64 * 0.4, i as f64);
+        }
+        let csv = to_csv(&[&slow, &fast]);
+        let lines: Vec<&str> = csv.lines().collect();
+        // Times: 0 (both), 0.4, 0.8, 1.2, 1.6 (fast), 1, 2 (slow) = 7 rows.
+        assert_eq!(lines.len(), 8);
+        let mut prev_t = f64::NEG_INFINITY;
+        for line in &lines[1..] {
+            let cells: Vec<&str> = line.split(',').collect();
+            assert_eq!(cells.len(), 3);
+            let t: f64 = cells[0].parse().unwrap();
+            assert!(t >= prev_t, "time column must be non-decreasing");
+            prev_t = t;
+        }
+        assert_eq!(lines[1], "0.000000,10.000000,0.000000");
+        assert_eq!(lines[2], "0.400000,,1.000000");
+        assert_eq!(lines[4], "1.000000,11.000000,");
+    }
+
+    #[test]
+    fn csv_preserves_duplicate_timestamps() {
+        let mut s = TimeSeries::new("d");
+        s.push(1.0, 5.0);
+        s.push(1.0, 6.0);
+        let csv = to_csv(&[&s]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "same-time samples must each get a row");
+        assert_eq!(lines[1], "1.000000,5.000000");
+        assert_eq!(lines[2], "1.000000,6.000000");
     }
 }
 
@@ -353,8 +429,8 @@ mod proptests {
             a.merge(&b);
             prop_assert_eq!(a.count(), whole.count());
             prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
-            prop_assert!((a.min() - whole.min()).abs() < 1e-12);
-            prop_assert!((a.max() - whole.max()).abs() < 1e-12);
+            prop_assert!((a.min().unwrap() - whole.min().unwrap()).abs() < 1e-12);
+            prop_assert!((a.max().unwrap() - whole.max().unwrap()).abs() < 1e-12);
         }
     }
 }

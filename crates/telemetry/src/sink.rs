@@ -1,0 +1,139 @@
+//! Snapshot sinks: where flushed telemetry goes.
+//!
+//! Sinks receive the *cumulative* snapshot at every flush. File sinks are
+//! best-effort: I/O errors after a successful open are counted, not raised,
+//! so a full disk can never take down a live streaming session.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use pels_netsim::stats::{to_csv, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+use crate::snapshot::Snapshot;
+
+/// A destination for flushed snapshots.
+pub trait Sink: Send {
+    /// Receives the cumulative snapshot as of time `t` (seconds).
+    fn emit(&mut self, t: f64, snap: &Snapshot);
+}
+
+/// One line of a JSON-lines telemetry stream: the flush time plus the
+/// cumulative snapshot at that time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotLine {
+    /// Flush time in seconds (sim time or wall-clock run time).
+    pub t: f64,
+    /// Cumulative snapshot at `t`.
+    pub snapshot: Snapshot,
+}
+
+/// Parses a JSON-lines telemetry stream (blank lines ignored).
+pub fn parse_snapshot_lines(text: &str) -> Result<Vec<SnapshotLine>, serde::Error> {
+    text.lines().map(str::trim).filter(|l| !l.is_empty()).map(serde_json::from_str).collect()
+}
+
+/// Appends one JSON object per flush to a file — the `--telemetry <path>`
+/// format. Each line is a self-contained [`SnapshotLine`].
+pub struct JsonLinesSink {
+    w: BufWriter<File>,
+    /// Flushes that failed to serialize or write.
+    errors: u64,
+}
+
+impl JsonLinesSink {
+    /// Creates (truncates) the output file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(JsonLinesSink { w: BufWriter::new(File::create(path)?), errors: 0 })
+    }
+
+    /// Flushes that failed to serialize or write.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn emit(&mut self, t: f64, snap: &Snapshot) {
+        let line = SnapshotLine { t, snapshot: snap.clone() };
+        match serde_json::to_string(&line) {
+            Ok(json) => {
+                let ok = writeln!(self.w, "{json}").is_ok() && self.w.flush().is_ok();
+                if !ok {
+                    self.errors += 1;
+                }
+            }
+            Err(_) => self.errors += 1,
+        }
+    }
+}
+
+/// Rewrites a CSV file from the snapshot's time series on every flush,
+/// reusing [`pels_netsim::stats::to_csv`] so rows merge on sample time.
+/// Because snapshots are cumulative, the last write always holds the whole
+/// run.
+pub struct CsvSink {
+    path: std::path::PathBuf,
+    /// Flushes that failed to write.
+    errors: u64,
+}
+
+impl CsvSink {
+    /// Creates a sink writing to `path` (file is created on first flush).
+    pub fn new(path: impl Into<std::path::PathBuf>) -> Self {
+        CsvSink { path: path.into(), errors: 0 }
+    }
+
+    /// Flushes that failed to write.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+}
+
+impl Sink for CsvSink {
+    fn emit(&mut self, _t: f64, snap: &Snapshot) {
+        let series: Vec<TimeSeries> = snap
+            .series
+            .iter()
+            .map(|(name, pts)| TimeSeries { name: name.clone(), points: pts.clone() })
+            .collect();
+        let refs: Vec<&TimeSeries> = series.iter().collect();
+        if std::fs::write(&self.path, to_csv(&refs)).is_err() {
+            self.errors += 1;
+        }
+    }
+}
+
+/// Retains every flushed snapshot in memory; clone the sink to keep a
+/// reading handle after attaching it.
+#[derive(Clone, Default)]
+pub struct MemorySink {
+    store: Arc<Mutex<Vec<(f64, Snapshot)>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty in-memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All `(t, snapshot)` pairs flushed so far.
+    pub fn snapshots(&self) -> Vec<(f64, Snapshot)> {
+        self.store.lock().map(|g| g.clone()).unwrap_or_default()
+    }
+
+    /// The most recent flushed snapshot, if any.
+    pub fn last(&self) -> Option<(f64, Snapshot)> {
+        self.store.lock().ok().and_then(|g| g.last().cloned())
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&mut self, t: f64, snap: &Snapshot) {
+        if let Ok(mut g) = self.store.lock() {
+            g.push((t, snap.clone()));
+        }
+    }
+}

@@ -213,20 +213,34 @@ fn put_feedback(buf: &mut Vec<u8>, fb: Option<Feedback>) {
     buf.extend_from_slice(&fb.fgs_loss.to_be_bytes());
 }
 
-fn get_u16(buf: &[u8], at: usize) -> u16 {
-    u16::from_be_bytes([buf[at], buf[at + 1]])
+/// Reads `N` bytes at `at`, as a [`CodecError::Truncated`] instead of a
+/// panic when the buffer is short. Every field accessor below goes through
+/// this, so no decode path can index out of bounds no matter what arrives
+/// off the network.
+fn get_bytes<const N: usize>(buf: &[u8], at: usize) -> Result<[u8; N], CodecError> {
+    buf.get(at..at + N)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(CodecError::Truncated { need: at + N, got: buf.len() })
 }
 
-fn get_u32(buf: &[u8], at: usize) -> u32 {
-    u32::from_be_bytes(buf[at..at + 4].try_into().expect("length checked"))
+fn get_u8(buf: &[u8], at: usize) -> Result<u8, CodecError> {
+    buf.get(at).copied().ok_or(CodecError::Truncated { need: at + 1, got: buf.len() })
 }
 
-fn get_u64(buf: &[u8], at: usize) -> u64 {
-    u64::from_be_bytes(buf[at..at + 8].try_into().expect("length checked"))
+fn get_u16(buf: &[u8], at: usize) -> Result<u16, CodecError> {
+    Ok(u16::from_be_bytes(get_bytes(buf, at)?))
 }
 
-fn get_f64(buf: &[u8], at: usize) -> f64 {
-    f64::from_be_bytes(buf[at..at + 8].try_into().expect("length checked"))
+fn get_u32(buf: &[u8], at: usize) -> Result<u32, CodecError> {
+    Ok(u32::from_be_bytes(get_bytes(buf, at)?))
+}
+
+fn get_u64(buf: &[u8], at: usize) -> Result<u64, CodecError> {
+    Ok(u64::from_be_bytes(get_bytes(buf, at)?))
+}
+
+fn get_f64(buf: &[u8], at: usize) -> Result<f64, CodecError> {
+    Ok(f64::from_be_bytes(get_bytes(buf, at)?))
 }
 
 /// Reads the 28-byte feedback block at `at`, validating ranges so a
@@ -236,8 +250,8 @@ fn get_feedback(buf: &[u8], at: usize, valid: bool) -> Result<Option<Feedback>, 
     if !valid {
         return Ok(None);
     }
-    let loss = get_f64(buf, at + 12);
-    let fgs_loss = get_f64(buf, at + 20);
+    let loss = get_f64(buf, at + 12)?;
+    let fgs_loss = get_f64(buf, at + 20)?;
     if !loss.is_finite() || loss >= 1.0 {
         return Err(CodecError::InvalidField("feedback loss"));
     }
@@ -245,8 +259,8 @@ fn get_feedback(buf: &[u8], at: usize, valid: bool) -> Result<Option<Feedback>, 
         return Err(CodecError::InvalidField("feedback fgs loss"));
     }
     Ok(Some(Feedback {
-        router: AgentId(get_u32(buf, at)),
-        epoch: get_u64(buf, at + 4),
+        router: AgentId(get_u32(buf, at)?),
+        epoch: get_u64(buf, at + 4)?,
         loss,
         fgs_loss,
     }))
@@ -257,14 +271,15 @@ pub fn peek_kind(buf: &[u8]) -> Result<WireKind, CodecError> {
     if buf.len() < 4 {
         return Err(CodecError::Truncated { need: 4, got: buf.len() });
     }
-    let magic = get_u16(buf, 0);
+    let magic = get_u16(buf, 0)?;
     if magic != MAGIC {
         return Err(CodecError::BadMagic(magic));
     }
-    if buf[2] != VERSION {
-        return Err(CodecError::BadVersion(buf[2]));
+    let version = get_u8(buf, 2)?;
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
     }
-    WireKind::from_byte(buf[3])
+    WireKind::from_byte(get_u8(buf, 3)?)
 }
 
 fn expect_kind(buf: &[u8], want: WireKind) -> Result<(), CodecError> {
@@ -317,7 +332,7 @@ impl<'a> WireData<'a> {
         if buf.len() < DATA_HEADER_BYTES {
             return Err(CodecError::Truncated { need: DATA_HEADER_BYTES, got: buf.len() });
         }
-        let payload_len = get_u16(buf, 76) as usize;
+        let payload_len = get_u16(buf, 76)? as usize;
         let need = DATA_HEADER_BYTES + payload_len;
         if buf.len() < need {
             return Err(CodecError::Truncated { need, got: buf.len() });
@@ -326,33 +341,36 @@ impl<'a> WireData<'a> {
             return Err(CodecError::InvalidField("trailing bytes"));
         }
         let tag = FrameTag {
-            frame: get_u64(buf, 16),
-            index: get_u16(buf, 24),
-            total: get_u16(buf, 26),
-            base: get_u16(buf, 28),
+            frame: get_u64(buf, 16)?,
+            index: get_u16(buf, 24)?,
+            total: get_u16(buf, 26)?,
+            base: get_u16(buf, 28)?,
         };
         if tag.index >= tag.total || tag.base > tag.total {
             return Err(CodecError::InvalidField("frame tag"));
         }
-        let class = buf[30];
+        let class = get_u8(buf, 30)?;
         if class > 2 {
             return Err(CodecError::InvalidField("class"));
         }
-        let flags = buf[31];
-        let rate_echo = get_f64(buf, 40);
+        let flags = get_u8(buf, 31)?;
+        let rate_echo = get_f64(buf, 40)?;
         if !rate_echo.is_finite() || rate_echo < 0.0 {
             return Err(CodecError::InvalidField("rate echo"));
         }
+        let payload = buf
+            .get(DATA_HEADER_BYTES..)
+            .ok_or(CodecError::Truncated { need: DATA_HEADER_BYTES, got: buf.len() })?;
         Ok(WireData {
-            flow: FlowId(get_u32(buf, 4)),
-            seq: get_u64(buf, 8),
+            flow: FlowId(get_u32(buf, 4)?),
+            seq: get_u64(buf, 8)?,
             tag,
             class,
             retransmission: flags & FLAG_RETX != 0,
-            sent_at: SimTime::from_nanos(get_u64(buf, 32)),
+            sent_at: SimTime::from_nanos(get_u64(buf, 32)?),
             rate_echo,
             feedback: get_feedback(buf, 48, flags & FLAG_FEEDBACK != 0)?,
-            payload: &buf[DATA_HEADER_BYTES..],
+            payload,
         })
     }
 }
@@ -385,16 +403,16 @@ impl WireAck {
         if buf.len() > ACK_BYTES {
             return Err(CodecError::InvalidField("trailing bytes"));
         }
-        let rate_echo = get_f64(buf, 24);
+        let rate_echo = get_f64(buf, 24)?;
         if !rate_echo.is_finite() || rate_echo < 0.0 {
             return Err(CodecError::InvalidField("rate echo"));
         }
         Ok(WireAck {
-            flow: FlowId(get_u32(buf, 4)),
-            seq: get_u64(buf, 8),
-            sent_at: SimTime::from_nanos(get_u64(buf, 16)),
+            flow: FlowId(get_u32(buf, 4)?),
+            seq: get_u64(buf, 8)?,
+            sent_at: SimTime::from_nanos(get_u64(buf, 16)?),
             rate_echo,
-            feedback: get_feedback(buf, 33, buf[32] & FLAG_FEEDBACK != 0)?,
+            feedback: get_feedback(buf, 33, get_u8(buf, 32)? & FLAG_FEEDBACK != 0)?,
         })
     }
 }
@@ -427,15 +445,15 @@ impl WireNack {
             return Err(CodecError::InvalidField("trailing bytes"));
         }
         let tag = FrameTag {
-            frame: get_u64(buf, 8),
-            index: get_u16(buf, 16),
-            total: get_u16(buf, 18),
-            base: get_u16(buf, 20),
+            frame: get_u64(buf, 8)?,
+            index: get_u16(buf, 16)?,
+            total: get_u16(buf, 18)?,
+            base: get_u16(buf, 20)?,
         };
         if tag.index >= tag.total || tag.base > tag.total {
             return Err(CodecError::InvalidField("frame tag"));
         }
-        Ok(WireNack { flow: FlowId(get_u32(buf, 4)), tag })
+        Ok(WireNack { flow: FlowId(get_u32(buf, 4)?), tag })
     }
 }
 
@@ -455,9 +473,9 @@ pub fn patch_feedback(buf: &mut [u8], label: Feedback) -> Result<(), CodecError>
     if buf.len() < DATA_HEADER_BYTES {
         return Err(CodecError::Truncated { need: DATA_HEADER_BYTES, got: buf.len() });
     }
-    if buf[31] & FLAG_FEEDBACK != 0 {
-        let cur_router = AgentId(get_u32(buf, 48));
-        let cur_loss = get_f64(buf, 60);
+    if get_u8(buf, 31)? & FLAG_FEEDBACK != 0 {
+        let cur_router = AgentId(get_u32(buf, 48)?);
+        let cur_loss = get_f64(buf, 60)?;
         if cur_router != label.router && !(label.loss > cur_loss) {
             return Ok(());
         }
@@ -573,6 +591,18 @@ mod tests {
     }
 
     #[test]
+    fn decoders_reject_arbitrary_short_buffers_without_panicking() {
+        for len in 0..DATA_HEADER_BYTES + 2 {
+            let buf = vec![0xFFu8; len];
+            assert!(WireData::decode(&buf).is_err());
+            assert!(WireAck::decode(&buf).is_err());
+            assert!(WireNack::decode(&buf).is_err());
+            let mut patchable = buf.clone();
+            assert!(patch_feedback(&mut patchable, Feedback::new(AgentId(1), 1, 0.1, 0.1)).is_err());
+        }
+    }
+
+    #[test]
     fn patch_feedback_max_loss_override() {
         let mut buf = WireData { feedback: None, ..data(&[5; 10]) }.encode();
         patch_feedback(&mut buf, Feedback::new(AgentId(1), 1, 0.10, 0.1)).unwrap();
@@ -589,5 +619,77 @@ mod tests {
         assert!((fb.loss - 0.01).abs() < 1e-12);
         // The payload was never disturbed.
         assert_eq!(WireData::decode(&buf).unwrap().payload, &[5; 10]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Runs every decoder (and the in-place patcher) over a buffer; the
+    /// property under test is simply "no panic" — any `Err` is fine.
+    fn exercise_decoders(buf: &[u8]) {
+        let _ = peek_kind(buf);
+        let _ = WireData::decode(buf);
+        let _ = WireAck::decode(buf);
+        let _ = WireNack::decode(buf);
+        let mut patchable = buf.to_vec();
+        let _ = patch_feedback(&mut patchable, Feedback::new(AgentId(3), 7, 0.2, 0.1));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+        /// Completely random byte strings must never panic a decoder —
+        /// anything a UDP socket can deliver is either decoded or rejected
+        /// with a typed [`CodecError`].
+        #[test]
+        fn decode_survives_random_bytes(bytes in collection::vec(any::<u8>(), 0..256)) {
+            exercise_decoders(&bytes);
+        }
+
+        /// Valid packets that are truncated mid-field and bit-flipped must
+        /// never panic a decoder. This walks the interesting edge: buffers
+        /// that pass the early header checks but lie about their contents.
+        #[test]
+        fn decode_survives_truncated_and_corrupted_packets(
+            payload_len in 0usize..64,
+            cut in 0usize..256,
+            flip_at in 0usize..256,
+            flip_bits in any::<u8>(),
+        ) {
+            let payload = vec![0x5Au8; payload_len];
+            let data = WireData {
+                flow: FlowId(9),
+                seq: 1,
+                tag: FrameTag { frame: 2, index: 0, total: 4, base: 1 },
+                class: 2,
+                retransmission: false,
+                sent_at: SimTime::from_nanos(1_000),
+                rate_echo: 250_000.0,
+                feedback: Some(Feedback::new(AgentId(1), 5, 0.3, 0.2)),
+                payload: &payload,
+            };
+            let ack = WireAck {
+                flow: FlowId(9),
+                seq: 1,
+                sent_at: SimTime::from_nanos(1_000),
+                rate_echo: 250_000.0,
+                feedback: None,
+            };
+            let nack = WireNack {
+                flow: FlowId(9),
+                tag: FrameTag { frame: 2, index: 1, total: 4, base: 1 },
+            };
+            for encoded in [data.encode(), ack.encode(), nack.encode()] {
+                let mut mutated = encoded.clone();
+                mutated.truncate(cut % (encoded.len() + 1));
+                if !mutated.is_empty() {
+                    let at = flip_at % mutated.len();
+                    mutated[at] ^= flip_bits;
+                }
+                exercise_decoders(&mutated);
+            }
+        }
     }
 }

@@ -32,6 +32,7 @@ pub mod live;
 pub mod receiver;
 pub mod router;
 pub mod source;
+mod telemetry_names;
 pub mod transport;
 
 pub use codec::{WireAck, WireData, WireKind, WireNack};

@@ -18,7 +18,8 @@ use pels_core::scenario::{FlowReport, ScenarioReport};
 use pels_fgs::frame::VideoTrace;
 use pels_netsim::clock::{Clock, ManualClock, MonotonicClock};
 use pels_netsim::packet::{AgentId, FlowId};
-use pels_netsim::time::{Rate, SimDuration};
+use pels_netsim::time::{Rate, SimDuration, SimTime};
+use pels_telemetry::Telemetry;
 use std::io;
 
 /// Which transport carries the packets.
@@ -55,6 +56,11 @@ pub struct LiveConfig {
     pub poll_interval: SimDuration,
     /// Frames kept retransmittable for NACK-driven ARQ; 0 disables ARQ.
     pub arq_frames: u64,
+    /// Telemetry handle shared by all three agents; snapshots are flushed
+    /// to its sinks roughly once per second of run time. The default
+    /// (disabled) handle keeps every instrumentation point a one-branch
+    /// no-op.
+    pub telemetry: Telemetry,
 }
 
 impl Default for LiveConfig {
@@ -73,6 +79,7 @@ impl Default for LiveConfig {
             gamma: GammaConfig::default(),
             poll_interval: SimDuration::from_millis(1),
             arq_frames: 8,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -146,22 +153,28 @@ pub fn run_live(cfg: &LiveConfig) -> io::Result<LiveOutcome> {
 
 /// A clock the run loop can both read and (for mock time) advance.
 trait RunClock: Clock {
-    /// Blocks (wall clock) or steps (mock clock) for one poll interval.
-    fn wait(&self, step: SimDuration);
+    /// Blocks (wall clock) or steps (mock clock) until `deadline`.
+    ///
+    /// Deadlines already in the past return immediately; pacing off
+    /// absolute deadlines means sleep overshoot and slow poll iterations
+    /// never accumulate into drift — the next wait is simply shorter.
+    fn wait_until(&self, deadline: SimTime);
 }
 
 impl RunClock for ManualClock {
-    fn wait(&self, step: SimDuration) {
-        self.advance(step);
+    fn wait_until(&self, deadline: SimTime) {
+        if deadline > self.now() {
+            self.set(deadline);
+        }
     }
 }
 
 impl RunClock for MonotonicClock {
-    fn wait(&self, step: SimDuration) {
-        // Sleeping the full interval would let scheduling jitter starve
-        // the pacer; half-interval sleeps keep the loop comfortably ahead
-        // of the packet schedule at negligible CPU cost.
-        std::thread::sleep(std::time::Duration::from_nanos((step.as_nanos() / 2).max(1)));
+    fn wait_until(&self, deadline: SimTime) {
+        let remaining = deadline.duration_since(self.now());
+        if remaining > SimDuration::ZERO {
+            std::thread::sleep(std::time::Duration::from_nanos(remaining.as_nanos()));
+        }
     }
 }
 
@@ -200,6 +213,9 @@ fn run_wired<T: Transport, C: RunClock>(
         },
         rx_ep,
     );
+    source.set_telemetry(cfg.telemetry.clone());
+    router.set_telemetry(cfg.telemetry.clone());
+    receiver.set_telemetry(cfg.telemetry.clone());
 
     // Stream for `duration`, then stop the source and drain in-flight
     // packets (and their ARQ repairs) for a grace period so the delivery
@@ -212,6 +228,13 @@ fn run_wired<T: Transport, C: RunClock>(
     // estimate decays toward idle and its (now meaningless) spare-capacity
     // labels would push MKC far above the converged operating point.
     let mut at_stop: Option<(f64, f64)> = None;
+    // The poll cadence is an absolute schedule: each iteration waits for
+    // `start + k * poll_interval`, not "now + poll_interval", so sleep
+    // overshoot and slow iterations shorten the next wait instead of
+    // pushing every later poll back (unbounded drift).
+    let mut next_poll = clock.now().saturating_add(cfg.poll_interval);
+    let flush_every = SimDuration::from_secs(1);
+    let mut next_flush = clock.now().saturating_add(flush_every);
     loop {
         let now = clock.now();
         if at_stop.is_none() && now >= deadline {
@@ -224,7 +247,15 @@ fn run_wired<T: Transport, C: RunClock>(
         source.poll(now)?;
         router.poll(now)?;
         receiver.poll(now)?;
-        clock.wait(cfg.poll_interval);
+        if cfg.telemetry.is_enabled() && now >= next_flush {
+            cfg.telemetry.flush(now.as_secs_f64());
+            next_flush = next_flush.saturating_add(flush_every);
+        }
+        clock.wait_until(next_poll);
+        next_poll = next_poll.saturating_add(cfg.poll_interval);
+    }
+    if cfg.telemetry.is_enabled() {
+        cfg.telemetry.flush(clock.now().as_secs_f64());
     }
     let (final_rate_bps, final_gamma) =
         at_stop.unwrap_or_else(|| (source.rate_bps(), source.gamma()));
@@ -273,12 +304,8 @@ fn run_wired<T: Transport, C: RunClock>(
     Ok(LiveOutcome { report, stats })
 }
 
-fn finite_or_zero(v: f64) -> f64 {
-    if v.is_finite() {
-        v
-    } else {
-        0.0
-    }
+fn finite_or_zero(v: Option<f64>) -> f64 {
+    v.filter(|x| x.is_finite()).unwrap_or(0.0)
 }
 
 /// Renders a [`LiveOutcome`] as the CSV layout used under `results/`:
@@ -360,6 +387,58 @@ mod tests {
         assert!(f.final_rate_kbps > 500.0, "rate {}", f.final_rate_kbps);
         assert!(f.received_by_color[1] > 0, "yellow goodput");
         assert!(f.received_by_color[2] > 0, "red goodput");
+    }
+
+    #[test]
+    fn memory_run_emits_telemetry_snapshots() {
+        let tel = Telemetry::new();
+        let mem = pels_telemetry::MemorySink::default();
+        tel.attach_sink(Box::new(mem.clone()));
+        let cfg = LiveConfig { telemetry: tel.clone(), ..short_mem_cfg() };
+        let out = run_live(&cfg).unwrap();
+        let snaps = mem.snapshots();
+        assert!(snaps.len() >= 2, "periodic flushes plus the final one, got {}", snaps.len());
+        assert!(tel.counter("wire.src.feedback_epochs") > 0, "feedback drove MKC");
+        // The final cumulative snapshot agrees with the report's counters.
+        let last = &snaps.last().unwrap().1;
+        assert_eq!(
+            last.counters.get("wire.router.tx.green").copied().unwrap_or(0),
+            out.report.bottleneck_tx_by_class[0],
+        );
+        assert!(last.series.contains_key("wire.src.rate_kbps"), "rate series recorded");
+        assert!(last.stats.contains_key("wire.rx.delay.green"), "delay distribution recorded");
+    }
+
+    #[test]
+    fn manual_wait_until_steps_forward_and_ignores_past_deadlines() {
+        let clock = ManualClock::new();
+        clock.wait_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(clock.now().as_nanos(), 1_000_000_000);
+        // A deadline already behind the clock must be a no-op, not a
+        // backwards `set` (which would panic).
+        clock.wait_until(SimTime::from_secs_f64(0.5));
+        assert_eq!(clock.now().as_nanos(), 1_000_000_000);
+    }
+
+    #[test]
+    fn monotonic_pacing_drift_is_bounded() {
+        // Absolute-deadline pacing: after N intervals the loop sits at
+        // `start + N*step` plus at most scheduling jitter — overshoot from
+        // one sleep must not accumulate into the next.
+        let clock = MonotonicClock::new();
+        let step = SimDuration::from_millis(2);
+        let rounds = 25u64;
+        let mut next = clock.now().saturating_add(step);
+        for _ in 0..rounds {
+            clock.wait_until(next);
+            next = next.saturating_add(step);
+        }
+        let elapsed = clock.now().as_secs_f64();
+        let target = step.as_secs_f64() * rounds as f64;
+        assert!(elapsed >= target, "paced loop finished early: {elapsed}s < {target}s");
+        // If each sleep's overshoot compounded (relative pacing), 25 rounds
+        // of multi-ms scheduling jitter would blow well past this bound.
+        assert!(elapsed < target + 0.25, "paced loop drifted: {elapsed}s vs {target}s");
     }
 
     #[test]

@@ -13,12 +13,14 @@
 //! design at the MKC operating point (see `WireSource::handle_nack`).
 
 use crate::codec::{peek_kind, WireAck, WireData, WireKind, WireNack};
+use crate::telemetry_names::rx_delay_metric;
 use crate::transport::Transport;
 use pels_core::receiver::{NackConfig, NackTracker};
 use pels_fgs::decoder::{DecodedFrame, FrameReception, UtilityStats};
 use pels_netsim::packet::FlowId;
 use pels_netsim::stats::DelayRecorder;
 use pels_netsim::time::SimTime;
+use pels_telemetry::Telemetry;
 use std::collections::BTreeMap;
 use std::io;
 use std::net::SocketAddr;
@@ -56,6 +58,7 @@ pub struct WireReceiver<T: Transport> {
     pub decode_errors: u64,
     nacks_sent: u64,
     recv_buf: Vec<u8>,
+    telemetry: Telemetry,
 }
 
 impl<T: Transport> WireReceiver<T> {
@@ -74,7 +77,13 @@ impl<T: Transport> WireReceiver<T> {
             decode_errors: 0,
             nacks_sent: 0,
             recv_buf: vec![0u8; 2048],
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; `wire.rx.*` metrics record into it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The address the router should forward data packets to.
@@ -136,14 +145,17 @@ impl<T: Transport> WireReceiver<T> {
             let datagram = &buf[..n];
             if peek_kind(datagram) != Ok(WireKind::Data) {
                 self.decode_errors += 1;
+                self.telemetry.counter_add("wire.rx.decode_errors", 1);
                 continue;
             }
             let Ok(pkt) = WireData::decode(datagram) else {
                 self.decode_errors += 1;
+                self.telemetry.counter_add("wire.rx.decode_errors", 1);
                 continue;
             };
             if pkt.flow != self.cfg.flow {
                 self.decode_errors += 1;
+                self.telemetry.counter_add("wire.rx.decode_errors", 1);
                 continue;
             }
             let tag = pkt.tag;
@@ -159,6 +171,10 @@ impl<T: Transport> WireReceiver<T> {
             }
             let delay_s = now.duration_since(pkt.sent_at).as_secs_f64();
             self.delays.record(class, now.as_secs_f64(), delay_s);
+            self.telemetry.observe(rx_delay_metric(class), delay_s);
+            if pkt.retransmission {
+                self.telemetry.counter_add("wire.rx.recovered", 1);
+            }
             let ack = WireAck {
                 flow: pkt.flow,
                 seq: pkt.seq,
@@ -183,6 +199,7 @@ impl<T: Transport> WireReceiver<T> {
             let nack = WireNack { flow: self.cfg.flow, tag };
             self.transport.send_to(&nack.encode(), self.cfg.feedback_to)?;
             self.nacks_sent += 1;
+            self.telemetry.counter_add("wire.rx.nacks", 1);
         }
         Ok(())
     }

@@ -26,10 +26,12 @@
 //!   source's token bucket uses the same convention.
 
 use crate::codec::{patch_feedback, peek_kind, WireKind, DATA_HEADER_BYTES};
+use crate::telemetry_names::{router_drops_metric, router_tx_metric};
 use crate::transport::Transport;
 use pels_core::feedback::FeedbackEstimator;
 use pels_netsim::packet::{AgentId, Feedback};
 use pels_netsim::time::{Rate, SimDuration, SimTime};
+use pels_telemetry::Telemetry;
 use std::collections::VecDeque;
 use std::io;
 use std::net::SocketAddr;
@@ -85,6 +87,7 @@ pub struct WireRouter<T: Transport> {
     pub drops_by_class: [u64; 4],
     /// Datagrams discarded because they were not decodable data packets.
     pub decode_errors: u64,
+    telemetry: Telemetry,
 }
 
 impl<T: Transport> WireRouter<T> {
@@ -112,7 +115,13 @@ impl<T: Transport> WireRouter<T> {
             tx_by_class: [0; 4],
             drops_by_class: [0; 4],
             decode_errors: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; `wire.router.*` metrics record into it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The address sources should send data packets to.
@@ -144,6 +153,12 @@ impl<T: Transport> WireRouter<T> {
         if now >= tick {
             self.estimator.tick(self.cfg.id);
             self.next_tick_at = Some(tick + self.cfg.feedback_interval);
+            if self.telemetry.is_enabled() {
+                let t = now.as_secs_f64();
+                self.telemetry.sample("wire.router.p", t, self.estimator.loss());
+                self.telemetry.sample("wire.router.p_fgs", t, self.estimator.fgs_loss());
+                self.telemetry.gauge_set("wire.router.backlog_pkts", self.backlog() as f64);
+            }
         }
         self.forward(now)
     }
@@ -159,13 +174,15 @@ impl<T: Transport> WireRouter<T> {
             // paper's uncongested return channel.
             if peek_kind(buf) != Ok(WireKind::Data) || n < DATA_HEADER_BYTES {
                 self.decode_errors += 1;
+                self.telemetry.counter_add("wire.router.decode_errors", 1);
                 continue;
             }
-            let class = buf[30].min(2) as usize;
+            let class = buf.get(30).copied().unwrap_or(0).min(2) as usize;
             // Payload bytes only — see the module doc on accounting.
             self.estimator.on_arrival((n - DATA_HEADER_BYTES) as u32, class as u8);
             if self.queues[class].len() >= self.cfg.color_limits[class] {
                 self.drops_by_class[class] += 1;
+                self.telemetry.counter_add(router_drops_metric(class), 1);
             } else {
                 self.queues[class].push_back(buf.to_vec());
             }
@@ -190,14 +207,17 @@ impl<T: Transport> WireRouter<T> {
             };
             let cost = self.queues[class]
                 .front()
-                .map_or(0.0, |d| (d.len() - DATA_HEADER_BYTES) as f64 * 8.0);
+                .map_or(0.0, |d| d.len().saturating_sub(DATA_HEADER_BYTES) as f64 * 8.0);
             if self.budget_bits < cost {
                 return Ok(());
             }
-            let mut datagram = self.queues[class].pop_front().expect("front checked");
+            let Some(mut datagram) = self.queues[class].pop_front() else {
+                return Ok(());
+            };
             self.budget_bits -= cost;
             self.stamp(&mut datagram, label);
             self.tx_by_class[class] += 1;
+            self.telemetry.counter_add(router_tx_metric(class), 1);
             self.transport.send_to(&datagram, self.cfg.forward_to)?;
         }
     }
@@ -207,6 +227,7 @@ impl<T: Transport> WireRouter<T> {
             // Unreachable for packets that passed ingest validation, but a
             // corrupt header must not kill the forwarding loop.
             self.decode_errors += 1;
+            self.telemetry.counter_add("wire.router.decode_errors", 1);
         }
     }
 }

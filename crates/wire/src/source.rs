@@ -20,6 +20,7 @@ use pels_fgs::packetize::{packetize, Segment};
 use pels_fgs::scaling::{partition_enhancement, scale_to_rate};
 use pels_netsim::packet::{FlowId, FrameTag};
 use pels_netsim::time::{SimDuration, SimTime};
+use pels_telemetry::Telemetry;
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::SocketAddr;
@@ -89,6 +90,9 @@ pub struct WireSource<T: Transport> {
     pub retransmissions: u64,
     /// Datagrams that failed to decode and were dropped.
     pub decode_errors: u64,
+    /// Watchdog activations that actually decayed the rate.
+    pub stale_decays: u64,
+    telemetry: Telemetry,
 }
 
 impl<T: Transport> WireSource<T> {
@@ -121,7 +125,14 @@ impl<T: Transport> WireSource<T> {
             shed_yellow_frames: 0,
             retransmissions: 0,
             decode_errors: 0,
+            stale_decays: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; `wire.src.*` metrics record into it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The current congestion-controlled sending rate, bits/s.
@@ -186,18 +197,23 @@ impl<T: Transport> WireSource<T> {
                 Ok(WireKind::Ack) => match WireAck::decode(buf) {
                     Ok(ack) if ack.flow == self.cfg.flow => self.apply_feedback(&ack, now),
                     Ok(_) => {}
-                    Err(_) => self.decode_errors += 1,
+                    Err(_) => self.on_decode_error(),
                 },
                 Ok(WireKind::Nack) => match WireNack::decode(buf) {
                     Ok(nack) if nack.flow == self.cfg.flow && self.cfg.arq_frames > 0 => {
                         self.handle_nack(&nack)?;
                     }
                     Ok(_) => {}
-                    Err(_) => self.decode_errors += 1,
+                    Err(_) => self.on_decode_error(),
                 },
-                _ => self.decode_errors += 1,
+                _ => self.on_decode_error(),
             }
         }
+    }
+
+    fn on_decode_error(&mut self) {
+        self.decode_errors += 1;
+        self.telemetry.counter_add("wire.src.decode_errors", 1);
     }
 
     fn apply_feedback(&mut self, ack: &WireAck, now: SimTime) {
@@ -209,13 +225,23 @@ impl<T: Transport> WireSource<T> {
         self.mkc.update_from(ack.rate_echo, fb.loss);
         self.mkc.record_fresh(now);
         self.gamma.update(fb.fgs_loss);
+        if self.telemetry.is_enabled() {
+            let t = now.as_secs_f64();
+            self.telemetry.counter_add("wire.src.feedback_epochs", 1);
+            self.telemetry.sample("wire.src.rate_kbps", t, self.mkc.rate_bps() / 1000.0);
+            self.telemetry.sample("wire.src.gamma", t, self.gamma.gamma());
+            self.telemetry.sample("wire.src.fgs_loss", t, fb.fgs_loss);
+        }
     }
 
     fn run_watchdog(&mut self, now: SimTime) {
         let period = self.cfg.mkc.stale_timeout / 4;
         let due = *self.next_watchdog_at.get_or_insert(now + period);
         if now >= due {
-            self.mkc.apply_staleness(now);
+            if self.mkc.apply_staleness(now) {
+                self.stale_decays += 1;
+                self.telemetry.counter_add("wire.src.stale_decays", 1);
+            }
             self.next_watchdog_at = Some(now + period);
         }
     }
@@ -303,6 +329,7 @@ impl<T: Transport> WireSource<T> {
         }
         let was = *emitted_at;
         self.retransmissions += 1;
+        self.telemetry.counter_add("wire.src.retransmissions", 1);
         let datagram = WireData {
             flow: self.cfg.flow,
             seq: self.seq,
@@ -338,7 +365,7 @@ impl<T: Transport> WireSource<T> {
             if self.tokens_bits < cost {
                 break;
             }
-            let p = self.pending.pop_front().expect("front checked");
+            let Some(p) = self.pending.pop_front() else { break };
             self.tokens_bits -= cost;
             let datagram = WireData {
                 flow: self.cfg.flow,
@@ -356,6 +383,7 @@ impl<T: Transport> WireSource<T> {
             self.sent_by_color[p.class as usize] += 1;
             self.transport.send_to(&datagram, self.cfg.router)?;
         }
+        self.telemetry.gauge_set("wire.src.tokens_bits", self.tokens_bits);
         Ok(())
     }
 }

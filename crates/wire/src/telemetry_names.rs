@@ -1,0 +1,32 @@
+//! Static metric names for the wire agents' telemetry.
+//!
+//! Per-class metrics are hot-path (per forwarded packet), so the names are
+//! `&'static str` lookups rather than `format!` allocations. The naming
+//! scheme is documented in DESIGN.md §10.
+
+/// `wire.router.tx.<color>` — packets forwarded per color class.
+pub(crate) fn router_tx_metric(class: usize) -> &'static str {
+    match class {
+        0 => "wire.router.tx.green",
+        1 => "wire.router.tx.yellow",
+        _ => "wire.router.tx.red",
+    }
+}
+
+/// `wire.router.drops.<color>` — packets dropped at a full color queue.
+pub(crate) fn router_drops_metric(class: usize) -> &'static str {
+    match class {
+        0 => "wire.router.drops.green",
+        1 => "wire.router.drops.yellow",
+        _ => "wire.router.drops.red",
+    }
+}
+
+/// `wire.rx.delay.<color>` — one-way delay distribution per color class.
+pub(crate) fn rx_delay_metric(class: u8) -> &'static str {
+    match class {
+        0 => "wire.rx.delay.green",
+        1 => "wire.rx.delay.yellow",
+        _ => "wire.rx.delay.red",
+    }
+}
