@@ -23,6 +23,14 @@ metrics_out="$(timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
   metrics "$tel_file")"
 printf '%s\n' "$metrics_out" | head -n 3
 
+echo "== pels bench smoke (scaling harness, short preset) =="
+bench_dir="$(mktemp -d -t pels_bench_XXXXXX)"
+trap 'rm -f "$tel_file"; rm -rf "$bench_dir"' EXIT
+PELS_BENCH_DIR="$bench_dir" timeout 300 cargo run --release -q -p pels-cli --bin pels -- \
+  bench --short
+timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
+  bench --check "$bench_dir/BENCH_scale.json"
+
 echo "== cargo clippy (all targets, warnings are errors) =="
 cargo clippy --all-targets -- -D warnings
 

@@ -1,0 +1,109 @@
+//! Many-flow scaling benchmark: sweeps N on the capacity-proportional
+//! wideband topology and writes `BENCH_scale.json` at the workspace root
+//! (override the directory with `$PELS_BENCH_DIR`).
+//!
+//! ```text
+//! bench [--counts 1,8,64] [--duration SECS] [--short] [--check FILE]
+//! ```
+//!
+//! `--short` is the CI smoke mode (small counts, 2 simulated seconds);
+//! `--check FILE` validates an existing report instead of running one.
+
+use pels_bench::scalebench::{default_output_path, run_scale, validate_json, ScaleBenchConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ScaleBenchConfig::default();
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--short" => {
+                cfg.counts = vec![1, 8, 64];
+                cfg.duration_s = 2.0;
+            }
+            "--counts" => {
+                let Some(list) = it.next() else {
+                    eprintln!("--counts needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match list.split(',').map(|t| t.trim().parse::<usize>()).collect() {
+                    Ok(c) => cfg.counts = c,
+                    Err(_) => {
+                        eprintln!("bad --counts `{list}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--duration" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--duration needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match v.parse::<f64>() {
+                    Ok(d) if d > 0.0 => cfg.duration_s = d,
+                    _ => {
+                        eprintln!("bad --duration `{v}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--check" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--check needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                check = Some(p.clone());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: bench [--counts LIST] [--duration SECS] [--short] [--check FILE]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if cfg.counts.is_empty() || cfg.counts.contains(&0) {
+        eprintln!("--counts needs positive flow counts");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_json(&text) {
+            Ok(report) => {
+                println!("{path}: valid {} report, {} rows", report.schema, report.rows.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    println!("scale bench: counts {:?}, {} simulated s per row", cfg.counts, cfg.duration_s);
+    let report = run_scale(&cfg);
+    let path = default_output_path();
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot serialize report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("[written {}]", path.display());
+    ExitCode::SUCCESS
+}

@@ -21,6 +21,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod scalebench;
+
 use pels_netsim::stats::TimeSeries;
 use std::fs;
 use std::path::{Path, PathBuf};

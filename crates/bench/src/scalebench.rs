@@ -1,0 +1,273 @@
+//! Many-flow scaling benchmark (`BENCH_scale.json`).
+//!
+//! Sweeps flow counts on the capacity-proportional wideband topology and
+//! measures both *performance* (events/sec, wall-clock per simulated
+//! second, peak event-queue depth, peak RSS, per-phase wall breakdown) and
+//! *correctness at scale* (green drops, starvation, mean rate vs Lemma 6,
+//! utility) in one pass: a fast simulator that corrupts the base layer at
+//! N = 512 is not a baseline worth recording.
+//!
+//! The output schema is versioned (`pels-bench-scale/1`) so CI can check
+//! required keys without pinning machine-dependent numbers.
+
+use pels_core::scenario::{lemma6_kbps, wideband_scaled_config, Scenario};
+use pels_netsim::time::SimTime;
+use pels_telemetry::Telemetry;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Schema tag embedded in every report.
+pub const SCHEMA: &str = "pels-bench-scale/1";
+
+/// Flow counts swept by default, per the scaling-issue spec.
+pub const DEFAULT_COUNTS: &[usize] = &[1, 8, 64, 256, 512, 1024];
+
+/// Configuration of one scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleBenchConfig {
+    /// Flow counts to run, one row each.
+    pub counts: Vec<usize>,
+    /// Simulated seconds per row.
+    pub duration_s: f64,
+    /// Target FGS-layer loss for the wideband operating point.
+    pub target_fgs_loss: f64,
+    /// Telemetry handle; per-phase wall times are recorded under
+    /// `bench.scale.n<N>.<phase>_s` when enabled.
+    pub telemetry: Telemetry,
+}
+
+impl Default for ScaleBenchConfig {
+    fn default() -> Self {
+        ScaleBenchConfig {
+            counts: DEFAULT_COUNTS.to_vec(),
+            duration_s: 10.0,
+            target_fgs_loss: 0.10,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// Wall-clock seconds spent in each phase of one row.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Building the topology and agents.
+    pub build_s: f64,
+    /// Driving the event loop for the simulated duration.
+    pub run_s: f64,
+    /// Producing the end-of-run report.
+    pub report_s: f64,
+}
+
+/// One flow-count row of the scaling benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaleBenchRow {
+    /// Number of video flows.
+    pub n_flows: usize,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Events per wall-clock second (the headline throughput number).
+    pub events_per_sec: f64,
+    /// Total wall-clock seconds for the row (all phases).
+    pub wall_s: f64,
+    /// Wall-clock seconds per simulated second (run phase only).
+    pub wall_per_sim_s: f64,
+    /// High-water mark of the event queue.
+    pub peak_queue_depth: usize,
+    /// Peak resident set size (`VmHWM`) after the row, in bytes; 0 when
+    /// the platform does not expose it.
+    pub peak_rss_bytes: u64,
+    /// Per-phase wall breakdown.
+    pub phases: PhaseBreakdown,
+    /// Base-layer drops at the bottleneck (must stay 0 on this topology).
+    pub green_drops: u64,
+    /// Flows starved by the degradation policy (must stay 0 here).
+    pub starved_flows: usize,
+    /// Mean final rate across flows, kb/s.
+    pub mean_rate_kbps: f64,
+    /// Lemma 6 stationary rate for the row's topology, kb/s.
+    pub lemma6_kbps: Option<f64>,
+    /// Mean Eq. 3 utility across flows.
+    pub mean_utility: f64,
+}
+
+/// A full scaling sweep: one row per flow count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaleBenchReport {
+    /// Schema tag (`pels-bench-scale/1`).
+    pub schema: String,
+    /// Simulated seconds per row.
+    pub duration_s: f64,
+    /// Rows in the order run.
+    pub rows: Vec<ScaleBenchRow>,
+}
+
+/// Runs the sweep, printing one line per row as it completes (rows at
+/// N = 1024 take a while; silence reads as a hang).
+pub fn run_scale(cfg: &ScaleBenchConfig) -> ScaleBenchReport {
+    let mut rows = Vec::with_capacity(cfg.counts.len());
+    for &n in &cfg.counts {
+        let row = run_row(n, cfg);
+        println!(
+            "  n={:>5}: {:>9.0} events/s  {:.3} wall-s/sim-s  peak queue {:>6}  \
+             green drops {}  mean rate {:.0} kb/s",
+            row.n_flows,
+            row.events_per_sec,
+            row.wall_per_sim_s,
+            row.peak_queue_depth,
+            row.green_drops,
+            row.mean_rate_kbps
+        );
+        rows.push(row);
+    }
+    ScaleBenchReport { schema: SCHEMA.to_string(), duration_s: cfg.duration_s, rows }
+}
+
+fn run_row(n: usize, cfg: &ScaleBenchConfig) -> ScaleBenchRow {
+    let t0 = Instant::now();
+    let scenario_cfg = wideband_scaled_config(n, cfg.target_fgs_loss);
+    let lemma6 = lemma6_kbps(&scenario_cfg);
+    let mut s = Scenario::build(scenario_cfg);
+    let build_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    s.run_until(SimTime::from_secs_f64(cfg.duration_s));
+    let run_s = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let report = s.report();
+    let report_s = t2.elapsed().as_secs_f64();
+
+    let tel = &cfg.telemetry;
+    if tel.is_enabled() {
+        tel.gauge_set(&format!("bench.scale.n{n}.build_s"), build_s);
+        tel.gauge_set(&format!("bench.scale.n{n}.run_s"), run_s);
+        tel.gauge_set(&format!("bench.scale.n{n}.report_s"), report_s);
+        tel.gauge_set(&format!("bench.scale.n{n}.events"), s.events_processed() as f64);
+        tel.flush(cfg.duration_s);
+    }
+
+    let events = s.events_processed();
+    let mean_rate_kbps = report.flows.iter().map(|f| f.final_rate_kbps).sum::<f64>() / n as f64;
+    let mean_utility = report.flows.iter().map(|f| f.utility).sum::<f64>() / n as f64;
+    ScaleBenchRow {
+        n_flows: n,
+        events,
+        events_per_sec: events as f64 / run_s.max(1e-9),
+        wall_s: build_s + run_s + report_s,
+        wall_per_sim_s: run_s / cfg.duration_s,
+        peak_queue_depth: s.peak_queue_depth(),
+        peak_rss_bytes: peak_rss_bytes(),
+        phases: PhaseBreakdown { build_s, run_s, report_s },
+        green_drops: report.green_drops,
+        starved_flows: report.starved_flows,
+        mean_rate_kbps,
+        lemma6_kbps: lemma6,
+        mean_utility,
+    }
+}
+
+/// Where `BENCH_scale.json` is written: `$PELS_BENCH_DIR` when set
+/// (created if needed), otherwise the workspace root — anchored via this
+/// crate's `CARGO_MANIFEST_DIR` like [`crate::results_dir`], so the
+/// baseline file lands in a predictable place regardless of the launch
+/// directory.
+pub fn default_output_path() -> PathBuf {
+    if let Some(dir) = std::env::var_os("PELS_BENCH_DIR") {
+        let p = PathBuf::from(dir);
+        let _ = std::fs::create_dir_all(&p);
+        return p.join("BENCH_scale.json");
+    }
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    match manifest.ancestors().nth(2) {
+        Some(root) if root.is_dir() => root.join("BENCH_scale.json"),
+        _ => PathBuf::from("BENCH_scale.json"),
+    }
+}
+
+/// Peak resident set size of this process in bytes, from Linux
+/// `/proc/self/status` (`VmHWM`). Returns 0 elsewhere — the field is
+/// informational and must not fail the bench on other platforms.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kib * 1024;
+        }
+    }
+    0
+}
+
+/// Validates a `BENCH_scale.json` document: schema tag, at least one row,
+/// and every required key present with sane values. Returns the parsed
+/// report for further inspection.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first problem found.
+pub fn validate_json(text: &str) -> Result<ScaleBenchReport, String> {
+    let report: ScaleBenchReport =
+        serde_json::from_str(text).map_err(|e| format!("not a scale-bench report: {e}"))?;
+    if report.schema != SCHEMA {
+        return Err(format!("schema `{}`, expected `{SCHEMA}`", report.schema));
+    }
+    if report.rows.is_empty() {
+        return Err("report holds no rows".into());
+    }
+    if !(report.duration_s > 0.0) {
+        return Err(format!("non-positive duration_s {}", report.duration_s));
+    }
+    for row in &report.rows {
+        if row.n_flows == 0 {
+            return Err("row with zero flows".into());
+        }
+        if row.events == 0 || !(row.events_per_sec > 0.0) {
+            return Err(format!("n={}: no measured events", row.n_flows));
+        }
+        if !(row.wall_per_sim_s > 0.0) || !(row.wall_s > 0.0) {
+            return Err(format!("n={}: missing wall-clock measurements", row.n_flows));
+        }
+        if row.peak_queue_depth == 0 {
+            return Err(format!("n={}: event-queue depth never sampled", row.n_flows));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_valid_rows() {
+        let cfg = ScaleBenchConfig { counts: vec![1, 2], duration_s: 1.0, ..Default::default() };
+        let report = run_scale(&cfg);
+        assert_eq!(report.rows.len(), 2);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let parsed = validate_json(&json).unwrap();
+        assert_eq!(parsed.rows[0].n_flows, 1);
+        assert!(parsed.rows[1].events > parsed.rows[0].events, "more flows, more events");
+        assert_eq!(parsed.rows[0].green_drops, 0);
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        assert!(validate_json("not json").is_err());
+        assert!(validate_json("{}").is_err());
+        let wrong_schema =
+            format!("{{\"schema\":\"bogus/9\",\"duration_s\":1.0,\"rows\":{}}}", "[]");
+        assert!(validate_json(&wrong_schema).unwrap_err().contains("schema"));
+        let empty = format!("{{\"schema\":\"{SCHEMA}\",\"duration_s\":1.0,\"rows\":[]}}");
+        assert!(validate_json(&empty).unwrap_err().contains("no rows"));
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_bytes() > 0);
+        }
+    }
+}

@@ -5,7 +5,9 @@
 //! ```text
 //! pels run   [--flows N] [--duration SECS] [--mode pels|besteffort|fifo]
 //!            [--seed S] [--config FILE.json] [--telemetry FILE.jsonl] [--json]
-//! pels sweep --flows-list 1,2,4,8 [--duration SECS] [--json]
+//! pels sweep --flows-list 1,2,4,8 [--duration SECS]
+//!            [--topology proportional|fixed|wideband] [--json]
+//! pels bench [--counts 1,8,64] [--duration SECS] [--short] [--check FILE]
 //! pels model --p LOSS --h PACKETS        # Section 3 closed forms
 //! pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]
 //! pels chaos [--seed S] [--duration SECS] [--telemetry FILE.jsonl] [--json]
@@ -70,8 +72,19 @@ pub enum Command {
         counts: Vec<usize>,
         /// Simulated seconds per run.
         duration_s: f64,
+        /// Topology family built for each flow count.
+        topology: SweepTopology,
         /// Emit JSON reports.
         json: bool,
+    },
+    /// Run the many-flow scaling benchmark and write `BENCH_scale.json`.
+    Bench {
+        /// Flow counts, one row each.
+        counts: Vec<usize>,
+        /// Simulated seconds per row.
+        duration_s: f64,
+        /// Validate an existing report instead of running one.
+        check: Option<String>,
     },
     /// Run the fault-injection matrix and report invariant verdicts.
     Chaos {
@@ -119,6 +132,33 @@ pub enum Command {
     Help,
 }
 
+/// Topology family used by `pels sweep` for each flow count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepTopology {
+    /// Bottleneck capacity grows with the flow count (800 kb/s per flow),
+    /// so Lemma 6 predicts the same per-flow rate at every N. The default:
+    /// scaling artifacts show up as deviations, not as capacity math.
+    Proportional,
+    /// The default fixed dumbbell regardless of flow count — overloaded
+    /// rows exercise the degradation policy (DESIGN.md §11).
+    Fixed,
+    /// The wideband topology scaled to a ~10% FGS-layer operating point,
+    /// as used by the scaling benchmark.
+    Wideband,
+}
+
+impl std::str::FromStr for SweepTopology {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "proportional" => Ok(SweepTopology::Proportional),
+            "fixed" => Ok(SweepTopology::Fixed),
+            "wideband" => Ok(SweepTopology::Wideband),
+            other => Err(format!("unknown topology `{other}` (proportional|fixed|wideband)")),
+        }
+    }
+}
+
 /// Errors produced while parsing arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseArgsError(pub String);
@@ -139,7 +179,7 @@ fn flag_map(args: &[String]) -> Result<HashMap<String, String>, ParseArgsError> 
             return Err(ParseArgsError(format!("unexpected argument `{a}`")));
         };
         // Boolean flags take no value.
-        if name == "json" || name == "mem" {
+        if name == "json" || name == "mem" || name == "short" {
             map.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -248,7 +288,34 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
             if !(duration_s > 0.0) {
                 return Err(ParseArgsError("--duration must be positive".into()));
             }
-            Ok(Command::Sweep { counts, duration_s, json: map.contains_key("json") })
+            let topology = match map.get("topology") {
+                None => SweepTopology::Proportional,
+                Some(v) => v.parse().map_err(ParseArgsError)?,
+            };
+            Ok(Command::Sweep { counts, duration_s, topology, json: map.contains_key("json") })
+        }
+        "bench" => {
+            let map = flag_map(rest)?;
+            let (mut counts, mut default_duration) =
+                (pels_bench::scalebench::DEFAULT_COUNTS.to_vec(), 10.0);
+            if map.contains_key("short") {
+                // CI smoke preset; --counts / --duration still override it.
+                counts = vec![1, 8, 64];
+                default_duration = 2.0;
+            }
+            if let Some(list) = map.get("counts") {
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|t| t.trim().parse::<usize>()).collect();
+                counts = parsed.map_err(|_| ParseArgsError(format!("bad --counts `{list}`")))?;
+            }
+            if counts.is_empty() || counts.contains(&0) {
+                return Err(ParseArgsError("--counts needs positive flow counts".into()));
+            }
+            let duration_s: f64 = get_parsed(&map, "duration", default_duration)?;
+            if !(duration_s > 0.0) {
+                return Err(ParseArgsError("--duration must be positive".into()));
+            }
+            Ok(Command::Bench { counts, duration_s, check: map.get("check").cloned() })
         }
         "chaos" => {
             let map = flag_map(rest)?;
@@ -375,13 +442,18 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             }
             w(out, format!("fixed point p/p_thr = {:.6}", p / p_thr))
         }
-        Command::Sweep { counts, duration_s, json } => {
+        Command::Sweep { counts, duration_s, topology, json } => {
+            use pels_core::scenario::{proportional_config, wideband_scaled_config};
             let configs: Vec<ScenarioConfig> = counts
                 .iter()
-                .map(|&n| ScenarioConfig {
-                    flows: pels_flows(&vec![0.0; n]),
-                    keep_series: false,
-                    ..Default::default()
+                .map(|&n| match topology {
+                    SweepTopology::Proportional => proportional_config(n),
+                    SweepTopology::Wideband => wideband_scaled_config(n, 0.10),
+                    SweepTopology::Fixed => ScenarioConfig {
+                        flows: pels_flows(&vec![0.0; n]),
+                        keep_series: false,
+                        ..Default::default()
+                    },
                 })
                 .collect();
             let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
@@ -394,15 +466,44 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 let mean_rate: f64 =
                     r.flows.iter().map(|f| f.final_rate_kbps).sum::<f64>() / *n as f64;
                 let utility: f64 = r.flows.iter().map(|f| f.utility).sum::<f64>() / *n as f64;
+                let lemma6 = match r.lemma6_kbps {
+                    Some(l) => {
+                        format!("Lemma 6 {l:.0} kb/s, dev {:+.1}%", 100.0 * (mean_rate - l) / l)
+                    }
+                    None => "Lemma 6 n/a".to_string(),
+                };
                 w(
                     out,
                     format!(
-                        "{n:>3} flows: mean rate {mean_rate:>7.0} kb/s  utility {utility:.3}                           (Lemma 6: {:.0} kb/s)",
-                        2_000.0 / *n as f64 + 40.0
+                        "{n:>4} flows: mean rate {mean_rate:>7.0} kb/s  utility {utility:.3}  \
+                         green drops {:>4}  admitted {:>4}/{n}  ({lemma6})",
+                        r.green_drops, r.admitted_flows
                     ),
                 )?;
             }
             Ok(())
+        }
+        Command::Bench { counts, duration_s, check } => {
+            use pels_bench::scalebench::{
+                default_output_path, run_scale, validate_json, ScaleBenchConfig,
+            };
+            if let Some(path) = check {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let report = validate_json(&text).map_err(|e| format!("{path}: {e}"))?;
+                return w(
+                    out,
+                    format!("{path}: valid {} report, {} rows", report.schema, report.rows.len()),
+                );
+            }
+            w(out, format!("scale bench: counts {counts:?}, {duration_s} simulated s per row"))?;
+            let cfg = ScaleBenchConfig { counts, duration_s, ..Default::default() };
+            let report = run_scale(&cfg);
+            let path = default_output_path();
+            let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+            std::fs::write(&path, &json)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            w(out, format!("[written {}]", path.display()))
         }
         Command::Chaos { seed, duration_s, json, telemetry } => {
             use pels_netsim::time::SimDuration;
@@ -619,7 +720,10 @@ pub fn usage() -> String {
      USAGE:\n\
        pels run   [--flows N] [--duration SECS] [--mode pels|besteffort|fifo]\n\
                   [--seed S] [--config FILE.json] [--telemetry FILE.jsonl] [--json]\n\
-       pels sweep [--flows-list 1,2,4,8] [--duration SECS] [--json]\n\
+       pels sweep [--flows-list 1,2,4,8] [--duration SECS]\n\
+                  [--topology proportional|fixed|wideband] [--json]\n\
+       pels bench [--counts 1,8,64,256,512,1024] [--duration SECS] [--short]\n\
+                  [--check FILE]              # writes BENCH_scale.json\n\
        pels model --p LOSS --h PACKETS\n\
        pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]\n\
        pels chaos [--seed S] [--duration SECS] [--telemetry FILE.jsonl] [--json]\n\
@@ -710,13 +814,87 @@ mod tests {
     #[test]
     fn sweep_parses_and_runs() {
         let cmd = parse_args(&args("sweep --flows-list 1,2 --duration 2")).unwrap();
+        assert!(matches!(cmd, Command::Sweep { topology: SweepTopology::Proportional, .. }));
         let mut buf = Vec::new();
         execute(cmd, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("1 flows"), "{text}");
         assert!(text.contains("2 flows"), "{text}");
+        assert!(text.contains("green drops"), "{text}");
+        assert!(text.contains("Lemma 6"), "{text}");
+        assert!(text.contains("admitted"), "{text}");
         assert!(parse_args(&args("sweep --flows-list 0,2")).is_err());
         assert!(parse_args(&args("sweep --flows-list x")).is_err());
+    }
+
+    #[test]
+    fn sweep_topology_flag_selects_the_family() {
+        let cmd = parse_args(&args("sweep --flows-list 2 --topology fixed")).unwrap();
+        assert!(matches!(cmd, Command::Sweep { topology: SweepTopology::Fixed, .. }));
+        let cmd = parse_args(&args("sweep --flows-list 2 --topology wideband")).unwrap();
+        assert!(matches!(cmd, Command::Sweep { topology: SweepTopology::Wideband, .. }));
+        assert!(parse_args(&args("sweep --flows-list 2 --topology mesh")).is_err());
+    }
+
+    #[test]
+    fn parses_bench_flags() {
+        let cmd = parse_args(&args("bench")).unwrap();
+        match cmd {
+            Command::Bench { counts, duration_s, check } => {
+                assert_eq!(counts, pels_bench::scalebench::DEFAULT_COUNTS);
+                assert_eq!(duration_s, 10.0);
+                assert!(check.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(&args("bench --short")).unwrap();
+        match cmd {
+            Command::Bench { counts, duration_s, .. } => {
+                assert_eq!(counts, vec![1, 8, 64]);
+                assert_eq!(duration_s, 2.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(&args("bench --short --counts 3,5 --duration 1.5")).unwrap();
+        match cmd {
+            Command::Bench { counts, duration_s, .. } => {
+                assert_eq!(counts, vec![3, 5]);
+                assert_eq!(duration_s, 1.5);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("bench --counts 0,2")).is_err());
+        assert!(parse_args(&args("bench --counts x")).is_err());
+        assert!(parse_args(&args("bench --duration -1")).is_err());
+    }
+
+    #[test]
+    fn bench_command_writes_and_checks_a_report() {
+        let dir = std::env::temp_dir().join("pels_cli_bench_test");
+        std::env::set_var("PELS_BENCH_DIR", &dir);
+        let cmd = parse_args(&args("bench --counts 1 --duration 0.5")).unwrap();
+        let mut buf = Vec::new();
+        let res = execute(cmd, &mut buf);
+        std::env::remove_var("PELS_BENCH_DIR");
+        res.unwrap();
+        let path = dir.join("BENCH_scale.json");
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("BENCH_scale.json"), "{text}");
+        pels_bench::scalebench::validate_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+
+        let cmd = parse_args(&args(&format!("bench --check {}", path.display()))).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("valid pels-bench-scale/1 report, 1 rows"), "{text}");
+
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{}").unwrap();
+        let cmd = parse_args(&args(&format!("bench --check {}", bad.display()))).unwrap();
+        assert!(execute(cmd, &mut Vec::new()).is_err());
+        let cmd =
+            Command::Bench { counts: vec![1], duration_s: 1.0, check: Some("/nonexistent".into()) };
+        assert!(execute(cmd, &mut Vec::new()).is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! router feedback back to the source in a small ACK for every data packet
 //! (Section 5.2).
 
-use crate::source::RETX_MARKER;
+use crate::source::{PROBE_FRAME, RETX_MARKER};
 use pels_fgs::decoder::{DecodedFrame, FrameReception, UtilityStats};
 use pels_netsim::packet::{FlowId, FrameTag, Packet, PacketKind};
 use pels_netsim::port::Port;
@@ -187,6 +187,8 @@ pub struct PelsReceiver {
     pub recovered_on_time: u64,
     /// Retransmitted packets that missed the playout deadline.
     pub recovered_late: u64,
+    /// Starvation probes acknowledged (not video data; see DESIGN.md §11).
+    pub probes_acked: u64,
     telemetry: Telemetry,
     metric: RxMetricNames,
 }
@@ -241,6 +243,7 @@ impl PelsReceiver {
             max_frame_seen: 0,
             recovered_on_time: 0,
             recovered_late: 0,
+            probes_acked: 0,
             telemetry: Telemetry::disabled(),
             metric,
         }
@@ -329,6 +332,17 @@ impl Agent for PelsReceiver {
         }
         let Some(tag) = packet.frame else { return };
         self.src_hint = packet.src;
+        if tag.frame == PROBE_FRAME {
+            // A starved source probing the path (DESIGN.md §11): solicit a
+            // feedback label via the normal ACK path, but keep the probe out
+            // of frame accounting — it is not video data, and counting it as
+            // a complete one-packet frame would inflate utility.
+            self.probes_acked += 1;
+            let mut ack = Packet::ack_for(&packet, ACK_BYTES).with_id(ctx.alloc_packet_id());
+            ack.sent_at = ctx.now;
+            self.port.send(ack, ctx);
+            return;
+        }
         self.received_packets += 1;
         self.max_frame_seen = self.max_frame_seen.max(tag.frame);
         let delay = ctx.now.duration_since(packet.sent_at);

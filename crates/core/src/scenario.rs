@@ -12,6 +12,7 @@
 //! packet coloring; TCP Reno saturates the Internet share.
 
 use crate::gamma::GammaConfig;
+use crate::mkc::{MkcConfig, MkcController};
 use crate::receiver::PelsReceiver;
 use crate::router::{AqmConfig, AqmRouter, QueueMode};
 use crate::source::{CcSpec, PelsSource, SourceConfig, SourceMode};
@@ -43,6 +44,10 @@ pub struct FlowSpec {
     pub extra_delay: SimDuration,
     /// Optional ARQ retransmission (for the comparator experiments).
     pub arq: Option<crate::source::ArqConfig>,
+    /// Floor-aware degradation policy for the many-flow regime
+    /// (DESIGN.md §11). Defaults to enabled.
+    #[serde(default)]
+    pub degradation: crate::source::DegradationConfig,
 }
 
 impl Default for FlowSpec {
@@ -54,6 +59,7 @@ impl Default for FlowSpec {
             mode: SourceMode::Pels,
             extra_delay: SimDuration::ZERO,
             arq: None,
+            degradation: crate::source::DegradationConfig::default(),
         }
     }
 }
@@ -248,6 +254,7 @@ impl Scenario {
                 packet_bytes: cfg.packet_bytes,
                 mode: spec.mode,
                 arq: spec.arq,
+                degradation: spec.degradation,
                 keep_series: cfg.keep_series,
             };
             sources.push(sim.add_agent(Box::new(PelsSource::new(sc, port))));
@@ -290,8 +297,23 @@ impl Scenario {
 
     /// Installs a scripted fault schedule into the underlying simulator
     /// (see [`pels_netsim::faults::FaultSchedule`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid schedule; use
+    /// [`Scenario::try_install_faults`] for a `Result`.
     pub fn install_faults(&mut self, schedule: &pels_netsim::faults::FaultSchedule) {
         self.sim.install_faults(schedule);
+    }
+
+    /// Fallible variant of [`Scenario::install_faults`]: a malformed
+    /// schedule yields [`crate::SimError::InvalidConfig`] before anything
+    /// is scheduled.
+    pub fn try_install_faults(
+        &mut self,
+        schedule: &pels_netsim::faults::FaultSchedule,
+    ) -> Result<(), crate::SimError> {
+        self.sim.try_install_faults(schedule)
     }
 
     /// Attaches a telemetry handle to every instrumented agent: the AQM
@@ -335,6 +357,16 @@ impl Scenario {
         &self.cfg
     }
 
+    /// Total simulator events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
+    }
+
+    /// High-water mark of the simulator's event queue.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.sim.peak_queue_depth()
+    }
+
     /// Typed access to video source `i`.
     pub fn source(&self, i: usize) -> &PelsSource {
         self.sim.agent::<PelsSource>(self.sources[i])
@@ -363,7 +395,7 @@ impl Scenario {
     /// Summarizes the run into a serializable report.
     pub fn report(&self) -> ScenarioReport {
         let router = self.router();
-        let flows = (0..self.sources.len())
+        let flows: Vec<FlowReport> = (0..self.sources.len())
             .map(|i| {
                 let s = self.source(i);
                 let r = self.receiver(i);
@@ -388,18 +420,26 @@ impl Scenario {
                         finite_or_zero(r.delays.by_class[1].max()),
                         finite_or_zero(r.delays.by_class[2].max()),
                     ],
+                    starved: s.is_starved(),
+                    skipped_base_frames: s.skipped_base_frames,
+                    probes_sent: s.probes_sent,
                 }
             })
             .collect();
         let stats = &router.port(0).stats;
+        let starved_flows = flows.iter().filter(|f| f.starved).count();
         ScenarioReport {
             duration_s: self.sim.now().as_secs_f64(),
+            admitted_flows: flows.len() - starved_flows,
+            starved_flows,
             flows,
             bottleneck_tx_by_class: stats.tx_by_class,
+            green_drops: stats.drops_by_class[0],
             bottleneck_drops_by_class: stats.drops_by_class,
             router_final_loss: router.estimator().loss(),
             router_final_fgs_loss: router.estimator().fgs_loss(),
             random_drops: router.random_drops,
+            lemma6_kbps: lemma6_kbps(&self.cfg),
             tcp_delivered: (0..self.tcp_sinks.len()).map(|j| self.tcp_sink(j).delivered()).sum(),
         }
     }
@@ -445,6 +485,15 @@ pub struct FlowReport {
     pub mean_delay_s: [f64; 3],
     /// Max one-way delay per color, seconds.
     pub max_delay_s: [f64; 3],
+    /// Whether the degradation policy had starved this flow at run end.
+    #[serde(default)]
+    pub starved: bool,
+    /// Frames skipped by base thinning (rate below the base floor).
+    #[serde(default)]
+    pub skipped_base_frames: u64,
+    /// Path probes sent while starved.
+    #[serde(default)]
+    pub probes_sent: u64,
 }
 
 /// Whole-scenario summary.
@@ -452,10 +501,22 @@ pub struct FlowReport {
 pub struct ScenarioReport {
     /// Simulated seconds.
     pub duration_s: f64,
+    /// Flows still emitting at run end (not starved).
+    #[serde(default)]
+    pub admitted_flows: usize,
+    /// Flows the degradation policy starved (DESIGN.md §11).
+    #[serde(default)]
+    pub starved_flows: usize,
     /// Per-flow summaries.
     pub flows: Vec<FlowReport>,
     /// Bottleneck transmit counts per class.
     pub bottleneck_tx_by_class: [u64; 4],
+    /// Base-layer (green) packets dropped at the bottleneck. The paper's
+    /// core invariant is that this stays 0 — any other number means the
+    /// strict-priority protection of the base layer failed, which the old
+    /// report hid inside `bottleneck_drops_by_class`.
+    #[serde(default)]
+    pub green_drops: u64,
     /// Bottleneck drop counts per class.
     pub bottleneck_drops_by_class: [u64; 4],
     /// Final router feedback `p`.
@@ -464,8 +525,33 @@ pub struct ScenarioReport {
     pub router_final_fgs_loss: f64,
     /// Uniform random drops (best-effort mode only).
     pub random_drops: u64,
+    /// Lemma 6 stationary rate `C/N + α/β` for this topology, kb/s
+    /// (`None` when flow 0 is not MKC-controlled).
+    #[serde(default)]
+    pub lemma6_kbps: Option<f64>,
     /// Total TCP packets delivered in-order across all sinks.
     pub tcp_delivered: u64,
+}
+
+/// Lemma 6 stationary rate `C/N + α/β` for `cfg`, kb/s, with `C` the PELS
+/// share of the bottleneck and `N` the configured flow count. `None` when
+/// flow 0 is not MKC-controlled (Lemma 6 is an MKC result).
+pub fn lemma6_kbps(cfg: &ScenarioConfig) -> Option<f64> {
+    lemma6_kbps_for(cfg, cfg.flows.len())
+}
+
+/// Lemma 6 rate for `n` competing flows under `cfg`'s topology and gains —
+/// `n` may differ from the configured flow count (e.g. the *admitted* count
+/// after starvation, which is the population actually sharing the pipe).
+pub fn lemma6_kbps_for(cfg: &ScenarioConfig, n: usize) -> Option<f64> {
+    if n == 0 {
+        return None;
+    }
+    let crate::source::CcSpec::Mkc(m) = cfg.flows.first()?.cc else {
+        return None;
+    };
+    let c = cfg.bottleneck.scale(cfg.aqm.pels_share);
+    Some(MkcController::new(m).stationary_rate_bps(c, n) / 1_000.0)
 }
 
 /// The operating point of the paper's Fig. 10 / Section 3 analysis: frames
@@ -477,13 +563,33 @@ pub struct ScenarioReport {
 /// alpha so that `n_flows` flows each stream ~100-packet frames at the
 /// requested FGS-layer loss.
 pub fn wideband_config(n_flows: usize, target_fgs_loss: f64) -> ScenarioConfig {
-    use crate::mkc::MkcConfig;
+    wideband_with_bottleneck(n_flows, target_fgs_loss, Rate::from_mbps(30.0))
+}
+
+/// Capacity-proportional variant of [`wideband_config`] for scaling runs:
+/// the bottleneck grows with the flow count at the same per-flow share the
+/// 30 Mb/s pipe gives its designed 8 flows (3.75 Mb/s of raw bottleneck
+/// each), so the per-flow operating point — frame budget and target
+/// FGS-layer loss — is preserved at any N.
+pub fn wideband_scaled_config(n_flows: usize, target_fgs_loss: f64) -> ScenarioConfig {
+    let mut cfg =
+        wideband_with_bottleneck(n_flows, target_fgs_loss, Rate::from_mbps(3.75 * n_flows as f64));
+    stagger_starts(&mut cfg.flows);
+    // Full per-step series across hundreds of flows would dominate memory.
+    cfg.keep_series = false;
+    cfg
+}
+
+fn wideband_with_bottleneck(
+    n_flows: usize,
+    target_fgs_loss: f64,
+    bottleneck: Rate,
+) -> ScenarioConfig {
     assert!(n_flows > 0, "need at least one flow");
     assert!(
         (0.0..0.9).contains(&target_fgs_loss),
         "target loss must be in [0, 0.9): {target_fgs_loss}"
     );
-    let bottleneck = Rate::from_mbps(30.0);
     let pels = bottleneck.as_bps() as f64 * 0.5;
     let base = 128_000.0 * n_flows as f64;
     // Solve surplus = target * enh_total with enh_total = pels + surplus - base.
@@ -498,6 +604,35 @@ pub fn wideband_config(n_flows: usize, target_fgs_loss: f64) -> ScenarioConfig {
         ..Default::default()
     };
     ScenarioConfig { bottleneck, flows: vec![flow; n_flows], ..Default::default() }
+}
+
+/// A capacity-proportional dumbbell for scaling studies: the bottleneck
+/// grows with the flow count so each flow's PELS share stays 400 kb/s —
+/// comfortably above the 128 kb/s base floor at any N — and Lemma 6 gives
+/// the same stationary rate (400 + α/β = 440 kb/s) at every N, making
+/// sweep rows directly comparable. Per-step series are disabled: at
+/// hundreds of flows they would dominate memory, and scaling runs only
+/// need the end-of-run report.
+pub fn proportional_config(n_flows: usize) -> ScenarioConfig {
+    assert!(n_flows > 0, "need at least one flow");
+    // 800 kb/s of raw bottleneck per flow = 400 kb/s of PELS share at the
+    // default 50/50 WRR split.
+    let bottleneck = Rate::from_bps(800_000 * n_flows as u64);
+    let mut flows = vec![FlowSpec::default(); n_flows];
+    stagger_starts(&mut flows);
+    ScenarioConfig { bottleneck, flows, keep_series: false, ..Default::default() }
+}
+
+/// Spreads flow starts evenly across one frame interval. With hundreds of
+/// flows, synchronized t = 0 starts emit every first frame in one burst
+/// that overflows the green queue before any control loop has run — a
+/// measurement artifact, not congestion, and one no real deployment of
+/// independent sources would exhibit.
+fn stagger_starts(flows: &mut [FlowSpec]) {
+    let n = flows.len();
+    for (i, f) in flows.iter_mut().enumerate() {
+        f.start_at = SimDuration::from_secs_f64(0.1 * i as f64 / n as f64);
+    }
 }
 
 /// Convenience: a scenario with `n` identical PELS flows starting at given

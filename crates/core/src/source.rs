@@ -119,6 +119,84 @@ impl Default for ArqConfig {
     }
 }
 
+/// Graceful degradation for the many-flow regime (DESIGN.md §11).
+///
+/// When the fair share `C/N` falls below the base-layer floor, MKC pins at
+/// its minimum rate while the source keeps emitting the full base layer —
+/// the aggregate green load exceeds the bottleneck, green packets tail-drop,
+/// and *every* flow's base layer is corrupted (the N≳32 collapse). Two
+/// stages extend PR 1's red-then-yellow shedding past the floor:
+///
+/// 1. **Base thinning** — while fresh feedback shows the controlled rate
+///    below the base floor, frames are emitted on a byte budget so the
+///    green load tracks the controlled rate instead of overshooting it.
+/// 2. **Starvation (self-admission)** — a flow whose sustainable goodput
+///    `r·(1 − p̂)` stays below the floor for `patience` stops emitting
+///    entirely and probes the path at `probe_interval`; it resumes once the
+///    goodput the smoothed price *implies*, `(α/β)·(1 − p̂)/p̂` (which at
+///    the MKC fixed point equals the fair share `C/M` of the admitted set,
+///    independent of the starved flow's own decayed rate), clears the floor
+///    by `resume_headroom` for `resume_hold`. Patience and resume are
+///    staggered by flow id so flows yield (and return) one at a time
+///    instead of oscillating in lockstep.
+///
+/// Both stages act only on *fresh* feedback epochs; under stale feedback
+/// the PR 1 watchdog owns the rate and the policy stands down.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DegradationConfig {
+    /// Master switch; disabled reproduces the pre-PR 4 collapse.
+    pub enabled: bool,
+    /// EWMA weight for the smoothed price p̂ (per fresh epoch).
+    pub smoothing: f64,
+    /// Starve when sustainable goodput stays below `floor_headroom ×` the
+    /// base floor. Keep at 1.0: the admission boundary is exactly "the base
+    /// layer no longer fits", and a lower value strands perpetual green
+    /// drops while a higher one starves flows the bottleneck could carry.
+    pub floor_headroom: f64,
+    /// How long the sustainable rate must sit below the floor before the
+    /// flow starves itself.
+    pub patience: SimDuration,
+    /// Per-flow-id stagger added to `patience`, breaking the symmetry of
+    /// simultaneous starve decisions so flows shed one at a time and the
+    /// survivors' recovering price can halt the shedding.
+    pub patience_step: SimDuration,
+    /// Interval between path probes while starved.
+    pub probe_interval: SimDuration,
+    /// How long the price-implied goodput must clear the resume threshold
+    /// before a starved flow resumes.
+    pub resume_hold: SimDuration,
+    /// Per-flow-id stagger added to `resume_hold`. Much larger than
+    /// `patience_step` by design — shed fast, rejoin slow: when a capacity
+    /// event starves many flows at once they all see the same recovered
+    /// price, and only a rejoin spacing longer than one probe interval lets
+    /// each returning flow's price impact reach the rest before the next
+    /// one decides, preventing a mass rejoin → collapse → mass starve
+    /// oscillation.
+    pub resume_step: SimDuration,
+    /// A starved flow resumes when the price-implied goodput reaches
+    /// `resume_headroom ×` the base floor. Keeping this above
+    /// `floor_headroom` opens a hysteresis band: the admitted set settles
+    /// where newcomers no longer see enough margin to rejoin, instead of
+    /// flapping across a single shared boundary.
+    pub resume_headroom: f64,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            enabled: true,
+            smoothing: 0.2,
+            floor_headroom: 1.0,
+            patience: SimDuration::from_millis(1_000),
+            patience_step: SimDuration::from_millis(25),
+            probe_interval: SimDuration::from_millis(500),
+            resume_hold: SimDuration::from_millis(500),
+            resume_step: SimDuration::from_millis(500),
+            resume_headroom: 1.35,
+        }
+    }
+}
+
 /// Configuration of a [`PelsSource`].
 #[derive(Debug, Clone)]
 pub struct SourceConfig {
@@ -140,6 +218,8 @@ pub struct SourceConfig {
     pub mode: SourceMode,
     /// Optional ARQ: answer NACKs with retransmissions.
     pub arq: Option<ArqConfig>,
+    /// Floor-aware degradation for the many-flow regime.
+    pub degradation: DegradationConfig,
     /// Whether to retain per-step time series (rate, γ, feedback).
     pub keep_series: bool,
 }
@@ -149,6 +229,14 @@ const FRAME_TOKEN: u64 = 1;
 const PACE_TOKEN: u64 = 2;
 /// Periodic stale-feedback watchdog (MKC sources only).
 const WATCHDOG_TOKEN: u64 = 3;
+/// Path probe while starved (degradation policy, DESIGN.md §11).
+const PROBE_TOKEN: u64 = 4;
+
+/// Sentinel frame number marking a starvation probe. Probes travel as green
+/// data so routers label them with ordinary feedback, but receivers must
+/// keep them out of frame accounting (a probe is not video). Real frame
+/// numbers are sequential from 0 and can never reach this value.
+pub const PROBE_FRAME: u64 = u64::MAX;
 
 /// Shed the red class when the controlled rate drops below this multiple of
 /// the current frame's base bitrate: close to the base floor, spending the
@@ -189,6 +277,29 @@ pub struct PelsSource {
     pub shed_yellow_frames: u64,
     /// Retransmissions performed in response to NACKs.
     pub retransmissions: u64,
+    /// Smoothed price p̂: EWMA of fresh feedback loss labels. `None` until
+    /// the first fresh epoch.
+    p_hat: Option<f64>,
+    /// When the sustainable rate first dipped below the base floor.
+    below_floor_since: Option<pels_netsim::time::SimTime>,
+    /// When the price-implied goodput first cleared the resume threshold
+    /// while starved.
+    resume_ready_since: Option<pels_netsim::time::SimTime>,
+    /// Whether the flow has starved itself (emits probes, not frames).
+    starved: bool,
+    /// Whether a PROBE timer chain is live (prevents duplicate chains
+    /// across starve/resume cycles).
+    probe_timer_armed: bool,
+    /// Byte budget for base thinning, in bits.
+    base_credit_bits: f64,
+    /// Frames skipped by base thinning (rate below the floor).
+    pub skipped_base_frames: u64,
+    /// Frame intervals elapsed while starved (nothing emitted).
+    pub starved_frames: u64,
+    /// Path probes sent while starved.
+    pub probes_sent: u64,
+    /// Times the flow entered the starved state.
+    pub starve_events: u64,
     /// Retransmission buffer: frame -> (emitted_at, per-packet (bytes, class)).
     retx_buffer: HashMap<u64, (pels_netsim::time::SimTime, Vec<(u32, u8)>)>,
     /// `(t, rate kb/s)` after each applied control step.
@@ -246,6 +357,16 @@ impl PelsSource {
             shed_red_frames: 0,
             shed_yellow_frames: 0,
             retransmissions: 0,
+            p_hat: None,
+            below_floor_since: None,
+            resume_ready_since: None,
+            starved: false,
+            probe_timer_armed: false,
+            base_credit_bits: 0.0,
+            skipped_base_frames: 0,
+            starved_frames: 0,
+            probes_sent: 0,
+            starve_events: 0,
             retx_buffer: HashMap::new(),
             rate_series: TimeSeries::new("rate_kbps"),
             gamma_series: TimeSeries::new("gamma"),
@@ -286,14 +407,70 @@ impl PelsSource {
         self.cc.mkc()
     }
 
+    /// Whether the degradation policy has starved this flow (DESIGN.md §11).
+    pub fn is_starved(&self) -> bool {
+        self.starved
+    }
+
+    /// Smoothed feedback price p̂ (`None` until the first fresh epoch).
+    pub fn p_hat(&self) -> Option<f64> {
+        self.p_hat
+    }
+
+    /// Base bitrate of the frame about to be emitted, bits/s.
+    fn current_base_floor_bps(&self) -> f64 {
+        let trace = &self.cfg.trace;
+        f64::from(trace.frame(self.frame_idx).base_bytes) * 8.0 * trace.fps
+    }
+
+    /// Whether fresh feedback is currently steering the controller (the
+    /// degradation policy stands down under stale feedback: the PR 1
+    /// watchdog owns the rate there, and a stale p̂ must not starve flows).
+    fn control_is_fresh(&self) -> bool {
+        self.p_hat.is_some() && self.cc.mkc().is_none_or(|m| !m.in_stale_fallback())
+    }
+
     fn emit_frame(&mut self, ctx: &mut Context<'_>) {
         // Unsent packets from the previous frame interval have missed their
         // deadline; drop them rather than let the backlog snowball.
         self.abandoned_packets += self.pending.len() as u64;
         self.pending.clear();
 
+        let interval = SimDuration::from_secs_f64(self.cfg.trace.frame_interval_secs());
+        if self.starved {
+            // Starved: the frame clock keeps running so frame numbers stay
+            // aligned with wall time, but nothing is emitted.
+            self.frame_idx += 1;
+            self.starved_frames += 1;
+            ctx.schedule_timer(interval, FRAME_TOKEN);
+            return;
+        }
+
         let trace = &self.cfg.trace;
         let spec = *trace.frame(self.frame_idx);
+        // Base thinning: with the controlled rate pinned below the base
+        // floor, emitting every base frame would overshoot the rate MKC
+        // granted — exactly the aggregate overload behind the many-flow
+        // collapse. Spend a byte budget that accrues at the controlled rate
+        // and skip frames the budget cannot cover. Only fresh feedback may
+        // thin: a decayed rate under stale feedback says nothing about the
+        // path, and blanking video on it would be self-inflicted damage.
+        if self.cfg.degradation.enabled
+            && self.control_is_fresh()
+            && self.cc.rate_bps() < f64::from(spec.base_bytes) * 8.0 * trace.fps
+        {
+            self.base_credit_bits += self.cc.rate_bps() / trace.fps;
+            let base_bits = f64::from(spec.base_bytes) * 8.0;
+            if self.base_credit_bits < base_bits {
+                self.skipped_base_frames += 1;
+                self.frame_idx += 1;
+                ctx.schedule_timer(interval, FRAME_TOKEN);
+                return;
+            }
+            self.base_credit_bits -= base_bits;
+        } else {
+            self.base_credit_bits = 0.0;
+        }
         let mut scaled = scale_to_rate(&spec, self.cc.rate_bps(), trace.fps);
         let gamma = match self.cfg.mode {
             SourceMode::Pels => self.gamma.gamma(),
@@ -340,7 +517,6 @@ impl PelsSource {
         self.frame_idx += 1;
         // Pace the frame's packets evenly across the interval (first packet
         // leaves immediately, the last one a gap before the next frame).
-        let interval = SimDuration::from_secs_f64(trace.frame_interval_secs());
         self.pace_gap = interval / plan.len() as u64;
         ctx.schedule_timer(SimDuration::ZERO, PACE_TOKEN);
         ctx.schedule_timer(interval, FRAME_TOKEN);
@@ -391,6 +567,108 @@ impl PelsSource {
         }
     }
 
+    /// Advances the starvation state machine on one fresh feedback epoch.
+    ///
+    /// A flow starves itself when its *sustainable* goodput `r·(1 − p̂)`
+    /// sits below the base floor for the configured patience: the
+    /// bottleneck cannot carry even its base layer, and continuing to emit
+    /// green only corrupts every other flow's base. Starved flows probe the
+    /// path and resume once the goodput the smoothed price implies clears
+    /// the floor with `resume_headroom` margin. The implied goodput
+    /// `(α/β)·(1 − p̂)/p̂` is used rather than the flow's own `r·(1 − p̂)`:
+    /// probes arrive slower than the stale timeout, so the watchdog pins a
+    /// starved flow's rate near the minimum, while at the MKC fixed point
+    /// the implied form equals the admitted set's fair share `C/M` exactly.
+    /// An admitted-set equilibrium at capacity keeps `C/M` below the resume
+    /// threshold, so the set is stable rather than oscillating.
+    fn update_degradation(&mut self, loss: f64, ctx: &mut Context<'_>) {
+        let deg = self.cfg.degradation;
+        if !deg.enabled {
+            return;
+        }
+        let sample = loss.clamp(-1.0, 1.0);
+        let p_hat = match self.p_hat {
+            Some(prev) => prev + deg.smoothing * (sample - prev),
+            None => sample,
+        };
+        self.p_hat = Some(p_hat);
+        let id = u64::from(self.cfg.flow.0);
+        if self.starved {
+            if self.implied_goodput_bps(p_hat)
+                >= deg.resume_headroom * self.current_base_floor_bps()
+            {
+                let since = *self.resume_ready_since.get_or_insert(ctx.now);
+                let stagger = deg.resume_step.saturating_mul(id);
+                if ctx.now.duration_since(since) >= deg.resume_hold + stagger {
+                    self.starved = false;
+                    self.resume_ready_since = None;
+                    self.base_credit_bits = 0.0;
+                    // The FRAME timer kept running; the next tick emits.
+                }
+            } else {
+                self.resume_ready_since = None;
+            }
+        } else {
+            let sustainable = self.cc.rate_bps() * (1.0 - p_hat.max(0.0));
+            if sustainable < deg.floor_headroom * self.current_base_floor_bps() {
+                let since = *self.below_floor_since.get_or_insert(ctx.now);
+                let stagger = deg.patience_step.saturating_mul(id);
+                if ctx.now.duration_since(since) >= deg.patience + stagger {
+                    self.starve(ctx);
+                }
+            } else {
+                self.below_floor_since = None;
+            }
+        }
+    }
+
+    /// The goodput the smoothed price implies for a flow joining the
+    /// admitted set: the MKC fixed point under `p̂` is `r = α/(β·p̂)`, so
+    /// goodput `r·(1 − p̂)` becomes `(α/β)·(1 − p̂)/p̂`. A non-positive
+    /// price implies unbounded goodput (spare capacity). Falls back to the
+    /// flow's own `r·(1 − p̂)` for non-MKC controllers.
+    fn implied_goodput_bps(&self, p_hat: f64) -> f64 {
+        match self.cc.mkc() {
+            Some(m) if p_hat > 0.0 => {
+                let cfg = m.config();
+                cfg.alpha_bps / cfg.beta * (1.0 - p_hat) / p_hat
+            }
+            Some(_) => f64::INFINITY,
+            None => self.cc.rate_bps() * (1.0 - p_hat.max(0.0)),
+        }
+    }
+
+    fn starve(&mut self, ctx: &mut Context<'_>) {
+        self.starved = true;
+        self.starve_events += 1;
+        self.below_floor_since = None;
+        self.resume_ready_since = None;
+        self.abandoned_packets += self.pending.len() as u64;
+        self.pending.clear();
+        self.base_credit_bits = 0.0;
+        if !self.probe_timer_armed {
+            self.probe_timer_armed = true;
+            ctx.schedule_timer(self.cfg.degradation.probe_interval, PROBE_TOKEN);
+        }
+    }
+
+    /// One green probe packet soliciting a feedback label while starved.
+    /// Tagged with the [`PROBE_FRAME`] sentinel so receivers ACK it without
+    /// counting it as video data.
+    fn send_probe(&mut self, ctx: &mut Context<'_>) {
+        let tag = FrameTag { frame: PROBE_FRAME, index: 0, total: 1, base: 1 };
+        let mut pkt = Packet::data(self.cfg.flow, ctx.self_id, self.cfg.dst, self.cfg.packet_bytes)
+            .with_class(Color::Green.class())
+            .with_seq(self.seq)
+            .with_frame(tag)
+            .with_id(ctx.alloc_packet_id());
+        pkt.sent_at = ctx.now;
+        pkt.rate_echo = self.cc.rate_bps();
+        self.seq += 1;
+        self.probes_sent += 1;
+        self.port.send(pkt, ctx);
+    }
+
     fn apply_feedback(&mut self, pkt: &Packet, ctx: &mut Context<'_>) {
         let Some(fb) = pkt.feedback else { return };
         if !self.filter.accept(&fb) {
@@ -404,6 +682,7 @@ impl PelsSource {
         }
         if self.cfg.mode == SourceMode::Pels {
             self.gamma.update(fb.fgs_loss);
+            self.update_degradation(fb.loss, ctx);
         }
         if self.cfg.keep_series {
             let t = ctx.now.as_secs_f64();
@@ -447,11 +726,22 @@ impl Agent for PelsSource {
         match token {
             START_TOKEN | FRAME_TOKEN => self.emit_frame(ctx),
             PACE_TOKEN => self.pace_one(ctx),
+            PROBE_TOKEN => {
+                if self.starved {
+                    self.send_probe(ctx);
+                    ctx.schedule_timer(self.cfg.degradation.probe_interval, PROBE_TOKEN);
+                } else {
+                    self.probe_timer_armed = false;
+                }
+            }
             WATCHDOG_TOKEN => {
                 if let Some(m) = self.cc.mkc_mut() {
                     let decayed = m.apply_staleness(ctx.now);
                     let (rate, period) = (m.rate_bps(), m.config().stale_timeout / 4);
                     if decayed {
+                        // A stale gap says nothing about the path: patience
+                        // accrued before it must not carry across.
+                        self.below_floor_since = None;
                         if self.cfg.keep_series {
                             self.rate_series.push(ctx.now.as_secs_f64(), rate / 1_000.0);
                         }
@@ -524,6 +814,7 @@ mod tests {
             packet_bytes: 500,
             mode: SourceMode::Pels,
             arq: None,
+            degradation: DegradationConfig::default(),
             keep_series: true,
         }
     }
@@ -650,6 +941,141 @@ mod tests {
                 assert_eq!(s.sent_by_color[1], 0, "base-only below the yellow-shed floor");
             }
         }
+    }
+
+    /// ACKs every data packet with a fresh (incrementing) epoch; the loss
+    /// label flips from `loss_before` to `loss_after` at `switch_at`.
+    struct EpochRecorder {
+        got: Vec<Packet>,
+        epoch: u64,
+        loss_before: f64,
+        loss_after: f64,
+        switch_at: SimTime,
+    }
+    impl Agent for EpochRecorder {
+        fn on_packet(&mut self, p: Packet, ctx: &mut Context<'_>) {
+            if p.kind == PacketKind::Data {
+                self.epoch += 1;
+                let loss =
+                    if ctx.now < self.switch_at { self.loss_before } else { self.loss_after };
+                let mut ack = Packet::ack_for(&p, 40).with_id(ctx.alloc_packet_id());
+                ack.feedback = Some(Feedback::new(AgentId(7), self.epoch, loss, 0.0));
+                ctx.deliver(ack.dst, SimDuration::from_millis(1), ack);
+                self.got.push(p);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn build_with_price(
+        degradation: DegradationConfig,
+        loss_before: f64,
+        loss_after: f64,
+        switch_at_s: f64,
+    ) -> Simulator {
+        let mut sim = Simulator::new(5);
+        let dst_id = AgentId(1);
+        let port = Port::new(
+            0,
+            dst_id,
+            Rate::from_mbps(10.0),
+            SimDuration::from_millis(1),
+            Box::new(DropTail::new(QueueLimit::Packets(1000))),
+        );
+        let cfg = SourceConfig { degradation, ..source_cfg(dst_id) };
+        sim.add_agent(Box::new(PelsSource::new(cfg, port)));
+        sim.add_agent(Box::new(EpochRecorder {
+            got: vec![],
+            epoch: 0,
+            loss_before,
+            loss_after,
+            switch_at: SimTime::from_secs_f64(switch_at_s),
+        }));
+        sim
+    }
+
+    #[test]
+    fn thins_base_frames_when_rate_pinned_below_floor() {
+        // A constant price p = 0.5 pins MKC at its 80 kb/s fixed point
+        // (r = 0.75·r + 20k), below the 128 kb/s base floor. With
+        // starvation patience pushed out of reach, base thinning must hold
+        // the emitted green load to the controlled rate by skipping frames.
+        let deg =
+            DegradationConfig { patience: SimDuration::from_secs_f64(1e6), ..Default::default() };
+        let mut sim = build_with_price(deg, 0.5, 0.5, f64::MAX);
+        sim.run_until(SimTime::from_secs_f64(10.0));
+        let s = sim.agent::<PelsSource>(AgentId(0));
+        assert!((s.rate_bps() - 80_000.0).abs() < 8_000.0, "rate {}", s.rate_bps());
+        assert!(!s.is_starved(), "patience out of reach");
+        // ~100 frame slots at 10 fps; the 80/128 byte budget passes ~62.
+        let emitted = s.frames_sent() - s.skipped_base_frames;
+        assert!(s.skipped_base_frames > 20, "skipped {}", s.skipped_base_frames);
+        assert!((45..80).contains(&emitted), "emitted {emitted}");
+    }
+
+    #[test]
+    fn starves_after_patience_and_resumes_on_negative_price() {
+        // Price 0.5 caps sustainable goodput at half the (80 kb/s) rate —
+        // far below the base floor — so after the 1 s patience the flow
+        // must starve itself and switch to probing. When the price turns
+        // negative (spare capacity) at t = 3 s, the probes see it and the
+        // flow must resume.
+        let mut sim = build_with_price(DegradationConfig::default(), 0.5, -0.5, 3.0);
+        sim.run_until(SimTime::from_secs_f64(2.5));
+        {
+            let s = sim.agent::<PelsSource>(AgentId(0));
+            assert!(s.is_starved(), "sustainable < floor for > patience");
+            assert_eq!(s.starve_events, 1);
+            assert!(s.probes_sent > 0, "starved flows probe the path");
+            assert!(s.starved_frames > 0);
+            assert!(s.frames_sent() > 20, "frame clock keeps running while starved");
+        }
+        sim.run_until(SimTime::from_secs_f64(12.0));
+        let s = sim.agent::<PelsSource>(AgentId(0));
+        assert!(!s.is_starved(), "negative price resumes the flow");
+        assert!(s.rate_bps() > 128_000.0, "rate recovered past the floor");
+        let got = &sim.agent::<EpochRecorder>(AgentId(1)).got;
+        let resumed_video = got
+            .iter()
+            .filter(|p| p.frame.unwrap().frame != PROBE_FRAME)
+            .any(|p| p.sent_at > SimTime::from_secs_f64(8.0));
+        assert!(resumed_video, "video flows again after resume");
+    }
+
+    #[test]
+    fn degradation_stands_down_under_stale_feedback() {
+        // One fresh epoch, then silence: the watchdog decays the rate to
+        // the 64 kb/s floor, but a stale p̂ must neither thin nor starve —
+        // blanking video on information-free feedback is self-harm.
+        // (A frame or two may thin in the short fresh window before the
+        // stale timeout; what matters is that nothing thins after it.)
+        let (mut sim, src, _dst) =
+            build(SourceMode::Pels, Some(Feedback::new(AgentId(7), 5, 0.5, 0.0)));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let skipped_while_fresh = sim.agent::<PelsSource>(src).skipped_base_frames;
+        sim.run_until(SimTime::from_secs_f64(4.0));
+        let s = sim.agent::<PelsSource>(src);
+        assert!(s.mkc().expect("default CC is MKC").in_stale_fallback());
+        assert!(s.rate_bps() < 128_000.0, "decayed below the floor");
+        assert_eq!(s.skipped_base_frames, skipped_while_fresh, "no thinning once stale");
+        assert!(!s.is_starved(), "no starvation under stale feedback");
+        assert_eq!(s.frames_sent(), 41, "the frame clock keeps running");
+    }
+
+    #[test]
+    fn disabled_degradation_reproduces_the_collapse_behavior() {
+        let deg = DegradationConfig { enabled: false, ..Default::default() };
+        let mut sim = build_with_price(deg, 0.5, 0.5, f64::MAX);
+        sim.run_until(SimTime::from_secs_f64(5.0));
+        let s = sim.agent::<PelsSource>(AgentId(0));
+        assert_eq!(s.skipped_base_frames, 0);
+        assert_eq!(s.starve_events, 0);
+        assert!(!s.is_starved());
     }
 
     #[test]

@@ -173,6 +173,7 @@ impl Tandem {
                 packet_bytes: 500,
                 mode: SourceMode::Pels,
                 arq: None,
+                degradation: crate::source::DegradationConfig::default(),
                 keep_series: cfg.keep_series,
             };
             sources.push(sim.add_agent(Box::new(PelsSource::new(sc, port))));

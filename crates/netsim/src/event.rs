@@ -59,24 +59,32 @@ impl Event {
     }
 }
 
-#[derive(Debug)]
+/// A heap entry: the event lives in the slab, the heap holds only the
+/// ordering key and the slab index. [`Event`] is ~150 bytes (a
+/// [`Packet`] rides inline), and heap sifts move entries by value — with
+/// events stored out of line each swap moves 32 bytes instead, and the
+/// `(time, seq)` lexicographic order packs into one `u128` comparison
+/// (`time` in the high 64 bits, `seq` below it).
+#[derive(Debug, PartialEq, Eq)]
 struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    event: Event,
+    key: u128,
+    slot: u32,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl Scheduled {
+    fn new(time: SimTime, seq: u64, slot: u32) -> Self {
+        Scheduled { key: (u128::from(time.as_nanos()) << 64) | u128::from(seq), slot }
+    }
+
+    fn time(&self) -> SimTime {
+        SimTime::from_nanos((self.key >> 64) as u64)
     }
 }
-impl Eq for Scheduled {}
 
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest event.
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
 }
 impl PartialOrd for Scheduled {
@@ -104,6 +112,11 @@ impl PartialOrd for Scheduled {
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Scheduled>,
+    /// Out-of-line event storage; `None` slots are free and their indices
+    /// are kept in `free` for reuse, so steady-state scheduling never
+    /// allocates.
+    slab: Vec<Option<Event>>,
+    free: Vec<u32>,
     next_seq: u64,
 }
 
@@ -114,20 +127,38 @@ impl EventQueue {
     }
 
     /// Schedules `event` to fire at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` events are pending at once.
     pub fn schedule(&mut self, time: SimTime, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = Some(event);
+                i
+            }
+            None => {
+                let i = u32::try_from(self.slab.len()).expect("event queue slot overflow");
+                self.slab.push(Some(event));
+                i
+            }
+        };
+        self.heap.push(Scheduled::new(time, seq, slot));
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|s| (s.time, s.event))
+        let s = self.heap.pop()?;
+        let event = self.slab[s.slot as usize].take().expect("heap entry without event");
+        self.free.push(s.slot);
+        Some((s.time(), event))
     }
 
     /// Time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        self.heap.peek().map(Scheduled::time)
     }
 
     /// Number of pending events.

@@ -128,6 +128,7 @@ pub struct Simulator {
     next_packet_id: u64,
     started: bool,
     events_processed: u64,
+    peak_queue_depth: usize,
     journal: Option<Journal>,
     control_policy: Option<ControlFaultPolicy>,
     fault_stats: FaultStats,
@@ -150,6 +151,7 @@ impl Simulator {
             next_packet_id: 0,
             started: false,
             events_processed: 0,
+            peak_queue_depth: 0,
             journal: None,
             control_policy: None,
             fault_stats: FaultStats::default(),
@@ -192,15 +194,53 @@ impl Simulator {
     /// ordinary events: they interleave deterministically with traffic and
     /// appear in the journal. Install before simulated time reaches the
     /// earliest fault (normally before the run starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule contains an invalid action (e.g. a control
+    /// fault policy whose fractions exceed 1). Use
+    /// [`Simulator::try_install_faults`] for a `Result` instead.
     pub fn install_faults(&mut self, schedule: &FaultSchedule) {
+        self.try_install_faults(schedule).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`Simulator::install_faults`]: validates every
+    /// action up front and returns [`SimError::InvalidConfig`] instead of
+    /// panicking. Nothing is scheduled unless the whole schedule is valid,
+    /// so a malformed schedule can never half-install.
+    pub fn try_install_faults(&mut self, schedule: &FaultSchedule) -> Result<(), SimError> {
+        for ev in schedule.events() {
+            validate_fault_action(&ev.action)?;
+        }
         for ev in schedule.events() {
             self.queue.schedule(ev.at, Event::Fault { agent: ev.agent, action: ev.action });
         }
+        Ok(())
     }
 
     /// Schedules a single fault at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action is invalid; see
+    /// [`Simulator::try_schedule_fault`].
     pub fn schedule_fault(&mut self, at: SimTime, agent: AgentId, action: FaultAction) {
+        self.try_schedule_fault(at, agent, action).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`Simulator::schedule_fault`]: returns
+    /// [`SimError::InvalidConfig`] for an invalid action instead of
+    /// panicking (previously the invalid policy detonated mid-run, deep in
+    /// the event loop).
+    pub fn try_schedule_fault(
+        &mut self,
+        at: SimTime,
+        agent: AgentId,
+        action: FaultAction,
+    ) -> Result<(), SimError> {
+        validate_fault_action(&action)?;
         self.queue.schedule(at, Event::Fault { agent, action });
+        Ok(())
     }
 
     /// Counters for applied faults and control-plane packet mangling.
@@ -221,6 +261,13 @@ impl Simulator {
     /// Total number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// High-water mark of the event queue over the run so far. A proxy for
+    /// the working-set size of the engine; the scaling benchmark reports it
+    /// per flow count.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_queue_depth
     }
 
     /// Immutable access to a registered agent, downcast to its concrete type.
@@ -290,6 +337,9 @@ impl Simulator {
         debug_assert!(time >= self.now, "time must be monotone");
         self.now = time;
         self.events_processed += 1;
+        // +1 counts the event just popped: the high-water mark is the depth
+        // the heap reached before this dispatch drained it by one.
+        self.peak_queue_depth = self.peak_queue_depth.max(self.queue.len() + 1);
         if let Some(journal) = &mut self.journal {
             journal.record(time, &event);
         }
@@ -323,7 +373,9 @@ impl Simulator {
             self.fault_stats.faults_applied += 1;
             match action {
                 FaultAction::SetControlPolicy(p) => {
-                    p.validate().unwrap_or_else(|e| panic!("{e}"));
+                    // Both scheduling entry points validated this policy, so
+                    // it cannot be malformed here.
+                    debug_assert!(p.validate().is_ok(), "policy validated at scheduling time");
                     self.control_policy = Some(*p);
                     return true;
                 }
@@ -377,6 +429,16 @@ impl Simulator {
     pub fn run_for(&mut self, d: SimDuration) {
         let deadline = self.now + d;
         self.run_until(deadline);
+    }
+}
+
+/// Rejects fault actions that would be invalid to apply. Only control
+/// policies carry tunable fractions today; everything else is valid by
+/// construction.
+fn validate_fault_action(action: &FaultAction) -> Result<(), SimError> {
+    match action {
+        FaultAction::SetControlPolicy(p) => p.validate(),
+        _ => Ok(()),
     }
 }
 
@@ -676,6 +738,46 @@ mod fault_tests {
             (sim.agent::<Sink>(sink).arrivals.clone(), sim.events_processed())
         }
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn malformed_fault_schedule_yields_err_not_panic() {
+        let mut sim = Simulator::new(1);
+        sim.add_agent(Box::new(Sink { arrivals: vec![] }));
+        let mut faults = FaultSchedule::new();
+        // A valid outage before the bad policy: all-or-nothing means even
+        // the valid prefix must not be scheduled.
+        faults.link_outage(AgentId(0), 0, SimTime::ZERO, SimTime::from_secs_f64(0.1));
+        faults.control_fault_window(
+            ControlFaultPolicy::drop_fraction(1.5),
+            SimTime::ZERO,
+            SimTime::from_secs_f64(1.0),
+        );
+        let err = sim.try_install_faults(&faults);
+        assert!(matches!(err, Err(SimError::InvalidConfig(_))));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(sim.fault_stats().faults_applied, 0, "nothing half-installed");
+
+        let err = sim.try_schedule_fault(
+            SimTime::ZERO,
+            GLOBAL,
+            FaultAction::SetControlPolicy(ControlFaultPolicy::drop_fraction(f64::NAN)),
+        );
+        assert!(matches!(err, Err(SimError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn peak_queue_depth_tracks_high_water_mark() {
+        let mut sim = Simulator::new(1);
+        assert_eq!(sim.peak_queue_depth(), 0);
+        sim.add_agent(Box::new(host(10)));
+        sim.add_agent(Box::new(Sink { arrivals: vec![] }));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        // 10 packets enter the port at start: 1 on the wire (tx-complete
+        // event) while 9 wait in the queue discipline, so the event queue
+        // high-water mark is small but nonzero.
+        assert!(sim.peak_queue_depth() >= 2);
+        assert!(sim.peak_queue_depth() as u64 <= sim.events_processed());
     }
 
     #[test]

@@ -281,6 +281,11 @@ fn run_wired<T: Transport, C: RunClock>(
             finite_or_zero(receiver.delays.by_class[1].max()),
             finite_or_zero(receiver.delays.by_class[2].max()),
         ],
+        // The wire source runs without the simulator's degradation policy
+        // (a single live flow has no admission contention to arbitrate).
+        starved: false,
+        skipped_base_frames: 0,
+        probes_sent: 0,
     };
     let stats = LiveStats {
         retransmissions: source.retransmissions,
@@ -293,7 +298,13 @@ fn run_wired<T: Transport, C: RunClock>(
     };
     let report = ScenarioReport {
         duration_s: cfg.duration.as_secs_f64(),
+        green_drops: router.drops_by_class[0],
         flows: vec![flow],
+        admitted_flows: 1,
+        starved_flows: 0,
+        // Lemma 6 needs the bottleneck capacity, which a live path does not
+        // advertise.
+        lemma6_kbps: None,
         bottleneck_tx_by_class: router.tx_by_class,
         bottleneck_drops_by_class: router.drops_by_class,
         router_final_loss: router.estimator().loss(),
