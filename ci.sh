@@ -23,16 +23,28 @@ metrics_out="$(timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
   metrics "$tel_file")"
 printf '%s\n' "$metrics_out" | head -n 3
 
-echo "== pels bench smoke (scaling harness, short preset) =="
+echo "== pels bench smoke (scaling harness, short preset, 2 workers) =="
 bench_dir="$(mktemp -d -t pels_bench_XXXXXX)"
 trap 'rm -f "$tel_file"; rm -rf "$bench_dir"' EXIT
 PELS_BENCH_DIR="$bench_dir" timeout 300 cargo run --release -q -p pels-cli --bin pels -- \
-  bench --short
+  bench --short --workers 2
 timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
   bench --check "$bench_dir/BENCH_scale.json"
 
+echo "== parallel determinism gate (serial vs sharded report digest) =="
+# The report must be a pure function of (config, seed): byte-identical
+# JSON whether one worker or many execute the shards (DESIGN.md §12).
+serial_json="$bench_dir/run_w1.json"
+parallel_json="$bench_dir/run_w2.json"
+timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
+  run --flows 8 --duration 10 --workers 1 --json > "$serial_json"
+timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
+  run --flows 8 --duration 10 --workers 2 --json > "$parallel_json"
+cmp "$serial_json" "$parallel_json" || {
+  echo "parallel report diverges from serial report" >&2; exit 1; }
+
 echo "== cargo clippy (all targets, warnings are errors) =="
-cargo clippy --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo fmt --check =="
 cargo fmt --check

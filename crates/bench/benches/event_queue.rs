@@ -1,0 +1,80 @@
+//! Event-queue and cross-shard mailbox microbenchmarks.
+//!
+//! The parallel engine's hot loop is (a) per-shard `schedule`/`pop` on the
+//! slab-backed binary heap and (b) the window-barrier exchange: drain every
+//! shard's outbox, merge-sort by `(time, src_shard, seq)`, and re-inject.
+//! This bench pins both at several queue depths so a heap or merge
+//! regression shows up as a number, not a hunch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pels_netsim::event::{Event, EventQueue};
+use pels_netsim::packet::AgentId;
+use pels_netsim::shard::{sort_cross_events, CrossEvent};
+use pels_netsim::time::SimTime;
+use std::hint::black_box;
+
+const DEPTHS: &[usize] = &[1_000, 16_000, 64_000];
+
+/// Steady-state schedule+pop with a fixed working set of pending events.
+fn bench_push_pop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue/push_pop");
+    g.throughput(Throughput::Elements(1));
+    for &depth in DEPTHS {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let mut q = EventQueue::new();
+            for i in 0..depth as u64 {
+                q.schedule(SimTime::from_nanos(i), Event::Timer { agent: AgentId(0), token: i });
+            }
+            let mut t = depth as u64;
+            b.iter(|| {
+                t += 1;
+                q.schedule(SimTime::from_nanos(t), Event::Timer { agent: AgentId(0), token: t });
+                black_box(q.pop())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Builds one barrier's worth of cross-shard traffic: `n` events from 8
+/// source shards with interleaved times, as the exchange step sees them
+/// after draining every outbox.
+fn mailbox_batch(n: usize) -> Vec<CrossEvent> {
+    (0..n)
+        .map(|i| CrossEvent {
+            // Deliberately non-sorted arrival order across shards.
+            time: SimTime::from_nanos(((n - i) % 97) as u64 * 1_000),
+            dst_shard: (i % 4) as u32,
+            src_shard: (i % 8) as u32,
+            seq: i as u64,
+            event: Event::Timer { agent: AgentId(i as u32), token: i as u64 },
+        })
+        .collect()
+}
+
+/// The barrier merge: deterministic sort of the drained batch followed by
+/// injection into per-destination queues.
+fn bench_mailbox_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue/mailbox_drain");
+    for &depth in DEPTHS {
+        g.throughput(Throughput::Elements(depth as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let batch = mailbox_batch(depth);
+            b.iter(|| {
+                let mut work = batch.clone();
+                sort_cross_events(&mut work);
+                // Inject into per-shard queues exactly as the exchange
+                // step does after the sort.
+                let mut queues: Vec<EventQueue> = (0..4).map(|_| EventQueue::new()).collect();
+                for ev in work {
+                    queues[ev.dst_shard as usize].schedule(ev.time, ev.event);
+                }
+                black_box(queues.iter().map(|q| q.len()).sum::<usize>())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_push_pop, bench_mailbox_drain);
+criterion_main!(benches);

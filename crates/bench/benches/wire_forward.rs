@@ -1,0 +1,96 @@
+//! Wire-stack hot-path benchmark: datagram forwarding through the live
+//! strict-priority router over the in-memory transport.
+//!
+//! Each iteration pushes a burst of data packets source→router and polls
+//! the router until the burst has fully departed — the per-datagram cost
+//! covers `WireData` encoding, `MemHub` delivery, router ingest
+//! (classify + queue), and budgeted forwarding with label stamping. This
+//! is the allocation-sensitive path: a per-packet `Vec` clone anywhere in
+//! it shows up directly in the elements/s number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pels_netsim::packet::{AgentId, FlowId, FrameTag};
+use pels_netsim::time::{Rate, SimTime};
+use pels_wire::codec::WireData;
+use pels_wire::router::{WireRouter, WireRouterConfig};
+use pels_wire::transport::{MemHub, Transport};
+use std::hint::black_box;
+use std::net::SocketAddr;
+
+const BURST: usize = 32;
+const PAYLOAD: usize = 400;
+
+fn addr(port: u16) -> SocketAddr {
+    format!("127.0.0.1:{port}").parse().unwrap()
+}
+
+fn datagram(seq: u64, class: u8, payload: &[u8]) -> Vec<u8> {
+    WireData {
+        flow: FlowId(1),
+        seq,
+        tag: FrameTag { frame: seq, index: 0, total: 1, base: 1 },
+        class,
+        retransmission: false,
+        sent_at: SimTime::ZERO,
+        rate_echo: 128_000.0,
+        feedback: None,
+        payload,
+    }
+    .encode()
+}
+
+/// Send a burst through the router and drain the far side. Capacity is
+/// wide enough that every packet forwards within one 30 ms credit window.
+fn bench_forward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_forward");
+    g.throughput(Throughput::Elements(BURST as u64));
+    for &payload in &[64usize, PAYLOAD] {
+        g.bench_with_input(BenchmarkId::new("burst32", payload), &payload, |b, &payload| {
+            let hub = MemHub::new();
+            let rx = hub.endpoint(addr(3));
+            let router_ep = hub.endpoint(addr(2));
+            let src = hub.endpoint(addr(1));
+            let cfg = WireRouterConfig::new(AgentId(1), Rate::from_mbps(1000.0), rx.local_addr());
+            let mut router = WireRouter::new(cfg, router_ep);
+            let body = vec![0u8; payload];
+            let mut now_ns: u64 = 0;
+            let mut seq: u64 = 0;
+            let mut sink = [0u8; 2048];
+            b.iter(|| {
+                for _ in 0..BURST {
+                    let d = datagram(seq, (seq % 3) as u8, &body);
+                    src.send_to(&d, addr(2)).unwrap();
+                    seq += 1;
+                }
+                // Two polls: ingest + credit the elapsed wall, then forward.
+                router.poll(SimTime::from_nanos(now_ns)).unwrap();
+                now_ns += 1_000_000;
+                router.poll(SimTime::from_nanos(now_ns)).unwrap();
+                let mut got = 0usize;
+                while let Some((n, _)) = rx.try_recv(&mut sink).unwrap() {
+                    got += n;
+                }
+                black_box(got)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Encode alone: the per-packet serialization cost on the source side.
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_forward/encode");
+    g.throughput(Throughput::Elements(1));
+    let body = vec![0u8; PAYLOAD];
+    g.bench_function("data_400B", |b| {
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            black_box(datagram(seq, 0, &body))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_encode);
+criterion_main!(benches);

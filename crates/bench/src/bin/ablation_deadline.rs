@@ -30,8 +30,8 @@ fn run(deadline_ms: Option<u64>) -> (UtilityStats, [u64; 3], [f64; 3]) {
                 u.add(&d);
             }
         }
-        for c in 0..3 {
-            late[c] += r.late_by_color[c];
+        for (slot, &n) in late.iter_mut().zip(&r.late_by_color) {
+            *slot += n;
         }
     }
     let rx = s.receiver(0);

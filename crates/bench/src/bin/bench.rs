@@ -1,9 +1,10 @@
-//! Many-flow scaling benchmark: sweeps N on the capacity-proportional
-//! wideband topology and writes `BENCH_scale.json` at the workspace root
+//! Many-flow scaling benchmark: sweeps N (× worker counts) on the
+//! parallel engine and writes `BENCH_scale.json` at the workspace root
 //! (override the directory with `$PELS_BENCH_DIR`).
 //!
 //! ```text
-//! bench [--counts 1,8,64] [--duration SECS] [--short] [--check FILE]
+//! bench [--counts 1,8,64] [--workers 1,8] [--topology chained|shared]
+//!       [--duration SECS] [--short] [--check FILE]
 //! ```
 //!
 //! `--short` is the CI smoke mode (small counts, 2 simulated seconds);
@@ -49,6 +50,32 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--workers" => {
+                let Some(list) = it.next() else {
+                    eprintln!("--workers needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match list.split(',').map(|t| t.trim().parse::<usize>()).collect() {
+                    Ok(w) => cfg.workers = w,
+                    Err(_) => {
+                        eprintln!("bad --workers `{list}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--topology" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--topology needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match v.parse() {
+                    Ok(t) => cfg.topology = t,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--check" => {
                 let Some(p) = it.next() else {
                     eprintln!("--check needs a file path");
@@ -59,7 +86,8 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: bench [--counts LIST] [--duration SECS] [--short] [--check FILE]"
+                    "usage: bench [--counts LIST] [--workers LIST] \
+                     [--topology chained|shared] [--duration SECS] [--short] [--check FILE]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -67,6 +95,10 @@ fn main() -> ExitCode {
     }
     if cfg.counts.is_empty() || cfg.counts.contains(&0) {
         eprintln!("--counts needs positive flow counts");
+        return ExitCode::FAILURE;
+    }
+    if cfg.workers.is_empty() || cfg.workers.contains(&0) {
+        eprintln!("--workers needs positive worker counts");
         return ExitCode::FAILURE;
     }
 
@@ -90,7 +122,10 @@ fn main() -> ExitCode {
         };
     }
 
-    println!("scale bench: counts {:?}, {} simulated s per row", cfg.counts, cfg.duration_s);
+    println!(
+        "scale bench: counts {:?}, workers {:?}, {:?} topology, {} simulated s per row",
+        cfg.counts, cfg.workers, cfg.topology, cfg.duration_s
+    );
     let report = run_scale(&cfg);
     let path = default_output_path();
     let json = match serde_json::to_string_pretty(&report) {

@@ -1,16 +1,25 @@
 //! Many-flow scaling benchmark (`BENCH_scale.json`).
 //!
-//! Sweeps flow counts on the capacity-proportional wideband topology and
-//! measures both *performance* (events/sec, wall-clock per simulated
-//! second, peak event-queue depth, peak RSS, per-phase wall breakdown) and
-//! *correctness at scale* (green drops, starvation, mean rate vs Lemma 6,
-//! utility) in one pass: a fast simulator that corrupts the base layer at
-//! N = 512 is not a baseline worth recording.
+//! Sweeps flow counts × worker counts on the parallel engine and measures
+//! both *performance* (events/sec, wall-clock per simulated second, peak
+//! event-queue depth, peak RSS, per-phase wall breakdown) and *correctness
+//! at scale* (green drops, starvation, mean rate vs Lemma 6, utility) in
+//! one pass: a fast simulator that corrupts the base layer at N = 512 is
+//! not a baseline worth recording.
 //!
-//! The output schema is versioned (`pels-bench-scale/1`) so CI can check
+//! Two topology families are available: `chained` (the default) restates
+//! the wideband operating point as N independent dumbbell chains, which
+//! the partitioner decomposes into one shard per chain — the shape where
+//! parallel speedup is possible; `shared` keeps every flow on one
+//! capacity-proportional bottleneck, where the delay-cut partition caps
+//! the shard count at 2. Reports at either topology are byte-identical
+//! across worker counts; only the wall-clock columns may differ.
+//!
+//! The output schema is versioned (`pels-bench-scale/2`) so CI can check
 //! required keys without pinning machine-dependent numbers.
 
-use pels_core::scenario::{lemma6_kbps, wideband_scaled_config, Scenario};
+use pels_core::parallel::ParallelScenario;
+use pels_core::scenario::{lemma6_kbps, wideband_chained_config, wideband_scaled_config};
 use pels_netsim::time::SimTime;
 use pels_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
@@ -18,22 +27,51 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 /// Schema tag embedded in every report.
-pub const SCHEMA: &str = "pels-bench-scale/1";
+pub const SCHEMA: &str = "pels-bench-scale/2";
 
 /// Flow counts swept by default, per the scaling-issue spec.
 pub const DEFAULT_COUNTS: &[usize] = &[1, 8, 64, 256, 512, 1024];
 
+/// Topology family swept by the benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScaleTopology {
+    /// N independent dumbbell chains, one flow each (`Layout::ChainPerFlow`)
+    /// — decomposes into N shards, so worker scaling is visible.
+    #[default]
+    Chained,
+    /// One shared capacity-proportional wideband bottleneck — the
+    /// delay-cut partition yields at most 2 shards.
+    Shared,
+}
+
+impl std::str::FromStr for ScaleTopology {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "chained" => Ok(ScaleTopology::Chained),
+            "shared" => Ok(ScaleTopology::Shared),
+            other => Err(format!("unknown topology `{other}` (chained|shared)")),
+        }
+    }
+}
+
 /// Configuration of one scaling sweep.
 #[derive(Debug, Clone)]
 pub struct ScaleBenchConfig {
-    /// Flow counts to run, one row each.
+    /// Flow counts to run, one row each per worker count.
     pub counts: Vec<usize>,
+    /// Worker-thread counts to sweep; the full `counts` list runs once per
+    /// entry, so rows group by workers with n_flows ascending inside each
+    /// group.
+    pub workers: Vec<usize>,
+    /// Topology family (see [`ScaleTopology`]).
+    pub topology: ScaleTopology,
     /// Simulated seconds per row.
     pub duration_s: f64,
     /// Target FGS-layer loss for the wideband operating point.
     pub target_fgs_loss: f64,
     /// Telemetry handle; per-phase wall times are recorded under
-    /// `bench.scale.n<N>.<phase>_s` when enabled.
+    /// `bench.scale.n<N>.w<W>.<phase>_s` when enabled.
     pub telemetry: Telemetry,
 }
 
@@ -41,6 +79,8 @@ impl Default for ScaleBenchConfig {
     fn default() -> Self {
         ScaleBenchConfig {
             counts: DEFAULT_COUNTS.to_vec(),
+            workers: vec![1],
+            topology: ScaleTopology::default(),
             duration_s: 10.0,
             target_fgs_loss: 0.10,
             telemetry: Telemetry::disabled(),
@@ -51,7 +91,7 @@ impl Default for ScaleBenchConfig {
 /// Wall-clock seconds spent in each phase of one row.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct PhaseBreakdown {
-    /// Building the topology and agents.
+    /// Building the topology, agents, and partition.
     pub build_s: f64,
     /// Driving the event loop for the simulated duration.
     pub run_s: f64,
@@ -59,12 +99,16 @@ pub struct PhaseBreakdown {
     pub report_s: f64,
 }
 
-/// One flow-count row of the scaling benchmark.
+/// One (flow count, worker count) row of the scaling benchmark.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScaleBenchRow {
     /// Number of video flows.
     pub n_flows: usize,
-    /// Simulator events processed.
+    /// Worker threads driving the shards.
+    pub workers: usize,
+    /// Shards the topology partitioned into.
+    pub n_shards: usize,
+    /// Simulator events processed (identical across worker counts).
     pub events: u64,
     /// Events per wall-clock second (the headline throughput number).
     pub events_per_sec: f64,
@@ -72,7 +116,7 @@ pub struct ScaleBenchRow {
     pub wall_s: f64,
     /// Wall-clock seconds per simulated second (run phase only).
     pub wall_per_sim_s: f64,
-    /// High-water mark of the event queue.
+    /// High-water mark of the deepest single shard's event queue.
     pub peak_queue_depth: usize,
     /// Peak resident set size (`VmHWM`) after the row, in bytes; 0 when
     /// the platform does not expose it.
@@ -91,43 +135,52 @@ pub struct ScaleBenchRow {
     pub mean_utility: f64,
 }
 
-/// A full scaling sweep: one row per flow count.
+/// A full scaling sweep: one row per (workers, flow count) pair.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScaleBenchReport {
-    /// Schema tag (`pels-bench-scale/1`).
+    /// Schema tag (`pels-bench-scale/2`).
     pub schema: String,
     /// Simulated seconds per row.
     pub duration_s: f64,
-    /// Rows in the order run.
+    /// Rows in the order run: grouped by workers, n_flows ascending.
     pub rows: Vec<ScaleBenchRow>,
 }
 
 /// Runs the sweep, printing one line per row as it completes (rows at
 /// N = 1024 take a while; silence reads as a hang).
 pub fn run_scale(cfg: &ScaleBenchConfig) -> ScaleBenchReport {
-    let mut rows = Vec::with_capacity(cfg.counts.len());
-    for &n in &cfg.counts {
-        let row = run_row(n, cfg);
-        println!(
-            "  n={:>5}: {:>9.0} events/s  {:.3} wall-s/sim-s  peak queue {:>6}  \
-             green drops {}  mean rate {:.0} kb/s",
-            row.n_flows,
-            row.events_per_sec,
-            row.wall_per_sim_s,
-            row.peak_queue_depth,
-            row.green_drops,
-            row.mean_rate_kbps
-        );
-        rows.push(row);
+    let mut rows = Vec::with_capacity(cfg.counts.len() * cfg.workers.len());
+    for &w in &cfg.workers {
+        for &n in &cfg.counts {
+            let row = run_row(n, w, cfg);
+            println!(
+                "  n={:>5} w={:>2} shards={:>5}: {:>9.0} events/s  {:.3} wall-s/sim-s  \
+                 peak queue {:>6}  green drops {}  mean rate {:.0} kb/s",
+                row.n_flows,
+                row.workers,
+                row.n_shards,
+                row.events_per_sec,
+                row.wall_per_sim_s,
+                row.peak_queue_depth,
+                row.green_drops,
+                row.mean_rate_kbps
+            );
+            rows.push(row);
+        }
     }
     ScaleBenchReport { schema: SCHEMA.to_string(), duration_s: cfg.duration_s, rows }
 }
 
-fn run_row(n: usize, cfg: &ScaleBenchConfig) -> ScaleBenchRow {
+fn run_row(n: usize, workers: usize, cfg: &ScaleBenchConfig) -> ScaleBenchRow {
     let t0 = Instant::now();
-    let scenario_cfg = wideband_scaled_config(n, cfg.target_fgs_loss);
+    let scenario_cfg = match cfg.topology {
+        ScaleTopology::Chained => wideband_chained_config(n, cfg.target_fgs_loss),
+        ScaleTopology::Shared => wideband_scaled_config(n, cfg.target_fgs_loss),
+    };
     let lemma6 = lemma6_kbps(&scenario_cfg);
-    let mut s = Scenario::build(scenario_cfg);
+    let mut s = ParallelScenario::build(scenario_cfg);
+    s.set_workers(workers);
+    let n_shards = s.n_shards();
     let build_s = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
@@ -140,10 +193,10 @@ fn run_row(n: usize, cfg: &ScaleBenchConfig) -> ScaleBenchRow {
 
     let tel = &cfg.telemetry;
     if tel.is_enabled() {
-        tel.gauge_set(&format!("bench.scale.n{n}.build_s"), build_s);
-        tel.gauge_set(&format!("bench.scale.n{n}.run_s"), run_s);
-        tel.gauge_set(&format!("bench.scale.n{n}.report_s"), report_s);
-        tel.gauge_set(&format!("bench.scale.n{n}.events"), s.events_processed() as f64);
+        tel.gauge_set(&format!("bench.scale.n{n}.w{workers}.build_s"), build_s);
+        tel.gauge_set(&format!("bench.scale.n{n}.w{workers}.run_s"), run_s);
+        tel.gauge_set(&format!("bench.scale.n{n}.w{workers}.report_s"), report_s);
+        tel.gauge_set(&format!("bench.scale.n{n}.w{workers}.events"), s.events_processed() as f64);
         tel.flush(cfg.duration_s);
     }
 
@@ -152,6 +205,8 @@ fn run_row(n: usize, cfg: &ScaleBenchConfig) -> ScaleBenchRow {
     let mean_utility = report.flows.iter().map(|f| f.utility).sum::<f64>() / n as f64;
     ScaleBenchRow {
         n_flows: n,
+        workers,
+        n_shards,
         events,
         events_per_sec: events as f64 / run_s.max(1e-9),
         wall_s: build_s + run_s + report_s,
@@ -202,8 +257,10 @@ pub fn peak_rss_bytes() -> u64 {
 }
 
 /// Validates a `BENCH_scale.json` document: schema tag, at least one row,
-/// and every required key present with sane values. Returns the parsed
-/// report for further inspection.
+/// every required key present with finite sane values, and `n_flows`
+/// strictly increasing within each consecutive same-workers group (rows
+/// out of order usually mean a hand-edited or truncated report). Returns
+/// the parsed report for further inspection.
 ///
 /// # Errors
 ///
@@ -217,22 +274,40 @@ pub fn validate_json(text: &str) -> Result<ScaleBenchReport, String> {
     if report.rows.is_empty() {
         return Err("report holds no rows".into());
     }
-    if !(report.duration_s > 0.0) {
+    if !report.duration_s.is_finite() || report.duration_s <= 0.0 {
         return Err(format!("non-positive duration_s {}", report.duration_s));
     }
+    let mut prev: Option<&ScaleBenchRow> = None;
     for row in &report.rows {
+        let tag = format!("n={} w={}", row.n_flows, row.workers);
         if row.n_flows == 0 {
             return Err("row with zero flows".into());
         }
-        if row.events == 0 || !(row.events_per_sec > 0.0) {
-            return Err(format!("n={}: no measured events", row.n_flows));
+        if row.workers == 0 {
+            return Err(format!("{tag}: zero workers"));
         }
-        if !(row.wall_per_sim_s > 0.0) || !(row.wall_s > 0.0) {
-            return Err(format!("n={}: missing wall-clock measurements", row.n_flows));
+        if row.n_shards == 0 {
+            return Err(format!("{tag}: zero shards"));
+        }
+        if row.events == 0 || !row.events_per_sec.is_finite() || row.events_per_sec <= 0.0 {
+            return Err(format!("{tag}: no measured events"));
+        }
+        let walls = [row.wall_s, row.wall_per_sim_s, row.phases.run_s];
+        if walls.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+            return Err(format!("{tag}: missing or non-finite wall-clock measurements"));
         }
         if row.peak_queue_depth == 0 {
-            return Err(format!("n={}: event-queue depth never sampled", row.n_flows));
+            return Err(format!("{tag}: event-queue depth never sampled"));
         }
+        if let Some(p) = prev {
+            if p.workers == row.workers && row.n_flows <= p.n_flows {
+                return Err(format!(
+                    "{tag}: n_flows not strictly increasing after n={} in the w={} group",
+                    p.n_flows, p.workers
+                ));
+            }
+        }
+        prev = Some(row);
     }
     Ok(report)
 }
@@ -249,8 +324,40 @@ mod tests {
         let json = serde_json::to_string_pretty(&report).unwrap();
         let parsed = validate_json(&json).unwrap();
         assert_eq!(parsed.rows[0].n_flows, 1);
+        assert_eq!(parsed.rows[0].workers, 1);
+        assert_eq!(parsed.rows[1].n_shards, 2, "chained topology shards per flow");
         assert!(parsed.rows[1].events > parsed.rows[0].events, "more flows, more events");
         assert_eq!(parsed.rows[0].green_drops, 0);
+    }
+
+    #[test]
+    fn worker_sweep_repeats_counts_per_group_with_identical_events() {
+        let cfg = ScaleBenchConfig {
+            counts: vec![1, 2],
+            workers: vec![1, 2],
+            duration_s: 0.5,
+            ..Default::default()
+        };
+        let report = run_scale(&cfg);
+        assert_eq!(report.rows.len(), 4);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        validate_json(&json).unwrap();
+        // The schedule is fixed by the partition, so the event count of a
+        // given n must not depend on the worker count.
+        assert_eq!(report.rows[0].events, report.rows[2].events);
+        assert_eq!(report.rows[1].events, report.rows[3].events);
+    }
+
+    #[test]
+    fn shared_topology_caps_shards_at_the_delay_cut() {
+        let cfg = ScaleBenchConfig {
+            counts: vec![3],
+            topology: ScaleTopology::Shared,
+            duration_s: 0.5,
+            ..Default::default()
+        };
+        let report = run_scale(&cfg);
+        assert!(report.rows[0].n_shards <= 2, "shared dumbbell cuts into at most 2 shards");
     }
 
     #[test]
@@ -258,10 +365,38 @@ mod tests {
         assert!(validate_json("not json").is_err());
         assert!(validate_json("{}").is_err());
         let wrong_schema =
-            format!("{{\"schema\":\"bogus/9\",\"duration_s\":1.0,\"rows\":{}}}", "[]");
+            format!("{{\"schema\":\"pels-bench-scale/1\",\"duration_s\":1.0,\"rows\":{}}}", "[]");
         assert!(validate_json(&wrong_schema).unwrap_err().contains("schema"));
         let empty = format!("{{\"schema\":\"{SCHEMA}\",\"duration_s\":1.0,\"rows\":[]}}");
         assert!(validate_json(&empty).unwrap_err().contains("no rows"));
+    }
+
+    #[test]
+    fn validation_rejects_out_of_order_and_non_finite_rows() {
+        let cfg = ScaleBenchConfig { counts: vec![1, 2], duration_s: 0.5, ..Default::default() };
+        let good = run_scale(&cfg);
+
+        let mut swapped = good.clone();
+        swapped.rows.swap(0, 1);
+        let json = serde_json::to_string(&swapped).unwrap();
+        assert!(validate_json(&json).unwrap_err().contains("strictly increasing"));
+
+        // serde_json renders NaN as null, which the typed parse rejects —
+        // either way a NaN wall never validates.
+        let mut nan_wall = good.clone();
+        nan_wall.rows[0].wall_s = f64::NAN;
+        let json = serde_json::to_string(&nan_wall).unwrap();
+        assert!(validate_json(&json).is_err());
+
+        let mut neg_wall = good.clone();
+        neg_wall.rows[0].wall_per_sim_s = -0.25;
+        let json = serde_json::to_string(&neg_wall).unwrap();
+        assert!(validate_json(&json).unwrap_err().contains("wall-clock"));
+
+        let mut zero_workers = good;
+        zero_workers.rows[0].workers = 0;
+        let json = serde_json::to_string(&zero_workers).unwrap();
+        assert!(validate_json(&json).unwrap_err().contains("zero workers"));
     }
 
     #[test]

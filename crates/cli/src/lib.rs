@@ -4,10 +4,12 @@
 //!
 //! ```text
 //! pels run   [--flows N] [--duration SECS] [--mode pels|besteffort|fifo]
-//!            [--seed S] [--config FILE.json] [--telemetry FILE.jsonl] [--json]
-//! pels sweep --flows-list 1,2,4,8 [--duration SECS]
+//!            [--seed S] [--workers N] [--config FILE.json]
+//!            [--telemetry FILE.jsonl] [--json]
+//! pels sweep --flows-list 1,2,4,8 [--duration SECS] [--workers N]
 //!            [--topology proportional|fixed|wideband] [--json]
-//! pels bench [--counts 1,8,64] [--duration SECS] [--short] [--check FILE]
+//! pels bench [--counts 1,8,64] [--workers 1,8] [--topology chained|shared]
+//!            [--duration SECS] [--short] [--check FILE]
 //! pels model --p LOSS --h PACKETS        # Section 3 closed forms
 //! pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]
 //! pels chaos [--seed S] [--duration SECS] [--telemetry FILE.jsonl] [--json]
@@ -29,7 +31,7 @@
 #![forbid(unsafe_code)]
 
 use pels_core::router::QueueMode;
-use pels_core::scenario::{pels_flows, to_best_effort, Scenario, ScenarioConfig};
+use pels_core::scenario::{pels_flows, to_best_effort, ScenarioConfig};
 use pels_core::source::SourceMode;
 use pels_netsim::time::SimTime;
 use std::collections::HashMap;
@@ -47,6 +49,9 @@ pub enum Command {
         json: bool,
         /// Write telemetry snapshots (JSON lines) to this path.
         telemetry: Option<String>,
+        /// Worker threads for the parallel engine (results are identical
+        /// at every value; this only sizes the thread pool).
+        workers: usize,
     },
     /// Evaluate the Section 3 closed forms.
     Model {
@@ -76,11 +81,17 @@ pub enum Command {
         topology: SweepTopology,
         /// Emit JSON reports.
         json: bool,
+        /// OS threads running scenarios concurrently.
+        workers: usize,
     },
     /// Run the many-flow scaling benchmark and write `BENCH_scale.json`.
     Bench {
-        /// Flow counts, one row each.
+        /// Flow counts, one row each per worker count.
         counts: Vec<usize>,
+        /// Worker-thread counts to sweep.
+        workers: Vec<usize>,
+        /// Topology family (`chained` decomposes into one shard per flow).
+        topology: pels_bench::scalebench::ScaleTopology,
         /// Simulated seconds per row.
         duration_s: f64,
         /// Validate an existing report instead of running one.
@@ -204,6 +215,11 @@ fn get_parsed<T: std::str::FromStr>(
     }
 }
 
+/// Default worker-thread count: the machine's available parallelism.
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 /// Parses a command line (without the program name).
 ///
 /// # Errors
@@ -246,14 +262,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                 }
             }
             let duration_s: f64 = get_parsed(&map, "duration", 30.0)?;
-            if !(duration_s > 0.0) {
+            if !duration_s.is_finite() || duration_s <= 0.0 {
                 return Err(ParseArgsError("--duration must be positive".into()));
+            }
+            let workers: usize = get_parsed(&map, "workers", default_workers())?;
+            if workers == 0 {
+                return Err(ParseArgsError("--workers must be at least 1".into()));
             }
             Ok(Command::Run {
                 config: Box::new(config),
                 duration_s,
                 json: map.contains_key("json"),
                 telemetry: map.get("telemetry").cloned(),
+                workers,
             })
         }
         "model" => {
@@ -285,14 +306,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                 return Err(ParseArgsError("--flows-list needs positive counts".into()));
             }
             let duration_s: f64 = get_parsed(&map, "duration", 20.0)?;
-            if !(duration_s > 0.0) {
+            if !duration_s.is_finite() || duration_s <= 0.0 {
                 return Err(ParseArgsError("--duration must be positive".into()));
             }
             let topology = match map.get("topology") {
                 None => SweepTopology::Proportional,
                 Some(v) => v.parse().map_err(ParseArgsError)?,
             };
-            Ok(Command::Sweep { counts, duration_s, topology, json: map.contains_key("json") })
+            let workers: usize = get_parsed(&map, "workers", default_workers())?;
+            if workers == 0 {
+                return Err(ParseArgsError("--workers must be at least 1".into()));
+            }
+            Ok(Command::Sweep {
+                counts,
+                duration_s,
+                topology,
+                json: map.contains_key("json"),
+                workers,
+            })
         }
         "bench" => {
             let map = flag_map(rest)?;
@@ -312,16 +343,48 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                 return Err(ParseArgsError("--counts needs positive flow counts".into()));
             }
             let duration_s: f64 = get_parsed(&map, "duration", default_duration)?;
-            if !(duration_s > 0.0) {
+            if !duration_s.is_finite() || duration_s <= 0.0 {
                 return Err(ParseArgsError("--duration must be positive".into()));
             }
-            Ok(Command::Bench { counts, duration_s, check: map.get("check").cloned() })
+            let workers = match map.get("workers") {
+                Some(list) => {
+                    let parsed: Result<Vec<usize>, _> =
+                        list.split(',').map(|t| t.trim().parse::<usize>()).collect();
+                    let w =
+                        parsed.map_err(|_| ParseArgsError(format!("bad --workers `{list}`")))?;
+                    if w.is_empty() || w.contains(&0) {
+                        return Err(ParseArgsError("--workers needs positive counts".into()));
+                    }
+                    w
+                }
+                None => {
+                    // Default to a serial-vs-parallel comparison when the
+                    // machine has more than one core.
+                    let p = default_workers();
+                    if p > 1 {
+                        vec![1, p]
+                    } else {
+                        vec![1]
+                    }
+                }
+            };
+            let topology = match map.get("topology") {
+                None => pels_bench::scalebench::ScaleTopology::default(),
+                Some(v) => v.parse().map_err(ParseArgsError)?,
+            };
+            Ok(Command::Bench {
+                counts,
+                workers,
+                topology,
+                duration_s,
+                check: map.get("check").cloned(),
+            })
         }
         "chaos" => {
             let map = flag_map(rest)?;
             let seed: u64 = get_parsed(&map, "seed", 1)?;
             let duration_s: f64 = get_parsed(&map, "duration", 30.0)?;
-            if !(duration_s >= 5.0) {
+            if !duration_s.is_finite() || duration_s < 5.0 {
                 return Err(ParseArgsError(
                     "--duration must be at least 5 seconds to measure recovery".into(),
                 ));
@@ -338,10 +401,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
             let duration_s: f64 = get_parsed(&map, "duration", 6.0)?;
             let bottleneck_mbps: f64 = get_parsed(&map, "bottleneck-mbps", 4.0)?;
             let share: f64 = get_parsed(&map, "share", 0.5)?;
-            if !(duration_s > 0.0) {
+            if !duration_s.is_finite() || duration_s <= 0.0 {
                 return Err(ParseArgsError("--duration must be positive".into()));
             }
-            if !(bottleneck_mbps > 0.0) {
+            if !bottleneck_mbps.is_finite() || bottleneck_mbps <= 0.0 {
                 return Err(ParseArgsError("--bottleneck-mbps must be positive".into()));
             }
             if !(share > 0.0 && share <= 1.0) {
@@ -442,7 +505,7 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             }
             w(out, format!("fixed point p/p_thr = {:.6}", p / p_thr))
         }
-        Command::Sweep { counts, duration_s, topology, json } => {
+        Command::Sweep { counts, duration_s, topology, json, workers } => {
             use pels_core::scenario::{proportional_config, wideband_scaled_config};
             let configs: Vec<ScenarioConfig> = counts
                 .iter()
@@ -456,8 +519,7 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                     },
                 })
                 .collect();
-            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-            let reports = pels_core::sweep::run_parallel(configs, duration_s, threads);
+            let reports = pels_core::sweep::run_parallel(configs, duration_s, workers);
             if json {
                 let j = serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())?;
                 return w(out, j);
@@ -483,7 +545,7 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             }
             Ok(())
         }
-        Command::Bench { counts, duration_s, check } => {
+        Command::Bench { counts, workers, topology, duration_s, check } => {
             use pels_bench::scalebench::{
                 default_output_path, run_scale, validate_json, ScaleBenchConfig,
             };
@@ -496,8 +558,15 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                     format!("{path}: valid {} report, {} rows", report.schema, report.rows.len()),
                 );
             }
-            w(out, format!("scale bench: counts {counts:?}, {duration_s} simulated s per row"))?;
-            let cfg = ScaleBenchConfig { counts, duration_s, ..Default::default() };
+            w(
+                out,
+                format!(
+                    "scale bench: counts {counts:?}, workers {workers:?}, {topology:?} \
+                     topology, {duration_s} simulated s per row"
+                ),
+            )?;
+            let cfg =
+                ScaleBenchConfig { counts, workers, topology, duration_s, ..Default::default() };
             let report = run_scale(&cfg);
             let path = default_output_path();
             let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -659,9 +728,12 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             }
             Ok(())
         }
-        Command::Run { config, duration_s, json, telemetry } => {
+        Command::Run { config, duration_s, json, telemetry, workers } => {
             let tel = open_telemetry(telemetry.as_deref())?;
-            let mut s = Scenario::build(*config);
+            // The parallel engine: the partition is fixed by the topology,
+            // so --workers only changes wall clock, never the report.
+            let mut s = pels_core::parallel::ParallelScenario::build(*config);
+            s.set_workers(workers);
             if tel.is_enabled() {
                 s.attach_telemetry(&tel);
                 // Flush a cumulative snapshot roughly once per simulated
@@ -719,10 +791,12 @@ pub fn usage() -> String {
      \n\
      USAGE:\n\
        pels run   [--flows N] [--duration SECS] [--mode pels|besteffort|fifo]\n\
-                  [--seed S] [--config FILE.json] [--telemetry FILE.jsonl] [--json]\n\
-       pels sweep [--flows-list 1,2,4,8] [--duration SECS]\n\
+                  [--seed S] [--workers N] [--config FILE.json]\n\
+                  [--telemetry FILE.jsonl] [--json]\n\
+       pels sweep [--flows-list 1,2,4,8] [--duration SECS] [--workers N]\n\
                   [--topology proportional|fixed|wideband] [--json]\n\
-       pels bench [--counts 1,8,64,256,512,1024] [--duration SECS] [--short]\n\
+       pels bench [--counts 1,8,64,256,512,1024] [--workers 1,8]\n\
+                  [--topology chained|shared] [--duration SECS] [--short]\n\
                   [--check FILE]              # writes BENCH_scale.json\n\
        pels model --p LOSS --h PACKETS\n\
        pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]\n\
@@ -748,14 +822,18 @@ mod tests {
     fn parses_run_defaults() {
         let cmd = parse_args(&args("run")).unwrap();
         match cmd {
-            Command::Run { config, duration_s, json, telemetry } => {
+            Command::Run { config, duration_s, json, telemetry, workers } => {
                 assert_eq!(config.flows.len(), 2);
                 assert_eq!(duration_s, 30.0);
                 assert!(!json);
                 assert!(telemetry.is_none());
+                assert!(workers >= 1);
             }
             other => panic!("{other:?}"),
         }
+        let cmd = parse_args(&args("run --workers 3")).unwrap();
+        assert!(matches!(cmd, Command::Run { workers: 3, .. }));
+        assert!(parse_args(&args("run --workers 0")).is_err());
     }
 
     #[test]
@@ -840,13 +918,26 @@ mod tests {
     fn parses_bench_flags() {
         let cmd = parse_args(&args("bench")).unwrap();
         match cmd {
-            Command::Bench { counts, duration_s, check } => {
+            Command::Bench { counts, workers, topology, duration_s, check } => {
                 assert_eq!(counts, pels_bench::scalebench::DEFAULT_COUNTS);
                 assert_eq!(duration_s, 10.0);
                 assert!(check.is_none());
+                assert_eq!(workers[0], 1, "first workers group is the serial baseline");
+                assert_eq!(topology, pels_bench::scalebench::ScaleTopology::Chained);
             }
             other => panic!("{other:?}"),
         }
+        let cmd = parse_args(&args("bench --workers 1,4 --topology shared")).unwrap();
+        match cmd {
+            Command::Bench { workers, topology, .. } => {
+                assert_eq!(workers, vec![1, 4]);
+                assert_eq!(topology, pels_bench::scalebench::ScaleTopology::Shared);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("bench --workers 0,2")).is_err());
+        assert!(parse_args(&args("bench --workers x")).is_err());
+        assert!(parse_args(&args("bench --topology mesh")).is_err());
         let cmd = parse_args(&args("bench --short")).unwrap();
         match cmd {
             Command::Bench { counts, duration_s, .. } => {
@@ -886,14 +977,19 @@ mod tests {
         let mut buf = Vec::new();
         execute(cmd, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        assert!(text.contains("valid pels-bench-scale/1 report, 1 rows"), "{text}");
+        assert!(text.contains("valid pels-bench-scale/2 report"), "{text}");
 
         let bad = dir.join("bad.json");
         std::fs::write(&bad, "{}").unwrap();
         let cmd = parse_args(&args(&format!("bench --check {}", bad.display()))).unwrap();
         assert!(execute(cmd, &mut Vec::new()).is_err());
-        let cmd =
-            Command::Bench { counts: vec![1], duration_s: 1.0, check: Some("/nonexistent".into()) };
+        let cmd = Command::Bench {
+            counts: vec![1],
+            workers: vec![1],
+            topology: pels_bench::scalebench::ScaleTopology::Chained,
+            duration_s: 1.0,
+            check: Some("/nonexistent".into()),
+        };
         assert!(execute(cmd, &mut Vec::new()).is_err());
     }
 

@@ -42,6 +42,7 @@ pub mod color;
 pub mod feedback;
 pub mod gamma;
 pub mod mkc;
+pub mod parallel;
 pub mod receiver;
 pub mod router;
 pub mod scenario;
@@ -56,6 +57,7 @@ pub use color::Color;
 pub use feedback::{EpochFilter, FeedbackEstimator};
 pub use gamma::{DelayedGammaController, GammaConfig, GammaController};
 pub use mkc::{MkcConfig, MkcController};
+pub use parallel::ParallelScenario;
 pub use pels_netsim::SimError;
 pub use receiver::{NackConfig, PelsReceiver};
 pub use router::{AqmConfig, AqmRouter, QueueMode};

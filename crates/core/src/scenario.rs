@@ -22,7 +22,8 @@ use pels_netsim::disc::{DropTail, QueueLimit};
 use pels_netsim::packet::{AgentId, FlowId};
 use pels_netsim::port::Port;
 use pels_netsim::router::{RouteTable, Router};
-use pels_netsim::sim::Simulator;
+use pels_netsim::shard::TopologyGraph;
+use pels_netsim::sim::{Agent, AgentLookup, Simulator};
 use pels_netsim::tcp::{TcpSink, TcpSource};
 use pels_netsim::time::{Rate, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -64,6 +65,22 @@ impl Default for FlowSpec {
     }
 }
 
+/// Topology layout of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Layout {
+    /// The paper's Fig. 6 shared-bottleneck dumbbell: every flow crosses
+    /// the single AQM router R1.
+    #[default]
+    SharedDumbbell,
+    /// One independent source→router→receiver dumbbell per video flow
+    /// (each with its own `n_tcp` cross-traffic flows and a private
+    /// bottleneck of `bottleneck` rate). The chains never share a link, so
+    /// the topology partitions into connected components and parallel
+    /// execution needs no synchronization at all — this is the scaling
+    /// layout of `pels bench`.
+    ChainPerFlow,
+}
+
 /// Full scenario configuration. Defaults follow the paper's Section 6.1.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ScenarioConfig {
@@ -96,6 +113,10 @@ pub struct ScenarioConfig {
     pub playout_deadline: Option<SimDuration>,
     /// Optional receiver-side NACKing (pair with `FlowSpec::arq`).
     pub nack: Option<crate::receiver::NackConfig>,
+    /// Topology layout: the shared dumbbell (default), or one independent
+    /// chain per flow (see [`Layout`]).
+    #[serde(default)]
+    pub layout: Layout,
 }
 
 /// The paper's video profile adjusted so the base layer matches the stated
@@ -123,6 +144,7 @@ impl Default for ScenarioConfig {
             keep_series: true,
             playout_deadline: None,
             nack: None,
+            layout: Layout::default(),
         }
     }
 }
@@ -144,7 +166,220 @@ pub struct Scenario {
     pub tcp_sources: Vec<AgentId>,
     /// TCP sink agent ids.
     pub tcp_sinks: Vec<AgentId>,
+    ids: ScenarioIds,
     cfg: ScenarioConfig,
+}
+
+/// Agent ids of every role in a built scenario, grouped so report code can
+/// aggregate over one shared bottleneck router or N per-chain routers
+/// uniformly.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ScenarioIds {
+    /// AQM bottleneck router(s): one for the shared dumbbell, one per
+    /// chain for [`Layout::ChainPerFlow`].
+    pub(crate) routers: Vec<AgentId>,
+    /// Far-side plain router(s), mirroring `routers`.
+    pub(crate) far_routers: Vec<AgentId>,
+    /// Video sources in flow order.
+    pub(crate) sources: Vec<AgentId>,
+    /// Video receivers in flow order.
+    pub(crate) receivers: Vec<AgentId>,
+    /// TCP sources.
+    pub(crate) tcp_sources: Vec<AgentId>,
+    /// TCP sinks.
+    pub(crate) tcp_sinks: Vec<AgentId>,
+}
+
+/// Everything needed to instantiate a scenario on either engine: the
+/// agents in global-id order, the link graph for partitioning, and the
+/// role ids.
+pub(crate) struct ScenarioParts {
+    pub(crate) agents: Vec<Box<dyn Agent>>,
+    pub(crate) graph: TopologyGraph,
+    pub(crate) ids: ScenarioIds,
+}
+
+/// Builds the agents, link graph, and role ids for `cfg` without binding
+/// them to an engine. [`Scenario::try_build`] feeds the agents to the
+/// serial [`Simulator`]; [`crate::parallel::ParallelScenario`] partitions
+/// the graph and feeds them to a
+/// [`pels_netsim::shard::ShardedSimulator`]. Agent construction draws no
+/// randomness, so both engines see identical initial state.
+pub(crate) fn build_parts(cfg: &ScenarioConfig) -> Result<ScenarioParts, crate::SimError> {
+    if cfg.flows.is_empty() {
+        return Err(pels_netsim::error::invalid_config("a scenario needs at least one video flow"));
+    }
+    let n = cfg.flows.len();
+    let n_tcp = cfg.n_tcp;
+    match cfg.layout {
+        Layout::SharedDumbbell => {
+            let total = 2 + 2 * n + 2 * n_tcp;
+            let mut parts = ScenarioParts {
+                agents: Vec::with_capacity(total),
+                graph: TopologyGraph::new(total),
+                ids: ScenarioIds::default(),
+            };
+            let flow_ids: Vec<u32> = (0..n as u32).collect();
+            push_dumbbell(cfg, &cfg.flows, 0, &flow_ids, 1000, &mut parts)?;
+            Ok(parts)
+        }
+        Layout::ChainPerFlow => {
+            let per_chain = 4 + 2 * n_tcp;
+            let total = n * per_chain;
+            let mut parts = ScenarioParts {
+                agents: Vec::with_capacity(total),
+                graph: TopologyGraph::new(total),
+                ids: ScenarioIds::default(),
+            };
+            for i in 0..n {
+                push_dumbbell(
+                    cfg,
+                    std::slice::from_ref(&cfg.flows[i]),
+                    (i * per_chain) as u32,
+                    &[i as u32],
+                    (1000 + i * n_tcp) as u32,
+                    &mut parts,
+                )?;
+            }
+            Ok(parts)
+        }
+    }
+}
+
+/// Appends one dumbbell cluster — AQM router, far router, `flows.len()`
+/// video flows, `cfg.n_tcp` TCP flows — to `parts`, with agent ids offset
+/// by `id_base` and video flows numbered by `flow_ids` (global indices).
+/// With `id_base = 0` and all flows this is exactly the paper's Fig. 6
+/// topology and the historical agent-id layout.
+fn push_dumbbell(
+    cfg: &ScenarioConfig,
+    flows: &[FlowSpec],
+    id_base: u32,
+    flow_ids: &[u32],
+    tcp_flow_base: u32,
+    parts: &mut ScenarioParts,
+) -> Result<(), crate::SimError> {
+    let n = flows.len();
+    let n_tcp = cfg.n_tcp;
+
+    // Agent id layout within the cluster (ids are assigned in push order):
+    // base     = R1 (AQM bottleneck), base + 1 = R2,
+    // base + 2 .. +n                = video sources,
+    // .. + n                        = video receivers,
+    // .. + n_tcp                    = TCP sources,
+    // .. + n_tcp                    = TCP sinks.
+    let r1 = AgentId(id_base);
+    let r2 = AgentId(id_base + 1);
+    let src_id = |i: usize| AgentId(id_base + (2 + i) as u32);
+    let rcv_id = |i: usize| AgentId(id_base + (2 + n + i) as u32);
+    let tcp_src_id = |j: usize| AgentId(id_base + (2 + 2 * n + j) as u32);
+    let tcp_sink_id = |j: usize| AgentId(id_base + (2 + 2 * n + n_tcp + j) as u32);
+
+    debug_assert_eq!(parts.agents.len(), id_base as usize, "id_base must match push order");
+    let q = |limit: usize| Box::new(DropTail::new(QueueLimit::Packets(limit)));
+
+    // --- R1: the AQM bottleneck router ---
+    let bottleneck_port = Port::new(0, r2, cfg.bottleneck, cfg.bottleneck_delay, q(1));
+    parts.graph.add_link(r1, r2, cfg.bottleneck_delay);
+    let mut r1_reverse = Vec::new();
+    let mut r1_routes = RouteTable::new();
+    for (i, flow) in flows.iter().enumerate() {
+        r1_routes.add(rcv_id(i), 0);
+        let port_idx = 1 + i;
+        r1_routes.add(src_id(i), port_idx);
+        let delay = cfg.access_delay + flow.extra_delay;
+        r1_reverse.push(Port::new(port_idx, src_id(i), cfg.access, delay, q(200)));
+        parts.graph.add_link(src_id(i), r1, delay);
+    }
+    for j in 0..n_tcp {
+        r1_routes.add(tcp_sink_id(j), 0);
+        let port_idx = 1 + n + j;
+        r1_routes.add(tcp_src_id(j), port_idx);
+        r1_reverse.push(Port::new(port_idx, tcp_src_id(j), cfg.access, cfg.access_delay, q(200)));
+        parts.graph.add_link(tcp_src_id(j), r1, cfg.access_delay);
+    }
+    parts.agents.push(Box::new(AqmRouter::try_new(
+        bottleneck_port,
+        r1_reverse,
+        r1_routes,
+        cfg.aqm,
+        cfg.keep_series,
+    )?));
+    parts.ids.routers.push(r1);
+
+    // --- R2: plain far-side router ---
+    let mut r2_ports = vec![Port::new(0, r1, cfg.bottleneck, cfg.bottleneck_delay, q(200))];
+    let mut r2_routes = RouteTable::new();
+    for i in 0..n {
+        r2_routes.add(src_id(i), 0);
+        let port_idx = 1 + i;
+        r2_routes.add(rcv_id(i), port_idx);
+        r2_ports.push(Port::new(port_idx, rcv_id(i), cfg.access, cfg.access_delay, q(200)));
+        parts.graph.add_link(r2, rcv_id(i), cfg.access_delay);
+    }
+    for j in 0..n_tcp {
+        r2_routes.add(tcp_src_id(j), 0);
+        let port_idx = 1 + n + j;
+        r2_routes.add(tcp_sink_id(j), port_idx);
+        r2_ports.push(Port::new(port_idx, tcp_sink_id(j), cfg.access, cfg.access_delay, q(200)));
+        parts.graph.add_link(r2, tcp_sink_id(j), cfg.access_delay);
+    }
+    parts.agents.push(Box::new(Router::new(r2_ports, r2_routes)));
+    parts.ids.far_routers.push(r2);
+
+    // --- Video sources ---
+    for (i, spec) in flows.iter().enumerate() {
+        let delay = cfg.access_delay + spec.extra_delay;
+        let port = Port::new(0, r1, cfg.access, delay, q(400));
+        let sc = SourceConfig {
+            flow: FlowId(flow_ids[i]),
+            dst: rcv_id(i),
+            start_at: spec.start_at,
+            trace: cfg.trace.clone(),
+            cc: spec.cc,
+            gamma: spec.gamma,
+            packet_bytes: cfg.packet_bytes,
+            mode: spec.mode,
+            arq: spec.arq,
+            degradation: spec.degradation,
+            keep_series: cfg.keep_series,
+        };
+        parts.agents.push(Box::new(PelsSource::new(sc, port)));
+        parts.ids.sources.push(src_id(i));
+    }
+
+    // --- Video receivers ---
+    for (i, &flow_id) in flow_ids.iter().enumerate() {
+        let port = Port::new(0, r2, cfg.access, cfg.access_delay, q(400));
+        let mut rx = PelsReceiver::new(FlowId(flow_id), port, cfg.keep_series);
+        if let Some(d) = cfg.playout_deadline {
+            rx = rx.with_deadline(d);
+        }
+        if let Some(nc) = cfg.nack {
+            rx = rx.with_nack(nc);
+        }
+        parts.agents.push(Box::new(rx));
+        parts.ids.receivers.push(rcv_id(i));
+    }
+
+    // --- TCP cross traffic ---
+    for j in 0..n_tcp {
+        let port = Port::new(0, r1, cfg.access, cfg.access_delay, q(400));
+        parts.agents.push(Box::new(TcpSource::new(
+            port,
+            FlowId(tcp_flow_base + j as u32),
+            tcp_sink_id(j),
+            cfg.tcp_packet_bytes,
+            SimDuration::ZERO,
+        )));
+        parts.ids.tcp_sources.push(tcp_src_id(j));
+    }
+    for j in 0..n_tcp {
+        let port = Port::new(0, r2, cfg.access, cfg.access_delay, q(400));
+        parts.agents.push(Box::new(TcpSink::new(port, FlowId(tcp_flow_base + j as u32))));
+        parts.ids.tcp_sinks.push(tcp_sink_id(j));
+    }
+    Ok(())
 }
 
 impl Scenario {
@@ -161,138 +396,23 @@ impl Scenario {
     /// [`crate::SimError::InvalidConfig`] instead of panicking on a bad
     /// configuration.
     pub fn try_build(cfg: ScenarioConfig) -> Result<Self, crate::SimError> {
-        if cfg.flows.is_empty() {
-            return Err(pels_netsim::error::invalid_config(
-                "a scenario needs at least one video flow",
-            ));
-        }
-        let n = cfg.flows.len();
-        let n_tcp = cfg.n_tcp;
-
-        // Agent id layout (ids are assigned in add order):
-        // 0 = R1, 1 = R2,
-        // 2 .. 2+n                  = video sources,
-        // 2+n .. 2+2n               = video receivers,
-        // 2+2n .. 2+2n+n_tcp        = TCP sources,
-        // 2+2n+n_tcp .. 2+2n+2n_tcp = TCP sinks.
-        let r1 = AgentId(0);
-        let r2 = AgentId(1);
-        let src_id = |i: usize| AgentId((2 + i) as u32);
-        let rcv_id = |i: usize| AgentId((2 + n + i) as u32);
-        let tcp_src_id = |i: usize| AgentId((2 + 2 * n + i) as u32);
-        let tcp_sink_id = |i: usize| AgentId((2 + 2 * n + n_tcp + i) as u32);
-
+        let parts = build_parts(&cfg)?;
         let mut sim = Simulator::new(cfg.seed);
-        let q = |limit: usize| Box::new(DropTail::new(QueueLimit::Packets(limit)));
-
-        // --- R1: the AQM bottleneck router ---
-        let bottleneck_port = Port::new(0, r2, cfg.bottleneck, cfg.bottleneck_delay, q(1));
-        let mut r1_reverse = Vec::new();
-        let mut r1_routes = RouteTable::new();
-        for i in 0..n {
-            r1_routes.add(rcv_id(i), 0);
-            let port_idx = 1 + i;
-            r1_routes.add(src_id(i), port_idx);
-            let delay = cfg.access_delay + cfg.flows[i].extra_delay;
-            r1_reverse.push(Port::new(port_idx, src_id(i), cfg.access, delay, q(200)));
+        for agent in parts.agents {
+            sim.add_agent(agent);
         }
-        for j in 0..n_tcp {
-            r1_routes.add(tcp_sink_id(j), 0);
-            let port_idx = 1 + n + j;
-            r1_routes.add(tcp_src_id(j), port_idx);
-            r1_reverse.push(Port::new(
-                port_idx,
-                tcp_src_id(j),
-                cfg.access,
-                cfg.access_delay,
-                q(200),
-            ));
-        }
-        sim.add_agent(Box::new(AqmRouter::try_new(
-            bottleneck_port,
-            r1_reverse,
-            r1_routes,
-            cfg.aqm,
-            cfg.keep_series,
-        )?));
-
-        // --- R2: plain far-side router ---
-        let mut r2_ports = vec![Port::new(0, r1, cfg.bottleneck, cfg.bottleneck_delay, q(200))];
-        let mut r2_routes = RouteTable::new();
-        for i in 0..n {
-            r2_routes.add(src_id(i), 0);
-            let port_idx = 1 + i;
-            r2_routes.add(rcv_id(i), port_idx);
-            r2_ports.push(Port::new(port_idx, rcv_id(i), cfg.access, cfg.access_delay, q(200)));
-        }
-        for j in 0..n_tcp {
-            r2_routes.add(tcp_src_id(j), 0);
-            let port_idx = 1 + n + j;
-            r2_routes.add(tcp_sink_id(j), port_idx);
-            r2_ports.push(Port::new(
-                port_idx,
-                tcp_sink_id(j),
-                cfg.access,
-                cfg.access_delay,
-                q(200),
-            ));
-        }
-        sim.add_agent(Box::new(Router::new(r2_ports, r2_routes)));
-
-        // --- Video sources ---
-        let mut sources = Vec::new();
-        for (i, spec) in cfg.flows.iter().enumerate() {
-            let delay = cfg.access_delay + spec.extra_delay;
-            let port = Port::new(0, r1, cfg.access, delay, q(400));
-            let sc = SourceConfig {
-                flow: FlowId(i as u32),
-                dst: rcv_id(i),
-                start_at: spec.start_at,
-                trace: cfg.trace.clone(),
-                cc: spec.cc,
-                gamma: spec.gamma,
-                packet_bytes: cfg.packet_bytes,
-                mode: spec.mode,
-                arq: spec.arq,
-                degradation: spec.degradation,
-                keep_series: cfg.keep_series,
-            };
-            sources.push(sim.add_agent(Box::new(PelsSource::new(sc, port))));
-        }
-
-        // --- Video receivers ---
-        let mut receivers = Vec::new();
-        for i in 0..n {
-            let port = Port::new(0, r2, cfg.access, cfg.access_delay, q(400));
-            let mut rx = PelsReceiver::new(FlowId(i as u32), port, cfg.keep_series);
-            if let Some(d) = cfg.playout_deadline {
-                rx = rx.with_deadline(d);
-            }
-            if let Some(nc) = cfg.nack {
-                rx = rx.with_nack(nc);
-            }
-            receivers.push(sim.add_agent(Box::new(rx)));
-        }
-
-        // --- TCP cross traffic ---
-        let mut tcp_sources = Vec::new();
-        for j in 0..n_tcp {
-            let port = Port::new(0, r1, cfg.access, cfg.access_delay, q(400));
-            tcp_sources.push(sim.add_agent(Box::new(TcpSource::new(
-                port,
-                FlowId((1000 + j) as u32),
-                tcp_sink_id(j),
-                cfg.tcp_packet_bytes,
-                SimDuration::ZERO,
-            ))));
-        }
-        let mut tcp_sinks = Vec::new();
-        for j in 0..n_tcp {
-            let port = Port::new(0, r2, cfg.access, cfg.access_delay, q(400));
-            tcp_sinks.push(sim.add_agent(Box::new(TcpSink::new(port, FlowId((1000 + j) as u32)))));
-        }
-
-        Ok(Scenario { sim, r1, r2, sources, receivers, tcp_sources, tcp_sinks, cfg })
+        let ids = parts.ids;
+        Ok(Scenario {
+            sim,
+            r1: ids.routers[0],
+            r2: ids.far_routers[0],
+            sources: ids.sources.clone(),
+            receivers: ids.receivers.clone(),
+            tcp_sources: ids.tcp_sources.clone(),
+            tcp_sinks: ids.tcp_sinks.clone(),
+            ids,
+            cfg,
+        })
     }
 
     /// Installs a scripted fault schedule into the underlying simulator
@@ -320,7 +440,9 @@ impl Scenario {
     /// router and each video source and receiver share (clones of) the same
     /// registry. Disabled handles keep all hot paths single-branch no-ops.
     pub fn attach_telemetry(&mut self, telemetry: &pels_telemetry::Telemetry) {
-        self.sim.agent_mut::<AqmRouter>(self.r1).set_telemetry(telemetry.clone());
+        for &id in &self.ids.routers {
+            self.sim.agent_mut::<AqmRouter>(id).set_telemetry(telemetry.clone());
+        }
         for &id in &self.sources {
             self.sim.agent_mut::<PelsSource>(id).set_telemetry(telemetry.clone());
         }
@@ -337,8 +459,13 @@ impl Scenario {
             return;
         }
         telemetry.gauge_set("sim.events", self.sim.events_processed() as f64);
-        let port = self.router().port(0);
-        telemetry.gauge_set("sim.router.queue_pkts", port.discipline().len_packets() as f64);
+        let queued: usize = self
+            .ids
+            .routers
+            .iter()
+            .map(|&r| self.sim.agent::<AqmRouter>(r).port(0).discipline().len_packets())
+            .sum();
+        telemetry.gauge_set("sim.router.queue_pkts", queued as f64);
         telemetry.flush(self.sim.now().as_secs_f64());
     }
 
@@ -394,54 +521,7 @@ impl Scenario {
 
     /// Summarizes the run into a serializable report.
     pub fn report(&self) -> ScenarioReport {
-        let router = self.router();
-        let flows: Vec<FlowReport> = (0..self.sources.len())
-            .map(|i| {
-                let s = self.source(i);
-                let r = self.receiver(i);
-                let u = r.utility();
-                FlowReport {
-                    flow: i as u32,
-                    final_rate_kbps: s.rate_bps() / 1_000.0,
-                    final_gamma: s.gamma(),
-                    frames_sent: s.frames_sent(),
-                    frames_seen: r.frames_seen() as u64,
-                    sent_by_color: s.sent_by_color,
-                    received_by_color: r.received_by_color,
-                    utility: u.utility(),
-                    enh_loss: u.loss_rate(),
-                    mean_delay_s: [
-                        r.delays.by_class[0].mean(),
-                        r.delays.by_class[1].mean(),
-                        r.delays.by_class[2].mean(),
-                    ],
-                    max_delay_s: [
-                        finite_or_zero(r.delays.by_class[0].max()),
-                        finite_or_zero(r.delays.by_class[1].max()),
-                        finite_or_zero(r.delays.by_class[2].max()),
-                    ],
-                    starved: s.is_starved(),
-                    skipped_base_frames: s.skipped_base_frames,
-                    probes_sent: s.probes_sent,
-                }
-            })
-            .collect();
-        let stats = &router.port(0).stats;
-        let starved_flows = flows.iter().filter(|f| f.starved).count();
-        ScenarioReport {
-            duration_s: self.sim.now().as_secs_f64(),
-            admitted_flows: flows.len() - starved_flows,
-            starved_flows,
-            flows,
-            bottleneck_tx_by_class: stats.tx_by_class,
-            green_drops: stats.drops_by_class[0],
-            bottleneck_drops_by_class: stats.drops_by_class,
-            router_final_loss: router.estimator().loss(),
-            router_final_fgs_loss: router.estimator().fgs_loss(),
-            random_drops: router.random_drops,
-            lemma6_kbps: lemma6_kbps(&self.cfg),
-            tcp_delivered: (0..self.tcp_sinks.len()).map(|j| self.tcp_sink(j).delivered()).sum(),
-        }
+        compute_report(&self.sim, &self.cfg, &self.ids)
     }
 
     /// Aggregate utility across all video flows.
@@ -453,6 +533,85 @@ impl Scenario {
             }
         }
         total
+    }
+}
+
+/// Summarizes a finished run on either engine into a [`ScenarioReport`].
+/// Bottleneck counters are aggregated across all AQM routers (one for the
+/// shared dumbbell, one per chain for [`Layout::ChainPerFlow`]); the final
+/// feedback values are taken from flow 0's router, which is representative
+/// because chains are configured symmetrically.
+pub(crate) fn compute_report<L: AgentLookup>(
+    lk: &L,
+    cfg: &ScenarioConfig,
+    ids: &ScenarioIds,
+) -> ScenarioReport {
+    let flows: Vec<FlowReport> = ids
+        .sources
+        .iter()
+        .zip(&ids.receivers)
+        .enumerate()
+        .map(|(i, (&src, &rcv))| {
+            let s: &PelsSource = lk.lookup(src).expect("video source agent");
+            let r: &PelsReceiver = lk.lookup(rcv).expect("video receiver agent");
+            let u = r.utility();
+            FlowReport {
+                flow: i as u32,
+                final_rate_kbps: s.rate_bps() / 1_000.0,
+                final_gamma: s.gamma(),
+                frames_sent: s.frames_sent(),
+                frames_seen: r.frames_seen() as u64,
+                sent_by_color: s.sent_by_color,
+                received_by_color: r.received_by_color,
+                utility: u.utility(),
+                enh_loss: u.loss_rate(),
+                mean_delay_s: [
+                    r.delays.by_class[0].mean(),
+                    r.delays.by_class[1].mean(),
+                    r.delays.by_class[2].mean(),
+                ],
+                max_delay_s: [
+                    finite_or_zero(r.delays.by_class[0].max()),
+                    finite_or_zero(r.delays.by_class[1].max()),
+                    finite_or_zero(r.delays.by_class[2].max()),
+                ],
+                starved: s.is_starved(),
+                skipped_base_frames: s.skipped_base_frames,
+                probes_sent: s.probes_sent,
+            }
+        })
+        .collect();
+    let mut bottleneck_tx_by_class = [0u64; 4];
+    let mut bottleneck_drops_by_class = [0u64; 4];
+    let mut random_drops = 0u64;
+    for &rid in &ids.routers {
+        let router: &AqmRouter = lk.lookup(rid).expect("AQM router agent");
+        let stats = &router.port(0).stats;
+        for c in 0..4 {
+            bottleneck_tx_by_class[c] += stats.tx_by_class[c];
+            bottleneck_drops_by_class[c] += stats.drops_by_class[c];
+        }
+        random_drops += router.random_drops;
+    }
+    let first_router: &AqmRouter = lk.lookup(ids.routers[0]).expect("AQM router agent");
+    let starved_flows = flows.iter().filter(|f| f.starved).count();
+    ScenarioReport {
+        duration_s: lk.now().as_secs_f64(),
+        admitted_flows: flows.len() - starved_flows,
+        starved_flows,
+        flows,
+        bottleneck_tx_by_class,
+        green_drops: bottleneck_drops_by_class[0],
+        bottleneck_drops_by_class,
+        router_final_loss: first_router.estimator().loss(),
+        router_final_fgs_loss: first_router.estimator().fgs_loss(),
+        random_drops,
+        lemma6_kbps: lemma6_kbps(cfg),
+        tcp_delivered: ids
+            .tcp_sinks
+            .iter()
+            .map(|&id| lk.lookup::<TcpSink>(id).expect("TCP sink agent").delivered())
+            .sum(),
     }
 }
 
@@ -550,8 +709,14 @@ pub fn lemma6_kbps_for(cfg: &ScenarioConfig, n: usize) -> Option<f64> {
     let crate::source::CcSpec::Mkc(m) = cfg.flows.first()?.cc else {
         return None;
     };
+    // Under ChainPerFlow every flow has its own bottleneck of the full
+    // configured rate, so the population sharing a pipe is always 1.
+    let n_eff = match cfg.layout {
+        Layout::SharedDumbbell => n,
+        Layout::ChainPerFlow => 1,
+    };
     let c = cfg.bottleneck.scale(cfg.aqm.pels_share);
-    Some(MkcController::new(m).stationary_rate_bps(c, n) / 1_000.0)
+    Some(MkcController::new(m).stationary_rate_bps(c, n_eff) / 1_000.0)
 }
 
 /// The operating point of the paper's Fig. 10 / Section 3 analysis: frames
@@ -621,6 +786,41 @@ pub fn proportional_config(n_flows: usize) -> ScenarioConfig {
     let mut flows = vec![FlowSpec::default(); n_flows];
     stagger_starts(&mut flows);
     ScenarioConfig { bottleneck, flows, keep_series: false, ..Default::default() }
+}
+
+/// [`proportional_config`]'s workload restated as `n_flows` *independent*
+/// dumbbell chains ([`Layout::ChainPerFlow`]): each flow gets its own
+/// 800 kb/s bottleneck — the same 400 kb/s PELS share and 440 kb/s Lemma 6
+/// stationary rate as the shared capacity-proportional pipe — but the
+/// topology decomposes into N connected components, which is the shape the
+/// parallel partitioner exploits. Scaling rows from the two configs are
+/// directly comparable per flow.
+pub fn chained_proportional_config(n_flows: usize) -> ScenarioConfig {
+    assert!(n_flows > 0, "need at least one flow");
+    let mut flows = vec![FlowSpec::default(); n_flows];
+    stagger_starts(&mut flows);
+    ScenarioConfig {
+        bottleneck: Rate::from_bps(800_000),
+        flows,
+        layout: Layout::ChainPerFlow,
+        keep_series: false,
+        ..Default::default()
+    }
+}
+
+/// [`wideband_scaled_config`]'s per-flow operating point on independent
+/// chains: every flow streams alone over a 3.75 Mb/s bottleneck — the raw
+/// per-flow share the 30 Mb/s pipe gives its designed 8 flows — so frame
+/// budgets and the target FGS-layer loss match the shared wideband runs
+/// while the topology decomposes into `n_flows` components.
+pub fn wideband_chained_config(n_flows: usize, target_fgs_loss: f64) -> ScenarioConfig {
+    assert!(n_flows > 0, "need at least one flow");
+    let mut cfg = wideband_with_bottleneck(1, target_fgs_loss, Rate::from_mbps(3.75));
+    cfg.flows = vec![cfg.flows[0].clone(); n_flows];
+    stagger_starts(&mut cfg.flows);
+    cfg.layout = Layout::ChainPerFlow;
+    cfg.keep_series = false;
+    cfg
 }
 
 /// Spreads flow starts evenly across one frame interval. With hundreds of

@@ -370,8 +370,8 @@ mod proptests {
             let mut rx = FrameReception::from_plan(0, &plan);
             rx.mark_received(0); // keep base intact
             let mut first_gap = enh_packets;
-            for k in 0..enh_packets {
-                if !lost[k] {
+            for (k, &was_lost) in lost.iter().enumerate().take(enh_packets) {
+                if !was_lost {
                     rx.mark_received((k + 1) as u16);
                 } else if first_gap == enh_packets {
                     first_gap = k;

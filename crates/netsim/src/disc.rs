@@ -38,7 +38,7 @@ impl QueueLimit {
 /// `enqueue` pushes dropped packets (the incoming one, or victims evicted to
 /// make room) into `dropped` so callers can account for them without
 /// per-call allocation.
-pub trait Discipline: fmt::Debug {
+pub trait Discipline: fmt::Debug + Send {
     /// Offers `pkt` to the queue at time `now`.
     fn enqueue(&mut self, pkt: Packet, now: SimTime, dropped: &mut Vec<Packet>);
 
@@ -799,8 +799,8 @@ mod proptests {
             }
             while let Some(p) = sp.dequeue(SimTime::ZERO) {
                 let class = p.class.min(3) as usize;
-                for higher in 0..class {
-                    prop_assert_eq!(waiting[higher], 0,
+                for (higher, &count) in waiting.iter().enumerate().take(class) {
+                    prop_assert_eq!(count, 0,
                         "class {} dequeued while class {} still waiting", class, higher);
                 }
                 waiting[class] -= 1;

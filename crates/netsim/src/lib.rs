@@ -7,6 +7,9 @@
 //! * a virtual clock and event heap with stable FIFO tie-breaking
 //!   ([`event`], [`time`]),
 //! * agents (hosts/routers) dispatched by id ([`sim`]),
+//! * deterministic parallel execution — a topology partitioner and a
+//!   conservative windowed multi-shard executor whose results are
+//!   byte-identical at every worker count ([`shard`]),
 //! * output ports that serialize one packet at a time over links with a
 //!   configurable rate and propagation delay ([`port`]),
 //! * composable queue disciplines — DropTail, RED, strict priority,
@@ -77,6 +80,7 @@ pub mod packet;
 pub mod port;
 pub mod rem;
 pub mod router;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod tcp;
@@ -88,5 +92,6 @@ pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use error::SimError;
 pub use faults::{ControlFaultPolicy, FaultAction, FaultSchedule, FaultStats};
 pub use packet::{AgentId, Feedback, FlowId, Packet, PacketId, PacketKind};
-pub use sim::{Agent, Context, Simulator};
+pub use shard::{Partition, ShardedSimulator, TopologyGraph};
+pub use sim::{Agent, AgentLookup, Context, Simulator};
 pub use time::{Rate, SimDuration, SimTime};

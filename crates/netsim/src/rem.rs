@@ -205,7 +205,7 @@ mod tests {
         // Drain the queue, then run underloaded.
         let mut t = SimTime::from_secs_f64(10.0);
         while rem.dequeue(t).is_some() {
-            t = t + SimDuration::from_micros(100);
+            t += SimDuration::from_micros(100);
         }
         drive(&mut rem, 1.0, 4.0, 20.0, 40.0);
         assert!(rem.price() < 0.5 * high, "price {} vs {high}", rem.price());

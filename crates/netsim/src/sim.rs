@@ -12,17 +12,21 @@ use crate::event::{Event, EventQueue};
 use crate::faults::{ControlFaultPolicy, FaultAction, FaultSchedule, FaultStats};
 use crate::journal::Journal;
 use crate::packet::{AgentId, Packet, PacketId, PacketKind};
+use crate::shard::{CrossEvent, ShardMap};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
+use std::sync::Arc;
 
 /// A simulation participant.
 ///
 /// Implementors also provide `as_any`/`as_any_mut` so that scenario code can
 /// recover the concrete type (and its collected statistics) after a run via
-/// [`Simulator::agent`] / [`Simulator::agent_mut`].
-pub trait Agent: Any {
+/// [`Simulator::agent`] / [`Simulator::agent_mut`]. Agents are `Send` so a
+/// [`crate::shard::ShardedSimulator`] can drive shards on worker threads;
+/// every agent is plain owned data, so this costs nothing.
+pub trait Agent: Any + Send {
     /// Called once at simulation start (time zero), in registration order.
     fn start(&mut self, _ctx: &mut Context<'_>) {}
 
@@ -48,6 +52,23 @@ pub trait Agent: Any {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
+/// Per-shard routing state of a simulator running as one shard of a
+/// [`crate::shard::ShardedSimulator`]. `None` (the default) keeps the
+/// serial single-queue behavior bit-for-bit.
+#[derive(Debug)]
+pub(crate) struct ShardState {
+    /// This shard's index.
+    shard: u32,
+    /// Global agent → (shard, local slot) map, shared read-only.
+    map: Arc<ShardMap>,
+    /// Global id of each local slab slot.
+    globals: Vec<AgentId>,
+    /// Cross-shard deliveries buffered until the next window barrier.
+    outbox: Vec<CrossEvent>,
+    /// Emission counter: part of the deterministic barrier merge key.
+    out_seq: u64,
+}
+
 /// Handle given to agent callbacks for interacting with the simulator.
 #[derive(Debug)]
 pub struct Context<'a> {
@@ -58,6 +79,7 @@ pub struct Context<'a> {
     queue: &'a mut EventQueue,
     rng: &'a mut StdRng,
     next_packet_id: &'a mut u64,
+    shard: Option<&'a mut ShardState>,
 }
 
 impl Context<'_> {
@@ -67,9 +89,27 @@ impl Context<'_> {
     }
 
     /// Delivers `packet` to `dst` after `delay` (propagation is modelled by
-    /// the caller; ports use this internally).
+    /// the caller; ports use this internally). In a sharded run a delivery
+    /// to an agent owned by another shard is buffered in the outbox and
+    /// exchanged at the next window barrier.
     pub fn deliver(&mut self, dst: AgentId, delay: SimDuration, packet: Packet) {
-        self.queue.schedule(self.now + delay, Event::PacketArrival { dst, packet });
+        let at = self.now + delay;
+        if let Some(s) = &mut self.shard {
+            let dst_shard = s.map.shard_of[dst.0 as usize];
+            if dst_shard != s.shard {
+                let seq = s.out_seq;
+                s.out_seq += 1;
+                s.outbox.push(CrossEvent {
+                    time: at,
+                    dst_shard,
+                    src_shard: s.shard,
+                    seq,
+                    event: Event::PacketArrival { dst, packet },
+                });
+                return;
+            }
+        }
+        self.queue.schedule(at, Event::PacketArrival { dst, packet });
     }
 
     /// Schedules a transmit-complete callback for port `port` of the current
@@ -132,6 +172,7 @@ pub struct Simulator {
     journal: Option<Journal>,
     control_policy: Option<ControlFaultPolicy>,
     fault_stats: FaultStats,
+    shard: Option<ShardState>,
 }
 
 impl std::fmt::Debug for dyn Agent {
@@ -155,7 +196,34 @@ impl Simulator {
             journal: None,
             control_policy: None,
             fault_stats: FaultStats::default(),
+            shard: None,
         }
+    }
+
+    /// Creates a simulator that runs as shard `shard` of a
+    /// [`crate::shard::ShardedSimulator`]: deliveries to agents owned by
+    /// other shards are buffered in an outbox instead of the local queue,
+    /// and packet ids are allocated from the disjoint base `shard << 40`.
+    pub(crate) fn new_shard(seed: u64, shard: u32, map: Arc<ShardMap>) -> Self {
+        let mut sim = Simulator::new(seed);
+        sim.next_packet_id = u64::from(shard) << 40;
+        sim.shard =
+            Some(ShardState { shard, map, globals: Vec::new(), outbox: Vec::new(), out_seq: 0 });
+        sim
+    }
+
+    /// Registers an agent under its *global* id in a shard simulator.
+    /// Agents must be added in ascending global-id order so local slots
+    /// match the shard map.
+    pub(crate) fn add_shard_agent(&mut self, global: AgentId, agent: Box<dyn Agent>) {
+        let s = self.shard.as_mut().expect("add_shard_agent on a non-shard simulator");
+        debug_assert_eq!(
+            s.map.local_of[global.0 as usize] as usize,
+            self.agents.len(),
+            "shard agents must be added in ascending global-id order"
+        );
+        s.globals.push(global);
+        self.agents.push(Some(agent));
     }
 
     /// Enables the event journal, keeping the most recent `capacity`
@@ -282,12 +350,27 @@ impl Simulator {
     /// Immutable access to a registered agent, downcast to its concrete
     /// type, as a `Result` instead of panicking.
     pub fn try_agent<T: Agent>(&self, id: AgentId) -> Result<&T, SimError> {
-        let slot = self.agents.get(id.0 as usize).ok_or(SimError::UnknownAgent(id))?;
-        slot.as_ref()
-            .ok_or(SimError::AgentBusy(id))?
+        self.agent_dyn(id)?
             .as_any()
             .downcast_ref::<T>()
             .ok_or(SimError::AgentTypeMismatch { agent: id, expected: std::any::type_name::<T>() })
+    }
+
+    /// Translates a (possibly global) agent id to this simulator's slab
+    /// slot. Serial simulators use ids as slots directly; shard simulators
+    /// consult the shard map and reject ids owned by other shards.
+    fn local_slot(&self, id: AgentId) -> Result<usize, SimError> {
+        match &self.shard {
+            None => Ok(id.0 as usize),
+            Some(s) => {
+                let g = id.0 as usize;
+                if s.map.shard_of.get(g).copied() == Some(s.shard) {
+                    Ok(s.map.local_of[g] as usize)
+                } else {
+                    Err(SimError::UnknownAgent(id))
+                }
+            }
+        }
     }
 
     /// Mutable access to a registered agent, downcast to its concrete type.
@@ -302,7 +385,8 @@ impl Simulator {
     /// Mutable access to a registered agent, downcast to its concrete type,
     /// as a `Result` instead of panicking.
     pub fn try_agent_mut<T: Agent>(&mut self, id: AgentId) -> Result<&mut T, SimError> {
-        let slot = self.agents.get_mut(id.0 as usize).ok_or(SimError::UnknownAgent(id))?;
+        let idx = self.local_slot(id)?;
+        let slot = self.agents.get_mut(idx).ok_or(SimError::UnknownAgent(id))?;
         slot.as_mut()
             .ok_or(SimError::AgentBusy(id))?
             .as_any_mut()
@@ -314,12 +398,17 @@ impl Simulator {
         self.started = true;
         for i in 0..self.agents.len() {
             let mut agent = self.agents[i].take().expect("agent present at start");
+            let self_id = match &self.shard {
+                None => AgentId(i as u32),
+                Some(s) => s.globals[i],
+            };
             let mut ctx = Context {
                 now: self.now,
-                self_id: AgentId(i as u32),
+                self_id,
                 queue: &mut self.queue,
                 rng: &mut self.rng,
                 next_packet_id: &mut self.next_packet_id,
+                shard: self.shard.as_mut(),
             };
             agent.start(&mut ctx);
             self.agents[i] = Some(agent);
@@ -387,7 +476,9 @@ impl Simulator {
             }
         }
         let target = event.target();
-        let idx = target.0 as usize;
+        let idx = self
+            .local_slot(target)
+            .unwrap_or_else(|e| panic!("event addressed to foreign agent: {e}"));
         let mut agent = self.agents[idx]
             .take()
             .unwrap_or_else(|| panic!("event addressed to unknown or re-entrant {target}"));
@@ -397,6 +488,7 @@ impl Simulator {
             queue: &mut self.queue,
             rng: &mut self.rng,
             next_packet_id: &mut self.next_packet_id,
+            shard: self.shard.as_mut(),
         };
         match event {
             Event::PacketArrival { packet, .. } => agent.on_packet(packet, &mut ctx),
@@ -430,12 +522,96 @@ impl Simulator {
         let deadline = self.now + d;
         self.run_until(deadline);
     }
+
+    /// Processes every event strictly before `end` (or up to and including
+    /// `end` when `inclusive`). Used by the windowed sharded executor:
+    /// interior windows are exclusive because events at exactly the barrier
+    /// time must be merged with cross-shard arrivals first.
+    pub(crate) fn run_window(&mut self, end: SimTime, inclusive: bool) {
+        if !self.started {
+            self.start_agents();
+        }
+        while let Some(t) = self.queue.peek_time() {
+            if t > end || (!inclusive && t == end) {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Moves the clock forward to `t` without processing events (never
+    /// backward). The sharded executor calls this after the final window so
+    /// every shard agrees on the committed horizon.
+    pub(crate) fn advance_clock_to(&mut self, t: SimTime) {
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Takes this shard's buffered cross-shard deliveries. Empty for
+    /// serial simulators.
+    pub(crate) fn drain_outbox(&mut self) -> Vec<CrossEvent> {
+        match &mut self.shard {
+            Some(s) => std::mem::take(&mut s.outbox),
+            None => Vec::new(),
+        }
+    }
+
+    /// Schedules an externally produced event (barrier merges, fault
+    /// routing) into this simulator's queue.
+    pub(crate) fn inject(&mut self, time: SimTime, event: Event) {
+        self.queue.schedule(time, event);
+    }
+}
+
+/// Read-only agent access shared by the serial [`Simulator`] and the
+/// parallel [`crate::shard::ShardedSimulator`], so report/summary code can
+/// be written once against either engine.
+pub trait AgentLookup {
+    /// Dynamic access to an agent by (global) id.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownAgent`] for an id outside the simulation,
+    /// [`SimError::AgentBusy`] mid-dispatch.
+    fn agent_dyn(&self, id: AgentId) -> Result<&dyn Agent, SimError>;
+
+    /// Current simulation time.
+    fn now(&self) -> SimTime;
+
+    /// Typed access to an agent by id.
+    ///
+    /// # Errors
+    ///
+    /// As [`AgentLookup::agent_dyn`], plus
+    /// [`SimError::AgentTypeMismatch`] when the agent is not a `T`.
+    fn lookup<T: Agent>(&self, id: AgentId) -> Result<&T, SimError>
+    where
+        Self: Sized,
+    {
+        self.agent_dyn(id)?
+            .as_any()
+            .downcast_ref::<T>()
+            .ok_or(SimError::AgentTypeMismatch { agent: id, expected: std::any::type_name::<T>() })
+    }
+}
+
+impl AgentLookup for Simulator {
+    fn agent_dyn(&self, id: AgentId) -> Result<&dyn Agent, SimError> {
+        let idx = self.local_slot(id)?;
+        let slot = self.agents.get(idx).ok_or(SimError::UnknownAgent(id))?;
+        Ok(slot.as_ref().ok_or(SimError::AgentBusy(id))?.as_ref())
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
 }
 
 /// Rejects fault actions that would be invalid to apply. Only control
 /// policies carry tunable fractions today; everything else is valid by
 /// construction.
-fn validate_fault_action(action: &FaultAction) -> Result<(), SimError> {
+pub(crate) fn validate_fault_action(action: &FaultAction) -> Result<(), SimError> {
     match action {
         FaultAction::SetControlPolicy(p) => p.validate(),
         _ => Ok(()),

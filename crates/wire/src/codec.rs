@@ -294,7 +294,17 @@ impl<'a> WireData<'a> {
     /// Encodes into a fresh datagram.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(DATA_HEADER_BYTES + self.payload.len());
-        put_header(&mut buf, WireKind::Data);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Encodes into `buf`, clearing it first. Senders on the per-packet
+    /// hot path keep one scratch buffer and reuse its capacity instead of
+    /// allocating a fresh `Vec` per datagram.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.reserve(DATA_HEADER_BYTES + self.payload.len());
+        put_header(buf, WireKind::Data);
         buf.extend_from_slice(&self.flow.0.to_be_bytes());
         buf.extend_from_slice(&self.seq.to_be_bytes());
         buf.extend_from_slice(&self.tag.frame.to_be_bytes());
@@ -312,11 +322,10 @@ impl<'a> WireData<'a> {
         buf.push(flags);
         buf.extend_from_slice(&self.sent_at.as_nanos().to_be_bytes());
         buf.extend_from_slice(&self.rate_echo.to_be_bytes());
-        put_feedback(&mut buf, self.feedback);
+        put_feedback(buf, self.feedback);
         let len = u16::try_from(self.payload.len()).expect("payload fits a u16 length");
         buf.extend_from_slice(&len.to_be_bytes());
         buf.extend_from_slice(self.payload);
-        buf
     }
 
     /// Decodes a datagram, borrowing the payload from `buf`.
@@ -476,7 +485,8 @@ pub fn patch_feedback(buf: &mut [u8], label: Feedback) -> Result<(), CodecError>
     if get_u8(buf, 31)? & FLAG_FEEDBACK != 0 {
         let cur_router = AgentId(get_u32(buf, 48)?);
         let cur_loss = get_f64(buf, 60)?;
-        if cur_router != label.router && !(label.loss > cur_loss) {
+        let overrides = label.loss.partial_cmp(&cur_loss) == Some(std::cmp::Ordering::Greater);
+        if cur_router != label.router && !overrides {
             return Ok(());
         }
     }

@@ -75,6 +75,10 @@ pub struct WireRouter<T: Transport> {
     estimator: FeedbackEstimator,
     /// One FIFO of raw datagrams per color.
     queues: [VecDeque<Vec<u8>>; 3],
+    /// Recycled datagram buffers: forwarding returns each sent buffer
+    /// here and ingest refills from it, so the steady-state forwarding
+    /// path allocates nothing per packet.
+    free: Vec<Vec<u8>>,
     /// Transmission credit in bits, refilled at `pels_capacity`.
     budget_bits: f64,
     last_poll: Option<SimTime>,
@@ -108,6 +112,7 @@ impl<T: Transport> WireRouter<T> {
             cfg,
             estimator,
             queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            free: Vec::new(),
             budget_bits: 0.0,
             last_poll: None,
             next_tick_at: None,
@@ -184,7 +189,10 @@ impl<T: Transport> WireRouter<T> {
                 self.drops_by_class[class] += 1;
                 self.telemetry.counter_add(router_drops_metric(class), 1);
             } else {
-                self.queues[class].push_back(buf.to_vec());
+                let mut datagram = self.free.pop().unwrap_or_default();
+                datagram.clear();
+                datagram.extend_from_slice(buf);
+                self.queues[class].push_back(datagram);
             }
         }
     }
@@ -219,6 +227,10 @@ impl<T: Transport> WireRouter<T> {
             self.tx_by_class[class] += 1;
             self.telemetry.counter_add(router_tx_metric(class), 1);
             self.transport.send_to(&datagram, self.cfg.forward_to)?;
+            // Bound the pool by what the color queues can hold at once.
+            if self.free.len() < self.cfg.color_limits.iter().sum() {
+                self.free.push(datagram);
+            }
         }
     }
 

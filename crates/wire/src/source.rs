@@ -75,6 +75,9 @@ pub struct WireSource<T: Transport> {
     retx_buffer: HashMap<u64, (SimTime, Vec<(u32, u8)>)>,
     /// All-zero payload pool, sliced per packet.
     payload_pool: Vec<u8>,
+    /// Reused encode buffer: one datagram's worth of capacity serves
+    /// every send instead of allocating per packet.
+    scratch: Vec<u8>,
     recv_buf: Vec<u8>,
     /// Frames emitted.
     pub frames_sent: u64,
@@ -117,6 +120,7 @@ impl<T: Transport> WireSource<T> {
             stopped: false,
             retx_buffer: HashMap::new(),
             payload_pool,
+            scratch: Vec::new(),
             recv_buf: vec![0u8; 2048],
             frames_sent: 0,
             sent_by_color: [0; 3],
@@ -330,7 +334,8 @@ impl<T: Transport> WireSource<T> {
         let was = *emitted_at;
         self.retransmissions += 1;
         self.telemetry.counter_add("wire.src.retransmissions", 1);
-        let datagram = WireData {
+        let mut datagram = std::mem::take(&mut self.scratch);
+        WireData {
             flow: self.cfg.flow,
             seq: self.seq,
             tag: nack.tag,
@@ -343,11 +348,13 @@ impl<T: Transport> WireSource<T> {
             feedback: None,
             payload: &self.payload_pool[..bytes as usize],
         }
-        .encode();
+        .encode_into(&mut datagram);
         self.seq += 1;
         self.sent_by_color[class as usize] += 1;
         self.tokens_bits -= f64::from(bytes) * 8.0;
-        self.transport.send_to(&datagram, self.cfg.router)
+        let res = self.transport.send_to(&datagram, self.cfg.router);
+        self.scratch = datagram;
+        res
     }
 
     fn pace(&mut self, now: SimTime) -> io::Result<()> {
@@ -367,7 +374,8 @@ impl<T: Transport> WireSource<T> {
             }
             let Some(p) = self.pending.pop_front() else { break };
             self.tokens_bits -= cost;
-            let datagram = WireData {
+            let mut datagram = std::mem::take(&mut self.scratch);
+            WireData {
                 flow: self.cfg.flow,
                 seq: self.seq,
                 tag: p.tag,
@@ -378,10 +386,12 @@ impl<T: Transport> WireSource<T> {
                 feedback: None,
                 payload: &self.payload_pool[..p.bytes as usize],
             }
-            .encode();
+            .encode_into(&mut datagram);
             self.seq += 1;
             self.sent_by_color[p.class as usize] += 1;
-            self.transport.send_to(&datagram, self.cfg.router)?;
+            let res = self.transport.send_to(&datagram, self.cfg.router);
+            self.scratch = datagram;
+            res?;
         }
         self.telemetry.gauge_set("wire.src.tokens_bits", self.tokens_bits);
         Ok(())

@@ -69,7 +69,14 @@ type Queues = HashMap<SocketAddr, VecDeque<(SocketAddr, Vec<u8>)>>;
 pub struct MemHub {
     queues: Arc<Mutex<Queues>>,
     dropped: Arc<AtomicU64>,
+    /// Recycled datagram buffers: `try_recv` returns each delivered
+    /// buffer here and `send_to` refills from it, so steady-state
+    /// traffic allocates nothing per datagram.
+    pool: Arc<Mutex<Vec<Vec<u8>>>>,
 }
+
+/// Cap on pooled buffers; beyond this, returned buffers are just dropped.
+const POOL_LIMIT: usize = 4096;
 
 impl MemHub {
     /// Creates an empty hub.
@@ -103,23 +110,38 @@ impl Transport for MemTransport {
     }
 
     fn send_to(&self, buf: &[u8], to: SocketAddr) -> io::Result<()> {
+        let mut datagram = self.hub.pool.lock().expect("pool lock").pop().unwrap_or_default();
+        datagram.clear();
+        datagram.extend_from_slice(buf);
         let mut queues = self.hub.queues.lock().expect("hub lock");
         match queues.get_mut(&to) {
-            Some(q) => q.push_back((self.addr, buf.to_vec())),
+            Some(q) => q.push_back((self.addr, datagram)),
             None => {
                 self.hub.dropped.fetch_add(1, Ordering::Relaxed);
+                drop(queues);
+                let mut pool = self.hub.pool.lock().expect("pool lock");
+                if pool.len() < POOL_LIMIT {
+                    pool.push(datagram);
+                }
             }
         }
         Ok(())
     }
 
     fn try_recv(&self, buf: &mut [u8]) -> io::Result<Option<(usize, SocketAddr)>> {
-        let mut queues = self.hub.queues.lock().expect("hub lock");
-        let Some(q) = queues.get_mut(&self.addr) else { return Ok(None) };
-        let Some((from, datagram)) = q.pop_front() else { return Ok(None) };
+        let (from, datagram) = {
+            let mut queues = self.hub.queues.lock().expect("hub lock");
+            let Some(q) = queues.get_mut(&self.addr) else { return Ok(None) };
+            let Some(entry) = q.pop_front() else { return Ok(None) };
+            entry
+        };
         // Like recvfrom: a too-small buffer truncates the datagram.
         let n = datagram.len().min(buf.len());
         buf[..n].copy_from_slice(&datagram[..n]);
+        let mut pool = self.hub.pool.lock().expect("pool lock");
+        if pool.len() < POOL_LIMIT {
+            pool.push(datagram);
+        }
         Ok(Some((n, from)))
     }
 }
