@@ -12,6 +12,11 @@ cargo test -q
 echo "== pels live smoke (loopback UDP, 2 s) =="
 timeout 120 cargo run --release -q -p pels-cli --bin pels -- live --duration 2
 
+echo "== pels chaos wire smoke (fault matrix, CI preset) =="
+# Six fault cases against the live wire agents; the command exits nonzero
+# if any recovery invariant (rate re-convergence, green floor, budget) fails.
+timeout 300 cargo run --release -q -p pels-cli --bin pels -- chaos --wire --short
+
 echo "== pels run telemetry smoke (JSON-lines stream) =="
 tel_file="$(mktemp -t pels_telemetry_XXXXXX.jsonl)"
 trap 'rm -f "$tel_file"' EXIT

@@ -12,9 +12,10 @@
 //!            [--duration SECS] [--short] [--check FILE]
 //! pels model --p LOSS --h PACKETS        # Section 3 closed forms
 //! pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]
-//! pels chaos [--seed S] [--duration SECS] [--telemetry FILE.jsonl] [--json]
-//! pels live  [--duration SECS] [--bottleneck-mbps M] [--share F]
-//!            [--mem] [--telemetry FILE.jsonl] [--json]  # real loopback UDP
+//! pels chaos [--seed S] [--duration SECS] [--wire] [--short]
+//!            [--telemetry FILE.jsonl] [--json]
+//! pels live  [--duration SECS] [--bottleneck-mbps M] [--share F] [--mem]
+//!            [--faults FILE.json] [--telemetry FILE.jsonl] [--json]
 //! pels metrics FILE.jsonl                 # summarize a telemetry stream
 //! pels trace --frames N [--cv CV] [--seed S]   # synthetic trace as CSV
 //! pels config-template                    # print a ScenarioConfig JSON
@@ -103,6 +104,11 @@ pub enum Command {
         seed: u64,
         /// Simulated seconds per fault case.
         duration_s: f64,
+        /// Run the wire recovery matrix (fault-injecting transports around
+        /// the real wire agents) instead of the simulator matrix.
+        wire: bool,
+        /// Use the CI-sized wire preset (10 s cases; implies `--wire`).
+        short: bool,
         /// Emit the report as JSON instead of text.
         json: bool,
         /// Write telemetry snapshots (JSON lines) to this path.
@@ -118,6 +124,8 @@ pub enum Command {
         share: f64,
         /// Use the deterministic in-memory transport instead of UDP.
         mem: bool,
+        /// Path to a JSON fault schedule (`pels_wire::faults::LiveFaults`).
+        faults: Option<String>,
         /// Emit the report as JSON instead of text.
         json: bool,
         /// Write telemetry snapshots (JSON lines) to this path.
@@ -190,7 +198,7 @@ fn flag_map(args: &[String]) -> Result<HashMap<String, String>, ParseArgsError> 
             return Err(ParseArgsError(format!("unexpected argument `{a}`")));
         };
         // Boolean flags take no value.
-        if name == "json" || name == "mem" || name == "short" {
+        if name == "json" || name == "mem" || name == "short" || name == "wire" {
             map.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -383,7 +391,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
         "chaos" => {
             let map = flag_map(rest)?;
             let seed: u64 = get_parsed(&map, "seed", 1)?;
-            let duration_s: f64 = get_parsed(&map, "duration", 30.0)?;
+            let short = map.contains_key("short");
+            // `--short` names the wire CI preset, so it implies `--wire`.
+            let wire = map.contains_key("wire") || short;
+            // The wire matrix needs its own default: 12 s cases (4.5 s
+            // transient + 1.5 s fault + 6 s observed recovery).
+            let duration_s: f64 = get_parsed(&map, "duration", if wire { 12.0 } else { 30.0 })?;
             if !duration_s.is_finite() || duration_s < 5.0 {
                 return Err(ParseArgsError(
                     "--duration must be at least 5 seconds to measure recovery".into(),
@@ -392,6 +405,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
             Ok(Command::Chaos {
                 seed,
                 duration_s,
+                wire,
+                short,
                 json: map.contains_key("json"),
                 telemetry: map.get("telemetry").cloned(),
             })
@@ -415,6 +430,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                 bottleneck_mbps,
                 share,
                 mem: map.contains_key("mem"),
+                faults: map.get("faults").cloned(),
                 json: map.contains_key("json"),
                 telemetry: map.get("telemetry").cloned(),
             })
@@ -574,9 +590,52 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
             w(out, format!("[written {}]", path.display()))
         }
-        Command::Chaos { seed, duration_s, json, telemetry } => {
+        Command::Chaos { seed, duration_s, wire, short, json, telemetry } => {
             use pels_netsim::time::SimDuration;
             let tel = open_telemetry(telemetry.as_deref())?;
+            if wire {
+                use pels_wire::chaos::{run_wire_matrix_instrumented, WireChaosConfig};
+                let cfg = if short {
+                    WireChaosConfig { seed, ..WireChaosConfig::short() }
+                } else {
+                    WireChaosConfig {
+                        seed,
+                        duration: SimDuration::from_secs_f64(duration_s),
+                        ..WireChaosConfig::default()
+                    }
+                };
+                cfg.validate().map_err(|e| format!("bad wire chaos schedule: {e}"))?;
+                let report = run_wire_matrix_instrumented(&cfg, &tel).map_err(|e| e.to_string())?;
+                if json {
+                    let j = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                    return w(out, j);
+                }
+                w(
+                    out,
+                    format!("wire chaos matrix: seed {seed}, {:.0} s per case", report.duration_s),
+                )?;
+                for c in &report.cases {
+                    w(
+                        out,
+                        format!(
+                            "  {:<18} rate {:>7.1}/{:.1} kb/s  green {:.4}  recovery {:>6}  \
+                             faults {:>4}  {}",
+                            c.name,
+                            c.final_rate_kbps,
+                            c.r_star_kbps,
+                            c.green_delivery_post_fault,
+                            c.recovery_s.map_or("-".to_string(), |s| format!("{s:.2}s")),
+                            c.faults.total(),
+                            if c.ok { "ok" } else { "FAIL" }
+                        ),
+                    )?;
+                }
+                return if report.all_ok {
+                    w(out, "all wire invariants held".to_string())
+                } else {
+                    Err("wire chaos invariants violated".to_string())
+                };
+            }
             // Fault window scales with the run: onset at 1/3, lasting 1/20 of
             // the run (the 30 s default reproduces the 10–11.5 s window used
             // by the chaos bench binary).
@@ -614,15 +673,28 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 Err("chaos invariants violated".to_string())
             }
         }
-        Command::Live { duration_s, bottleneck_mbps, share, mem, json, telemetry } => {
+        Command::Live { duration_s, bottleneck_mbps, share, mem, faults, json, telemetry } => {
             use pels_netsim::time::{Rate, SimDuration};
             use pels_wire::live::{run_live, to_csv, LiveBackend, LiveConfig};
+            use pels_wire::LiveFaults;
             let tel = open_telemetry(telemetry.as_deref())?;
+            let fault_spec: Option<LiveFaults> = match &faults {
+                None => None,
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    let spec: LiveFaults = serde_json::from_str(&text)
+                        .map_err(|e| format!("bad fault schedule {path}: {e}"))?;
+                    spec.validate().map_err(|e| format!("bad fault schedule {path}: {e}"))?;
+                    Some(spec)
+                }
+            };
             let cfg = LiveConfig {
                 duration: SimDuration::from_secs_f64(duration_s),
                 bottleneck: Rate::from_mbps(bottleneck_mbps),
                 pels_share: share,
                 backend: if mem { LiveBackend::Memory } else { LiveBackend::UdpLoopback },
+                faults: fault_spec.clone(),
                 telemetry: tel,
                 ..LiveConfig::default()
             };
@@ -677,7 +749,28 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                     s.abandoned_packets,
                     s.decode_errors
                 ),
-            )
+            )?;
+            // Only faulted runs print this line: the default text output
+            // must stay byte-identical to the fault-free binary.
+            if fault_spec.is_some() {
+                let f = &s.faults;
+                w(
+                    out,
+                    format!(
+                        "  faults: {} dropped, {} dup, {} reordered, {} delayed, \
+                         {} truncated, {} corrupted, {} blackout, {} udp send drops",
+                        f.dropped,
+                        f.duplicated,
+                        f.reordered,
+                        f.delayed,
+                        f.truncated,
+                        f.corrupted,
+                        f.blackout_dropped,
+                        s.udp_send_drops
+                    ),
+                )?;
+            }
+            Ok(())
         }
         Command::Metrics { path } => {
             let text =
@@ -800,9 +893,10 @@ pub fn usage() -> String {
                   [--check FILE]              # writes BENCH_scale.json\n\
        pels model --p LOSS --h PACKETS\n\
        pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]\n\
-       pels chaos [--seed S] [--duration SECS] [--telemetry FILE.jsonl] [--json]\n\
-       pels live  [--duration SECS] [--bottleneck-mbps M] [--share F] [--mem]\n\
+       pels chaos [--seed S] [--duration SECS] [--wire] [--short]\n\
                   [--telemetry FILE.jsonl] [--json]\n\
+       pels live  [--duration SECS] [--bottleneck-mbps M] [--share F] [--mem]\n\
+                  [--faults FILE.json] [--telemetry FILE.jsonl] [--json]\n\
        pels metrics FILE.jsonl                  # summarize a telemetry stream\n\
        pels trace [--frames N] [--cv CV] [--seed S]\n\
        pels config-template\n\
@@ -1025,9 +1119,11 @@ mod tests {
     fn parses_chaos_flags() {
         let cmd = parse_args(&args("chaos --seed 9 --duration 12 --json")).unwrap();
         match cmd {
-            Command::Chaos { seed, duration_s, json, telemetry } => {
+            Command::Chaos { seed, duration_s, wire, short, json, telemetry } => {
                 assert_eq!(seed, 9);
                 assert_eq!(duration_s, 12.0);
+                assert!(!wire);
+                assert!(!short);
                 assert!(json);
                 assert!(telemetry.is_none());
             }
@@ -1035,6 +1131,24 @@ mod tests {
         }
         assert!(parse_args(&args("chaos --duration 2")).is_err());
         assert!(parse_args(&args("chaos --seed x")).is_err());
+    }
+
+    #[test]
+    fn parses_wire_chaos_flags() {
+        // `--wire` picks the 12 s wire default; `--short` implies `--wire`.
+        assert!(matches!(
+            parse_args(&args("chaos --wire")).unwrap(),
+            Command::Chaos { wire: true, short: false, duration_s, .. } if duration_s == 12.0
+        ));
+        assert!(matches!(
+            parse_args(&args("chaos --short")).unwrap(),
+            Command::Chaos { wire: true, short: true, .. }
+        ));
+        // An explicit duration too small for the wire schedule is caught at
+        // execution, not parse (parse only enforces the shared 5 s floor).
+        let cmd = parse_args(&args("chaos --wire --duration 6")).unwrap();
+        let err = execute(cmd, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("bad wire chaos schedule"), "{err}");
     }
 
     #[test]
@@ -1053,11 +1167,12 @@ mod tests {
             parse_args(&args("live --duration 2 --bottleneck-mbps 8 --share 0.25 --mem --json"))
                 .unwrap();
         match cmd {
-            Command::Live { duration_s, bottleneck_mbps, share, mem, json, telemetry } => {
+            Command::Live { duration_s, bottleneck_mbps, share, mem, faults, json, telemetry } => {
                 assert_eq!(duration_s, 2.0);
                 assert_eq!(bottleneck_mbps, 8.0);
                 assert_eq!(share, 0.25);
                 assert!(mem);
+                assert!(faults.is_none());
                 assert!(json);
                 assert!(telemetry.is_none());
             }
@@ -1067,10 +1182,56 @@ mod tests {
             parse_args(&args("live")).unwrap(),
             Command::Live { mem: false, json: false, .. }
         ));
+        assert!(matches!(
+            parse_args(&args("live --faults sched.json")).unwrap(),
+            Command::Live { faults: Some(p), .. } if p == "sched.json"
+        ));
         assert!(parse_args(&args("live --share 0")).is_err());
         assert!(parse_args(&args("live --share 1.5")).is_err());
         assert!(parse_args(&args("live --duration -1")).is_err());
         assert!(parse_args(&args("live --bottleneck-mbps 0")).is_err());
+    }
+
+    #[test]
+    fn wire_chaos_command_runs_matrix() {
+        let cmd = parse_args(&args("chaos --short --json")).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&buf).unwrap();
+        assert_eq!(v["cases"].as_array().unwrap().len(), 6);
+        assert_eq!(v["all_ok"], serde_json::Value::Bool(true));
+        assert_eq!(v["duration_s"].as_f64(), Some(10.0), "--short is the 10 s preset");
+    }
+
+    #[test]
+    fn live_command_reads_a_fault_schedule() {
+        let dir = std::env::temp_dir().join("pels_cli_faults_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sched.json");
+        let mut spec = pels_wire::LiveFaults::default();
+        spec.source.tx.drop = 0.2;
+        std::fs::write(&path, serde_json::to_string(&spec).unwrap()).unwrap();
+        std::env::set_var("PELS_RESULTS_DIR", &dir);
+        let cmd =
+            parse_args(&args(&format!("live --duration 2 --mem --faults {}", path.display())))
+                .unwrap();
+        let mut buf = Vec::new();
+        let res = execute(cmd, &mut buf);
+        std::env::remove_var("PELS_RESULTS_DIR");
+        res.unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let fault_line = text.lines().find(|l| l.trim_start().starts_with("faults:"));
+        let Some(fault_line) = fault_line else { panic!("no faults line in:\n{text}") };
+        assert!(!fault_line.contains(" 0 dropped"), "20% tx drop must fire: {fault_line}");
+
+        // An invalid schedule is rejected before the run starts.
+        spec.source.tx.drop = 1.5;
+        std::fs::write(&path, serde_json::to_string(&spec).unwrap()).unwrap();
+        let cmd =
+            parse_args(&args(&format!("live --duration 2 --mem --faults {}", path.display())))
+                .unwrap();
+        let err = execute(cmd, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("bad fault schedule"), "{err}");
     }
 
     #[test]

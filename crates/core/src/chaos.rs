@@ -32,6 +32,75 @@ pub const GREEN_DELIVERY_FLOOR: f64 = 0.99;
 /// re-entering the tolerance band.
 pub const RECOVERY_EPOCH_BUDGET: u64 = 20;
 
+/// The machine-checked recovery bar a chaos case must clear, shared by
+/// the simulator matrix here and the wire matrix in `pels_wire::chaos`
+/// (which runs a tighter [`rate_tolerance`](Self::rate_tolerance)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryInvariants {
+    /// The Lemma 6 stationary rate `r* = C/N + α/β`, bits/s.
+    pub r_star_bps: f64,
+    /// Relative half-width of the acceptance band around `r*`.
+    pub rate_tolerance: f64,
+    /// Minimum fraction of sent green (base-layer) packets delivered.
+    pub green_floor: f64,
+}
+
+impl RecoveryInvariants {
+    /// Whether `rate_bps` is inside the acceptance band around `r*`.
+    pub fn rate_ok(&self, rate_bps: f64) -> bool {
+        (rate_bps - self.r_star_bps).abs() <= self.rate_tolerance * self.r_star_bps
+    }
+
+    /// Whether a green delivery ratio clears the base-layer floor.
+    pub fn green_ok(&self, delivery: f64) -> bool {
+        delivery >= self.green_floor
+    }
+}
+
+/// One scripted fault case of the *wire* recovery matrix
+/// (`pels chaos --wire`, implemented in `pels_wire::chaos`). The type
+/// lives here so reports and tooling share one vocabulary with the
+/// simulator's [`ChaosCase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireChaosCase {
+    /// The receiver's feedback path (ACK/NACK/HELLO) blacks out.
+    FeedbackBlackout,
+    /// A heavy loss burst on the source→router data path.
+    DataLossBurst,
+    /// Corruption and truncation storm on the router's forwarding path.
+    CorruptionStorm,
+    /// The receiver dies mid-stream and a replacement joins.
+    ReceiverChurn,
+    /// Duplicate/reorder flood on both data and feedback paths.
+    DupReorderFlood,
+    /// Large one-way delay on the feedback path only.
+    AsymmetricDelay,
+}
+
+impl WireChaosCase {
+    /// All cases, in matrix order.
+    pub const ALL: [WireChaosCase; 6] = [
+        WireChaosCase::FeedbackBlackout,
+        WireChaosCase::DataLossBurst,
+        WireChaosCase::CorruptionStorm,
+        WireChaosCase::ReceiverChurn,
+        WireChaosCase::DupReorderFlood,
+        WireChaosCase::AsymmetricDelay,
+    ];
+
+    /// Stable human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireChaosCase::FeedbackBlackout => "feedback-blackout",
+            WireChaosCase::DataLossBurst => "data-loss-burst",
+            WireChaosCase::CorruptionStorm => "corruption-storm",
+            WireChaosCase::ReceiverChurn => "receiver-churn",
+            WireChaosCase::DupReorderFlood => "dup-reorder-flood",
+            WireChaosCase::AsymmetricDelay => "asymmetric-delay",
+        }
+    }
+}
+
 /// One scripted fault scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ChaosCase {
@@ -234,7 +303,12 @@ pub fn run_case_instrumented(
         .mkc()
         .ok_or_else(|| invalid_config("chaos flows must run MKC"))?
         .stationary_rate_bps(pels_capacity, n);
-    let band = |rate_bps: f64| (rate_bps - r_star).abs() <= RATE_TOLERANCE * r_star;
+    let invariants = RecoveryInvariants {
+        r_star_bps: r_star,
+        rate_tolerance: RATE_TOLERANCE,
+        green_floor: GREEN_DELIVERY_FLOOR,
+    };
+    let band = |rate_bps: f64| invariants.rate_ok(rate_bps);
 
     let final_rate_kbps: Vec<f64> = (0..n).map(|i| s.source(i).rate_bps() / 1_000.0).collect();
     let rate_ok = (0..n).map(|i| s.source(i).rate_bps()).all(band);
@@ -252,7 +326,7 @@ pub fn run_case_instrumented(
     }
     let green_delivery =
         if green_sent > 0 { green_received as f64 / green_sent as f64 } else { 0.0 };
-    let green_ok = green_delivery >= GREEN_DELIVERY_FLOOR;
+    let green_ok = green_sent > 0 && invariants.green_ok(green_delivery);
 
     // Control steps of flow 0 after the fault cleared, until back in band.
     let clear_s = cfg.fault_to.as_secs_f64();

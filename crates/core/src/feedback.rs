@@ -227,6 +227,17 @@ impl EpochFilter {
     pub fn horizon(&self) -> Option<(AgentId, u64)> {
         self.last
     }
+
+    /// Forgets the horizon so the next label is accepted unconditionally.
+    ///
+    /// Sources call this when the staleness watchdog fires: if no feedback
+    /// has been fresh for a full timeout, the horizon itself is suspect — a
+    /// corrupted label may have jumped it past every genuine epoch, or the
+    /// router may have restarted with its epoch counter reset. Either way
+    /// the filter must re-anchor or the control loop stays deaf forever.
+    pub fn reset(&mut self) {
+        self.last = None;
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +355,20 @@ mod tests {
         assert!(!f.accept(&fb(3)), "stale epoch must be rejected");
         assert!(f.accept(&fb(6)));
         assert_eq!(f.horizon(), Some((AgentId(1), 6)));
+    }
+
+    #[test]
+    fn epoch_filter_reset_reanchors_after_poisoned_horizon() {
+        let mut f = EpochFilter::new();
+        let fb = |z: u64| Feedback::new(AgentId(1), z, 0.1, 0.1);
+        assert!(f.accept(&fb(7)));
+        // A corrupted label from the same router jumps the horizon so far
+        // forward that every genuine epoch is now "stale".
+        assert!(f.accept(&fb(u64::MAX)));
+        assert!(!f.accept(&fb(8)), "poisoned horizon rejects real labels");
+        f.reset();
+        assert_eq!(f.horizon(), None);
+        assert!(f.accept(&fb(8)), "reset must re-anchor on the next label");
     }
 
     #[test]

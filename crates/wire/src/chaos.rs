@@ -1,0 +1,659 @@
+//! The wire recovery matrix: six scripted fault cases against the live
+//! agent stack, each checked against machine-readable recovery
+//! invariants.
+//!
+//! This is the wire-layer sibling of `pels_core::chaos` (the simulator's
+//! matrix). Instead of perturbing simulator internals, every case here
+//! runs the *real* agents — [`WireSource`], [`WireRouter`],
+//! [`WireReceiver`] — over the in-memory hub with a
+//! [`FaultTransport`](crate::FaultTransport) wrapped around each
+//! endpoint, driven by a [`ManualClock`] so runs are bit-reproducible.
+//! The cases ([`WireChaosCase`]) cover the failure axes a datagram path
+//! actually has: feedback blackout, data loss bursts, byte corruption,
+//! receiver churn, duplicate/reorder floods, and asymmetric delay.
+//!
+//! After the fault window clears, every case must satisfy the
+//! [`RecoveryInvariants`]:
+//!
+//! 1. **Rate re-convergence** — the source's MKC rate returns to within
+//!    5% of the Lemma 6 stationary point `r* = C/N + α/β` within
+//!    [`WIRE_RECOVERY_BUDGET_S`] seconds of the fault clearing.
+//! 2. **Base layer never starves** — once the path has settled, at least
+//!    [`WIRE_GREEN_FLOOR`] of sent green packets are delivered.
+//! 3. **No panic** — whatever bytes the faults mutate, every agent keeps
+//!    polling; undecodable datagrams surface as counted `decode_errors`.
+//!
+//! `pels chaos --wire` runs the whole matrix and fails loudly if any
+//! invariant breaks.
+
+use crate::faults::{Blackout, FaultDirection, FaultTransport, FaultWindow};
+use crate::faults::{WireFaultPolicy, WireFaultSpec, WireFaultStats, WireFaultTotals};
+use crate::receiver::{HeartbeatConfig, WireReceiver, WireReceiverConfig};
+use crate::router::{WireRouter, WireRouterConfig};
+use crate::source::{WireSource, WireSourceConfig};
+use crate::transport::{MemHub, MemTransport};
+use pels_core::chaos::{RecoveryInvariants, WireChaosCase};
+use pels_core::gamma::GammaConfig;
+use pels_core::mkc::MkcConfig;
+use pels_core::receiver::NackConfig;
+use pels_fgs::frame::VideoTrace;
+use pels_netsim::clock::{Clock, ManualClock};
+use pels_netsim::packet::{AgentId, FlowId};
+use pels_netsim::time::{Rate, SimDuration, SimTime};
+use pels_telemetry::Telemetry;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Relative band around `r*` the wire stack must re-enter after a fault.
+/// Tighter than the simulator matrix's 10%: the wire path has no
+/// cross-traffic, so a healthy recovery lands very close to Lemma 6.
+pub const WIRE_RATE_TOLERANCE: f64 = 0.05;
+
+/// Post-settle green (base layer) delivery floor. Slightly below the
+/// simulator's 0.99 to absorb packets cut in half by the stop deadline.
+pub const WIRE_GREEN_FLOOR: f64 = 0.98;
+
+/// Seconds after the fault window clears within which the rate must
+/// re-enter the `r*` band.
+pub const WIRE_RECOVERY_BUDGET_S: f64 = 4.0;
+
+/// Width of the trailing window the rate invariant averages over. MKC
+/// oscillates around `r*` with an amplitude near the band width, so a
+/// point sample would pass or fail on phase luck; the windowed mean is
+/// the operating point the Lemma cares about.
+const RATE_WINDOW: SimDuration = SimDuration::from_secs(1);
+
+/// Settling slack after the fault clears before green delivery is
+/// measured: in-flight damage (held reorder buffers, ARQ repair of
+/// faulted packets) is allowed to wash out first.
+const GREEN_SETTLE: SimDuration = SimDuration::from_millis(500);
+
+/// Configuration of one wire-matrix run (shared by all six cases).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireChaosConfig {
+    /// Seed for every [`FaultTransport`] RNG stream (per-endpoint streams
+    /// are derived, so one seed still decorrelates the three endpoints).
+    pub seed: u64,
+    /// Streaming time per case (frames stop; in-flight traffic drains).
+    pub duration: SimDuration,
+    /// Fault window start — late enough that MKC has converged to `r*`.
+    pub fault_from: SimTime,
+    /// Fault window end; recovery is measured from here.
+    pub fault_to: SimTime,
+    /// Full bottleneck capacity; PELS gets `pels_share` of it.
+    pub bottleneck: Rate,
+    /// Fraction of the bottleneck reserved for PELS (paper: 0.5).
+    pub pels_share: f64,
+    /// The mock clock's step per poll round.
+    pub poll_interval: SimDuration,
+}
+
+impl Default for WireChaosConfig {
+    /// Twelve seconds per case: ~4.5 s for the startup transient to damp,
+    /// a 1.5 s fault window, then 6 s of observed recovery — comfortably
+    /// more than the 4 s recovery budget.
+    fn default() -> Self {
+        WireChaosConfig {
+            seed: 1,
+            duration: SimDuration::from_secs(12),
+            fault_from: SimTime::from_secs_f64(4.5),
+            fault_to: SimTime::from_secs_f64(6.0),
+            bottleneck: Rate::from_mbps(4.0),
+            pels_share: 0.5,
+            poll_interval: SimDuration::from_millis(1),
+        }
+    }
+}
+
+impl WireChaosConfig {
+    /// The CI-sized preset behind `pels chaos --wire --short`: 10 s per
+    /// case with a 1 s fault window ending at 5.5 s. The onset cannot
+    /// move earlier — MKC's startup transient rings until ~4 s, and a
+    /// fault injected mid-transient measures the transient, not recovery.
+    pub fn short() -> Self {
+        WireChaosConfig {
+            duration: SimDuration::from_secs(10),
+            fault_from: SimTime::from_secs_f64(4.5),
+            fault_to: SimTime::from_secs_f64(5.5),
+            ..WireChaosConfig::default()
+        }
+    }
+
+    /// Checks the schedule is coherent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fault_from <= SimTime::ZERO {
+            return Err("fault window must start after t=0".into());
+        }
+        if self.fault_from >= self.fault_to {
+            return Err(format!(
+                "fault window is empty: from {} ns, to {} ns",
+                self.fault_from.as_nanos(),
+                self.fault_to.as_nanos()
+            ));
+        }
+        let end = SimTime::ZERO.saturating_add(self.duration);
+        let needed = self
+            .fault_to
+            .saturating_add(GREEN_SETTLE)
+            .saturating_add(SimDuration::from_secs_f64(WIRE_RECOVERY_BUDGET_S));
+        if end < needed {
+            return Err(format!(
+                "duration {:.2} s leaves no room to observe recovery (need {:.2} s)",
+                self.duration.as_secs_f64(),
+                needed.as_secs_f64()
+            ));
+        }
+        if !(self.pels_share > 0.0 && self.pels_share <= 1.0) {
+            return Err(format!("pels_share must be in (0, 1]: {}", self.pels_share));
+        }
+        if self.poll_interval <= SimDuration::ZERO {
+            return Err("poll_interval must be positive".into());
+        }
+        Ok(())
+    }
+
+    fn window(&self) -> FaultWindow {
+        FaultWindow { from: self.fault_from, to: self.fault_to }
+    }
+}
+
+/// Per-case verdict of the wire matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireCaseReport {
+    /// Case name (stable, kebab-case).
+    pub name: String,
+    /// The Lemma 6 stationary rate for this topology.
+    pub r_star_kbps: f64,
+    /// Trailing 1 s mean of the source rate, taken at the stop deadline
+    /// (before the drain, which would decay the estimate toward idle).
+    pub final_rate_kbps: f64,
+    /// Whether the final rate sits within the ±5% band around `r*`.
+    pub rate_ok: bool,
+    /// Green packets sent after the post-fault settling point.
+    pub green_sent_post_fault: u64,
+    /// Green packets delivered after the settling point.
+    pub green_received_post_fault: u64,
+    /// `received / sent` over the post-settle window (may exceed 1 when
+    /// ARQ repairs of in-fault losses land late).
+    pub green_delivery_post_fault: f64,
+    /// Whether post-settle green delivery cleared [`WIRE_GREEN_FLOOR`].
+    pub green_ok: bool,
+    /// Seconds after `fault_to` until the rate re-entered the band
+    /// (`None` if it never did).
+    pub recovery_s: Option<f64>,
+    /// Whether recovery happened within [`WIRE_RECOVERY_BUDGET_S`].
+    pub recovery_ok: bool,
+    /// Stale-feedback decays applied by the source watchdog.
+    pub watchdog_trips: u64,
+    /// NACK-driven retransmissions performed by the source.
+    pub retransmissions: u64,
+    /// Retransmitted packets that arrived (ARQ recoveries).
+    pub recovered_packets: u64,
+    /// Undecodable datagrams counted across all three agents.
+    pub decode_errors: u64,
+    /// Flow-table evictions at the router.
+    pub evictions: u64,
+    /// HELLO control frames the router ingested.
+    pub hellos_seen: u64,
+    /// Fault decisions actually taken, summed over every endpoint.
+    pub faults: WireFaultTotals,
+    /// Whether the case-specific fault signals fired (proof the scripted
+    /// fault actually exercised the machinery it targets).
+    pub signal_ok: bool,
+    /// The whole verdict: rate, green floor, recovery, and signals.
+    pub ok: bool,
+}
+
+/// The full matrix verdict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireChaosReport {
+    /// Seed the matrix ran under.
+    pub seed: u64,
+    /// Per-case streaming time.
+    pub duration_s: f64,
+    /// One report per [`WireChaosCase::ALL`] entry, in order.
+    pub cases: Vec<WireCaseReport>,
+    /// Conjunction of every case's `ok`.
+    pub all_ok: bool,
+}
+
+/// What one case scripts: a fault spec per endpoint, plus topology
+/// switches the transports alone cannot express.
+struct CaseScript {
+    source: WireFaultSpec,
+    router: WireFaultSpec,
+    receiver: WireFaultSpec,
+    /// Router drops data from flows with no live HELLO registration.
+    strict_flows: bool,
+    /// The receiver process "crashes" at `fault_from` and a replacement
+    /// binds the same address at `fault_to`.
+    churn: bool,
+}
+
+fn script_for(case: WireChaosCase, cfg: &WireChaosConfig) -> CaseScript {
+    let window = cfg.window();
+    // Distinct per-endpoint seeds: FaultTransport derives its own tx/rx
+    // streams from each, so endpoints never share a decision sequence.
+    let spec =
+        |salt: u64| WireFaultSpec { seed: cfg.seed.wrapping_add(salt), ..Default::default() };
+    let quiet = CaseScript {
+        source: spec(1),
+        router: spec(2),
+        receiver: spec(3),
+        strict_flows: false,
+        churn: false,
+    };
+    match case {
+        WireChaosCase::FeedbackBlackout => CaseScript {
+            receiver: WireFaultSpec {
+                blackouts: vec![Blackout { window, direction: FaultDirection::Tx }],
+                ..spec(3)
+            },
+            ..quiet
+        },
+        WireChaosCase::DataLossBurst => CaseScript {
+            source: WireFaultSpec {
+                tx: WireFaultPolicy { drop: 0.3, window: Some(window), ..Default::default() },
+                ..spec(1)
+            },
+            ..quiet
+        },
+        WireChaosCase::CorruptionStorm => CaseScript {
+            router: WireFaultSpec {
+                tx: WireFaultPolicy {
+                    corrupt: 0.5,
+                    truncate: 0.2,
+                    window: Some(window),
+                    ..Default::default()
+                },
+                ..spec(2)
+            },
+            ..quiet
+        },
+        WireChaosCase::ReceiverChurn => CaseScript { strict_flows: true, churn: true, ..quiet },
+        WireChaosCase::DupReorderFlood => {
+            let flood = WireFaultPolicy {
+                duplicate: 0.25,
+                reorder: 0.25,
+                window: Some(window),
+                ..Default::default()
+            };
+            CaseScript {
+                source: WireFaultSpec { tx: flood, ..spec(1) },
+                receiver: WireFaultSpec { tx: flood, ..spec(3) },
+                ..quiet
+            }
+        }
+        WireChaosCase::AsymmetricDelay => CaseScript {
+            receiver: WireFaultSpec {
+                tx: WireFaultPolicy {
+                    delay: 1.0,
+                    delay_by: SimDuration::from_millis(50),
+                    window: Some(window),
+                    ..Default::default()
+                },
+                ..spec(3)
+            },
+            ..quiet
+        },
+    }
+}
+
+type FaultedEndpoint = FaultTransport<MemTransport, Arc<ManualClock>>;
+
+fn faulted(
+    hub: &MemHub,
+    addr: SocketAddr,
+    clock: &Arc<ManualClock>,
+    spec: WireFaultSpec,
+    telemetry: &Telemetry,
+) -> (FaultedEndpoint, Arc<WireFaultStats>) {
+    let mut ep = FaultTransport::new(hub.endpoint(addr), Arc::clone(clock), spec);
+    ep.set_telemetry(telemetry.clone());
+    let stats = ep.stats();
+    (ep, stats)
+}
+
+fn mem_addr(port: u16) -> SocketAddr {
+    SocketAddr::new("127.0.0.1".parse().expect("static addr"), port)
+}
+
+/// Runs one case of the matrix.
+///
+/// # Errors
+///
+/// The in-memory hub cannot fail; any `io::Error` would come from agent
+/// internals and is propagated.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`WireChaosConfig::validate`].
+pub fn run_wire_case(cfg: &WireChaosConfig, case: WireChaosCase) -> io::Result<WireCaseReport> {
+    run_wire_case_instrumented(cfg, case, &Telemetry::disabled())
+}
+
+/// [`run_wire_case`] with a telemetry handle shared by the agents and
+/// every fault transport.
+///
+/// # Errors
+///
+/// See [`run_wire_case`].
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`WireChaosConfig::validate`].
+pub fn run_wire_case_instrumented(
+    cfg: &WireChaosConfig,
+    case: WireChaosCase,
+    telemetry: &Telemetry,
+) -> io::Result<WireCaseReport> {
+    cfg.validate().expect("invalid wire chaos config");
+    let script = script_for(case, cfg);
+    let pels_capacity =
+        Rate::from_bps((cfg.bottleneck.as_bps() as f64 * cfg.pels_share).round() as u64);
+
+    let hub = MemHub::new();
+    let clock = Arc::new(ManualClock::new());
+    let (src_addr, router_addr, rx_addr) = (mem_addr(9001), mem_addr(9002), mem_addr(9003));
+    let (src_ep, src_faults) = faulted(&hub, src_addr, &clock, script.source, telemetry);
+    let (router_ep, router_faults) = faulted(&hub, router_addr, &clock, script.router, telemetry);
+    let (rx_ep, rx_faults) = faulted(&hub, rx_addr, &clock, script.receiver.clone(), telemetry);
+
+    let trace = VideoTrace::constant(120, 20.0, 800, 30_000);
+    let packet_bytes = 500;
+    let arq_frames = 8;
+    let mut source = WireSource::new(
+        WireSourceConfig {
+            flow: FlowId(1),
+            trace,
+            mkc: MkcConfig::default(),
+            gamma: GammaConfig::default(),
+            packet_bytes,
+            router: router_addr,
+            arq_frames,
+            retx_limit: 3,
+            retx_budget: 65_536,
+        },
+        src_ep,
+    );
+    let mut router = WireRouter::new(
+        WireRouterConfig {
+            strict_flows: script.strict_flows,
+            ..WireRouterConfig::new(AgentId(1), pels_capacity, rx_addr)
+        },
+        router_ep,
+    );
+    let rx_cfg = WireReceiverConfig {
+        flow: FlowId(1),
+        feedback_to: src_addr,
+        nack: Some(NackConfig::default()),
+        packet_bytes,
+        heartbeat: Some(HeartbeatConfig::new(router_addr)),
+    };
+    let mut receiver = Some(WireReceiver::new(rx_cfg.clone(), rx_ep));
+    source.set_telemetry(telemetry.clone());
+    router.set_telemetry(telemetry.clone());
+    if let Some(rx) = receiver.as_mut() {
+        rx.set_telemetry(telemetry.clone());
+    }
+
+    let invariants = RecoveryInvariants {
+        r_star_bps: source.mkc().stationary_rate_bps(pels_capacity, 1),
+        rate_tolerance: WIRE_RATE_TOLERANCE,
+        green_floor: WIRE_GREEN_FLOOR,
+    };
+
+    // Churn bookkeeping: the "crashed" first receiver's delivery counters,
+    // folded into the replacement's totals when measuring green delivery.
+    let mut churned = false;
+    let mut carried_green_recv = 0u64;
+    let mut extra_hellos = 0u64;
+    // A second stats handle appears when the replacement endpoint is
+    // wrapped; totals from both are summed at the end.
+    let mut rx_faults_all = vec![rx_faults];
+
+    let settle = cfg.fault_to.saturating_add(GREEN_SETTLE);
+    let mut settle_snapshot: Option<(u64, u64)> = None;
+    let mut recovered_at: Option<SimTime> = None;
+    let deadline = SimTime::ZERO.saturating_add(cfg.duration);
+    let drain_deadline = deadline.saturating_add(SimDuration::from_millis(300));
+    let mut at_stop: Option<f64> = None;
+    // Trailing [`RATE_WINDOW`] of per-tick rate samples; see the constant
+    // for why the invariant judges the mean, not the instantaneous rate.
+    let mut rate_window: std::collections::VecDeque<(SimTime, f64)> =
+        std::collections::VecDeque::new();
+    let mut rate_sum = 0.0;
+    loop {
+        let now = clock.now();
+        if script.churn {
+            if !churned && now >= cfg.fault_from {
+                // Crash: no BYE, the flow table only learns via idle
+                // timeout. Dropping the endpoint discards its queue.
+                if let Some(rx) = receiver.take() {
+                    carried_green_recv += rx.received_by_color[0];
+                    extra_hellos += rx.hellos_sent();
+                }
+                churned = true;
+            }
+            if churned && receiver.is_none() && now >= cfg.fault_to {
+                // Replacement binds the same address (fresh queue) and
+                // re-registers through its own HELLOs.
+                let (ep, stats) =
+                    faulted(&hub, rx_addr, &clock, script.receiver.clone(), telemetry);
+                rx_faults_all.push(stats);
+                let mut rx = WireReceiver::new(rx_cfg.clone(), ep);
+                rx.set_telemetry(telemetry.clone());
+                receiver = Some(rx);
+            }
+        }
+        if at_stop.is_none() && now >= deadline {
+            source.stop();
+            at_stop = Some(if rate_window.is_empty() {
+                source.rate_bps()
+            } else {
+                rate_sum / rate_window.len() as f64
+            });
+        }
+        if now >= drain_deadline {
+            break;
+        }
+        // Receiver first so HELLOs reach the router's queue ahead of the
+        // same tick's data — in strict mode the flow must be registered
+        // before its first packet is forwarded.
+        if let Some(rx) = receiver.as_mut() {
+            rx.poll(now)?;
+        }
+        source.poll(now)?;
+        router.poll(now)?;
+        rate_window.push_back((now, source.rate_bps()));
+        rate_sum += source.rate_bps();
+        while let Some(&(t, v)) = rate_window.front() {
+            if now.duration_since(t) >= RATE_WINDOW {
+                rate_sum -= v;
+                rate_window.pop_front();
+            } else {
+                break;
+            }
+        }
+        if now >= cfg.fault_to {
+            let mean = rate_sum / rate_window.len() as f64;
+            if recovered_at.is_none() && invariants.rate_ok(mean) {
+                recovered_at = Some(now);
+            }
+            if settle_snapshot.is_none() && now >= settle {
+                let recv = receiver.as_ref().map_or(0, |rx| rx.received_by_color[0]);
+                settle_snapshot = Some((source.sent_by_color[0], carried_green_recv + recv));
+            }
+        }
+        clock.advance(cfg.poll_interval);
+    }
+
+    let (green_sent_at_settle, green_recv_at_settle) = settle_snapshot.unwrap_or((0, 0));
+    let rx_green = receiver.as_ref().map_or(0, |rx| rx.received_by_color[0]);
+    let green_sent_post = source.sent_by_color[0].saturating_sub(green_sent_at_settle);
+    let green_recv_post = (carried_green_recv + rx_green).saturating_sub(green_recv_at_settle);
+    let green_delivery =
+        if green_sent_post > 0 { green_recv_post as f64 / green_sent_post as f64 } else { 0.0 };
+    let green_ok = green_sent_post > 0 && invariants.green_ok(green_delivery);
+
+    let final_rate_bps = at_stop.unwrap_or_else(|| source.rate_bps());
+    let rate_ok = invariants.rate_ok(final_rate_bps);
+    let recovery_s = recovered_at.map(|t| t.duration_since(cfg.fault_to).as_secs_f64());
+    let recovery_ok = recovery_s.is_some_and(|s| s <= WIRE_RECOVERY_BUDGET_S);
+
+    let mut faults = src_faults.totals();
+    faults.add(&router_faults.totals());
+    for stats in &rx_faults_all {
+        faults.add(&stats.totals());
+    }
+    let recovered_packets = receiver.as_ref().map_or(0, |rx| rx.recovered_packets);
+    let rx_decode_errors = receiver.as_ref().map_or(0, |rx| rx.decode_errors);
+    let hellos_sent = extra_hellos + receiver.as_ref().map_or(0, |rx| rx.hellos_sent());
+    let decode_errors = source.decode_errors + router.decode_errors + rx_decode_errors;
+
+    let signal_ok = match case {
+        WireChaosCase::FeedbackBlackout => {
+            // The watchdog must have decayed on stale feedback, the router
+            // must have evicted the silent flow, and the resumed heartbeat
+            // must have re-registered it.
+            source.stale_decays > 0 && router.evictions >= 1 && router.flows() == 1
+        }
+        WireChaosCase::DataLossBurst => faults.dropped > 0 && recovered_packets > 0,
+        WireChaosCase::CorruptionStorm => faults.corrupted > 0 && decode_errors > 0,
+        WireChaosCase::ReceiverChurn => {
+            router.evictions >= 1 && router.flows() == 1 && hellos_sent >= 2
+        }
+        WireChaosCase::DupReorderFlood => faults.duplicated > 0 && faults.reordered > 0,
+        WireChaosCase::AsymmetricDelay => faults.delayed > 0,
+    };
+
+    let ok = rate_ok && green_ok && recovery_ok && signal_ok;
+    Ok(WireCaseReport {
+        name: case.name().to_string(),
+        r_star_kbps: invariants.r_star_bps / 1_000.0,
+        final_rate_kbps: final_rate_bps / 1_000.0,
+        rate_ok,
+        green_sent_post_fault: green_sent_post,
+        green_received_post_fault: green_recv_post,
+        green_delivery_post_fault: green_delivery,
+        green_ok,
+        recovery_s,
+        recovery_ok,
+        watchdog_trips: source.stale_decays,
+        retransmissions: source.retransmissions,
+        recovered_packets,
+        decode_errors,
+        evictions: router.evictions,
+        hellos_seen: router.hellos_seen,
+        faults,
+        signal_ok,
+        ok,
+    })
+}
+
+/// Runs all six cases of [`WireChaosCase::ALL`].
+///
+/// # Errors
+///
+/// See [`run_wire_case`].
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`WireChaosConfig::validate`].
+pub fn run_wire_matrix(cfg: &WireChaosConfig) -> io::Result<WireChaosReport> {
+    run_wire_matrix_instrumented(cfg, &Telemetry::disabled())
+}
+
+/// [`run_wire_matrix`] with a shared telemetry handle.
+///
+/// # Errors
+///
+/// See [`run_wire_case`].
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`WireChaosConfig::validate`].
+pub fn run_wire_matrix_instrumented(
+    cfg: &WireChaosConfig,
+    telemetry: &Telemetry,
+) -> io::Result<WireChaosReport> {
+    let mut cases = Vec::with_capacity(WireChaosCase::ALL.len());
+    for case in WireChaosCase::ALL {
+        cases.push(run_wire_case_instrumented(cfg, case, telemetry)?);
+    }
+    let all_ok = cases.iter().all(|c| c.ok);
+    Ok(WireChaosReport { seed: cfg.seed, duration_s: cfg.duration.as_secs_f64(), cases, all_ok })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WireChaosConfig {
+        WireChaosConfig::short()
+    }
+
+    #[test]
+    fn validate_rejects_incoherent_schedules() {
+        let mut bad = cfg();
+        bad.fault_to = bad.fault_from;
+        assert!(bad.validate().is_err(), "empty fault window");
+        let mut bad = cfg();
+        bad.duration = SimDuration::from_secs(5);
+        assert!(bad.validate().is_err(), "no room for recovery");
+        let mut bad = cfg();
+        bad.pels_share = 0.0;
+        assert!(bad.validate().is_err(), "zero share");
+        assert!(cfg().validate().is_ok());
+    }
+
+    #[test]
+    fn all_short_cases_recover() {
+        let report = run_wire_matrix(&cfg()).unwrap();
+        assert_eq!(report.cases.len(), 6);
+        for c in &report.cases {
+            assert!(
+                c.ok,
+                "case {} failed: rate_ok={} ({:.1} vs r*={:.1} kb/s) green_ok={} \
+                 ({:.4}) recovery={:?} signal_ok={}",
+                c.name,
+                c.rate_ok,
+                c.final_rate_kbps,
+                c.r_star_kbps,
+                c.green_ok,
+                c.green_delivery_post_fault,
+                c.recovery_s,
+                c.signal_ok,
+            );
+        }
+        assert!(report.all_ok);
+    }
+
+    #[test]
+    fn matrix_is_deterministic() {
+        let a = run_wire_matrix(&cfg()).unwrap();
+        let b = run_wire_matrix(&cfg()).unwrap();
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap(),);
+    }
+
+    #[test]
+    fn faults_actually_fired_in_each_case() {
+        let report = run_wire_matrix(&cfg()).unwrap();
+        let by_name = |n: &str| {
+            report.cases.iter().find(|c| c.name == n).unwrap_or_else(|| panic!("case {n}"))
+        };
+        assert!(by_name("feedback-blackout").faults.blackout_dropped > 0);
+        assert!(by_name("data-loss-burst").faults.dropped > 0);
+        assert!(by_name("corruption-storm").faults.corrupted > 0);
+        assert!(by_name("dup-reorder-flood").faults.duplicated > 0);
+        assert!(by_name("dup-reorder-flood").faults.reordered > 0);
+        assert!(by_name("asymmetric-delay").faults.delayed > 0);
+        assert_eq!(by_name("receiver-churn").faults.total(), 0, "churn is fault-free");
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Every datagram starts with a 4-byte header — magic `0x504C` ("PL"),
 //! format version, packet kind — and all multi-byte fields are big-endian
-//! (network byte order). Three kinds exist:
+//! (network byte order). Five kinds exist:
 //!
 //! * **Data** ([`WireData`]) — one video packet: flow, sequence number,
 //!   frame tag, color class, pacing metadata (send timestamp, rate echo),
@@ -14,6 +14,10 @@
 //!   the router feedback label `(router, z, p, p_fgs)` (Eq. 11).
 //! * **Nack** ([`WireNack`]) — a retransmission request for one packet,
 //!   identified by its frame tag.
+//! * **Hello** ([`WireHello`]) — a receiver heartbeat: "flow N is alive
+//!   here". Routers use it to register and refresh flow-table entries.
+//! * **Bye** ([`WireBye`]) — a receiver's explicit leave, removing its
+//!   flow-table entry immediately instead of waiting for idle eviction.
 //!
 //! ## Data packet layout (78-byte header + payload)
 //!
@@ -63,6 +67,19 @@
 //! | 16 | 2 | packet index |
 //! | 18 | 2 | total packets in frame |
 //! | 20 | 2 | base-layer packets in frame |
+//!
+//! ## Hello layout (16 bytes)
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 4  | 4 | flow id |
+//! | 8  | 8 | heartbeat sequence number |
+//!
+//! ## Bye layout (8 bytes)
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 4  | 4 | flow id |
 
 use pels_netsim::packet::{AgentId, Feedback, FlowId, FrameTag};
 use pels_netsim::time::SimTime;
@@ -77,6 +94,10 @@ pub const DATA_HEADER_BYTES: usize = 78;
 pub const ACK_BYTES: usize = 61;
 /// Size of an encoded [`WireNack`].
 pub const NACK_BYTES: usize = 22;
+/// Size of an encoded [`WireHello`].
+pub const HELLO_BYTES: usize = 16;
+/// Size of an encoded [`WireBye`].
+pub const BYE_BYTES: usize = 8;
 
 /// Flag bit: the feedback block carries a valid label.
 const FLAG_FEEDBACK: u8 = 0b0000_0001;
@@ -92,6 +113,10 @@ pub enum WireKind {
     Ack,
     /// A retransmission request.
     Nack,
+    /// A receiver heartbeat (session liveness).
+    Hello,
+    /// A receiver's explicit leave.
+    Bye,
 }
 
 impl WireKind {
@@ -100,6 +125,8 @@ impl WireKind {
             WireKind::Data => 0,
             WireKind::Ack => 1,
             WireKind::Nack => 2,
+            WireKind::Hello => 3,
+            WireKind::Bye => 4,
         }
     }
 
@@ -108,6 +135,8 @@ impl WireKind {
             0 => Ok(WireKind::Data),
             1 => Ok(WireKind::Ack),
             2 => Ok(WireKind::Nack),
+            3 => Ok(WireKind::Hello),
+            4 => Ok(WireKind::Bye),
             other => Err(CodecError::BadKind(other)),
         }
     }
@@ -197,6 +226,23 @@ pub struct WireNack {
     pub flow: FlowId,
     /// The missing packet's frame tag.
     pub tag: FrameTag,
+}
+
+/// A receiver heartbeat: registers (and keeps alive) a flow-table entry at
+/// the router that receives it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireHello {
+    /// Flow identifier.
+    pub flow: FlowId,
+    /// Monotone heartbeat counter (diagnostic; routers only use arrival).
+    pub seq: u64,
+}
+
+/// A receiver's explicit leave, removing its flow-table entry immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireBye {
+    /// Flow identifier.
+    pub flow: FlowId,
 }
 
 fn put_header(buf: &mut Vec<u8>, kind: WireKind) {
@@ -466,6 +512,59 @@ impl WireNack {
     }
 }
 
+impl WireHello {
+    /// Encodes into a fresh datagram.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HELLO_BYTES);
+        put_header(&mut buf, WireKind::Hello);
+        buf.extend_from_slice(&self.flow.0.to_be_bytes());
+        buf.extend_from_slice(&self.seq.to_be_bytes());
+        buf
+    }
+
+    /// Decodes a heartbeat datagram.
+    ///
+    /// # Errors
+    ///
+    /// Rejects short or oversized buffers and wrong magic/version/kind.
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        expect_kind(buf, WireKind::Hello)?;
+        if buf.len() < HELLO_BYTES {
+            return Err(CodecError::Truncated { need: HELLO_BYTES, got: buf.len() });
+        }
+        if buf.len() > HELLO_BYTES {
+            return Err(CodecError::InvalidField("trailing bytes"));
+        }
+        Ok(WireHello { flow: FlowId(get_u32(buf, 4)?), seq: get_u64(buf, 8)? })
+    }
+}
+
+impl WireBye {
+    /// Encodes into a fresh datagram.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(BYE_BYTES);
+        put_header(&mut buf, WireKind::Bye);
+        buf.extend_from_slice(&self.flow.0.to_be_bytes());
+        buf
+    }
+
+    /// Decodes a leave datagram.
+    ///
+    /// # Errors
+    ///
+    /// Rejects short or oversized buffers and wrong magic/version/kind.
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        expect_kind(buf, WireKind::Bye)?;
+        if buf.len() < BYE_BYTES {
+            return Err(CodecError::Truncated { need: BYE_BYTES, got: buf.len() });
+        }
+        if buf.len() > BYE_BYTES {
+            return Err(CodecError::InvalidField("trailing bytes"));
+        }
+        Ok(WireBye { flow: FlowId(get_u32(buf, 4)?) })
+    }
+}
+
 /// Stamps a feedback label into an *encoded* data packet in place — the wire
 /// analogue of [`pels_netsim::packet::Packet::stamp_feedback`], with the same
 /// max-loss override semantics (Eq. 12): a packet with no label takes the
@@ -552,6 +651,25 @@ mod tests {
     }
 
     #[test]
+    fn hello_and_bye_roundtrip() {
+        let hello = WireHello { flow: FlowId(7), seq: 99 };
+        let buf = hello.encode();
+        assert_eq!(buf.len(), HELLO_BYTES);
+        assert_eq!(peek_kind(&buf), Ok(WireKind::Hello));
+        assert_eq!(WireHello::decode(&buf).unwrap(), hello);
+        let bye = WireBye { flow: FlowId(7) };
+        let buf = bye.encode();
+        assert_eq!(buf.len(), BYE_BYTES);
+        assert_eq!(peek_kind(&buf), Ok(WireKind::Bye));
+        assert_eq!(WireBye::decode(&buf).unwrap(), bye);
+        // Strict sizing: trailing bytes and prefixes are rejects.
+        let mut long = hello.encode();
+        long.push(0);
+        assert_eq!(WireHello::decode(&long), Err(CodecError::InvalidField("trailing bytes")));
+        assert!(WireBye::decode(&bye.encode()[..BYE_BYTES - 1]).is_err());
+    }
+
+    #[test]
     fn rejects_bad_magic_version_kind() {
         let mut buf = data(&[1, 2, 3]).encode();
         buf[0] = 0xFF;
@@ -607,6 +725,8 @@ mod tests {
             assert!(WireData::decode(&buf).is_err());
             assert!(WireAck::decode(&buf).is_err());
             assert!(WireNack::decode(&buf).is_err());
+            assert!(WireHello::decode(&buf).is_err());
+            assert!(WireBye::decode(&buf).is_err());
             let mut patchable = buf.clone();
             assert!(patch_feedback(&mut patchable, Feedback::new(AgentId(1), 1, 0.1, 0.1)).is_err());
         }
@@ -644,6 +764,8 @@ mod proptests {
         let _ = WireData::decode(buf);
         let _ = WireAck::decode(buf);
         let _ = WireNack::decode(buf);
+        let _ = WireHello::decode(buf);
+        let _ = WireBye::decode(buf);
         let mut patchable = buf.to_vec();
         let _ = patch_feedback(&mut patchable, Feedback::new(AgentId(3), 7, 0.2, 0.1));
     }

@@ -19,6 +19,14 @@
 //!   over loopback UDP or the in-memory hub and emitting the simulator's
 //!   `ScenarioReport` schema, so live and simulated runs are directly
 //!   comparable.
+//! * [`faults`] — [`FaultTransport`], a deterministic fault-injecting
+//!   middleware over any [`Transport`] (drop/duplicate/reorder/delay/
+//!   truncate/corrupt, plus timed blackouts), scriptable per endpoint via
+//!   [`LiveFaults`] and `pels live --faults`.
+//! * [`chaos`] — the six-case wire recovery matrix behind
+//!   `pels chaos --wire`: machine-checked invariants that the live stack
+//!   re-converges to the Lemma 6 rate, keeps the base layer fed, and
+//!   never panics on mutated bytes.
 //!
 //! Time comes from a [`Clock`](pels_netsim::clock::Clock): wall time for
 //! live runs, a hand-stepped mock for reproducible tests. Agents never
@@ -27,7 +35,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod codec;
+pub mod faults;
 pub mod live;
 pub mod receiver;
 pub mod router;
@@ -35,9 +45,11 @@ pub mod source;
 mod telemetry_names;
 pub mod transport;
 
-pub use codec::{WireAck, WireData, WireKind, WireNack};
+pub use chaos::{run_wire_matrix, WireCaseReport, WireChaosConfig, WireChaosReport};
+pub use codec::{WireAck, WireBye, WireData, WireHello, WireKind, WireNack};
+pub use faults::{FaultTransport, LiveFaults, WireFaultSpec, WireFaultTotals};
 pub use live::{run_live, LiveBackend, LiveConfig, LiveOutcome, LiveStats};
-pub use receiver::{WireReceiver, WireReceiverConfig};
+pub use receiver::{HeartbeatConfig, WireReceiver, WireReceiverConfig};
 pub use router::{WireRouter, WireRouterConfig};
 pub use source::{WireSource, WireSourceConfig};
 pub use transport::{MemHub, MemTransport, Transport, UdpTransport};

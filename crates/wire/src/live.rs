@@ -7,7 +7,8 @@
 //! live` output can be compared field-for-field with `pels run`, plotted
 //! by the same tooling, and written to the same CSV layout.
 
-use crate::receiver::{WireReceiver, WireReceiverConfig};
+use crate::faults::{FaultTransport, LiveFaults, WireFaultStats, WireFaultTotals};
+use crate::receiver::{HeartbeatConfig, WireReceiver, WireReceiverConfig};
 use crate::router::{WireRouter, WireRouterConfig};
 use crate::source::{WireSource, WireSourceConfig};
 use crate::transport::{MemHub, Transport, UdpTransport};
@@ -21,6 +22,8 @@ use pels_netsim::packet::{AgentId, FlowId};
 use pels_netsim::time::{Rate, SimDuration, SimTime};
 use pels_telemetry::Telemetry;
 use std::io;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Which transport carries the packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +64,12 @@ pub struct LiveConfig {
     /// (disabled) handle keeps every instrumentation point a one-branch
     /// no-op.
     pub telemetry: Telemetry,
+    /// Scripted per-endpoint fault injection (`pels live --faults FILE`).
+    /// `None` — and `Some(LiveFaults::default())` — leave every datagram
+    /// untouched: the endpoints are still wrapped in
+    /// [`FaultTransport`], but a passthrough spec never draws from its
+    /// RNG, so the run is byte-identical to an unwrapped one.
+    pub faults: Option<LiveFaults>,
 }
 
 impl Default for LiveConfig {
@@ -80,6 +89,7 @@ impl Default for LiveConfig {
             poll_interval: SimDuration::from_millis(1),
             arq_frames: 8,
             telemetry: Telemetry::disabled(),
+            faults: None,
         }
     }
 }
@@ -101,6 +111,13 @@ pub struct LiveStats {
     pub shed_yellow_frames: u64,
     /// Packets abandoned at the source when their frame interval expired.
     pub abandoned_packets: u64,
+    /// Fault decisions taken by the injected [`FaultTransport`]s, summed
+    /// over all three endpoints (all zero without `--faults`).
+    pub faults: WireFaultTotals,
+    /// Datagrams the UDP backend failed to hand to the kernel
+    /// (`WouldBlock` / `ConnectionRefused`); always zero on the
+    /// in-memory backend.
+    pub udp_send_drops: u64,
 }
 
 /// Result of a live run: the simulator-schema report plus wire counters.
@@ -133,21 +150,59 @@ pub fn run_live(cfg: &LiveConfig) -> io::Result<LiveOutcome> {
         Rate::from_bps((cfg.bottleneck.as_bps() as f64 * cfg.pels_share).round() as u64);
     assert!(pels_capacity.as_bps() > 0, "PELS share of the bottleneck is zero");
 
+    let faults = cfg.faults.clone().unwrap_or_default();
+    faults.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     match cfg.backend {
         LiveBackend::Memory => {
             let hub = MemHub::new();
-            let src_ep = hub.endpoint("127.0.0.1:9001".parse().expect("static addr"));
-            let router_ep = hub.endpoint("127.0.0.1:9002".parse().expect("static addr"));
-            let rx_ep = hub.endpoint("127.0.0.1:9003".parse().expect("static addr"));
-            run_wired(cfg, pels_capacity, src_ep, router_ep, rx_ep, ManualClock::new())
+            let clock = Arc::new(ManualClock::new());
+            let wrap = |addr: &str, spec| {
+                let mut ep = FaultTransport::new(
+                    hub.endpoint(addr.parse().expect("static addr")),
+                    Arc::clone(&clock),
+                    spec,
+                );
+                ep.set_telemetry(cfg.telemetry.clone());
+                ep
+            };
+            let src_ep = wrap("127.0.0.1:9001", faults.source);
+            let router_ep = wrap("127.0.0.1:9002", faults.router);
+            let rx_ep = wrap("127.0.0.1:9003", faults.receiver);
+            let stats = [src_ep.stats(), router_ep.stats(), rx_ep.stats()];
+            let mut outcome = run_wired(cfg, pels_capacity, src_ep, router_ep, rx_ep, clock)?;
+            merge_fault_totals(&mut outcome.stats, &stats);
+            Ok(outcome)
         }
         LiveBackend::UdpLoopback => {
             let any = "127.0.0.1:0".parse().expect("static addr");
-            let src_ep = UdpTransport::bind(any)?;
-            let router_ep = UdpTransport::bind(any)?;
-            let rx_ep = UdpTransport::bind(any)?;
-            run_wired(cfg, pels_capacity, src_ep, router_ep, rx_ep, MonotonicClock::new())
+            let clock = MonotonicClock::new();
+            let wrap = |spec| -> io::Result<FaultTransport<UdpTransport, MonotonicClock>> {
+                let mut sock = UdpTransport::bind(any)?;
+                sock.set_telemetry(cfg.telemetry.clone());
+                let mut ep = FaultTransport::new(sock, clock, spec);
+                ep.set_telemetry(cfg.telemetry.clone());
+                Ok(ep)
+            };
+            let src_ep = wrap(faults.source)?;
+            let router_ep = wrap(faults.router)?;
+            let rx_ep = wrap(faults.receiver)?;
+            let stats = [src_ep.stats(), router_ep.stats(), rx_ep.stats()];
+            let drops = [
+                src_ep.inner().send_drops_handle(),
+                router_ep.inner().send_drops_handle(),
+                rx_ep.inner().send_drops_handle(),
+            ];
+            let mut outcome = run_wired(cfg, pels_capacity, src_ep, router_ep, rx_ep, clock)?;
+            merge_fault_totals(&mut outcome.stats, &stats);
+            outcome.stats.udp_send_drops = drops.iter().map(|h| h.load(Ordering::Relaxed)).sum();
+            Ok(outcome)
         }
+    }
+}
+
+fn merge_fault_totals(stats: &mut LiveStats, endpoints: &[Arc<WireFaultStats>; 3]) {
+    for s in endpoints {
+        stats.faults.add(&s.totals());
     }
 }
 
@@ -162,6 +217,14 @@ trait RunClock: Clock {
 }
 
 impl RunClock for ManualClock {
+    fn wait_until(&self, deadline: SimTime) {
+        if deadline > self.now() {
+            self.set(deadline);
+        }
+    }
+}
+
+impl RunClock for Arc<ManualClock> {
     fn wait_until(&self, deadline: SimTime) {
         if deadline > self.now() {
             self.set(deadline);
@@ -199,6 +262,8 @@ fn run_wired<T: Transport, C: RunClock>(
             packet_bytes: cfg.packet_bytes,
             router: router_addr,
             arq_frames: cfg.arq_frames,
+            retx_limit: 3,
+            retx_budget: 65_536,
         },
         src_ep,
     );
@@ -210,6 +275,7 @@ fn run_wired<T: Transport, C: RunClock>(
             feedback_to: src_addr,
             nack: (cfg.arq_frames > 0).then(NackConfig::default),
             packet_bytes: cfg.packet_bytes,
+            heartbeat: Some(HeartbeatConfig::new(router_addr)),
         },
         rx_ep,
     );
@@ -295,6 +361,10 @@ fn run_wired<T: Transport, C: RunClock>(
         shed_red_frames: source.shed_red_frames,
         shed_yellow_frames: source.shed_yellow_frames,
         abandoned_packets: source.abandoned_packets,
+        // Fault and UDP-drop totals live outside the agents; `run_live`
+        // folds them in after the wrapped endpoints are torn down.
+        faults: WireFaultTotals::default(),
+        udp_send_drops: 0,
     };
     let report = ScenarioReport {
         duration_s: cfg.duration.as_secs_f64(),
@@ -384,6 +454,41 @@ mod tests {
             serde_json::to_string(&a.report).unwrap(),
             serde_json::to_string(&b.report).unwrap()
         );
+    }
+
+    #[test]
+    fn default_fault_spec_is_byte_identical_to_no_faults() {
+        // The fault layer is always present; a default (passthrough) spec
+        // must not perturb a single byte of the run.
+        let bare = run_live(&short_mem_cfg()).unwrap();
+        let wrapped =
+            run_live(&LiveConfig { faults: Some(LiveFaults::default()), ..short_mem_cfg() })
+                .unwrap();
+        assert_eq!(
+            serde_json::to_string(&bare.report).unwrap(),
+            serde_json::to_string(&wrapped.report).unwrap()
+        );
+        assert_eq!(wrapped.stats.faults.total(), 0);
+    }
+
+    #[test]
+    fn scripted_faults_perturb_the_run_and_are_counted() {
+        use crate::faults::WireFaultPolicy;
+        let mut faults = LiveFaults::default();
+        faults.source.tx = WireFaultPolicy { drop: 0.2, ..Default::default() };
+        let out = run_live(&LiveConfig { faults: Some(faults), ..short_mem_cfg() }).unwrap();
+        assert!(out.stats.faults.dropped > 0, "{:?}", out.stats.faults);
+        // Dropped data left gaps the receiver NACKed; ARQ filled some.
+        assert!(out.stats.retransmissions > 0, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn invalid_fault_spec_is_an_input_error() {
+        use crate::faults::WireFaultPolicy;
+        let mut faults = LiveFaults::default();
+        faults.router.rx = WireFaultPolicy { drop: 1.5, ..Default::default() };
+        let err = run_live(&LiveConfig { faults: Some(faults), ..short_mem_cfg() }).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]

@@ -12,14 +12,14 @@
 //! prefix-decodable loss-tolerant data whose tail the router clips by
 //! design at the MKC operating point (see `WireSource::handle_nack`).
 
-use crate::codec::{peek_kind, WireAck, WireData, WireKind, WireNack};
-use crate::telemetry_names::rx_delay_metric;
+use crate::codec::{peek_kind, WireAck, WireBye, WireData, WireHello, WireKind, WireNack};
+use crate::telemetry_names::{rx_delay_metric, RX_HELLOS};
 use crate::transport::Transport;
 use pels_core::receiver::{NackConfig, NackTracker};
 use pels_fgs::decoder::{DecodedFrame, FrameReception, UtilityStats};
 use pels_netsim::packet::FlowId;
 use pels_netsim::stats::DelayRecorder;
-use pels_netsim::time::SimTime;
+use pels_netsim::time::{SimDuration, SimTime};
 use pels_telemetry::Telemetry;
 use std::collections::BTreeMap;
 use std::io;
@@ -37,6 +37,29 @@ pub struct WireReceiverConfig {
     pub nack: Option<NackConfig>,
     /// Wire packet payload size, used to size reassembly buffers.
     pub packet_bytes: u32,
+    /// Session liveness: periodic HELLO heartbeats to a router's flow
+    /// table. `None` disables heartbeats (the router then relies on its
+    /// static forwarding destination).
+    pub heartbeat: Option<HeartbeatConfig>,
+}
+
+/// Heartbeat parameters for a [`WireReceiver`].
+#[derive(Debug, Clone, Copy)]
+pub struct HeartbeatConfig {
+    /// The router whose flow table this receiver keeps itself alive in.
+    pub router: SocketAddr,
+    /// Interval between HELLO frames. The first HELLO goes out on the
+    /// first poll so the flow registers before any data arrives.
+    pub interval: SimDuration,
+}
+
+impl HeartbeatConfig {
+    /// Heartbeats to `router` at the default 100 ms cadence — a fifth of
+    /// the router's default idle timeout, so a healthy session survives
+    /// several consecutive lost heartbeats before eviction.
+    pub fn new(router: SocketAddr) -> Self {
+        HeartbeatConfig { router, interval: SimDuration::from_millis(100) }
+    }
 }
 
 /// The live receiving agent.
@@ -57,6 +80,8 @@ pub struct WireReceiver<T: Transport> {
     /// Datagrams that failed to decode or belonged to another flow.
     pub decode_errors: u64,
     nacks_sent: u64,
+    hellos_sent: u64,
+    next_hello_at: Option<SimTime>,
     recv_buf: Vec<u8>,
     telemetry: Telemetry,
 }
@@ -76,6 +101,8 @@ impl<T: Transport> WireReceiver<T> {
             recovered_packets: 0,
             decode_errors: 0,
             nacks_sent: 0,
+            hellos_sent: 0,
+            next_hello_at: Some(SimTime::ZERO),
             recv_buf: vec![0u8; 2048],
             telemetry: Telemetry::disabled(),
         }
@@ -121,6 +148,38 @@ impl<T: Transport> WireReceiver<T> {
         self.nacks_sent
     }
 
+    /// HELLO heartbeats emitted so far.
+    pub fn hellos_sent(&self) -> u64 {
+        self.hellos_sent
+    }
+
+    /// Announces departure: a BYE to the heartbeat router, so its flow-
+    /// table entry dies immediately instead of idling out. A no-op when
+    /// heartbeats are disabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hard transport failures.
+    pub fn send_bye(&mut self) -> io::Result<()> {
+        let Some(hb) = self.cfg.heartbeat else { return Ok(()) };
+        let bye = WireBye { flow: self.cfg.flow }.encode();
+        self.transport.send_to(&bye, hb.router)
+    }
+
+    fn send_due_hello(&mut self, now: SimTime) -> io::Result<()> {
+        let Some(hb) = self.cfg.heartbeat else { return Ok(()) };
+        let Some(due) = self.next_hello_at else { return Ok(()) };
+        if now < due {
+            return Ok(());
+        }
+        let hello = WireHello { flow: self.cfg.flow, seq: self.hellos_sent }.encode();
+        self.transport.send_to(&hello, hb.router)?;
+        self.hellos_sent += 1;
+        self.telemetry.counter_add(RX_HELLOS, 1);
+        self.next_hello_at = Some(now.saturating_add(hb.interval));
+        Ok(())
+    }
+
     /// Advances the receiver to `now`: ingests data packets (ACKing each)
     /// and issues any due NACKs.
     ///
@@ -128,6 +187,9 @@ impl<T: Transport> WireReceiver<T> {
     ///
     /// Propagates hard transport failures.
     pub fn poll(&mut self, now: SimTime) -> io::Result<()> {
+        // Heartbeat first: in strict-flow topologies the router must know
+        // the flow before the first data packet needs forwarding.
+        self.send_due_hello(now)?;
         // The buffer is taken out for the drain so the decoded packet's
         // zero-copy payload borrow does not conflict with `&mut self`.
         let mut buf = std::mem::take(&mut self.recv_buf);
@@ -216,7 +278,13 @@ mod tests {
     }
 
     fn rx_cfg(feedback_to: SocketAddr, nack: Option<NackConfig>) -> WireReceiverConfig {
-        WireReceiverConfig { flow: FlowId(1), feedback_to, nack, packet_bytes: 500 }
+        WireReceiverConfig {
+            flow: FlowId(1),
+            feedback_to,
+            nack,
+            packet_bytes: 500,
+            heartbeat: None,
+        }
     }
 
     fn data(frame: u64, index: u16, total: u16, base: u16, class: u8) -> Vec<u8> {
@@ -312,6 +380,46 @@ mod tests {
         assert_eq!(rx.recovered_packets, 1);
         // Delay measured from the original emission, not the retransmit.
         assert!((rx.delays.by_class[0].mean() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heartbeat_fires_on_first_poll_then_every_interval() {
+        let hub = MemHub::new();
+        let router = hub.endpoint(addr(2));
+        let rx_ep = hub.endpoint(addr(3));
+        let mut cfg = rx_cfg(addr(1), None);
+        cfg.heartbeat = Some(HeartbeatConfig::new(addr(2)));
+        let mut rx = WireReceiver::new(cfg, rx_ep);
+        // First poll emits immediately; polling again inside the interval
+        // does not.
+        rx.poll(SimTime::ZERO).unwrap();
+        rx.poll(SimTime::from_nanos(50_000_000)).unwrap();
+        assert_eq!(rx.hellos_sent(), 1);
+        rx.poll(SimTime::from_nanos(100_000_000)).unwrap();
+        rx.poll(SimTime::from_nanos(250_000_000)).unwrap();
+        assert_eq!(rx.hellos_sent(), 3);
+        let hellos: Vec<_> = drain(&router).iter().map(|d| WireHello::decode(d).unwrap()).collect();
+        assert_eq!(hellos.len(), 3);
+        assert_eq!(hellos[0], WireHello { flow: FlowId(1), seq: 0 });
+        assert_eq!(hellos[2].seq, 2);
+        // BYE goes to the same router.
+        rx.send_bye().unwrap();
+        let byes = drain(&router);
+        assert_eq!(byes.len(), 1);
+        assert_eq!(WireBye::decode(&byes[0]).unwrap().flow, FlowId(1));
+    }
+
+    #[test]
+    fn no_heartbeat_config_means_silence() {
+        let hub = MemHub::new();
+        let router = hub.endpoint(addr(2));
+        let rx_ep = hub.endpoint(addr(3));
+        let mut rx = WireReceiver::new(rx_cfg(addr(1), None), rx_ep);
+        rx.poll(SimTime::ZERO).unwrap();
+        rx.poll(SimTime::from_secs_f64(10.0)).unwrap();
+        rx.send_bye().unwrap();
+        assert_eq!(rx.hellos_sent(), 0);
+        assert!(drain(&router).is_empty());
     }
 
     #[test]

@@ -25,14 +25,17 @@
 //!   point (`r*`, `p*`) numerically identical to the simulated one. The
 //!   source's token bucket uses the same convention.
 
-use crate::codec::{patch_feedback, peek_kind, WireKind, DATA_HEADER_BYTES};
-use crate::telemetry_names::{router_drops_metric, router_tx_metric};
+use crate::codec::{patch_feedback, peek_kind, WireBye, WireHello, WireKind, DATA_HEADER_BYTES};
+use crate::telemetry_names::{
+    router_drops_metric, router_tx_metric, ROUTER_BYES, ROUTER_EVICTIONS, ROUTER_FLOWS,
+    ROUTER_HELLOS, ROUTER_UNREGISTERED,
+};
 use crate::transport::Transport;
 use pels_core::feedback::FeedbackEstimator;
-use pels_netsim::packet::{AgentId, Feedback};
+use pels_netsim::packet::{AgentId, Feedback, FlowId};
 use pels_netsim::time::{Rate, SimDuration, SimTime};
 use pels_telemetry::Telemetry;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::SocketAddr;
 
@@ -49,8 +52,16 @@ pub struct WireRouterConfig {
     pub smoothing: f64,
     /// Queue limits in packets per color (green, yellow, red).
     pub color_limits: [usize; 3],
-    /// Next hop for data packets (the receiver).
+    /// Fallback next hop for data packets whose flow has no live
+    /// flow-table entry (ignored when `strict_flows` is set).
     pub forward_to: SocketAddr,
+    /// How long a flow-table entry survives without a HELLO refresh
+    /// before idle eviction (checked on each feedback tick).
+    pub flow_idle_timeout: SimDuration,
+    /// When set, data packets from flows with no live flow-table entry
+    /// are dropped (counted in `unregistered_drops`) instead of falling
+    /// back to `forward_to` — the multi-receiver `pels serve` posture.
+    pub strict_flows: bool,
 }
 
 impl WireRouterConfig {
@@ -63,8 +74,22 @@ impl WireRouterConfig {
             smoothing: 0.15,
             color_limits: [200, 200, 50],
             forward_to,
+            // Five default heartbeat intervals: a session survives a few
+            // lost HELLOs but a dead receiver is evicted within ~½ s.
+            flow_idle_timeout: SimDuration::from_millis(500),
+            strict_flows: false,
         }
     }
+}
+
+/// One live session in the router's flow table.
+#[derive(Debug, Clone, Copy)]
+struct FlowEntry {
+    /// Where this flow's data packets are forwarded (the HELLO's source
+    /// address).
+    addr: SocketAddr,
+    /// Arrival time of the most recent HELLO.
+    last_hello: SimTime,
 }
 
 /// The live strict-priority forwarder.
@@ -91,6 +116,16 @@ pub struct WireRouter<T: Transport> {
     pub drops_by_class: [u64; 4],
     /// Datagrams discarded because they were not decodable data packets.
     pub decode_errors: u64,
+    /// Live sessions, registered and refreshed by receiver HELLOs.
+    flows: HashMap<FlowId, FlowEntry>,
+    /// HELLO frames accepted (registrations + refreshes).
+    pub hellos_seen: u64,
+    /// BYE frames that removed a flow-table entry.
+    pub byes_seen: u64,
+    /// Flow-table entries evicted on idle timeout.
+    pub evictions: u64,
+    /// Strict-mode drops of data packets from unregistered flows.
+    pub unregistered_drops: u64,
     telemetry: Telemetry,
 }
 
@@ -120,6 +155,11 @@ impl<T: Transport> WireRouter<T> {
             tx_by_class: [0; 4],
             drops_by_class: [0; 4],
             decode_errors: 0,
+            flows: HashMap::new(),
+            hellos_seen: 0,
+            byes_seen: 0,
+            evictions: 0,
+            unregistered_drops: 0,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -144,6 +184,11 @@ impl<T: Transport> WireRouter<T> {
         self.queues.iter().map(VecDeque::len).sum()
     }
 
+    /// Live sessions currently in the flow table.
+    pub fn flows(&self) -> usize {
+        self.flows.len()
+    }
+
     /// Advances the router to `now`: ingests arrivals into the color
     /// queues, closes due measurement intervals, and forwards packets in
     /// strict green→yellow→red priority within the accumulated byte
@@ -153,34 +198,78 @@ impl<T: Transport> WireRouter<T> {
     ///
     /// Propagates hard transport failures.
     pub fn poll(&mut self, now: SimTime) -> io::Result<()> {
-        self.ingest()?;
+        self.ingest(now)?;
         let tick = *self.next_tick_at.get_or_insert(now + self.cfg.feedback_interval);
         if now >= tick {
             self.estimator.tick(self.cfg.id);
             self.next_tick_at = Some(tick + self.cfg.feedback_interval);
+            self.evict_idle_flows(now);
             if self.telemetry.is_enabled() {
                 let t = now.as_secs_f64();
                 self.telemetry.sample("wire.router.p", t, self.estimator.loss());
                 self.telemetry.sample("wire.router.p_fgs", t, self.estimator.fgs_loss());
                 self.telemetry.gauge_set("wire.router.backlog_pkts", self.backlog() as f64);
+                self.telemetry.gauge_set(ROUTER_FLOWS, self.flows.len() as f64);
             }
         }
         self.forward(now)
     }
 
-    fn ingest(&mut self) -> io::Result<()> {
+    /// Removes flow-table entries whose last HELLO is older than the idle
+    /// timeout. Data arrivals deliberately do *not* refresh an entry:
+    /// liveness is receiver-driven, so a dead receiver is evicted even
+    /// while the source keeps streaming at it.
+    fn evict_idle_flows(&mut self, now: SimTime) {
+        let timeout = self.cfg.flow_idle_timeout;
+        let before = self.flows.len();
+        self.flows.retain(|_, e| now.duration_since(e.last_hello) <= timeout);
+        let evicted = (before - self.flows.len()) as u64;
+        if evicted > 0 {
+            self.evictions += evicted;
+            self.telemetry.counter_add(ROUTER_EVICTIONS, evicted);
+        }
+    }
+
+    fn ingest(&mut self, now: SimTime) -> io::Result<()> {
         loop {
-            let Some((n, _from)) = self.transport.try_recv(&mut self.recv_buf)? else {
+            let Some((n, from)) = self.transport.try_recv(&mut self.recv_buf)? else {
                 return Ok(());
             };
             let buf = &self.recv_buf[..n];
             // Only data packets traverse the bottleneck; the reverse path
             // (ACKs/NACKs) goes receiver→source directly, modeling the
-            // paper's uncongested return channel.
-            if peek_kind(buf) != Ok(WireKind::Data) || n < DATA_HEADER_BYTES {
-                self.decode_errors += 1;
-                self.telemetry.counter_add("wire.router.decode_errors", 1);
-                continue;
+            // paper's uncongested return channel. HELLO/BYE are session
+            // control consumed here.
+            match peek_kind(buf) {
+                Ok(WireKind::Data) if n >= DATA_HEADER_BYTES => {}
+                Ok(WireKind::Hello) => {
+                    let Ok(hello) = WireHello::decode(buf) else {
+                        self.decode_errors += 1;
+                        self.telemetry.counter_add("wire.router.decode_errors", 1);
+                        continue;
+                    };
+                    self.flows.insert(hello.flow, FlowEntry { addr: from, last_hello: now });
+                    self.hellos_seen += 1;
+                    self.telemetry.counter_add(ROUTER_HELLOS, 1);
+                    continue;
+                }
+                Ok(WireKind::Bye) => {
+                    let Ok(bye) = WireBye::decode(buf) else {
+                        self.decode_errors += 1;
+                        self.telemetry.counter_add("wire.router.decode_errors", 1);
+                        continue;
+                    };
+                    if self.flows.remove(&bye.flow).is_some() {
+                        self.byes_seen += 1;
+                        self.telemetry.counter_add(ROUTER_BYES, 1);
+                    }
+                    continue;
+                }
+                _ => {
+                    self.decode_errors += 1;
+                    self.telemetry.counter_add("wire.router.decode_errors", 1);
+                    continue;
+                }
             }
             let class = buf.get(30).copied().unwrap_or(0).min(2) as usize;
             // Payload bytes only — see the module doc on accounting.
@@ -222,11 +311,29 @@ impl<T: Transport> WireRouter<T> {
             let Some(mut datagram) = self.queues[class].pop_front() else {
                 return Ok(());
             };
+            // Destination: the flow-table entry for this packet's flow,
+            // falling back to the static next hop unless strict. An
+            // unregistered-flow drop costs no budget — nothing was sent.
+            let flow = FlowId(u32::from_be_bytes(
+                datagram.get(4..8).and_then(|s| s.try_into().ok()).unwrap_or([0; 4]),
+            ));
+            let dest = match self.flows.get(&flow) {
+                Some(entry) => entry.addr,
+                None if self.cfg.strict_flows => {
+                    self.unregistered_drops += 1;
+                    self.telemetry.counter_add(ROUTER_UNREGISTERED, 1);
+                    if self.free.len() < self.cfg.color_limits.iter().sum() {
+                        self.free.push(datagram);
+                    }
+                    continue;
+                }
+                None => self.cfg.forward_to,
+            };
             self.budget_bits -= cost;
             self.stamp(&mut datagram, label);
             self.tx_by_class[class] += 1;
             self.telemetry.counter_add(router_tx_metric(class), 1);
-            self.transport.send_to(&datagram, self.cfg.forward_to)?;
+            self.transport.send_to(&datagram, dest)?;
             // Bound the pool by what the color queues can hold at once.
             if self.free.len() < self.cfg.color_limits.iter().sum() {
                 self.free.push(datagram);
@@ -345,6 +452,72 @@ mod tests {
         let fb = stamped.feedback.expect("label stamped at departure");
         assert_eq!(fb.router, AgentId(7));
         assert!(fb.loss > 0.0);
+    }
+
+    #[test]
+    fn hello_registers_and_data_follows_the_flow_table() {
+        let hub = MemHub::new();
+        let rx = hub.endpoint(addr(3));
+        let elsewhere = hub.endpoint(addr(9));
+        let router_ep = hub.endpoint(addr(2));
+        let src = hub.endpoint(addr(1));
+        // Static fallback points at `elsewhere`; the HELLO must redirect
+        // flow 1 to the receiver's real address.
+        let cfg = WireRouterConfig::new(AgentId(1), Rate::from_mbps(10.0), addr(9));
+        let mut router = WireRouter::new(cfg, router_ep);
+        rx.send_to(&crate::codec::WireHello { flow: FlowId(1), seq: 0 }.encode(), addr(2)).unwrap();
+        router.poll(SimTime::ZERO).unwrap();
+        assert_eq!((router.flows(), router.hellos_seen), (1, 1));
+        src.send_to(&data(0, 0, &[0u8; 100]), addr(2)).unwrap();
+        router.poll(SimTime::from_nanos(10_000_000)).unwrap();
+        assert_eq!(drain(&rx).len(), 1, "data follows the registered address");
+        assert!(drain(&elsewhere).is_empty());
+        // BYE removes the entry; data falls back to the static next hop.
+        rx.send_to(&crate::codec::WireBye { flow: FlowId(1) }.encode(), addr(2)).unwrap();
+        src.send_to(&data(1, 0, &[0u8; 100]), addr(2)).unwrap();
+        router.poll(SimTime::from_nanos(20_000_000)).unwrap();
+        assert_eq!((router.flows(), router.byes_seen), (0, 1));
+        assert_eq!(drain(&elsewhere).len(), 1);
+    }
+
+    #[test]
+    fn idle_flow_is_evicted_after_timeout() {
+        let hub = MemHub::new();
+        let rx = hub.endpoint(addr(3));
+        let router_ep = hub.endpoint(addr(2));
+        let cfg = WireRouterConfig::new(AgentId(1), Rate::from_mbps(1.0), addr(3));
+        let timeout = cfg.flow_idle_timeout;
+        let mut router = WireRouter::new(cfg, router_ep);
+        rx.send_to(&crate::codec::WireHello { flow: FlowId(1), seq: 0 }.encode(), addr(2)).unwrap();
+        router.poll(SimTime::ZERO).unwrap();
+        assert_eq!(router.flows(), 1);
+        // Just inside the timeout: still alive (checked on the tick).
+        router.poll(SimTime::ZERO + timeout).unwrap();
+        assert_eq!((router.flows(), router.evictions), (1, 0));
+        // Well past it: evicted.
+        router.poll(SimTime::ZERO + timeout * 3).unwrap();
+        assert_eq!((router.flows(), router.evictions), (0, 1));
+    }
+
+    #[test]
+    fn strict_mode_drops_unregistered_flows_without_spending_budget() {
+        let hub = MemHub::new();
+        let rx = hub.endpoint(addr(3));
+        let router_ep = hub.endpoint(addr(2));
+        let src = hub.endpoint(addr(1));
+        let mut cfg = WireRouterConfig::new(AgentId(1), Rate::from_mbps(10.0), addr(3));
+        cfg.strict_flows = true;
+        let mut router = WireRouter::new(cfg, router_ep);
+        src.send_to(&data(0, 0, &[0u8; 100]), addr(2)).unwrap();
+        router.poll(SimTime::ZERO).unwrap();
+        router.poll(SimTime::from_nanos(10_000_000)).unwrap();
+        assert_eq!(router.unregistered_drops, 1);
+        assert!(drain(&rx).is_empty());
+        // Registering makes the same flow forwardable.
+        rx.send_to(&crate::codec::WireHello { flow: FlowId(1), seq: 1 }.encode(), addr(2)).unwrap();
+        src.send_to(&data(1, 0, &[0u8; 100]), addr(2)).unwrap();
+        router.poll(SimTime::from_nanos(20_000_000)).unwrap();
+        assert_eq!(drain(&rx).len(), 1);
     }
 
     #[test]

@@ -42,6 +42,13 @@ pub struct WireSourceConfig {
     pub router: SocketAddr,
     /// Frames kept retransmittable for NACK-driven ARQ; 0 disables ARQ.
     pub arq_frames: u64,
+    /// Retransmissions allowed per packet (default 3). A duplicated or
+    /// replayed NACK flood can otherwise make the source resend one
+    /// packet unboundedly.
+    pub retx_limit: u8,
+    /// Lifetime retransmission budget for the whole source (default
+    /// 65 536); once spent, further NACKs are suppressed and counted.
+    pub retx_budget: u64,
 }
 
 /// One planned-but-unsent packet of the current frame.
@@ -51,6 +58,10 @@ struct Pending {
     class: u8,
     tag: FrameTag,
 }
+
+/// One retransmittable frame: its emission time plus, per packet,
+/// `(bytes, class, retransmissions so far)`.
+type RetxFrame = (SimTime, Vec<(u32, u8, u8)>);
 
 /// The live streaming source agent.
 #[derive(Debug)]
@@ -71,8 +82,9 @@ pub struct WireSource<T: Transport> {
     /// When stopped, no new frames are emitted (pending packets still
     /// drain and NACKs are still answered) — used for end-of-run drain.
     stopped: bool,
-    /// Retransmission buffer: frame → (emitted at, per-packet (bytes, class)).
-    retx_buffer: HashMap<u64, (SimTime, Vec<(u32, u8)>)>,
+    /// Retransmission buffer: frame → (emitted at, per-packet
+    /// (bytes, class, retransmissions so far)).
+    retx_buffer: HashMap<u64, RetxFrame>,
     /// All-zero payload pool, sliced per packet.
     payload_pool: Vec<u8>,
     /// Reused encode buffer: one datagram's worth of capacity serves
@@ -91,6 +103,8 @@ pub struct WireSource<T: Transport> {
     pub shed_yellow_frames: u64,
     /// Retransmissions performed in response to NACKs.
     pub retransmissions: u64,
+    /// NACKs refused by the per-packet retry cap or the lifetime budget.
+    pub retx_suppressed: u64,
     /// Datagrams that failed to decode and were dropped.
     pub decode_errors: u64,
     /// Watchdog activations that actually decayed the rate.
@@ -128,6 +142,7 @@ impl<T: Transport> WireSource<T> {
             shed_red_frames: 0,
             shed_yellow_frames: 0,
             retransmissions: 0,
+            retx_suppressed: 0,
             decode_errors: 0,
             stale_decays: 0,
             telemetry: Telemetry::disabled(),
@@ -245,6 +260,11 @@ impl<T: Transport> WireSource<T> {
             if self.mkc.apply_staleness(now) {
                 self.stale_decays += 1;
                 self.telemetry.counter_add("wire.src.stale_decays", 1);
+                // A full timeout without fresh feedback means the epoch
+                // horizon itself may be wrong (a corrupted label that jumped
+                // it forward, or a router restart that reset the counter).
+                // Re-anchor so the next genuine label is accepted.
+                self.filter.reset();
             }
             self.next_watchdog_at = Some(now + period);
         }
@@ -298,7 +318,7 @@ impl<T: Transport> WireSource<T> {
                         Segment::Yellow => 1,
                         Segment::Red => 2,
                     };
-                    (pp.bytes, class)
+                    (pp.bytes, class, 0u8)
                 })
                 .collect();
             self.retx_buffer.insert(self.frame_idx, (now, meta));
@@ -316,10 +336,11 @@ impl<T: Transport> WireSource<T> {
     /// bucket, which may go briefly negative; regular traffic then waits
     /// the debt out, keeping the long-run rate at the MKC value.
     fn handle_nack(&mut self, nack: &WireNack) -> io::Result<()> {
-        let Some((emitted_at, meta)) = self.retx_buffer.get(&nack.tag.frame) else {
+        let Some((emitted_at, meta)) = self.retx_buffer.get_mut(&nack.tag.frame) else {
             return Ok(()); // frame already evicted: the data is gone
         };
-        let Some(&(bytes, class)) = meta.get(nack.tag.index as usize) else {
+        let Some(&mut (bytes, class, ref mut retries)) = meta.get_mut(nack.tag.index as usize)
+        else {
             return Ok(());
         };
         // Only the base layer is repairable. Enhancement is prefix-decodable
@@ -331,6 +352,16 @@ impl<T: Transport> WireSource<T> {
         if class != 0 {
             return Ok(());
         }
+        // Bounded ARQ: a duplicated/replayed NACK flood must not turn the
+        // source into a packet amplifier. The receiver's own NackTracker
+        // already backs off exponentially; these caps are the source-side
+        // backstop for whatever a hostile network delivers.
+        if *retries >= self.cfg.retx_limit || self.retransmissions >= self.cfg.retx_budget {
+            self.retx_suppressed += 1;
+            self.telemetry.counter_add(crate::telemetry_names::SRC_RETX_SUPPRESSED, 1);
+            return Ok(());
+        }
+        *retries += 1;
         let was = *emitted_at;
         self.retransmissions += 1;
         self.telemetry.counter_add("wire.src.retransmissions", 1);
@@ -417,6 +448,8 @@ mod tests {
             packet_bytes: 500,
             router,
             arq_frames: 8,
+            retx_limit: 3,
+            retx_budget: 65_536,
         }
     }
 
@@ -482,6 +515,41 @@ mod tests {
     }
 
     #[test]
+    fn stale_decay_reanchors_a_poisoned_epoch_horizon() {
+        let hub = MemHub::new();
+        let router = hub.endpoint(addr(2));
+        let src_ep = hub.endpoint(addr(1));
+        let mut src = WireSource::new(cfg(router.local_addr()), hub.endpoint(addr(1)));
+        src.poll(SimTime::ZERO).unwrap();
+        let ack = |epoch: u64, rate: f64| WireAck {
+            flow: FlowId(1),
+            seq: 0,
+            sent_at: SimTime::ZERO,
+            rate_echo: rate,
+            feedback: Some(Feedback::new(AgentId(9), epoch, -1.0, 0.3)),
+        };
+        // A corrupted-but-decodable label jumps the horizon to u64::MAX:
+        // from here on, every genuine epoch looks stale.
+        src_ep.send_to(&ack(u64::MAX, src.rate_bps()).encode(), addr(1)).unwrap();
+        src.poll(SimTime::from_nanos(1_000_000)).unwrap();
+        let poisoned = src.rate_bps();
+        src_ep.send_to(&ack(2, poisoned).encode(), addr(1)).unwrap();
+        src.poll(SimTime::from_nanos(2_000_000)).unwrap();
+        assert!((src.rate_bps() - poisoned).abs() < 1.0, "genuine epoch rejected while poisoned");
+        // Starve the watchdog past stale_timeout (300 ms): it decays the
+        // rate AND resets the filter so the loop can resynchronize.
+        for ms in 3..1_000u64 {
+            src.poll(SimTime::from_nanos(ms * 1_000_000)).unwrap();
+        }
+        assert!(src.stale_decays > 0, "watchdog never fired");
+        let decayed = src.rate_bps();
+        assert!(decayed < poisoned, "decay should have lowered the rate");
+        src_ep.send_to(&ack(3, decayed).encode(), addr(1)).unwrap();
+        src.poll(SimTime::from_nanos(1_001_000_000)).unwrap();
+        assert!(src.rate_bps() > decayed, "post-reset feedback must drive the rate again");
+    }
+
+    #[test]
     fn nack_triggers_marked_retransmission() {
         let hub = MemHub::new();
         let router = hub.endpoint(addr(2));
@@ -508,6 +576,40 @@ mod tests {
         assert_eq!((retx[0].0, retx[0].1), (0, 1));
         // The retransmission keeps the original emission timestamp.
         assert_eq!(retx[0].2, SimTime::ZERO);
+    }
+
+    #[test]
+    fn nack_flood_is_capped_per_packet_and_by_budget() {
+        let hub = MemHub::new();
+        let router = hub.endpoint(addr(2));
+        let src_ep = hub.endpoint(addr(1));
+        let mut config = cfg(router.local_addr());
+        config.retx_limit = 2;
+        let mut src = WireSource::new(config, hub.endpoint(addr(1)));
+        for ms in 0..200u64 {
+            src.poll(SimTime::from_nanos(ms * 1_000_000)).unwrap();
+        }
+        drain(&router);
+        // Ten identical NACKs for one packet: only `retx_limit` repairs.
+        let nack =
+            WireNack { flow: FlowId(1), tag: FrameTag { frame: 0, index: 1, total: 4, base: 4 } };
+        for _ in 0..10 {
+            src_ep.send_to(&nack.encode(), addr(1)).unwrap();
+        }
+        src.poll(SimTime::from_nanos(200_000_000)).unwrap();
+        assert_eq!(src.retransmissions, 2);
+        assert_eq!(src.retx_suppressed, 8);
+        // The lifetime budget gates even fresh packets.
+        let mut config = cfg(router.local_addr());
+        config.retx_budget = 0;
+        let mut src = WireSource::new(config, hub.endpoint(addr(4)));
+        for ms in 0..200u64 {
+            src.poll(SimTime::from_nanos(ms * 1_000_000)).unwrap();
+        }
+        src_ep.send_to(&nack.encode(), addr(4)).unwrap();
+        src.poll(SimTime::from_nanos(200_000_000)).unwrap();
+        assert_eq!(src.retransmissions, 0);
+        assert_eq!(src.retx_suppressed, 1);
     }
 
     #[test]

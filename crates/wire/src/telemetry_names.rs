@@ -30,3 +30,43 @@ pub(crate) fn rx_delay_metric(class: u8) -> &'static str {
         _ => "wire.rx.delay.red",
     }
 }
+
+/// `wire.fault.<kind>` — datagrams touched by [`crate::faults::FaultTransport`],
+/// indexed by the fate's position in the cumulative partition (blackout = 6).
+pub(crate) fn fault_metric(kind: usize) -> &'static str {
+    match kind {
+        0 => "wire.fault.dropped",
+        1 => "wire.fault.duplicated",
+        2 => "wire.fault.reordered",
+        3 => "wire.fault.delayed",
+        4 => "wire.fault.truncated",
+        5 => "wire.fault.corrupted",
+        _ => "wire.fault.blackout",
+    }
+}
+
+/// `wire.rx.hellos` — heartbeat HELLO frames sent by the receiver.
+pub(crate) const RX_HELLOS: &str = "wire.rx.hellos";
+
+/// `wire.router.hellos` — HELLO frames accepted into the flow table.
+pub(crate) const ROUTER_HELLOS: &str = "wire.router.hellos";
+
+/// `wire.router.byes` — BYE frames that removed a flow-table entry.
+pub(crate) const ROUTER_BYES: &str = "wire.router.byes";
+
+/// `wire.router.evictions` — flow-table entries evicted on idle timeout.
+pub(crate) const ROUTER_EVICTIONS: &str = "wire.router.evictions";
+
+/// `wire.router.unregistered_drops` — strict-mode drops of data from flows
+/// with no live flow-table entry.
+pub(crate) const ROUTER_UNREGISTERED: &str = "wire.router.unregistered_drops";
+
+/// `wire.router.flows` — current flow-table size (gauge).
+pub(crate) const ROUTER_FLOWS: &str = "wire.router.flows";
+
+/// `wire.src.retx_suppressed` — NACK retransmissions suppressed by the
+/// per-packet retry cap or the lifetime budget.
+pub(crate) const SRC_RETX_SUPPRESSED: &str = "wire.src.retx_suppressed";
+
+/// `wire.udp.send_drops` — UDP sends dropped on `WouldBlock`/refusal.
+pub(crate) const UDP_SEND_DROPS: &str = "wire.udp.send_drops";

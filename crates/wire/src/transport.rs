@@ -14,11 +14,33 @@
 //! * [`UdpTransport`] — a non-blocking [`std::net::UdpSocket`], used by
 //!   `pels live` over loopback (and by any real deployment).
 
+use crate::telemetry_names::UDP_SEND_DROPS;
+use pels_telemetry::Telemetry;
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Polls `ready` until it returns `true` or `timeout` elapses, sleeping
+/// `interval` between attempts. Returns whether `ready` succeeded.
+///
+/// This is the deadline-based wait the UDP tests use instead of fixed
+/// retry counts: the deadline is wall-clock, so a slow machine gets the
+/// full timeout rather than `N × interval` worth of scheduler luck.
+pub fn wait_for(timeout: Duration, interval: Duration, mut ready: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if ready() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(interval);
+    }
+}
 
 /// Unreliable datagram I/O, addressed by socket address.
 ///
@@ -69,6 +91,7 @@ type Queues = HashMap<SocketAddr, VecDeque<(SocketAddr, Vec<u8>)>>;
 pub struct MemHub {
     queues: Arc<Mutex<Queues>>,
     dropped: Arc<AtomicU64>,
+    truncated: Arc<AtomicU64>,
     /// Recycled datagram buffers: `try_recv` returns each delivered
     /// buffer here and `send_to` refills from it, so steady-state
     /// traffic allocates nothing per datagram.
@@ -94,6 +117,13 @@ impl MemHub {
     /// Datagrams sent to addresses with no registered endpoint.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams clipped because a receiver's buffer was smaller than the
+    /// datagram — each one reached the codec as a counted, detectable
+    /// truncation instead of a silent mystery.
+    pub fn truncated(&self) -> u64 {
+        self.truncated.load(Ordering::Relaxed)
     }
 }
 
@@ -135,8 +165,14 @@ impl Transport for MemTransport {
             let Some(entry) = q.pop_front() else { return Ok(None) };
             entry
         };
-        // Like recvfrom: a too-small buffer truncates the datagram.
+        // Like recvfrom: a too-small buffer truncates the datagram — but
+        // unlike recvfrom, the clip is counted so a missized receive
+        // buffer shows up in stats instead of as unexplained decode
+        // rejects downstream.
         let n = datagram.len().min(buf.len());
+        if datagram.len() > buf.len() {
+            self.hub.truncated.fetch_add(1, Ordering::Relaxed);
+        }
         buf[..n].copy_from_slice(&datagram[..n]);
         let mut pool = self.hub.pool.lock().expect("pool lock");
         if pool.len() < POOL_LIMIT {
@@ -151,6 +187,10 @@ impl Transport for MemTransport {
 pub struct UdpTransport {
     socket: UdpSocket,
     addr: SocketAddr,
+    /// Sends the socket swallowed (full buffer, refused peer) — the UDP
+    /// analogue of [`MemHub::dropped`].
+    send_drops: Arc<AtomicU64>,
+    telemetry: Telemetry,
 }
 
 impl UdpTransport {
@@ -164,7 +204,34 @@ impl UdpTransport {
         let socket = UdpSocket::bind(addr)?;
         socket.set_nonblocking(true)?;
         let addr = socket.local_addr()?;
-        Ok(UdpTransport { socket, addr })
+        Ok(UdpTransport {
+            socket,
+            addr,
+            send_drops: Arc::new(AtomicU64::new(0)),
+            telemetry: Telemetry::disabled(),
+        })
+    }
+
+    /// Attaches a telemetry handle; swallowed sends count into
+    /// `wire.udp.send_drops`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Shared handle to the swallowed-send counter; clone before moving
+    /// the transport into an agent.
+    pub fn send_drops_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.send_drops)
+    }
+
+    /// Sends swallowed so far on `WouldBlock`/`ConnectionRefused`.
+    pub fn send_drops(&self) -> u64 {
+        self.send_drops.load(Ordering::Relaxed)
+    }
+
+    fn count_send_drop(&self) {
+        self.send_drops.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter_add(UDP_SEND_DROPS, 1);
     }
 }
 
@@ -177,11 +244,18 @@ impl Transport for UdpTransport {
         match self.socket.send_to(buf, to) {
             Ok(_) => Ok(()),
             // A full socket buffer drops the datagram — UDP semantics, not
-            // an error the pacing loop should die on.
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            // an error the pacing loop should die on. Counted, so bursts
+            // the kernel swallowed are visible in stats.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                self.count_send_drop();
+                Ok(())
+            }
             // Loopback can surface a peer's closed port as ECONNREFUSED on
             // the *next* send; the peer being gone is still just loss.
-            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+                self.count_send_drop();
+                Ok(())
+            }
             Err(e) => Err(e),
         }
     }
@@ -230,7 +304,7 @@ mod tests {
     }
 
     #[test]
-    fn mem_hub_truncates_into_small_buffers() {
+    fn mem_hub_truncates_into_small_buffers_and_counts_it() {
         let hub = MemHub::new();
         let a = hub.endpoint(addr(1));
         let b = hub.endpoint(addr(2));
@@ -238,6 +312,11 @@ mod tests {
         let mut buf = [0u8; 10];
         let (n, _) = b.try_recv(&mut buf).unwrap().unwrap();
         assert_eq!(n, 10);
+        assert_eq!(hub.truncated(), 1);
+        // An exact-fit receive is not a truncation.
+        a.send_to(&[7u8; 10], b.local_addr()).unwrap();
+        b.try_recv(&mut buf).unwrap().unwrap();
+        assert_eq!(hub.truncated(), 1);
     }
 
     #[test]
@@ -246,15 +325,37 @@ mod tests {
         let b = UdpTransport::bind(addr(0)).unwrap();
         a.send_to(b"ping", b.local_addr()).unwrap();
         let mut buf = [0u8; 16];
-        // Loopback delivery is fast but asynchronous: poll briefly.
-        for _ in 0..200 {
-            if let Some((n, from)) = b.try_recv(&mut buf).unwrap() {
-                assert_eq!(&buf[..n], b"ping");
-                assert_eq!(from, a.local_addr());
-                return;
+        // Loopback delivery is fast but asynchronous: wait on a deadline.
+        let arrived = wait_for(Duration::from_secs(5), Duration::from_millis(1), || {
+            match b.try_recv(&mut buf).unwrap() {
+                Some((n, from)) => {
+                    assert_eq!(&buf[..n], b"ping");
+                    assert_eq!(from, a.local_addr());
+                    true
+                }
+                None => false,
             }
-            std::thread::sleep(std::time::Duration::from_millis(1));
-        }
-        panic!("datagram never arrived on loopback");
+        });
+        assert!(arrived, "datagram never arrived on loopback");
+        assert_eq!(a.send_drops(), 0);
+    }
+
+    #[test]
+    fn udp_send_to_dead_peer_is_loss_not_error() {
+        let a = UdpTransport::bind(addr(0)).unwrap();
+        let dead = {
+            let tmp = UdpTransport::bind(addr(0)).unwrap();
+            tmp.local_addr()
+        };
+        // Whether loopback surfaces the closed port as ECONNREFUSED is
+        // kernel- and timing-dependent; the contract under test is that a
+        // refusal is *counted loss*, never an `Err` that kills a pacing
+        // loop. Give the kernel a brief window to deliver the ICMP error.
+        wait_for(Duration::from_millis(200), Duration::from_millis(1), || {
+            a.send_to(b"to nobody", dead).unwrap();
+            a.send_drops() > 0
+        });
+        let handle = a.send_drops_handle();
+        assert_eq!(handle.load(Ordering::Relaxed), a.send_drops());
     }
 }
