@@ -48,6 +48,28 @@ timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
 cmp "$serial_json" "$parallel_json" || {
   echo "parallel report diverges from serial report" >&2; exit 1; }
 
+echo "== topo generator property tests =="
+cargo test -q -p pels-topo
+
+echo "== topo scenario smoke (fat-tree + random graph, workers 2) =="
+# Short multi-bottleneck runs on the sharded engine; results CSVs go to
+# the scratch dir so the checked-in 30 s artifacts stay untouched.
+PELS_RESULTS_DIR="$bench_dir" timeout 300 cargo run --release -q -p pels-cli --bin pels -- \
+  run --topology fattree:k=4,flows=8,seed=1 --duration 5 --workers 2 --json \
+  > "$bench_dir/topo_ft.json"
+PELS_RESULTS_DIR="$bench_dir" timeout 300 cargo run --release -q -p pels-cli --bin pels -- \
+  run --topology waxman:routers=16,flows=8,seed=1 --duration 5 --workers 2 --json \
+  > "$bench_dir/topo_wx_w2.json"
+
+echo "== topo determinism gate (generated graph, workers 1 vs 2) =="
+# Same spec, different thread-pool size: the partition fixes the schedule,
+# so the reports must be byte-identical (DESIGN.md §12/§14).
+PELS_RESULTS_DIR="$bench_dir" timeout 300 cargo run --release -q -p pels-cli --bin pels -- \
+  run --topology waxman:routers=16,flows=8,seed=1 --duration 5 --workers 1 --json \
+  > "$bench_dir/topo_wx_w1.json"
+cmp "$bench_dir/topo_wx_w1.json" "$bench_dir/topo_wx_w2.json" || {
+  echo "topo report diverges across worker counts" >&2; exit 1; }
+
 echo "== cargo clippy (all targets, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

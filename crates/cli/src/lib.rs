@@ -5,10 +5,13 @@
 //! ```text
 //! pels run   [--flows N] [--duration SECS] [--mode pels|besteffort|fifo]
 //!            [--seed S] [--workers N] [--config FILE.json]
+//!            [--topo-spec FILE.json | --topology fattree:k=4,...]
 //!            [--telemetry FILE.jsonl] [--json]
 //! pels sweep --flows-list 1,2,4,8 [--duration SECS] [--workers N]
-//!            [--topology proportional|fixed|wideband] [--json]
-//! pels bench [--counts 1,8,64] [--workers 1,8] [--topology chained|shared]
+//!            [--topology proportional|fixed|wideband|SHORTHAND]
+//!            [--topo-spec FILE.json] [--json]
+//! pels bench [--counts 1,8,64] [--workers 1,8]
+//!            [--topology chained|shared|fattree|random]
 //!            [--duration SECS] [--short] [--check FILE]
 //! pels model --p LOSS --h PACKETS        # Section 3 closed forms
 //! pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]
@@ -52,6 +55,35 @@ pub enum Command {
         telemetry: Option<String>,
         /// Worker threads for the parallel engine (results are identical
         /// at every value; this only sizes the thread pool).
+        workers: usize,
+    },
+    /// Run a generated multi-bottleneck topology ([`pels_topo`]) on the
+    /// sharded engine and report per-bottleneck max-min validation.
+    RunTopo {
+        /// Parsed topology spec (from `--topo-spec FILE.json` or a
+        /// `--topology family:key=value,...` shorthand).
+        spec: Box<pels_topo::spec::TopoSpec>,
+        /// Simulated seconds.
+        duration_s: f64,
+        /// Emit the report as JSON instead of text.
+        json: bool,
+        /// Write telemetry snapshots (JSON lines) to this path.
+        telemetry: Option<String>,
+        /// Worker threads for the sharded engine (results are identical
+        /// at every value; this only sizes the thread pool).
+        workers: usize,
+    },
+    /// Sweep flow counts over one generated topology family.
+    SweepTopo {
+        /// Flow counts to run.
+        counts: Vec<usize>,
+        /// The base spec; each count overrides `flows`.
+        spec: Box<pels_topo::spec::TopoSpec>,
+        /// Simulated seconds per run.
+        duration_s: f64,
+        /// Emit JSON reports.
+        json: bool,
+        /// Worker threads for the sharded engine.
         workers: usize,
     },
     /// Evaluate the Section 3 closed forms.
@@ -228,6 +260,63 @@ fn default_workers() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Loads a [`pels_topo::spec::TopoSpec`] from `--topo-spec FILE.json` or a
+/// `--topology family:key=value,...` shorthand, applying a `--seed`
+/// override when given.
+fn parse_topo_spec(
+    map: &HashMap<String, String>,
+) -> Result<pels_topo::spec::TopoSpec, ParseArgsError> {
+    use pels_topo::spec::TopoSpec;
+    let mut spec = match (map.get("topo-spec"), map.get("topology")) {
+        (Some(_), Some(_)) => {
+            return Err(ParseArgsError("--topo-spec and --topology are mutually exclusive".into()))
+        }
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ParseArgsError(format!("cannot read {path}: {e}")))?;
+            TopoSpec::from_json(&text)
+                .map_err(|e| ParseArgsError(format!("bad topo spec {path}: {e}")))?
+        }
+        (None, Some(s)) => TopoSpec::from_shorthand(s)
+            .map_err(|e| ParseArgsError(format!("bad --topology `{s}`: {e}")))?,
+        (None, None) => unreachable!("caller checked for one of the flags"),
+    };
+    if let Some(seed) = map.get("seed") {
+        let parsed = seed
+            .parse()
+            .map_err(|_| ParseArgsError(format!("invalid value for --seed: `{seed}`")))?;
+        spec.seed = Some(parsed);
+    }
+    Ok(spec)
+}
+
+/// Parses `run --topo-spec`/`run --topology` into [`Command::RunTopo`].
+fn parse_run_topo(map: &HashMap<String, String>) -> Result<Command, ParseArgsError> {
+    for bad in ["config", "mode", "flows"] {
+        if map.contains_key(bad) {
+            return Err(ParseArgsError(format!(
+                "--{bad} does not apply to generated topologies (encode flows in the spec)"
+            )));
+        }
+    }
+    let spec = parse_topo_spec(map)?;
+    let duration_s: f64 = get_parsed(map, "duration", 30.0)?;
+    if !duration_s.is_finite() || duration_s <= 0.0 {
+        return Err(ParseArgsError("--duration must be positive".into()));
+    }
+    let workers: usize = get_parsed(map, "workers", default_workers())?;
+    if workers == 0 {
+        return Err(ParseArgsError("--workers must be at least 1".into()));
+    }
+    Ok(Command::RunTopo {
+        spec: Box::new(spec),
+        duration_s,
+        json: map.contains_key("json"),
+        telemetry: map.get("telemetry").cloned(),
+        workers,
+    })
+}
+
 /// Parses a command line (without the program name).
 ///
 /// # Errors
@@ -241,6 +330,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
     match cmd.as_str() {
         "run" => {
             let map = flag_map(rest)?;
+            if map.contains_key("topo-spec") || map.contains_key("topology") {
+                return parse_run_topo(&map);
+            }
             let mut config = if let Some(path) = map.get("config") {
                 let text = std::fs::read_to_string(path)
                     .map_err(|e| ParseArgsError(format!("cannot read {path}: {e}")))?;
@@ -317,14 +409,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
             if !duration_s.is_finite() || duration_s <= 0.0 {
                 return Err(ParseArgsError("--duration must be positive".into()));
             }
-            let topology = match map.get("topology") {
-                None => SweepTopology::Proportional,
-                Some(v) => v.parse().map_err(ParseArgsError)?,
-            };
             let workers: usize = get_parsed(&map, "workers", default_workers())?;
             if workers == 0 {
                 return Err(ParseArgsError("--workers must be at least 1".into()));
             }
+            // A generated-topology sweep: `--topo-spec FILE.json`, or a
+            // `--topology` value in shorthand form (`family:key=value`).
+            let shorthand =
+                map.get("topology").is_some_and(|v| pels_topo::spec::TopoSpec::is_shorthand(v));
+            if map.contains_key("topo-spec") || shorthand {
+                let spec = parse_topo_spec(&map)?;
+                return Ok(Command::SweepTopo {
+                    counts,
+                    spec: Box::new(spec),
+                    duration_s,
+                    json: map.contains_key("json"),
+                    workers,
+                });
+            }
+            let topology = match map.get("topology") {
+                None => SweepTopology::Proportional,
+                Some(v) => v.parse().map_err(ParseArgsError)?,
+            };
             Ok(Command::Sweep {
                 counts,
                 duration_s,
@@ -821,6 +927,107 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             }
             Ok(())
         }
+        Command::RunTopo { spec, duration_s, json, telemetry, workers } => {
+            use pels_topo::scenario::{to_csv, TopoScenario};
+            let tel = open_telemetry(telemetry.as_deref())?;
+            let mut s = TopoScenario::try_build(*spec).map_err(|e| e.to_string())?;
+            s.set_workers(workers);
+            if tel.is_enabled() {
+                s.attach_telemetry(&tel);
+                let mut t = 0.0;
+                while t < duration_s {
+                    t = (t + 1.0).min(duration_s);
+                    s.run_until(SimTime::from_secs_f64(t));
+                    s.flush_telemetry(&tel);
+                }
+            } else {
+                s.run_until(SimTime::from_secs_f64(duration_s));
+            }
+            let report = s.report();
+            pels_bench::write_result(&format!("topo_{}.csv", report.family), &to_csv(&report));
+            if json {
+                let j = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                return w(out, j);
+            }
+            w(
+                out,
+                format!(
+                    "{} topology (seed {}): {} routers ({} AQM), {} hosts, \
+                     {} video flows, {} tcp",
+                    report.family,
+                    report.seed,
+                    report.n_routers,
+                    report.n_aqm,
+                    report.n_hosts,
+                    report.n_flows,
+                    report.n_tcp
+                ),
+            )?;
+            w(
+                out,
+                format!(
+                    "partition: {} shards, lookahead {} us, {} cut links",
+                    report.n_shards, report.lookahead_us, report.cut_links
+                ),
+            )?;
+            w(
+                out,
+                format!(
+                    "ran {duration_s} s: {} events, mean utility {:.4}, offset a/b {:.0} kb/s",
+                    report.events, report.mean_utility, report.offset_kbps
+                ),
+            )?;
+            for b in &report.bottlenecks {
+                w(
+                    out,
+                    format!(
+                        "  bottleneck {:>3}->{:<3} cap {:>7.0} kb/s  cbr {:>5.0}  \
+                         flows {:>3} (bound {:>3})  predicted {:>6.0}  measured {:>6.0}  \
+                         dev {:>5.1}%",
+                        b.router,
+                        b.next_hop,
+                        b.pels_capacity_kbps,
+                        b.cbr_load_kbps,
+                        b.n_video,
+                        b.n_bound,
+                        b.predicted_kbps,
+                        b.measured_kbps,
+                        b.deviation_pct
+                    ),
+                )?;
+            }
+            w(
+                out,
+                format!("max |deviation| across bottlenecks: {:.1}%", report.max_abs_deviation_pct),
+            )
+        }
+        Command::SweepTopo { counts, spec, duration_s, json, workers } => {
+            use pels_topo::scenario::TopoScenario;
+            let mut reports = Vec::with_capacity(counts.len());
+            for &n in &counts {
+                let mut s = spec.clone();
+                s.flows = Some(n);
+                let mut sc = TopoScenario::try_build(*s).map_err(|e| e.to_string())?;
+                sc.set_workers(workers);
+                sc.run_until(SimTime::from_secs_f64(duration_s));
+                reports.push(sc.report());
+            }
+            if json {
+                let j = serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())?;
+                return w(out, j);
+            }
+            for (n, r) in counts.iter().zip(&reports) {
+                w(
+                    out,
+                    format!(
+                        "{n:>4} flows on {}: {} routers, {} shards, utility {:.3}, \
+                         max bottleneck dev {:.1}%",
+                        r.family, r.n_routers, r.n_shards, r.mean_utility, r.max_abs_deviation_pct
+                    ),
+                )?;
+            }
+            Ok(())
+        }
         Command::Run { config, duration_s, json, telemetry, workers } => {
             let tel = open_telemetry(telemetry.as_deref())?;
             // The parallel engine: the partition is fixed by the topology,
@@ -885,11 +1092,14 @@ pub fn usage() -> String {
      USAGE:\n\
        pels run   [--flows N] [--duration SECS] [--mode pels|besteffort|fifo]\n\
                   [--seed S] [--workers N] [--config FILE.json]\n\
+                  [--topo-spec FILE.json | --topology fattree:k=4,flows=16]\n\
                   [--telemetry FILE.jsonl] [--json]\n\
        pels sweep [--flows-list 1,2,4,8] [--duration SECS] [--workers N]\n\
-                  [--topology proportional|fixed|wideband] [--json]\n\
+                  [--topology proportional|fixed|wideband|SHORTHAND]\n\
+                  [--topo-spec FILE.json] [--json]\n\
        pels bench [--counts 1,8,64,256,512,1024] [--workers 1,8]\n\
-                  [--topology chained|shared] [--duration SECS] [--short]\n\
+                  [--topology chained|shared|fattree|random]\n\
+                  [--duration SECS] [--short]\n\
                   [--check FILE]              # writes BENCH_scale.json\n\
        pels model --p LOSS --h PACKETS\n\
        pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]\n\
@@ -900,7 +1110,12 @@ pub fn usage() -> String {
        pels metrics FILE.jsonl                  # summarize a telemetry stream\n\
        pels trace [--frames N] [--cv CV] [--seed S]\n\
        pels config-template\n\
-       pels help"
+       pels help\n\
+     \n\
+     --workers N defaults to the machine's available parallelism (nproc);\n\
+     for `bench` the default sweep is `1,<nproc>` (just `1` on one core).\n\
+     Topology shorthands: parkinglot:segments=3,cross=1  fattree:k=4\n\
+     waxman:routers=16  — common keys flows, seed, tcp, budget (kb/s)."
         .to_string()
 }
 
@@ -1071,7 +1286,7 @@ mod tests {
         let mut buf = Vec::new();
         execute(cmd, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        assert!(text.contains("valid pels-bench-scale/2 report"), "{text}");
+        assert!(text.contains("valid pels-bench-scale/3 report"), "{text}");
 
         let bad = dir.join("bad.json");
         std::fs::write(&bad, "{}").unwrap();
@@ -1323,6 +1538,101 @@ mod tests {
         std::fs::write(&empty, "").unwrap();
         let cmd = parse_args(&args(&format!("metrics {}", empty.display()))).unwrap();
         assert!(execute(cmd, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn parses_topo_run_flags() {
+        let cmd = parse_args(&args("run --topology fattree:k=4,flows=8 --duration 5")).unwrap();
+        match cmd {
+            Command::RunTopo { spec, duration_s, json, .. } => {
+                assert_eq!(spec.generator.family(), "fattree");
+                assert_eq!(spec.flows(), 8);
+                assert_eq!(duration_s, 5.0);
+                assert!(!json);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --seed overrides the shorthand's (absent) seed.
+        let cmd = parse_args(&args("run --topology waxman:routers=12 --seed 9")).unwrap();
+        assert!(matches!(cmd, Command::RunTopo { ref spec, .. } if spec.seed() == 9));
+        // Dumbbell-only flags are rejected with the topo flags.
+        assert!(parse_args(&args("run --topology fattree:k=4 --flows 2")).is_err());
+        assert!(parse_args(&args("run --topology fattree:k=4 --mode fifo")).is_err());
+        assert!(parse_args(&args("run --topology nonsense:x=1")).is_err());
+        // Generator invariants (odd fat-tree arity) surface at build time.
+        let cmd = parse_args(&args("run --topology fattree:k=3 --duration 1")).unwrap();
+        assert!(execute(cmd, &mut Vec::new()).is_err());
+        assert!(parse_args(&args("run --topo-spec /nonexistent.json")).is_err());
+    }
+
+    #[test]
+    fn topo_spec_file_parses_and_conflicts_with_shorthand() {
+        let dir = std::env::temp_dir().join("pels_cli_topo_spec");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spec.json");
+        std::fs::write(&path, r#"{"generator": {"FatTree": {"k": 4}}, "flows": 6}"#).unwrap();
+        let cmd = parse_args(&args(&format!("run --topo-spec {}", path.display()))).unwrap();
+        match cmd {
+            Command::RunTopo { spec, .. } => {
+                assert_eq!(spec.generator.family(), "fattree");
+                assert_eq!(spec.flows(), 6);
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = parse_args(&args(&format!(
+            "run --topo-spec {} --topology fattree:k=4",
+            path.display()
+        )))
+        .unwrap_err();
+        assert!(err.0.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn topo_run_executes_and_writes_the_results_csv() {
+        let dir = std::env::temp_dir().join("pels_cli_topo_run");
+        std::env::set_var("PELS_RESULTS_DIR", &dir);
+        let cmd = parse_args(&args(
+            "run --topology parkinglot:segments=2,cross=1,flows=3 --duration 2 --json",
+        ))
+        .unwrap();
+        let mut buf = Vec::new();
+        let res = execute(cmd, &mut buf);
+        std::env::remove_var("PELS_RESULTS_DIR");
+        res.unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&buf).unwrap();
+        assert_eq!(v["family"].as_str(), Some("parkinglot"));
+        assert_eq!(v["bottlenecks"].as_array().unwrap().len(), 2);
+        let csv = std::fs::read_to_string(dir.join("topo_parkinglot.csv")).unwrap();
+        assert!(csv.lines().count() >= 3, "header + one line per bottleneck: {csv}");
+        assert!(csv.starts_with("family,seed,"), "{csv}");
+    }
+
+    #[test]
+    fn topo_sweep_parses_and_runs() {
+        let cmd =
+            parse_args(&args("sweep --flows-list 1,2 --topology waxman:routers=8 --duration 1"))
+                .unwrap();
+        assert!(matches!(cmd, Command::SweepTopo { ref counts, .. } if counts == &vec![1, 2]));
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("1 flows on waxman"), "{text}");
+        assert!(text.contains("2 flows on waxman"), "{text}");
+        assert!(text.contains("max bottleneck dev"), "{text}");
+    }
+
+    #[test]
+    fn bench_accepts_generated_families() {
+        let cmd = parse_args(&args("bench --topology fattree --counts 2")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Bench { topology: pels_bench::scalebench::ScaleTopology::FatTree, .. }
+        ));
+        let cmd = parse_args(&args("bench --topology random --counts 2")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Bench { topology: pels_bench::scalebench::ScaleTopology::Random, .. }
+        ));
     }
 
     #[test]

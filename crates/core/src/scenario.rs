@@ -335,6 +335,7 @@ fn push_dumbbell(
             flow: FlowId(flow_ids[i]),
             dst: rcv_id(i),
             start_at: spec.start_at,
+            stop_at: None,
             trace: cfg.trace.clone(),
             cc: spec.cc,
             gamma: spec.gamma,

@@ -206,6 +206,11 @@ pub struct SourceConfig {
     pub dst: AgentId,
     /// When the flow starts, relative to simulation start.
     pub start_at: SimDuration,
+    /// Optional departure time (absolute simulation time): the source stops
+    /// emitting frames once the frame clock reaches it (flash-crowd
+    /// departure schedules). `None` streams forever. Note the video trace
+    /// loops, so trimming the trace cannot end a flow — only this can.
+    pub stop_at: Option<pels_netsim::time::SimTime>,
     /// The video being streamed (looped).
     pub trace: VideoTrace,
     /// Congestion controller and its gains.
@@ -435,6 +440,12 @@ impl PelsSource {
         // deadline; drop them rather than let the backlog snowball.
         self.abandoned_packets += self.pending.len() as u64;
         self.pending.clear();
+
+        // Departure: past `stop_at` the flow is gone — stop the frame clock
+        // (and with it all emission) instead of rescheduling.
+        if self.cfg.stop_at.is_some_and(|t| ctx.now >= t) {
+            return;
+        }
 
         let interval = SimDuration::from_secs_f64(self.cfg.trace.frame_interval_secs());
         if self.starved {
@@ -808,6 +819,7 @@ mod tests {
             flow: FlowId(1),
             dst,
             start_at: SimDuration::ZERO,
+            stop_at: None,
             trace: VideoTrace::constant(30, 10.0, 1_600, 10_000),
             cc: CcSpec::default(),
             gamma: GammaConfig::default(),

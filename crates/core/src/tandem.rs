@@ -167,6 +167,7 @@ impl Tandem {
                 flow: FlowId(i as u32),
                 dst: rcv_id(i),
                 start_at: SimDuration::ZERO,
+                stop_at: None,
                 trace: cfg.trace.clone(),
                 cc: CcSpec::default(),
                 gamma: GammaConfig::default(),

@@ -1,0 +1,413 @@
+//! Generated scenarios on the sharded engine, with the multi-bottleneck
+//! validation report.
+//!
+//! [`TopoScenario`] is the off-dumbbell sibling of
+//! [`pels_core::parallel::ParallelScenario`]: it generates a topology from a
+//! [`TopoSpec`], compiles it, partitions the link graph with
+//! [`Partition::auto`], and drives the shards. The partition is a pure
+//! function of the generated graph, so a run's results are byte-identical
+//! at every `--workers` value. [`TopoScenario::report`] compares every
+//! bottleneck's measured stationary rates against the max-min + `α/β`
+//! reference ([`crate::maxmin`]).
+
+use crate::gen::generate;
+use crate::maxmin::{self, Prediction};
+use crate::model::{compile, Bottleneck, TopoIds, TopoModel};
+use crate::spec::TopoSpec;
+use pels_core::mkc::MkcConfig;
+use pels_core::receiver::PelsReceiver;
+use pels_core::router::AqmRouter;
+use pels_core::source::PelsSource;
+use pels_core::SimError;
+use pels_netsim::shard::{Partition, ShardedSimulator};
+use pels_netsim::tcp::TcpSink;
+use pels_netsim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One bottleneck's predicted-vs-measured row in a [`TopoReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BottleneckRow {
+    /// Router owning the AQM egress (model index).
+    pub router: usize,
+    /// Designated next hop (model index).
+    pub next_hop: usize,
+    /// PELS share of the link rate, kb/s.
+    pub pels_capacity_kbps: f64,
+    /// Steady PELS-class CBR crossing it, kb/s.
+    pub cbr_load_kbps: f64,
+    /// Video flows crossing it that are active at the horizon.
+    pub n_video: usize,
+    /// Of those, flows whose max-min share binds here.
+    pub n_bound: usize,
+    /// Water-filling + `α/β` prediction for bound flows, kb/s.
+    pub predicted_kbps: f64,
+    /// Mean measured stationary rate of bound flows, kb/s (0 when none).
+    pub measured_kbps: f64,
+    /// `|measured − predicted| / predicted`, percent (0 when none bound).
+    pub deviation_pct: f64,
+}
+
+/// The serializable summary of a topo run. Byte-identical across worker
+/// counts for a fixed spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopoReport {
+    /// Generator family (`parkinglot` / `fattree` / `waxman`).
+    pub family: String,
+    /// Spec seed.
+    pub seed: u64,
+    /// Router count.
+    pub n_routers: usize,
+    /// Routers carrying a designated AQM egress.
+    pub n_aqm: usize,
+    /// Endpoint host count.
+    pub n_hosts: usize,
+    /// Video flow count (including departed ones).
+    pub n_flows: usize,
+    /// TCP cross-flow count.
+    pub n_tcp: usize,
+    /// Shards the partitioner produced.
+    pub n_shards: usize,
+    /// Conservative window, microseconds (0 for component partitions).
+    pub lookahead_us: u64,
+    /// Links crossing a shard boundary (cut quality; lower is better).
+    pub cut_links: usize,
+    /// Simulated horizon, seconds.
+    pub duration_s: f64,
+    /// Events processed across all shards.
+    pub events: u64,
+    /// Mean decode utility across receivers (paper Eq. 3).
+    pub mean_utility: f64,
+    /// Total in-order TCP packets delivered.
+    pub tcp_delivered: u64,
+    /// The MKC offset `α/β`, kb/s.
+    pub offset_kbps: f64,
+    /// Per-bottleneck validation rows, sorted by (router, next hop).
+    pub bottlenecks: Vec<BottleneckRow>,
+    /// Largest `deviation_pct` over bottlenecks with bound flows.
+    pub max_abs_deviation_pct: f64,
+}
+
+/// A generated topology running on the sharded engine.
+pub struct TopoScenario {
+    /// The underlying sharded simulator.
+    pub sim: ShardedSimulator,
+    spec: TopoSpec,
+    model: TopoModel,
+    ids: TopoIds,
+    bottlenecks: Vec<Bottleneck>,
+    cut_links: usize,
+}
+
+impl TopoScenario {
+    /// Generates, compiles, partitions, and instantiates the spec.
+    pub fn try_build(spec: TopoSpec) -> Result<Self, SimError> {
+        let model = generate(&spec)?;
+        Self::try_from_model(model, spec)
+    }
+
+    /// Instantiates an already-generated model (used by tests that tweak a
+    /// model before running it).
+    pub fn try_from_model(model: TopoModel, spec: TopoSpec) -> Result<Self, SimError> {
+        let compiled = compile(&model, &spec)?;
+        let partition = Partition::auto(&compiled.graph);
+        let cut_links = cut_link_count(&model, &partition);
+        let sim = ShardedSimulator::new(spec.seed(), &partition, compiled.agents);
+        Ok(TopoScenario {
+            sim,
+            spec,
+            model,
+            ids: compiled.ids,
+            bottlenecks: compiled.bottlenecks,
+            cut_links,
+        })
+    }
+
+    /// Panicking variant of [`TopoScenario::try_build`].
+    pub fn build(spec: TopoSpec) -> Self {
+        Self::try_build(spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Sets the worker thread count (wall clock only; results are fixed by
+    /// the partition).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.sim.set_workers(workers);
+    }
+
+    /// Runs until simulated time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    /// Runs for `d` more simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    /// The generated model.
+    pub fn model(&self) -> &TopoModel {
+        &self.model
+    }
+
+    /// The spec the scenario was built from.
+    pub fn spec(&self) -> &TopoSpec {
+        &self.spec
+    }
+
+    /// The bottleneck table.
+    pub fn bottlenecks(&self) -> &[Bottleneck] {
+        &self.bottlenecks
+    }
+
+    /// Shards the topology was split into.
+    pub fn n_shards(&self) -> usize {
+        self.sim.n_shards()
+    }
+
+    /// The conservative window size, if this partition windows.
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        self.sim.lookahead()
+    }
+
+    /// Links crossing shard boundaries.
+    pub fn cut_links(&self) -> usize {
+        self.cut_links
+    }
+
+    /// High-water mark of the deepest single shard's event queue.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.sim.peak_queue_depth()
+    }
+
+    /// Base-layer (green) drops summed over every designated AQM egress.
+    pub fn green_drops(&self) -> u64 {
+        self.ids
+            .aqm_routers
+            .iter()
+            .map(|&id| self.sim.agent::<AqmRouter>(id).port(0).stats.drops_by_class[0])
+            .sum()
+    }
+
+    /// Video flows starved by the degradation policy.
+    pub fn starved_flows(&self) -> usize {
+        self.ids.sources.iter().filter(|&&id| self.sim.agent::<PelsSource>(id).is_starved()).count()
+    }
+
+    /// Mean measured source rate across video flows, kb/s.
+    pub fn mean_rate_kbps(&self) -> f64 {
+        if self.ids.sources.is_empty() {
+            return 0.0;
+        }
+        self.ids
+            .sources
+            .iter()
+            .map(|&id| self.sim.agent::<PelsSource>(id).rate_bps() / 1e3)
+            .sum::<f64>()
+            / self.ids.sources.len() as f64
+    }
+
+    /// Attaches a telemetry handle to every instrumented agent.
+    pub fn attach_telemetry(&mut self, telemetry: &pels_telemetry::Telemetry) {
+        for &id in &self.ids.aqm_routers {
+            self.sim.agent_mut::<AqmRouter>(id).set_telemetry(telemetry.clone());
+        }
+        for &id in &self.ids.sources {
+            self.sim.agent_mut::<PelsSource>(id).set_telemetry(telemetry.clone());
+        }
+        for &id in &self.ids.receivers {
+            self.sim.agent_mut::<PelsReceiver>(id).set_telemetry(telemetry.clone());
+        }
+    }
+
+    /// Scrapes engine-level gauges and flushes the registry.
+    pub fn flush_telemetry(&self, telemetry: &pels_telemetry::Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        telemetry.gauge_set("sim.events", self.sim.events_processed() as f64);
+        let queued: usize = self
+            .ids
+            .aqm_routers
+            .iter()
+            .map(|&r| self.sim.agent::<AqmRouter>(r).port(0).discipline().len_packets())
+            .sum();
+        telemetry.gauge_set("sim.router.queue_pkts", queued as f64);
+        telemetry.flush(self.sim.now().as_secs_f64());
+    }
+
+    /// The max-min + offset prediction at the current horizon.
+    pub fn prediction(&self) -> Prediction {
+        let horizon = self.sim.now() - SimTime::ZERO;
+        maxmin::predict(&self.model, &self.spec, &self.bottlenecks, horizon, &MkcConfig::default())
+    }
+
+    /// Summarizes the run: engine stats plus the per-bottleneck
+    /// predicted-vs-measured table.
+    pub fn report(&self) -> TopoReport {
+        let horizon = self.sim.now() - SimTime::ZERO;
+        let prediction = self.prediction();
+        let n_video = self.ids.sources.len();
+        let measured_kbps: Vec<f64> = (0..n_video)
+            .map(|v| self.sim.agent::<PelsSource>(self.ids.sources[v]).rate_bps() / 1e3)
+            .collect();
+
+        let mut rows = Vec::with_capacity(self.bottlenecks.len());
+        let mut max_dev = 0.0f64;
+        for (bi, bn) in self.bottlenecks.iter().enumerate() {
+            let active: Vec<usize> = bn
+                .video_flows
+                .iter()
+                .copied()
+                .filter(|&v| maxmin::active_at(&self.model, v, horizon))
+                .collect();
+            let bound: Vec<usize> =
+                active.iter().copied().filter(|&v| prediction.bound_at[v] == Some(bi)).collect();
+            let predicted = bound.first().and_then(|&v| prediction.flow_kbps[v]).unwrap_or(0.0);
+            let measured = if bound.is_empty() {
+                0.0
+            } else {
+                bound.iter().map(|&v| measured_kbps[v]).sum::<f64>() / bound.len() as f64
+            };
+            let deviation_pct = if bound.is_empty() || predicted <= 0.0 {
+                0.0
+            } else {
+                (measured - predicted).abs() / predicted * 100.0
+            };
+            if !bound.is_empty() {
+                max_dev = max_dev.max(deviation_pct);
+            }
+            rows.push(BottleneckRow {
+                router: bn.router,
+                next_hop: bn.next_hop,
+                pels_capacity_kbps: bn.pels_capacity.as_kbps(),
+                cbr_load_kbps: bn.cbr_load_bps / 1e3,
+                n_video: active.len(),
+                n_bound: bound.len(),
+                predicted_kbps: predicted,
+                measured_kbps: measured,
+                deviation_pct,
+            });
+        }
+
+        let mean_utility = if self.ids.receivers.is_empty() {
+            0.0
+        } else {
+            self.ids
+                .receivers
+                .iter()
+                .map(|&id| self.sim.agent::<PelsReceiver>(id).utility().utility())
+                .sum::<f64>()
+                / self.ids.receivers.len() as f64
+        };
+        let tcp_delivered =
+            self.ids.tcp_sinks.iter().map(|&id| self.sim.agent::<TcpSink>(id).delivered()).sum();
+
+        TopoReport {
+            family: self.model.family.clone(),
+            seed: self.spec.seed(),
+            n_routers: self.model.n_routers,
+            n_aqm: self.ids.aqm_routers.len(),
+            n_hosts: self.model.hosts.len(),
+            n_flows: n_video,
+            n_tcp: self.ids.tcp_sources.len(),
+            n_shards: self.sim.n_shards(),
+            lookahead_us: self
+                .sim
+                .lookahead()
+                .map_or(0, |d| (d.as_secs_f64() * 1e6).round() as u64),
+            cut_links: self.cut_links,
+            duration_s: horizon.as_secs_f64(),
+            events: self.sim.events_processed(),
+            mean_utility,
+            tcp_delivered,
+            offset_kbps: prediction.offset_kbps,
+            bottlenecks: rows,
+            max_abs_deviation_pct: max_dev,
+        }
+    }
+}
+
+/// Renders a [`TopoReport`] as CSV: one line per designated bottleneck,
+/// each carrying the run context (the `results/topo_*.csv` artifacts).
+pub fn to_csv(report: &TopoReport) -> String {
+    let mut out = String::from(
+        "family,seed,duration_s,n_shards,router,next_hop,capacity_kbps,cbr_kbps,\
+         n_video,n_bound,predicted_kbps,measured_kbps,deviation_pct\n",
+    );
+    for b in &report.bottlenecks {
+        out.push_str(&format!(
+            "{},{},{:.1},{},{},{},{:.1},{:.1},{},{},{:.1},{:.1},{:.2}\n",
+            report.family,
+            report.seed,
+            report.duration_s,
+            report.n_shards,
+            b.router,
+            b.next_hop,
+            b.pels_capacity_kbps,
+            b.cbr_load_kbps,
+            b.n_video,
+            b.n_bound,
+            b.predicted_kbps,
+            b.measured_kbps,
+            b.deviation_pct
+        ));
+    }
+    out
+}
+
+/// Counts topology links (router-router and host access) whose endpoints
+/// land in different shards — the partitioner's cut quality.
+fn cut_link_count(model: &TopoModel, partition: &Partition) -> usize {
+    let shard = |agent: usize| partition.shard_of[agent];
+    let mut cut = 0;
+    for l in &model.links {
+        if shard(l.a) != shard(l.b) {
+            cut += 1;
+        }
+    }
+    for (h, host) in model.hosts.iter().enumerate() {
+        if shard(model.n_routers + h) != shard(host.router) {
+            cut += 1;
+        }
+    }
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parking_lot_runs_and_validates() {
+        let spec = TopoSpec::from_shorthand("parkinglot:segments=2,cross=1,flows=3").unwrap();
+        let mut sc = TopoScenario::build(spec);
+        // Leftover-capacity flows converge slowly (low loop gain when the
+        // bottleneck price is small), so validate at a long horizon.
+        sc.run_until(SimTime::from_secs_f64(30.0));
+        let report = sc.report();
+        assert_eq!(report.family, "parkinglot");
+        assert_eq!(report.bottlenecks.len(), 2);
+        assert!(report.events > 0);
+        // Every bottleneck binds someone: 2 segments, long + cross flows.
+        assert!(report.bottlenecks.iter().all(|b| b.n_video > 0));
+        assert!(
+            report.max_abs_deviation_pct < 15.0,
+            "stationary rates should track the max-min + offset reference, got {:#?}",
+            report.bottlenecks
+        );
+    }
+
+    #[test]
+    fn fat_tree_end_to_end_byte_identical_across_workers() {
+        let spec = TopoSpec::from_shorthand("fattree:k=4,flows=8,seed=3").unwrap();
+        let reports: Vec<String> = [1usize, 2]
+            .iter()
+            .map(|&w| {
+                let mut sc = TopoScenario::build(spec.clone());
+                sc.set_workers(w);
+                sc.run_until(SimTime::from_secs_f64(5.0));
+                serde_json::to_string(&sc.report()).unwrap()
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1]);
+    }
+}

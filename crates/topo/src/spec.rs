@@ -1,0 +1,296 @@
+//! The declarative topology specification.
+//!
+//! A [`TopoSpec`] is the JSON surface of the subsystem: generator family and
+//! shape, seed, flow count, cross-traffic composition. Optional knobs are
+//! `Option<_>` with accessor methods supplying defaults, so hand-written
+//! spec files can stay minimal. The same spec is also expressible as a CLI
+//! shorthand, e.g. `fattree:k=4,flows=16` or
+//! `waxman:routers=24,flows=16,seed=7` (see [`TopoSpec::from_shorthand`]).
+
+use pels_core::router::AqmConfig;
+use pels_core::SimError;
+use pels_netsim::error::invalid_config;
+use serde::{Deserialize, Serialize};
+
+/// Which generator family builds the topology, and its shape parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum GeneratorSpec {
+    /// A parking-lot chain: `segments` AQM routers in tandem, long flows
+    /// crossing every segment plus per-segment cross flows.
+    ParkingLot {
+        /// Number of tandem AQM segments.
+        segments: usize,
+        /// Cross video flows entering and leaving at each segment
+        /// (default 2).
+        cross_per_segment: Option<usize>,
+    },
+    /// A k-ary fat-tree (k even, ≥ 4): `(k/2)²` cores, `k` pods of `k/2`
+    /// aggregation and `k/2` edge switches; flows cross pods through
+    /// designated edge→agg→core uplinks.
+    FatTree {
+        /// Switch arity (even, ≥ 4). Supports up to `k³/8` flows.
+        k: usize,
+    },
+    /// An ISP-like Waxman random graph: routers at seeded plane positions,
+    /// edge probability `alpha·exp(−d/(beta·√2))` over a random spanning
+    /// tree, heterogeneous link speeds/delays/buffers.
+    Waxman {
+        /// Number of routers.
+        routers: usize,
+        /// Waxman `α` (overall edge density; default 0.4).
+        alpha: Option<f64>,
+        /// Waxman `β` (long-edge likelihood; default 0.14).
+        beta: Option<f64>,
+    },
+}
+
+impl GeneratorSpec {
+    /// Short family name used in reports and artifact names.
+    pub fn family(&self) -> &'static str {
+        match self {
+            GeneratorSpec::ParkingLot { .. } => "parkinglot",
+            GeneratorSpec::FatTree { .. } => "fattree",
+            GeneratorSpec::Waxman { .. } => "waxman",
+        }
+    }
+}
+
+/// A Poisson CBR burst schedule: `bursts` sources of PELS-class (yellow)
+/// background traffic aimed at designated bottleneck links.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoissonSpec {
+    /// Mean rate per burst source, kb/s.
+    pub rate_kbps: f64,
+    /// Burst start, seconds (default 0).
+    pub start_s: Option<f64>,
+    /// Burst stop, seconds (`None` = steady background, which the max-min
+    /// prediction then accounts for).
+    pub stop_s: Option<f64>,
+    /// Number of burst sources, round-robin over bottlenecks (default 1).
+    pub bursts: Option<usize>,
+}
+
+/// A flash-crowd schedule: video flows arrive in waves and a fraction
+/// departs mid-run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlashCrowdSpec {
+    /// Number of arrival waves (≥ 1).
+    pub waves: usize,
+    /// Gap between wave starts, seconds (default 5).
+    pub wave_gap_s: Option<f64>,
+    /// Fraction of flows (the highest-numbered) departing mid-run
+    /// (default 0).
+    pub depart_fraction: Option<f64>,
+    /// When the departing flows stop, seconds (default 60).
+    pub depart_at_s: Option<f64>,
+}
+
+/// The full topology + traffic specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopoSpec {
+    /// Simulator and generator seed (default 1).
+    pub seed: Option<u64>,
+    /// Generator family and shape.
+    pub generator: GeneratorSpec,
+    /// Number of PELS video flows (default 8).
+    pub flows: Option<usize>,
+    /// Per-flow PELS-share budget used to size designated links, kb/s
+    /// (default 400, matching the proportional dumbbell configs).
+    pub per_flow_kbps: Option<f64>,
+    /// TCP Reno herd size per distinct bottleneck path (default 1;
+    /// 0 disables cross TCP).
+    pub tcp_per_path: Option<usize>,
+    /// Optional Poisson CBR burst schedule.
+    pub poisson: Option<PoissonSpec>,
+    /// Optional flash-crowd arrival/departure schedule.
+    pub flash_crowd: Option<FlashCrowdSpec>,
+    /// AQM configuration of every bottleneck router (default
+    /// [`AqmConfig::default`]).
+    pub aqm: Option<AqmConfig>,
+    /// Retain per-step time series (default false; expensive at scale).
+    pub keep_series: Option<bool>,
+}
+
+impl TopoSpec {
+    /// A spec with every optional knob unset.
+    pub fn new(generator: GeneratorSpec) -> Self {
+        TopoSpec {
+            seed: None,
+            generator,
+            flows: None,
+            per_flow_kbps: None,
+            tcp_per_path: None,
+            poisson: None,
+            flash_crowd: None,
+            aqm: None,
+            keep_series: None,
+        }
+    }
+
+    /// The generator/simulator seed.
+    pub fn seed(&self) -> u64 {
+        self.seed.unwrap_or(1)
+    }
+
+    /// Number of video flows.
+    pub fn flows(&self) -> usize {
+        self.flows.unwrap_or(8)
+    }
+
+    /// Per-flow PELS-share budget, kb/s.
+    pub fn per_flow_kbps(&self) -> f64 {
+        self.per_flow_kbps.unwrap_or(400.0)
+    }
+
+    /// TCP herd size per distinct bottleneck path.
+    pub fn tcp_per_path(&self) -> usize {
+        self.tcp_per_path.unwrap_or(1)
+    }
+
+    /// The AQM configuration.
+    pub fn aqm(&self) -> AqmConfig {
+        self.aqm.unwrap_or_default()
+    }
+
+    /// Whether to retain per-step time series.
+    pub fn keep_series(&self) -> bool {
+        self.keep_series.unwrap_or(false)
+    }
+
+    /// Parses a JSON spec document.
+    pub fn from_json(json: &str) -> Result<Self, SimError> {
+        serde_json::from_str(json).map_err(|e| invalid_config(format!("bad topo spec: {e}")))
+    }
+
+    /// Parses a CLI shorthand: `family:key=value,...`.
+    ///
+    /// Families: `parkinglot` (keys `segments`, `cross`), `fattree` (key
+    /// `k`), `waxman`/`random` (keys `routers`, `alpha`, `beta`). Common
+    /// keys for all families: `flows`, `seed`, `tcp`, `budget` (kb/s).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pels_topo::spec::TopoSpec;
+    /// let spec = TopoSpec::from_shorthand("fattree:k=4,flows=16,seed=7").unwrap();
+    /// assert_eq!(spec.flows(), 16);
+    /// assert_eq!(spec.seed(), 7);
+    /// ```
+    pub fn from_shorthand(s: &str) -> Result<Self, SimError> {
+        let (family, rest) = match s.split_once(':') {
+            Some((f, r)) => (f, r),
+            None => (s, ""),
+        };
+        let mut kv = std::collections::BTreeMap::new();
+        for part in rest.split(',').filter(|p| !p.is_empty()) {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| invalid_config(format!("bad shorthand entry `{part}`")))?;
+            kv.insert(k.trim().to_string(), v.trim().to_string());
+        }
+        let take_usize = |kv: &mut std::collections::BTreeMap<String, String>,
+                          key: &str|
+         -> Result<Option<usize>, SimError> {
+            kv.remove(key)
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| invalid_config(format!("bad value for `{key}`: {v}")))
+                })
+                .transpose()
+        };
+        let take_f64 = |kv: &mut std::collections::BTreeMap<String, String>,
+                        key: &str|
+         -> Result<Option<f64>, SimError> {
+            kv.remove(key)
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map_err(|_| invalid_config(format!("bad value for `{key}`: {v}")))
+                })
+                .transpose()
+        };
+        let generator = match family {
+            "parkinglot" | "parking_lot" | "tandem" => GeneratorSpec::ParkingLot {
+                segments: take_usize(&mut kv, "segments")?.unwrap_or(3),
+                cross_per_segment: take_usize(&mut kv, "cross")?,
+            },
+            "fattree" | "fat_tree" => {
+                GeneratorSpec::FatTree { k: take_usize(&mut kv, "k")?.unwrap_or(4) }
+            }
+            "waxman" | "random" => GeneratorSpec::Waxman {
+                routers: take_usize(&mut kv, "routers")?.unwrap_or(16),
+                alpha: take_f64(&mut kv, "alpha")?,
+                beta: take_f64(&mut kv, "beta")?,
+            },
+            other => {
+                return Err(invalid_config(format!(
+                    "unknown topology family `{other}` (try parkinglot, fattree, waxman)"
+                )))
+            }
+        };
+        let mut spec = TopoSpec::new(generator);
+        spec.flows = take_usize(&mut kv, "flows")?;
+        spec.seed = take_usize(&mut kv, "seed")?.map(|v| v as u64);
+        spec.tcp_per_path = take_usize(&mut kv, "tcp")?;
+        spec.per_flow_kbps = take_f64(&mut kv, "budget")?;
+        if let Some(k) = kv.keys().next() {
+            return Err(invalid_config(format!("unknown shorthand key `{k}`")));
+        }
+        Ok(spec)
+    }
+
+    /// Whether `s` names a topo generator family this crate understands
+    /// (used by the CLI to route `--topology` values).
+    pub fn is_shorthand(s: &str) -> bool {
+        let family = s.split(':').next().unwrap_or(s);
+        matches!(
+            family,
+            "parkinglot" | "parking_lot" | "tandem" | "fattree" | "fat_tree" | "waxman" | "random"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shorthand_roundtrip() {
+        let spec = TopoSpec::from_shorthand("waxman:routers=24,flows=12,alpha=0.5").unwrap();
+        assert_eq!(spec.generator.family(), "waxman");
+        assert_eq!(spec.flows(), 12);
+        match spec.generator {
+            GeneratorSpec::Waxman { routers, alpha, beta } => {
+                assert_eq!(routers, 24);
+                assert_eq!(alpha, Some(0.5));
+                assert_eq!(beta, None);
+            }
+            _ => panic!("wrong family"),
+        }
+    }
+
+    #[test]
+    fn shorthand_rejects_unknown_keys() {
+        assert!(TopoSpec::from_shorthand("fattree:k=4,bogus=1").is_err());
+        assert!(TopoSpec::from_shorthand("mesh:k=4").is_err());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_generator() {
+        let spec = TopoSpec::from_shorthand("fattree:k=6,flows=20").unwrap();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back = TopoSpec::from_json(&json).unwrap();
+        assert_eq!(back.flows(), 20);
+        match back.generator {
+            GeneratorSpec::FatTree { k } => assert_eq!(k, 6),
+            _ => panic!("wrong family"),
+        }
+    }
+
+    #[test]
+    fn minimal_json_spec_uses_defaults() {
+        let spec = TopoSpec::from_json(r#"{"generator": {"FatTree": {"k": 4}}}"#).unwrap();
+        assert_eq!(spec.flows(), 8);
+        assert_eq!(spec.seed(), 1);
+        assert!((spec.per_flow_kbps() - 400.0).abs() < 1e-9);
+    }
+}
