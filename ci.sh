@@ -3,14 +3,34 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== cargo build --release =="
-cargo build --release
+echo "== cargo build --release --workspace =="
+# --workspace matters: a bare `cargo build --release` skips workspace
+# members the root package does not depend on, leaving stale binaries.
+cargo build --release --workspace
 
-echo "== cargo test =="
-cargo test -q
+echo "== binary provenance gate (embedded commit vs HEAD) =="
+# Stale target/release binaries have survived rebuilds on some hosts;
+# refuse to record any result with a binary built from another commit.
+bin_version="$(./target/release/pels version)"
+head_commit="$(git rev-parse HEAD)"
+case "$bin_version" in
+  *"commit $head_commit"*) echo "$bin_version" ;;
+  *) echo "stale binary: '$bin_version' does not embed HEAD $head_commit" >&2
+     exit 1 ;;
+esac
+
+echo "== cargo test (workspace) =="
+# --workspace again: the root package's `cargo test` alone skips every
+# member crate's unit tests (scalebench, CLI, netsim, ...).
+cargo test -q --workspace
 
 echo "== pels live smoke (loopback UDP, 2 s) =="
-timeout 120 cargo run --release -q -p pels-cli --bin pels -- live --duration 2
+# Scratch results dir: the smoke must not clobber the checked-in 5 s
+# results/live.csv artifact (results/ is tracked in git).
+live_dir="$(mktemp -d -t pels_live_XXXXXX)"
+trap 'rm -rf "$live_dir"' EXIT
+PELS_RESULTS_DIR="$live_dir" timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
+  live --duration 2
 
 echo "== pels chaos wire smoke (fault matrix, CI preset) =="
 # Six fault cases against the live wire agents; the command exits nonzero
@@ -19,7 +39,7 @@ timeout 300 cargo run --release -q -p pels-cli --bin pels -- chaos --wire --shor
 
 echo "== pels run telemetry smoke (JSON-lines stream) =="
 tel_file="$(mktemp -t pels_telemetry_XXXXXX.jsonl)"
-trap 'rm -f "$tel_file"' EXIT
+trap 'rm -rf "$live_dir"; rm -f "$tel_file"' EXIT
 timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
   run --flows 2 --duration 5 --telemetry "$tel_file" > /dev/null
 test -s "$tel_file" || { echo "telemetry stream is empty" >&2; exit 1; }
@@ -30,9 +50,12 @@ printf '%s\n' "$metrics_out" | head -n 3
 
 echo "== pels bench smoke (scaling harness, short preset, 2 workers) =="
 bench_dir="$(mktemp -d -t pels_bench_XXXXXX)"
-trap 'rm -f "$tel_file"; rm -rf "$bench_dir"' EXIT
+trap 'rm -rf "$live_dir"; rm -f "$tel_file"; rm -rf "$bench_dir"' EXIT
 PELS_BENCH_DIR="$bench_dir" timeout 300 cargo run --release -q -p pels-cli --bin pels -- \
   bench --short --workers 2
+# --check validates the rev-4 honesty gates: per-row effective_workers no
+# larger than the host/request/shard count, and deterministic rows
+# byte-identical to their serial digest.
 timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
   bench --check "$bench_dir/BENCH_scale.json"
 
@@ -47,6 +70,16 @@ timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
   run --flows 8 --duration 10 --workers 2 --json > "$parallel_json"
 cmp "$serial_json" "$parallel_json" || {
   echo "parallel report diverges from serial report" >&2; exit 1; }
+
+echo "== relaxed-mode smoke (bounded-ring cross-shard path) =="
+# --relaxed trades byte-identity for throughput; the run must still finish
+# and emit a well-formed report on any host (with one effective worker it
+# degrades to the deterministic serial path).
+timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
+  run --flows 8 --duration 5 --workers 2 --relaxed --json \
+  > "$bench_dir/run_relaxed.json"
+test -s "$bench_dir/run_relaxed.json" || {
+  echo "relaxed run produced no report" >&2; exit 1; }
 
 echo "== topo generator property tests =="
 cargo test -q -p pels-topo

@@ -3,14 +3,14 @@
 //! (WRR over {strict priority[G,Y,R], FIFO}).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pels_netsim::disc::{Discipline, DropTail, QueueLimit, Red, StrictPriority, Wrr};
-use pels_netsim::packet::{AgentId, FlowId, Packet};
+use pels_netsim::disc::{Discipline, DropTail, QEntry, QueueLimit, Red, StrictPriority, Wrr};
+use pels_netsim::event::PacketSlot;
 use pels_netsim::time::SimTime;
 use pels_netsim::wfq::Wfq;
 use std::hint::black_box;
 
-fn pkt(class: u8) -> Packet {
-    Packet::data(FlowId(0), AgentId(0), AgentId(1), 500).with_class(class)
+fn ent(class: u8) -> QEntry {
+    QEntry::new(PacketSlot(0), 500, class)
 }
 
 fn pels_discipline() -> Wrr {
@@ -18,14 +18,14 @@ fn pels_discipline() -> Wrr {
     let inet = Box::new(DropTail::new(QueueLimit::Packets(50)));
     Wrr::new(
         vec![(1, video as Box<dyn Discipline>), (1, inet as Box<dyn Discipline>)],
-        |p: &Packet| if p.class < 3 { 0 } else { 1 },
+        |e: &QEntry| if e.class < 3 { 0 } else { 1 },
         500,
     )
 }
 
-fn cycle(disc: &mut dyn Discipline, classes: &[u8], dropped: &mut Vec<Packet>) {
+fn cycle(disc: &mut dyn Discipline, classes: &[u8], dropped: &mut Vec<QEntry>) {
     for &c in classes {
-        disc.enqueue(pkt(c), SimTime::ZERO, dropped);
+        disc.enqueue(ent(c), SimTime::ZERO, dropped);
     }
     for _ in 0..classes.len() {
         black_box(disc.dequeue(SimTime::ZERO));
@@ -54,7 +54,7 @@ fn bench_disciplines(c: &mut Criterion) {
                 (1, Box::new(DropTail::new(QueueLimit::Packets(1000))) as Box<dyn Discipline>),
                 (1, Box::new(DropTail::new(QueueLimit::Packets(1000))) as Box<dyn Discipline>),
             ],
-            |p: &Packet| if p.class < 3 { 0 } else { 1 },
+            |e: &QEntry| if e.class < 3 { 0 } else { 1 },
             500,
         );
         let mut dropped = Vec::new();
@@ -68,7 +68,7 @@ fn bench_disciplines(c: &mut Criterion) {
     });
 
     c.bench_function("wfq_enqueue_dequeue", |b| {
-        let mut q = Wfq::new(vec![2, 1, 1, 1], |p: &Packet| p.class as usize, 1000);
+        let mut q = Wfq::new(vec![2, 1, 1, 1], |e: &QEntry| e.class as usize, 1000);
         let mut dropped = Vec::new();
         b.iter(|| cycle(&mut q, &classes, &mut dropped));
     });

@@ -8,8 +8,8 @@ use pels_bench::{print_table, write_result};
 use pels_core::color::Color;
 use pels_fgs::packetize::packetize;
 use pels_fgs::scaling::{partition_enhancement, scale_to_rate};
-use pels_netsim::disc::{Discipline, DropTail, QueueLimit, StrictPriority, Wrr};
-use pels_netsim::packet::{AgentId, FlowId, Packet};
+use pels_netsim::disc::{Discipline, DropTail, QEntry, QueueLimit, StrictPriority, Wrr};
+use pels_netsim::event::PacketSlot;
 use pels_netsim::time::SimTime;
 
 fn pels_discipline() -> Wrr {
@@ -17,7 +17,7 @@ fn pels_discipline() -> Wrr {
     let inet = Box::new(DropTail::new(QueueLimit::Packets(8)));
     Wrr::new(
         vec![(1, video as Box<dyn Discipline>), (1, inet as Box<dyn Discipline>)],
-        |p: &Packet| if p.class < 3 { 0 } else { 1 },
+        |e: &QEntry| if e.class < 3 { 0 } else { 1 },
         500,
     )
 }
@@ -53,9 +53,7 @@ fn main() {
     // the PELS queue and WRR fairness against the Internet queue.
     let mut disc = pels_discipline();
     let mut dropped = Vec::new();
-    let mk = |class: u8, seq: u64| {
-        Packet::data(FlowId(0), AgentId(0), AgentId(1), 500).with_class(class).with_seq(seq)
-    };
+    let mk = |class: u8, seq: u64| QEntry::new(PacketSlot(seq as u32), 500, class);
     let input: Vec<u8> = vec![2, 3, 1, 0, 2, 3, 1, 0, 2, 3, 1, 0, 2, 2, 2, 2, 2, 2, 2, 2];
     for (i, &c) in input.iter().enumerate() {
         disc.enqueue(mk(c, i as u64), SimTime::ZERO, &mut dropped);

@@ -1,0 +1,46 @@
+//! Embeds build provenance so `pels --version` can prove which commit a
+//! binary was built from. Stale `target/release` binaries have been
+//! observed to survive `cargo build --release` on some hosts, silently
+//! recording results for old code; ci.sh gates on the embedded commit
+//! matching `git rev-parse HEAD` before any result is written.
+
+use std::path::Path;
+use std::process::Command;
+
+fn main() {
+    let commit = git(&["rev-parse", "HEAD"]).unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=PELS_GIT_COMMIT={commit}");
+
+    // Seconds since the epoch at compile time — enough to spot a binary
+    // that predates the source tree it claims to represent.
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    println!("cargo:rustc-env=PELS_BUILD_UNIX_TIME={timestamp}");
+
+    // Re-run when HEAD moves (new commit or branch switch) so the embedded
+    // commit cannot go stale. HEAD itself only changes on branch switches;
+    // the ref it points at changes on every commit, so track both.
+    if let Some(git_dir) = git(&["rev-parse", "--git-dir"]) {
+        let git_dir = Path::new(&git_dir);
+        println!("cargo:rerun-if-changed={}", git_dir.join("HEAD").display());
+        if let Some(head_ref) = git(&["symbolic-ref", "-q", "HEAD"]) {
+            println!("cargo:rerun-if-changed={}", git_dir.join(head_ref).display());
+        }
+    }
+}
+
+fn git(args: &[&str]) -> Option<String> {
+    let out = Command::new("git").args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8(out.stdout).ok()?;
+    let s = s.trim();
+    if s.is_empty() {
+        None
+    } else {
+        Some(s.to_string())
+    }
+}

@@ -56,6 +56,11 @@ pub enum Command {
         /// Worker threads for the parallel engine (results are identical
         /// at every value; this only sizes the thread pool).
         workers: usize,
+        /// Run shards in relaxed mode: ring-buffered cross-shard delivery
+        /// instead of the barrier-merged deterministic order. Faster on
+        /// multi-core hosts, but reports may differ from serial in FIFO
+        /// tie-break order.
+        relaxed: bool,
     },
     /// Run a generated multi-bottleneck topology ([`pels_topo`]) on the
     /// sharded engine and report per-bottleneck max-min validation.
@@ -72,6 +77,8 @@ pub enum Command {
         /// Worker threads for the sharded engine (results are identical
         /// at every value; this only sizes the thread pool).
         workers: usize,
+        /// Relaxed cross-shard delivery (see [`Command::Run::relaxed`]).
+        relaxed: bool,
     },
     /// Sweep flow counts over one generated topology family.
     SweepTopo {
@@ -85,6 +92,8 @@ pub enum Command {
         json: bool,
         /// Worker threads for the sharded engine.
         workers: usize,
+        /// Relaxed cross-shard delivery (see [`Command::Run::relaxed`]).
+        relaxed: bool,
     },
     /// Evaluate the Section 3 closed forms.
     Model {
@@ -129,6 +138,9 @@ pub enum Command {
         duration_s: f64,
         /// Validate an existing report instead of running one.
         check: Option<String>,
+        /// Run rows in relaxed mode (rows record `mode: "relaxed"` and are
+        /// exempt from the serial-digest equality gate).
+        relaxed: bool,
     },
     /// Run the fault-injection matrix and report invariant verdicts.
     Chaos {
@@ -179,8 +191,23 @@ pub enum Command {
     },
     /// Print a JSON config template.
     ConfigTemplate,
+    /// Print version plus embedded build provenance (git commit, build
+    /// timestamp) — lets scripts prove a `target/release` binary is not
+    /// stale before recording results with it.
+    Version,
     /// Print usage.
     Help,
+}
+
+/// The version line: crate version, the git commit the binary was built
+/// from, and the build timestamp (both embedded by `build.rs`).
+pub fn version_string() -> String {
+    format!(
+        "pels {} (commit {}, built {})",
+        env!("CARGO_PKG_VERSION"),
+        env!("PELS_GIT_COMMIT"),
+        env!("PELS_BUILD_UNIX_TIME"),
+    )
 }
 
 /// Topology family used by `pels sweep` for each flow count.
@@ -230,7 +257,8 @@ fn flag_map(args: &[String]) -> Result<HashMap<String, String>, ParseArgsError> 
             return Err(ParseArgsError(format!("unexpected argument `{a}`")));
         };
         // Boolean flags take no value.
-        if name == "json" || name == "mem" || name == "short" || name == "wire" {
+        if name == "json" || name == "mem" || name == "short" || name == "wire" || name == "relaxed"
+        {
             map.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -314,6 +342,7 @@ fn parse_run_topo(map: &HashMap<String, String>) -> Result<Command, ParseArgsErr
         json: map.contains_key("json"),
         telemetry: map.get("telemetry").cloned(),
         workers,
+        relaxed: map.contains_key("relaxed"),
     })
 }
 
@@ -375,6 +404,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                 json: map.contains_key("json"),
                 telemetry: map.get("telemetry").cloned(),
                 workers,
+                relaxed: map.contains_key("relaxed"),
             })
         }
         "model" => {
@@ -425,6 +455,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                     duration_s,
                     json: map.contains_key("json"),
                     workers,
+                    relaxed: map.contains_key("relaxed"),
                 });
             }
             let topology = match map.get("topology") {
@@ -492,6 +523,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                 topology,
                 duration_s,
                 check: map.get("check").cloned(),
+                relaxed: map.contains_key("relaxed"),
             })
         }
         "chaos" => {
@@ -561,6 +593,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
             Ok(Command::Trace { frames, cv, seed })
         }
         "config-template" => Ok(Command::ConfigTemplate),
+        "version" | "--version" | "-V" => Ok(Command::Version),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseArgsError(format!("unknown command `{other}`"))),
     }
@@ -591,6 +624,7 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
     let w =
         |out: &mut dyn std::io::Write, s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
     match cmd {
+        Command::Version => w(out, version_string()),
         Command::Help => w(out, usage()),
         Command::Trace { frames, cv, seed } => {
             let cfg =
@@ -667,7 +701,7 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             }
             Ok(())
         }
-        Command::Bench { counts, workers, topology, duration_s, check } => {
+        Command::Bench { counts, workers, topology, duration_s, check, relaxed } => {
             use pels_bench::scalebench::{
                 default_output_path, run_scale, validate_json, ScaleBenchConfig,
             };
@@ -684,11 +718,18 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 out,
                 format!(
                     "scale bench: counts {counts:?}, workers {workers:?}, {topology:?} \
-                     topology, {duration_s} simulated s per row"
+                     topology, {duration_s} simulated s per row{}",
+                    if relaxed { ", relaxed mode" } else { "" }
                 ),
             )?;
-            let cfg =
-                ScaleBenchConfig { counts, workers, topology, duration_s, ..Default::default() };
+            let cfg = ScaleBenchConfig {
+                counts,
+                workers,
+                topology,
+                duration_s,
+                relaxed,
+                ..Default::default()
+            };
             let report = run_scale(&cfg);
             let path = default_output_path();
             let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -927,11 +968,14 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             }
             Ok(())
         }
-        Command::RunTopo { spec, duration_s, json, telemetry, workers } => {
+        Command::RunTopo { spec, duration_s, json, telemetry, workers, relaxed } => {
             use pels_topo::scenario::{to_csv, TopoScenario};
             let tel = open_telemetry(telemetry.as_deref())?;
             let mut s = TopoScenario::try_build(*spec).map_err(|e| e.to_string())?;
             s.set_workers(workers);
+            if relaxed {
+                s.sim.set_mode(pels_netsim::shard::ExecMode::Relaxed);
+            }
             if tel.is_enabled() {
                 s.attach_telemetry(&tel);
                 let mut t = 0.0;
@@ -1001,7 +1045,7 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 format!("max |deviation| across bottlenecks: {:.1}%", report.max_abs_deviation_pct),
             )
         }
-        Command::SweepTopo { counts, spec, duration_s, json, workers } => {
+        Command::SweepTopo { counts, spec, duration_s, json, workers, relaxed } => {
             use pels_topo::scenario::TopoScenario;
             let mut reports = Vec::with_capacity(counts.len());
             for &n in &counts {
@@ -1009,6 +1053,9 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
                 s.flows = Some(n);
                 let mut sc = TopoScenario::try_build(*s).map_err(|e| e.to_string())?;
                 sc.set_workers(workers);
+                if relaxed {
+                    sc.sim.set_mode(pels_netsim::shard::ExecMode::Relaxed);
+                }
                 sc.run_until(SimTime::from_secs_f64(duration_s));
                 reports.push(sc.report());
             }
@@ -1028,12 +1075,16 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             }
             Ok(())
         }
-        Command::Run { config, duration_s, json, telemetry, workers } => {
+        Command::Run { config, duration_s, json, telemetry, workers, relaxed } => {
             let tel = open_telemetry(telemetry.as_deref())?;
             // The parallel engine: the partition is fixed by the topology,
-            // so --workers only changes wall clock, never the report.
+            // so --workers only changes wall clock, never the report —
+            // unless --relaxed trades that guarantee for throughput.
             let mut s = pels_core::parallel::ParallelScenario::build(*config);
             s.set_workers(workers);
+            if relaxed {
+                s.sim.set_mode(pels_netsim::shard::ExecMode::Relaxed);
+            }
             if tel.is_enabled() {
                 s.attach_telemetry(&tel);
                 // Flush a cumulative snapshot roughly once per simulated
@@ -1091,15 +1142,15 @@ pub fn usage() -> String {
      \n\
      USAGE:\n\
        pels run   [--flows N] [--duration SECS] [--mode pels|besteffort|fifo]\n\
-                  [--seed S] [--workers N] [--config FILE.json]\n\
+                  [--seed S] [--workers N] [--relaxed] [--config FILE.json]\n\
                   [--topo-spec FILE.json | --topology fattree:k=4,flows=16]\n\
                   [--telemetry FILE.jsonl] [--json]\n\
        pels sweep [--flows-list 1,2,4,8] [--duration SECS] [--workers N]\n\
                   [--topology proportional|fixed|wideband|SHORTHAND]\n\
-                  [--topo-spec FILE.json] [--json]\n\
+                  [--topo-spec FILE.json] [--relaxed] [--json]\n\
        pels bench [--counts 1,8,64,256,512,1024] [--workers 1,8]\n\
                   [--topology chained|shared|fattree|random]\n\
-                  [--duration SECS] [--short]\n\
+                  [--duration SECS] [--short] [--relaxed]\n\
                   [--check FILE]              # writes BENCH_scale.json\n\
        pels model --p LOSS --h PACKETS\n\
        pels gamma --p LOSS [--p-thr T] [--sigma S] [--steps K]\n\
@@ -1110,10 +1161,14 @@ pub fn usage() -> String {
        pels metrics FILE.jsonl                  # summarize a telemetry stream\n\
        pels trace [--frames N] [--cv CV] [--seed S]\n\
        pels config-template\n\
+       pels version                             # embedded commit + build time\n\
        pels help\n\
      \n\
-     --workers N defaults to the machine's available parallelism (nproc);\n\
-     for `bench` the default sweep is `1,<nproc>` (just `1` on one core).\n\
+     --workers N defaults to the machine's available parallelism (nproc)\n\
+     and is clamped to min(nproc, shards) at run time; for `bench` the\n\
+     default sweep is `1,<nproc>` (just `1` on one core).\n\
+     --relaxed trades byte-identical-to-serial reports for throughput\n\
+     (ring-buffered cross-shard delivery; FIFO tie-breaks may differ).\n\
      Topology shorthands: parkinglot:segments=3,cross=1  fattree:k=4\n\
      waxman:routers=16  — common keys flows, seed, tcp, budget (kb/s)."
         .to_string()
@@ -1131,12 +1186,13 @@ mod tests {
     fn parses_run_defaults() {
         let cmd = parse_args(&args("run")).unwrap();
         match cmd {
-            Command::Run { config, duration_s, json, telemetry, workers } => {
+            Command::Run { config, duration_s, json, telemetry, workers, relaxed } => {
                 assert_eq!(config.flows.len(), 2);
                 assert_eq!(duration_s, 30.0);
                 assert!(!json);
                 assert!(telemetry.is_none());
                 assert!(workers >= 1);
+                assert!(!relaxed);
             }
             other => panic!("{other:?}"),
         }
@@ -1227,10 +1283,11 @@ mod tests {
     fn parses_bench_flags() {
         let cmd = parse_args(&args("bench")).unwrap();
         match cmd {
-            Command::Bench { counts, workers, topology, duration_s, check } => {
+            Command::Bench { counts, workers, topology, duration_s, check, relaxed } => {
                 assert_eq!(counts, pels_bench::scalebench::DEFAULT_COUNTS);
                 assert_eq!(duration_s, 10.0);
                 assert!(check.is_none());
+                assert!(!relaxed, "deterministic is the default");
                 assert_eq!(workers[0], 1, "first workers group is the serial baseline");
                 assert_eq!(topology, pels_bench::scalebench::ScaleTopology::Chained);
             }
@@ -1286,7 +1343,7 @@ mod tests {
         let mut buf = Vec::new();
         execute(cmd, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        assert!(text.contains("valid pels-bench-scale/3 report"), "{text}");
+        assert!(text.contains("valid pels-bench-scale/4 report"), "{text}");
 
         let bad = dir.join("bad.json");
         std::fs::write(&bad, "{}").unwrap();
@@ -1298,6 +1355,7 @@ mod tests {
             topology: pels_bench::scalebench::ScaleTopology::Chained,
             duration_s: 1.0,
             check: Some("/nonexistent".into()),
+            relaxed: false,
         };
         assert!(execute(cmd, &mut Vec::new()).is_err());
     }
@@ -1311,6 +1369,22 @@ mod tests {
         let trace = pels_fgs::frame::VideoTrace::from_csv(&text).unwrap();
         assert_eq!(trace.len(), 10);
         assert!(parse_args(&args("trace --frames 0")).is_err());
+    }
+
+    #[test]
+    fn version_command_reports_embedded_provenance() {
+        for spelling in ["version", "--version", "-V"] {
+            assert!(matches!(parse_args(&args(spelling)).unwrap(), Command::Version));
+        }
+        let mut buf = Vec::new();
+        execute(Command::Version, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains(env!("CARGO_PKG_VERSION")), "{text}");
+        assert!(text.contains("commit "), "{text}");
+        // In a git checkout the commit is a 40-hex id; outside one it is
+        // the literal `unknown` — either way it must not be empty.
+        let commit = env!("PELS_GIT_COMMIT");
+        assert!(commit == "unknown" || commit.len() == 40, "{commit}");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::color::{Color, INTERNET_CLASS};
 use crate::feedback::FeedbackEstimator;
 use crate::tcm::{SrTcm, TcmConfig};
 use crate::SimError;
-use pels_netsim::disc::{Discipline, DropTail, QueueLimit, StrictPriority, Wrr};
+use pels_netsim::disc::{Discipline, DropTail, QEntry, QueueLimit, StrictPriority, Wrr};
 use pels_netsim::error::invalid_config;
 use pels_netsim::faults::{apply_port_fault, FaultAction};
 use pels_netsim::packet::{AgentId, Packet, PacketKind};
@@ -101,8 +101,8 @@ fn drop_metric(class: usize) -> &'static str {
     }
 }
 
-fn wrr_classify(p: &Packet) -> usize {
-    if Color::is_pels_class(p.class) {
+fn wrr_classify(e: &QEntry) -> usize {
+    if Color::is_pels_class(e.class) {
         0
     } else {
         1

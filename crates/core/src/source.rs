@@ -16,6 +16,7 @@ use crate::tfrc::{TfrcConfig, TfrcController};
 use pels_fgs::frame::VideoTrace;
 use pels_fgs::packetize::packetize;
 use pels_fgs::scaling::{partition_enhancement, scale_to_rate};
+use pels_netsim::fasthash::FastMap;
 use pels_netsim::packet::{AgentId, FlowId, FrameTag, Packet, PacketKind};
 use pels_netsim::port::Port;
 use pels_netsim::sim::{Agent, Context};
@@ -23,7 +24,7 @@ use pels_netsim::stats::TimeSeries;
 use pels_netsim::time::SimDuration;
 use pels_telemetry::Telemetry;
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// How the source marks its enhancement packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -306,7 +307,7 @@ pub struct PelsSource {
     /// Times the flow entered the starved state.
     pub starve_events: u64,
     /// Retransmission buffer: frame -> (emitted_at, per-packet (bytes, class)).
-    retx_buffer: HashMap<u64, (pels_netsim::time::SimTime, Vec<(u32, u8)>)>,
+    retx_buffer: FastMap<u64, (pels_netsim::time::SimTime, Vec<(u32, u8)>)>,
     /// `(t, rate kb/s)` after each applied control step.
     pub rate_series: TimeSeries,
     /// `(t, γ)` after each applied control step.
@@ -372,7 +373,7 @@ impl PelsSource {
             starved_frames: 0,
             probes_sent: 0,
             starve_events: 0,
-            retx_buffer: HashMap::new(),
+            retx_buffer: FastMap::default(),
             rate_series: TimeSeries::new("rate_kbps"),
             gamma_series: TimeSeries::new("gamma"),
             loss_series: TimeSeries::new("fgs_loss"),

@@ -68,7 +68,8 @@ pub fn packetize(
         frame.enhancement_bytes,
         "partition must cover the enhancement layer exactly"
     );
-    let mut out = Vec::new();
+    let mut out =
+        Vec::with_capacity(usize::from(packet_count(frame, yellow_bytes, red_bytes, packet_bytes)));
     let mut index: u16 = 0;
     let mut push_segment = |seg: Segment, mut remaining: u32, out: &mut Vec<PacketPlan>| {
         while remaining > 0 {

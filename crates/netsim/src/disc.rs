@@ -6,14 +6,40 @@
 //! `Wrr{ StrictPriority[green, yellow, red], DropTail }` — weighted
 //! round-robin between the video queue and the Internet queue, with strict
 //! priority among the three color sub-queues.
+//!
+//! Disciplines never touch packet payloads: they order, store, and drop
+//! [`QEntry`] descriptors (arena slot + the two header fields scheduling
+//! needs), while the payload stays parked in the event queue's packet
+//! arena. This keeps every queue operation a 16-byte move regardless of
+//! packet size — see [`crate::event::PacketSlot`].
 
-use crate::packet::Packet;
+use crate::event::PacketSlot;
 use crate::time::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
+
+/// A queued packet as the disciplines see it: the arena slot of the payload
+/// plus the header fields classification and byte accounting need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QEntry {
+    /// Arena slot of the payload (opaque to disciplines).
+    pub slot: PacketSlot,
+    /// Size on the wire, bytes.
+    pub size_bytes: u32,
+    /// Priority class (0 = green, 1 = yellow, 2 = red, 3 = best-effort).
+    pub class: u8,
+}
+
+impl QEntry {
+    /// Creates an entry; mostly useful in tests — ports build entries from
+    /// real packets as they stash them into the arena.
+    pub fn new(slot: PacketSlot, size_bytes: u32, class: u8) -> Self {
+        QEntry { slot, size_bytes, class }
+    }
+}
 
 /// Capacity limit of a queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,7 +51,7 @@ pub enum QueueLimit {
 }
 
 impl QueueLimit {
-    fn admits(&self, cur_pkts: usize, cur_bytes: u64, incoming: &Packet) -> bool {
+    fn admits(&self, cur_pkts: usize, cur_bytes: u64, incoming: &QEntry) -> bool {
         match *self {
             QueueLimit::Packets(n) => cur_pkts < n,
             QueueLimit::Bytes(b) => cur_bytes + incoming.size_bytes as u64 <= b,
@@ -35,17 +61,17 @@ impl QueueLimit {
 
 /// A buffer-management and scheduling policy for one output port.
 ///
-/// `enqueue` pushes dropped packets (the incoming one, or victims evicted to
-/// make room) into `dropped` so callers can account for them without
-/// per-call allocation.
+/// `enqueue` pushes dropped entries (the incoming one, or victims evicted to
+/// make room) into `dropped` so callers can account for them (and release
+/// the parked payloads) without per-call allocation.
 pub trait Discipline: fmt::Debug + Send {
-    /// Offers `pkt` to the queue at time `now`.
-    fn enqueue(&mut self, pkt: Packet, now: SimTime, dropped: &mut Vec<Packet>);
+    /// Offers `entry` to the queue at time `now`.
+    fn enqueue(&mut self, entry: QEntry, now: SimTime, dropped: &mut Vec<QEntry>);
 
-    /// Removes and returns the next packet to transmit.
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+    /// Removes and returns the next entry to transmit.
+    fn dequeue(&mut self, now: SimTime) -> Option<QEntry>;
 
-    /// Size in bytes of the packet `dequeue` would return, if any.
+    /// Size in bytes of the entry `dequeue` would return, if any.
     fn peek_size(&self) -> Option<u32>;
 
     /// Number of queued packets.
@@ -69,21 +95,21 @@ pub trait Discipline: fmt::Debug + Send {
 /// # Examples
 ///
 /// ```
-/// use pels_netsim::disc::{Discipline, DropTail, QueueLimit};
-/// use pels_netsim::packet::{AgentId, FlowId, Packet};
+/// use pels_netsim::disc::{Discipline, DropTail, QEntry, QueueLimit};
+/// use pels_netsim::event::PacketSlot;
 /// use pels_netsim::time::SimTime;
 ///
 /// let mut q = DropTail::new(QueueLimit::Packets(1));
 /// let mut dropped = Vec::new();
-/// let pkt = || Packet::data(FlowId(0), AgentId(0), AgentId(1), 500);
-/// q.enqueue(pkt(), SimTime::ZERO, &mut dropped);
-/// q.enqueue(pkt(), SimTime::ZERO, &mut dropped); // over limit -> dropped
+/// let entry = |i| QEntry::new(PacketSlot(i), 500, 0);
+/// q.enqueue(entry(0), SimTime::ZERO, &mut dropped);
+/// q.enqueue(entry(1), SimTime::ZERO, &mut dropped); // over limit -> dropped
 /// assert_eq!(q.len_packets(), 1);
 /// assert_eq!(dropped.len(), 1);
 /// ```
 #[derive(Debug)]
 pub struct DropTail {
-    queue: VecDeque<Packet>,
+    queue: VecDeque<QEntry>,
     bytes: u64,
     limit: QueueLimit,
 }
@@ -100,23 +126,23 @@ impl Discipline for DropTail {
         self
     }
 
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime, dropped: &mut Vec<Packet>) {
-        if self.limit.admits(self.queue.len(), self.bytes, &pkt) {
-            self.bytes += pkt.size_bytes as u64;
-            self.queue.push_back(pkt);
+    fn enqueue(&mut self, entry: QEntry, _now: SimTime, dropped: &mut Vec<QEntry>) {
+        if self.limit.admits(self.queue.len(), self.bytes, &entry) {
+            self.bytes += entry.size_bytes as u64;
+            self.queue.push_back(entry);
         } else {
-            dropped.push(pkt);
+            dropped.push(entry);
         }
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
-        let pkt = self.queue.pop_front()?;
-        self.bytes -= pkt.size_bytes as u64;
-        Some(pkt)
+    fn dequeue(&mut self, _now: SimTime) -> Option<QEntry> {
+        let entry = self.queue.pop_front()?;
+        self.bytes -= entry.size_bytes as u64;
+        Some(entry)
     }
 
     fn peek_size(&self) -> Option<u32> {
-        self.queue.front().map(|p| p.size_bytes)
+        self.queue.front().map(|e| e.size_bytes)
     }
 
     fn len_packets(&self) -> usize {
@@ -128,7 +154,7 @@ impl Discipline for DropTail {
     }
 }
 
-/// Strict priority over `N` bands, classified by [`Packet::class`].
+/// Strict priority over `N` bands, classified by [`QEntry::class`].
 ///
 /// Band `i` serves packets with `class == i`; classes `>= N` map to the last
 /// band. Lower band index = higher priority: a packet in band 1 is never
@@ -157,8 +183,8 @@ impl StrictPriority {
         Self::new((0..n).map(|_| Box::new(DropTail::new(limit)) as Box<dyn Discipline>).collect())
     }
 
-    fn band_for(&self, pkt: &Packet) -> usize {
-        (pkt.class as usize).min(self.bands.len() - 1)
+    fn band_for(&self, entry: &QEntry) -> usize {
+        (entry.class as usize).min(self.bands.len() - 1)
     }
 
     /// Queued packets in band `i`.
@@ -177,15 +203,15 @@ impl Discipline for StrictPriority {
         self
     }
 
-    fn enqueue(&mut self, pkt: Packet, now: SimTime, dropped: &mut Vec<Packet>) {
-        let band = self.band_for(&pkt);
-        self.bands[band].enqueue(pkt, now, dropped);
+    fn enqueue(&mut self, entry: QEntry, now: SimTime, dropped: &mut Vec<QEntry>) {
+        let band = self.band_for(&entry);
+        self.bands[band].enqueue(entry, now, dropped);
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<QEntry> {
         for band in &mut self.bands {
-            if let Some(pkt) = band.dequeue(now) {
-                return Some(pkt);
+            if let Some(entry) = band.dequeue(now) {
+                return Some(entry);
             }
         }
         None
@@ -217,12 +243,12 @@ struct WrrChild {
 /// Each child `i` receives a share `weight_i / sum(weights)` of the link in
 /// bytes, enforced with deficit counters (Shreedhar & Varghese's DRR, the
 /// byte-accurate realization of WRR the paper's Fig. 4 calls for).
-/// Classification is by a caller-supplied function from [`Packet::class`] to
+/// Classification is by a caller-supplied function from [`QEntry::class`] to
 /// child index.
 #[derive(Debug)]
 pub struct Wrr {
     children: Vec<WrrChild>,
-    classify: fn(&Packet) -> usize,
+    classify: fn(&QEntry) -> usize,
     quantum: u64,
     current: usize,
     /// Whether the current child has already received its quantum this visit.
@@ -236,7 +262,7 @@ pub struct Wrr {
 impl Wrr {
     /// Creates a WRR scheduler.
     ///
-    /// `classify` maps a packet to a child index (values out of range are
+    /// `classify` maps an entry to a child index (values out of range are
     /// clamped to the last child). `quantum` is the base byte quantum per
     /// round for a weight-1 child; use at least the MTU so every visit can
     /// serve a packet.
@@ -246,7 +272,7 @@ impl Wrr {
     /// Panics if `children` is empty, any weight is zero, or `quantum == 0`.
     pub fn new(
         children: Vec<(u32, Box<dyn Discipline>)>,
-        classify: fn(&Packet) -> usize,
+        classify: fn(&QEntry) -> usize,
         quantum: u64,
     ) -> Self {
         assert!(!children.is_empty(), "wrr needs at least one child");
@@ -261,8 +287,8 @@ impl Wrr {
         Wrr { children, classify, quantum, current: 0, granted: false, turns: 0 }
     }
 
-    fn child_for(&self, pkt: &Packet) -> usize {
-        ((self.classify)(pkt)).min(self.children.len() - 1)
+    fn child_for(&self, entry: &QEntry) -> usize {
+        ((self.classify)(entry)).min(self.children.len() - 1)
     }
 
     /// Queued packets in child `i`.
@@ -291,12 +317,12 @@ impl Discipline for Wrr {
         self
     }
 
-    fn enqueue(&mut self, pkt: Packet, now: SimTime, dropped: &mut Vec<Packet>) {
-        let child = self.child_for(&pkt);
-        self.children[child].disc.enqueue(pkt, now, dropped);
+    fn enqueue(&mut self, entry: QEntry, now: SimTime, dropped: &mut Vec<QEntry>) {
+        let child = self.child_for(&entry);
+        self.children[child].disc.enqueue(entry, now, dropped);
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<QEntry> {
         if self.is_empty() {
             return None;
         }
@@ -422,7 +448,7 @@ impl Discipline for Red {
         self
     }
 
-    fn enqueue(&mut self, pkt: Packet, now: SimTime, dropped: &mut Vec<Packet>) {
+    fn enqueue(&mut self, entry: QEntry, now: SimTime, dropped: &mut Vec<QEntry>) {
         self.update_avg(now);
         let pb = self.drop_probability();
         let drop = if pb >= 1.0 {
@@ -437,18 +463,18 @@ impl Discipline for Red {
         };
         if drop {
             self.count_since_drop = 0;
-            dropped.push(pkt);
+            dropped.push(entry);
         } else {
-            self.inner.enqueue(pkt, now, dropped);
+            self.inner.enqueue(entry, now, dropped);
         }
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
-        let pkt = self.inner.dequeue(now);
+    fn dequeue(&mut self, now: SimTime) -> Option<QEntry> {
+        let entry = self.inner.dequeue(now);
         if self.inner.is_empty() {
             self.idle_since = Some(now);
         }
-        pkt
+        entry
     }
 
     fn peek_size(&self) -> Option<u32> {
@@ -514,19 +540,19 @@ impl Discipline for UniformLoss {
         self
     }
 
-    fn enqueue(&mut self, pkt: Packet, now: SimTime, dropped: &mut Vec<Packet>) {
-        if pkt.class >= self.protect_below
+    fn enqueue(&mut self, entry: QEntry, now: SimTime, dropped: &mut Vec<QEntry>) {
+        if entry.class >= self.protect_below
             && self.drop_prob > 0.0
             && self.rng.gen::<f64>() < self.drop_prob
         {
             self.random_drops += 1;
-            dropped.push(pkt);
+            dropped.push(entry);
             return;
         }
-        self.inner.enqueue(pkt, now, dropped);
+        self.inner.enqueue(entry, now, dropped);
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<QEntry> {
         self.inner.dequeue(now)
     }
 
@@ -546,22 +572,23 @@ impl Discipline for UniformLoss {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{AgentId, FlowId};
 
-    fn pkt(class: u8, size: u32) -> Packet {
-        Packet::data(FlowId(0), AgentId(0), AgentId(1), size).with_class(class)
+    /// Test entries use the slot as a per-packet identity (the arena is not
+    /// involved: slots are opaque to disciplines).
+    fn ent(seq: u32, class: u8, size: u32) -> QEntry {
+        QEntry::new(PacketSlot(seq), size, class)
     }
 
     #[test]
     fn drop_tail_fifo_order() {
         let mut q = DropTail::new(QueueLimit::Packets(10));
         let mut d = Vec::new();
-        for seq in 0..5u64 {
-            q.enqueue(pkt(0, 100).with_seq(seq), SimTime::ZERO, &mut d);
+        for seq in 0..5u32 {
+            q.enqueue(ent(seq, 0, 100), SimTime::ZERO, &mut d);
         }
         assert_eq!(q.len_bytes(), 500);
-        for expect in 0..5u64 {
-            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().seq, expect);
+        for expect in 0..5u32 {
+            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().slot, PacketSlot(expect));
         }
         assert!(q.dequeue(SimTime::ZERO).is_none());
         assert!(d.is_empty());
@@ -571,9 +598,9 @@ mod tests {
     fn drop_tail_byte_limit() {
         let mut q = DropTail::new(QueueLimit::Bytes(1000));
         let mut d = Vec::new();
-        q.enqueue(pkt(0, 600), SimTime::ZERO, &mut d);
-        q.enqueue(pkt(0, 600), SimTime::ZERO, &mut d); // 1200 > 1000 -> drop
-        q.enqueue(pkt(0, 400), SimTime::ZERO, &mut d); // exactly 1000 -> fits
+        q.enqueue(ent(0, 0, 600), SimTime::ZERO, &mut d);
+        q.enqueue(ent(1, 0, 600), SimTime::ZERO, &mut d); // 1200 > 1000 -> drop
+        q.enqueue(ent(2, 0, 400), SimTime::ZERO, &mut d); // exactly 1000 -> fits
         assert_eq!(q.len_packets(), 2);
         assert_eq!(q.len_bytes(), 1000);
         assert_eq!(d.len(), 1);
@@ -583,12 +610,12 @@ mod tests {
     fn strict_priority_never_serves_lower_band_first() {
         let mut sp = StrictPriority::drop_tail_bands(3, QueueLimit::Packets(100));
         let mut d = Vec::new();
-        sp.enqueue(pkt(2, 100), SimTime::ZERO, &mut d); // red
-        sp.enqueue(pkt(1, 100), SimTime::ZERO, &mut d); // yellow
-        sp.enqueue(pkt(0, 100), SimTime::ZERO, &mut d); // green
-        sp.enqueue(pkt(0, 100), SimTime::ZERO, &mut d); // green
+        sp.enqueue(ent(0, 2, 100), SimTime::ZERO, &mut d); // red
+        sp.enqueue(ent(1, 1, 100), SimTime::ZERO, &mut d); // yellow
+        sp.enqueue(ent(2, 0, 100), SimTime::ZERO, &mut d); // green
+        sp.enqueue(ent(3, 0, 100), SimTime::ZERO, &mut d); // green
         let order: Vec<u8> =
-            std::iter::from_fn(|| sp.dequeue(SimTime::ZERO)).map(|p| p.class).collect();
+            std::iter::from_fn(|| sp.dequeue(SimTime::ZERO)).map(|e| e.class).collect();
         assert_eq!(order, vec![0, 0, 1, 2]);
     }
 
@@ -596,7 +623,7 @@ mod tests {
     fn strict_priority_clamps_out_of_range_class() {
         let mut sp = StrictPriority::drop_tail_bands(3, QueueLimit::Packets(10));
         let mut d = Vec::new();
-        sp.enqueue(pkt(250, 100), SimTime::ZERO, &mut d);
+        sp.enqueue(ent(0, 250, 100), SimTime::ZERO, &mut d);
         assert_eq!(sp.band_len_packets(2), 1);
     }
 
@@ -604,7 +631,7 @@ mod tests {
     fn wrr_splits_bytes_by_weight() {
         // Two children with weights 1:1; equal-size packets must alternate
         // in the long run (50/50 byte split).
-        let classify = |p: &Packet| if p.class < 3 { 0 } else { 1 };
+        let classify = |e: &QEntry| if e.class < 3 { 0 } else { 1 };
         let mut wrr = Wrr::new(
             vec![
                 (1, Box::new(DropTail::new(QueueLimit::Packets(1000))) as Box<dyn Discipline>),
@@ -614,14 +641,14 @@ mod tests {
             500,
         );
         let mut d = Vec::new();
-        for _ in 0..100 {
-            wrr.enqueue(pkt(0, 500), SimTime::ZERO, &mut d);
-            wrr.enqueue(pkt(3, 500), SimTime::ZERO, &mut d);
+        for i in 0..100u32 {
+            wrr.enqueue(ent(2 * i, 0, 500), SimTime::ZERO, &mut d);
+            wrr.enqueue(ent(2 * i + 1, 3, 500), SimTime::ZERO, &mut d);
         }
         let mut counts = [0u32; 2];
         for _ in 0..100 {
-            let p = wrr.dequeue(SimTime::ZERO).unwrap();
-            counts[if p.class < 3 { 0 } else { 1 }] += 1;
+            let e = wrr.dequeue(SimTime::ZERO).unwrap();
+            counts[if e.class < 3 { 0 } else { 1 }] += 1;
         }
         assert_eq!(counts[0], 50);
         assert_eq!(counts[1], 50);
@@ -632,7 +659,7 @@ mod tests {
 
     #[test]
     fn wrr_weight_ratio_three_to_one() {
-        let classify = |p: &Packet| if p.class < 3 { 0 } else { 1 };
+        let classify = |e: &QEntry| if e.class < 3 { 0 } else { 1 };
         let mut wrr = Wrr::new(
             vec![
                 (3, Box::new(DropTail::new(QueueLimit::Packets(1000))) as Box<dyn Discipline>),
@@ -642,9 +669,9 @@ mod tests {
             500,
         );
         let mut d = Vec::new();
-        for _ in 0..400 {
-            wrr.enqueue(pkt(0, 500), SimTime::ZERO, &mut d);
-            wrr.enqueue(pkt(3, 500), SimTime::ZERO, &mut d);
+        for i in 0..400u32 {
+            wrr.enqueue(ent(2 * i, 0, 500), SimTime::ZERO, &mut d);
+            wrr.enqueue(ent(2 * i + 1, 3, 500), SimTime::ZERO, &mut d);
         }
         let mut video = 0u32;
         for _ in 0..400 {
@@ -658,7 +685,7 @@ mod tests {
 
     #[test]
     fn wrr_work_conserving_when_one_child_empty() {
-        let classify = |p: &Packet| if p.class < 3 { 0 } else { 1 };
+        let classify = |e: &QEntry| if e.class < 3 { 0 } else { 1 };
         let mut wrr = Wrr::new(
             vec![
                 (1, Box::new(DropTail::new(QueueLimit::Packets(10))) as Box<dyn Discipline>),
@@ -668,8 +695,8 @@ mod tests {
             500,
         );
         let mut d = Vec::new();
-        for _ in 0..5 {
-            wrr.enqueue(pkt(3, 500), SimTime::ZERO, &mut d);
+        for i in 0..5u32 {
+            wrr.enqueue(ent(i, 3, 500), SimTime::ZERO, &mut d);
         }
         // Only the Internet child has traffic; all 5 must come out.
         for _ in 0..5 {
@@ -680,14 +707,14 @@ mod tests {
 
     #[test]
     fn wrr_handles_packets_larger_than_quantum() {
-        let classify = |_: &Packet| 0usize;
+        let classify = |_: &QEntry| 0usize;
         let mut wrr = Wrr::new(
             vec![(1, Box::new(DropTail::new(QueueLimit::Packets(10))) as Box<dyn Discipline>)],
             classify,
             100, // quantum smaller than the 1500-byte packet
         );
         let mut d = Vec::new();
-        wrr.enqueue(pkt(0, 1500), SimTime::ZERO, &mut d);
+        wrr.enqueue(ent(0, 0, 1500), SimTime::ZERO, &mut d);
         assert_eq!(wrr.dequeue(SimTime::ZERO).unwrap().size_bytes, 1500);
     }
 
@@ -695,8 +722,8 @@ mod tests {
     fn red_drops_nothing_below_min_threshold() {
         let mut red = Red::new(QueueLimit::Packets(100), 5.0, 15.0, 0.1, 7);
         let mut d = Vec::new();
-        for _ in 0..3 {
-            red.enqueue(pkt(0, 500), SimTime::ZERO, &mut d);
+        for i in 0..3u32 {
+            red.enqueue(ent(i, 0, 500), SimTime::ZERO, &mut d);
             red.dequeue(SimTime::ZERO);
         }
         assert!(d.is_empty());
@@ -708,8 +735,8 @@ mod tests {
         let mut d = Vec::new();
         // Stuff the queue without draining: the average climbs past max_th
         // and forced drops kick in.
-        for _ in 0..5000 {
-            red.enqueue(pkt(0, 500), SimTime::ZERO, &mut d);
+        for i in 0..5000u32 {
+            red.enqueue(ent(i, 0, 500), SimTime::ZERO, &mut d);
         }
         assert!(!d.is_empty(), "RED should eventually drop under sustained overload");
         assert!(red.avg_queue() > 1.0);
@@ -720,14 +747,14 @@ mod tests {
         let mut q = UniformLoss::new(QueueLimit::Packets(100_000), 1, 3);
         q.set_drop_prob(1.0);
         let mut d = Vec::new();
-        for _ in 0..100 {
-            q.enqueue(pkt(0, 500), SimTime::ZERO, &mut d); // protected
-            q.enqueue(pkt(1, 500), SimTime::ZERO, &mut d); // always dropped
+        for i in 0..100u32 {
+            q.enqueue(ent(2 * i, 0, 500), SimTime::ZERO, &mut d); // protected
+            q.enqueue(ent(2 * i + 1, 1, 500), SimTime::ZERO, &mut d); // always dropped
         }
         assert_eq!(q.len_packets(), 100);
         assert_eq!(d.len(), 100);
         assert_eq!(q.random_drops, 100);
-        assert!(d.iter().all(|p| p.class == 1));
+        assert!(d.iter().all(|e| e.class == 1));
     }
 
     #[test]
@@ -735,9 +762,9 @@ mod tests {
         let mut q = UniformLoss::new(QueueLimit::Packets(1_000_000), 1, 11);
         q.set_drop_prob(0.1);
         let mut d = Vec::new();
-        let n = 20_000;
-        for _ in 0..n {
-            q.enqueue(pkt(1, 500), SimTime::ZERO, &mut d);
+        let n = 20_000u32;
+        for i in 0..n {
+            q.enqueue(ent(i, 1, 500), SimTime::ZERO, &mut d);
         }
         let rate = d.len() as f64 / n as f64;
         assert!((rate - 0.1).abs() < 0.01, "measured {rate}");
@@ -754,29 +781,27 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use crate::packet::{AgentId, FlowId};
     use proptest::prelude::*;
 
-    fn arb_pkt() -> impl Strategy<Value = Packet> {
-        (0u8..4, 40u32..1500).prop_map(|(class, size)| {
-            Packet::data(FlowId(0), AgentId(0), AgentId(1), size).with_class(class)
-        })
+    fn arb_entry() -> impl Strategy<Value = (u8, u32)> {
+        (0u8..4, 40u32..1500)
     }
 
     proptest! {
-        /// Conservation: every packet offered to a composite discipline is
+        /// Conservation: every entry offered to a composite discipline is
         /// either queued, dequeued, or reported dropped — never lost.
         #[test]
-        fn packets_are_conserved(pkts in proptest::collection::vec(arb_pkt(), 1..300)) {
-            let classify = |p: &Packet| if p.class < 3 { 0 } else { 1 };
+        fn packets_are_conserved(pkts in proptest::collection::vec(arb_entry(), 1..300)) {
+            let classify = |e: &QEntry| if e.class < 3 { 0 } else { 1 };
             let video = Box::new(StrictPriority::drop_tail_bands(3, QueueLimit::Packets(20)));
             let inet = Box::new(DropTail::new(QueueLimit::Packets(20)));
             let mut wrr = Wrr::new(vec![(1, video as _), (1, inet as _)], classify, 500);
             let mut dropped = Vec::new();
             let total = pkts.len();
             let mut dequeued = 0usize;
-            for (i, p) in pkts.into_iter().enumerate() {
-                wrr.enqueue(p, SimTime::ZERO, &mut dropped);
+            for (i, &(class, size)) in pkts.iter().enumerate() {
+                wrr.enqueue(QEntry::new(PacketSlot(i as u32), size, class),
+                            SimTime::ZERO, &mut dropped);
                 if i % 3 == 0 && wrr.dequeue(SimTime::ZERO).is_some() {
                     dequeued += 1;
                 }
@@ -784,21 +809,22 @@ mod proptests {
             prop_assert_eq!(dequeued + dropped.len() + wrr.len_packets(), total);
         }
 
-        /// Strict priority invariant: a dequeued packet's class is never
+        /// Strict priority invariant: a dequeued entry's class is never
         /// higher-numbered than any class still waiting before the dequeue.
         #[test]
-        fn strict_priority_invariant(pkts in proptest::collection::vec(arb_pkt(), 1..200)) {
+        fn strict_priority_invariant(pkts in proptest::collection::vec(arb_entry(), 1..200)) {
             let mut sp = StrictPriority::drop_tail_bands(4, QueueLimit::Packets(1000));
             let mut dropped = Vec::new();
-            for p in &pkts {
-                sp.enqueue(p.clone(), SimTime::ZERO, &mut dropped);
+            for (i, &(class, size)) in pkts.iter().enumerate() {
+                sp.enqueue(QEntry::new(PacketSlot(i as u32), size, class),
+                           SimTime::ZERO, &mut dropped);
             }
             let mut waiting = [0usize; 4];
-            for p in &pkts {
-                waiting[p.class.min(3) as usize] += 1;
+            for &(class, _) in &pkts {
+                waiting[class.min(3) as usize] += 1;
             }
-            while let Some(p) = sp.dequeue(SimTime::ZERO) {
-                let class = p.class.min(3) as usize;
+            while let Some(e) = sp.dequeue(SimTime::ZERO) {
+                let class = e.class.min(3) as usize;
                 for (higher, &count) in waiting.iter().enumerate().take(class) {
                     prop_assert_eq!(count, 0,
                         "class {} dequeued while class {} still waiting", class, higher);
@@ -807,23 +833,23 @@ mod proptests {
             }
         }
 
-        /// Byte accounting matches packet contents at all times.
+        /// Byte accounting matches entry contents at all times.
         #[test]
-        fn byte_accounting(pkts in proptest::collection::vec(arb_pkt(), 1..100)) {
+        fn byte_accounting(pkts in proptest::collection::vec(arb_entry(), 1..100)) {
             let mut q = DropTail::new(QueueLimit::Bytes(20_000));
             let mut dropped = Vec::new();
             let mut expected: u64 = 0;
-            for p in pkts {
-                let size = p.size_bytes as u64;
+            for (i, &(class, size)) in pkts.iter().enumerate() {
                 let before = dropped.len();
-                q.enqueue(p, SimTime::ZERO, &mut dropped);
+                q.enqueue(QEntry::new(PacketSlot(i as u32), size, class),
+                          SimTime::ZERO, &mut dropped);
                 if dropped.len() == before {
-                    expected += size;
+                    expected += size as u64;
                 }
                 prop_assert_eq!(q.len_bytes(), expected);
             }
-            while let Some(p) = q.dequeue(SimTime::ZERO) {
-                expected -= p.size_bytes as u64;
+            while let Some(e) = q.dequeue(SimTime::ZERO) {
+                expected -= e.size_bytes as u64;
                 prop_assert_eq!(q.len_bytes(), expected);
             }
             prop_assert_eq!(q.len_bytes(), 0);

@@ -5,6 +5,34 @@
 //! same instant fire in FIFO order. This makes every simulation run
 //! bit-reproducible for a fixed seed — a hard invariant of this workspace
 //! (see the property tests in this module and in `tests/`).
+//!
+//! # Storage layout
+//!
+//! The queue stores events in two tiers:
+//!
+//! * **Inline entries.** Pending events are a compact [`Ev`] (16 bytes)
+//!   paired with a `u128` ordering key — 32 bytes total, stored *by value*
+//!   in the heap and the sorted run. Timers and tx-completes carry their
+//!   whole payload inline; nothing is allocated for them.
+//! * **Arenas.** Packet payloads (~140 bytes) live in a free-list slab
+//!   and ride through the queue as a [`PacketSlot`] handle; the rare
+//!   fault actions live in a second slab. Heap sifts therefore move 32
+//!   bytes per swap instead of a whole packet, and a packet is copied
+//!   exactly twice on its way through a hop (once into the arena when the
+//!   source hands it over, once out on final delivery) — queue disciplines
+//!   and ports shuffle [`PacketSlot`]s, not payloads.
+//!
+//! # Batched draining
+//!
+//! Popping exclusively from a binary heap pays a cache-cold sift-down per
+//! event. Instead the queue drains the heap [`RUN_BATCH`] entries at a time
+//! into a *sorted run* (descending, so the next event is an `O(1)`
+//! `Vec::pop`). The run is fenced by `run_ceiling`: every key in the heap
+//! is `>= run_ceiling` and every key in the run is `< run_ceiling`, so a
+//! newly scheduled event lands in the run (sorted insert into at most
+//! `RUN_BATCH` cache-hot entries) exactly when it must fire before the
+//! fence, and in the heap otherwise. Keys are unique, which makes the fence
+//! exact: total pop order is identical to a pure heap, bit for bit.
 
 use crate::faults::FaultAction;
 use crate::packet::{AgentId, Packet};
@@ -59,39 +87,109 @@ impl Event {
     }
 }
 
-/// A heap entry: the event lives in the slab, the heap holds only the
-/// ordering key and the slab index. [`Event`] is ~150 bytes (a
-/// [`Packet`] rides inline), and heap sifts move entries by value — with
-/// events stored out of line each swap moves 32 bytes instead, and the
-/// `(time, seq)` lexicographic order packs into one `u128` comparison
-/// (`time` in the high 64 bits, `seq` below it).
-#[derive(Debug, PartialEq, Eq)]
-struct Scheduled {
-    key: u128,
-    slot: u32,
+/// Handle to a packet parked in the queue's packet arena.
+///
+/// Slots are opaque to queue disciplines: a discipline orders and drops
+/// [`crate::disc::QEntry`] values without ever dereferencing the payload.
+/// Only the simulator core (via [`crate::sim::Context`]) stashes and takes
+/// packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketSlot(pub u32);
+
+/// A free-list slab: steady-state insert/take never allocates.
+#[derive(Debug)]
+struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
 }
 
-impl Scheduled {
-    fn new(time: SimTime, seq: u64, slot: u32) -> Self {
-        Scheduled { key: (u128::from(time.as_nanos()) << 64) | u128::from(seq), slot }
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab { slots: Vec::new(), free: Vec::new() }
+    }
+}
+
+impl<T> Slab<T> {
+    fn insert(&mut self, value: T) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(value);
+                i
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("slab slot overflow");
+                self.slots.push(Some(value));
+                i
+            }
+        }
     }
 
+    fn take(&mut self, i: u32) -> T {
+        let v = self.slots[i as usize].take().expect("empty slab slot");
+        self.free.push(i);
+        v
+    }
+
+    fn get(&self, i: u32) -> &T {
+        self.slots[i as usize].as_ref().expect("empty slab slot")
+    }
+
+    fn get_mut(&mut self, i: u32) -> &mut T {
+        self.slots[i as usize].as_mut().expect("empty slab slot")
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
+/// Compact in-queue event: 16 bytes, stored by value in heap entries.
+/// Payloads too large to inline (packets, fault actions) are referenced by
+/// slab index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Ev {
+    /// A packet (parked at `slot`) arrives at `dst`.
+    Arrival { dst: AgentId, slot: PacketSlot },
+    /// Port `port` of `agent` finished serializing.
+    Tx { agent: AgentId, port: u32 },
+    /// A timer of `agent` fired.
+    Timer { agent: AgentId, token: u64 },
+    /// Fault action parked at index `idx` fires at `agent`.
+    Fault { agent: AgentId, idx: u32 },
+}
+
+/// A pending event: ordering key plus inline compact event. 32 bytes; heap
+/// sifts and run shifts move entries by value. The `(time, seq)`
+/// lexicographic order packs into one `u128` comparison (`time` in the high
+/// 64 bits, `seq` below it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    key: u128,
+    ev: Ev,
+}
+
+impl Entry {
     fn time(&self) -> SimTime {
         SimTime::from_nanos((self.key >> 64) as u64)
     }
 }
 
-impl Ord for Scheduled {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest event.
         other.key.cmp(&self.key)
     }
 }
-impl PartialOrd for Scheduled {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
+
+/// How many entries a refill drains from the heap into the sorted run.
+/// Small enough that the run (and sorted inserts into it) stay L1-resident,
+/// large enough to amortize the drain loop.
+const RUN_BATCH: usize = 128;
 
 /// Priority queue of pending events.
 ///
@@ -111,12 +209,14 @@ impl PartialOrd for Scheduled {
 /// ```
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
-    /// Out-of-line event storage; `None` slots are free and their indices
-    /// are kept in `free` for reuse, so steady-state scheduling never
-    /// allocates.
-    slab: Vec<Option<Event>>,
-    free: Vec<u32>,
+    heap: BinaryHeap<Entry>,
+    /// Drained batch, sorted descending by key: the next event to fire is
+    /// `run.last()`. Invariant: when non-empty, every key here is
+    /// `< run_ceiling` and every heap key is `>= run_ceiling`.
+    run: Vec<Entry>,
+    run_ceiling: u128,
+    packets: Slab<Packet>,
+    fault_slab: Slab<FaultAction>,
     next_seq: u64,
 }
 
@@ -126,49 +226,169 @@ impl EventQueue {
         Self::default()
     }
 
+    fn key(time: SimTime, seq: u64) -> u128 {
+        (u128::from(time.as_nanos()) << 64) | u128::from(seq)
+    }
+
+    /// Parks a packet payload in the arena and returns its slot.
+    pub fn stash_packet(&mut self, packet: Packet) -> PacketSlot {
+        PacketSlot(self.packets.insert(packet))
+    }
+
+    /// Removes and returns the packet parked at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant (double-take or a forged slot).
+    pub fn take_packet(&mut self, slot: PacketSlot) -> Packet {
+        self.packets.take(slot.0)
+    }
+
+    /// The packet parked at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant.
+    pub fn packet(&self, slot: PacketSlot) -> &Packet {
+        self.packets.get(slot.0)
+    }
+
+    /// The packet parked at `slot`, mutably (feedback stamping in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant.
+    pub fn packet_mut(&mut self, slot: PacketSlot) -> &mut Packet {
+        self.packets.get_mut(slot.0)
+    }
+
+    /// Number of packets currently parked in the arena (queued in
+    /// disciplines, serializing, or in flight).
+    pub fn live_packets(&self) -> usize {
+        self.packets.len()
+    }
+
     /// Schedules `event` to fire at absolute time `time`.
     ///
     /// # Panics
     ///
-    /// Panics if more than `u32::MAX` events are pending at once.
+    /// Panics if more than `u32::MAX` packets or faults are pending at once.
     pub fn schedule(&mut self, time: SimTime, event: Event) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let slot = match self.free.pop() {
-            Some(i) => {
-                self.slab[i as usize] = Some(event);
-                i
+        let ev = match event {
+            Event::PacketArrival { dst, packet } => {
+                Ev::Arrival { dst, slot: self.stash_packet(packet) }
             }
-            None => {
-                let i = u32::try_from(self.slab.len()).expect("event queue slot overflow");
-                self.slab.push(Some(event));
-                i
+            Event::TxComplete { agent, port } => {
+                Ev::Tx { agent, port: u32::try_from(port).expect("port index overflow") }
+            }
+            Event::Timer { agent, token } => Ev::Timer { agent, token },
+            Event::Fault { agent, action } => {
+                Ev::Fault { agent, idx: self.fault_slab.insert(action) }
             }
         };
-        self.heap.push(Scheduled::new(time, seq, slot));
+        self.schedule_ev(time, ev);
+    }
+
+    /// Schedules a compact event (the allocation-free hot path).
+    pub(crate) fn schedule_ev(&mut self, time: SimTime, ev: Ev) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Entry { key: Self::key(time, seq), ev };
+        if !self.run.is_empty() && entry.key < self.run_ceiling {
+            // Fires before the fence: sorted insert into the hot run.
+            // Keys are unique so the position is unambiguous.
+            let at = self.run.partition_point(|e| e.key > entry.key);
+            self.run.insert(at, entry);
+        } else {
+            self.heap.push(entry);
+        }
+    }
+
+    /// Takes the fault action parked at `idx`.
+    pub(crate) fn take_fault(&mut self, idx: u32) -> FaultAction {
+        self.fault_slab.take(idx)
+    }
+
+    fn refill(&mut self) {
+        debug_assert!(self.run.is_empty());
+        for _ in 0..RUN_BATCH {
+            match self.heap.pop() {
+                Some(e) => self.run.push(e),
+                None => break,
+            }
+        }
+        // Heap pops arrive in ascending key order; the run pops from the
+        // back, so store it descending.
+        self.run.reverse();
+        // Keys are unique, so max(run) + 1 separates the run from the heap
+        // exactly: everything still in the heap compares >= the fence.
+        self.run_ceiling = match self.run.first() {
+            Some(e) => e.key + 1,
+            None => 0,
+        };
+        debug_assert!(self.heap.peek().is_none_or(|e| e.key >= self.run_ceiling));
+    }
+
+    /// Removes and returns the earliest compact event, or `None` when empty.
+    pub(crate) fn pop_entry(&mut self) -> Option<(SimTime, Ev)> {
+        if self.run.is_empty() {
+            self.refill();
+        }
+        self.run.pop().map(|e| (e.time(), e.ev))
+    }
+
+    /// Like [`EventQueue::pop_entry`], but only yields events at or before
+    /// `end` (strictly before when `inclusive` is false). The bound check
+    /// happens *before* removal, so rejected events stay queued.
+    pub(crate) fn pop_entry_before(
+        &mut self,
+        end: SimTime,
+        inclusive: bool,
+    ) -> Option<(SimTime, Ev)> {
+        if self.run.is_empty() {
+            self.refill();
+        }
+        let fence = if inclusive {
+            (u128::from(end.as_nanos()) + 1) << 64
+        } else {
+            u128::from(end.as_nanos()) << 64
+        };
+        match self.run.last() {
+            Some(e) if e.key < fence => self.run.pop().map(|e| (e.time(), e.ev)),
+            _ => None,
+        }
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        let s = self.heap.pop()?;
-        let event = self.slab[s.slot as usize].take().expect("heap entry without event");
-        self.free.push(s.slot);
-        Some((s.time(), event))
+        let (time, ev) = self.pop_entry()?;
+        let event = match ev {
+            Ev::Arrival { dst, slot } => {
+                Event::PacketArrival { dst, packet: self.take_packet(slot) }
+            }
+            Ev::Tx { agent, port } => Event::TxComplete { agent, port: port as usize },
+            Ev::Timer { agent, token } => Event::Timer { agent, token },
+            Ev::Fault { agent, idx } => Event::Fault { agent, action: self.take_fault(idx) },
+        };
+        Some((time, event))
     }
 
     /// Time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(Scheduled::time)
+        match self.run.last() {
+            Some(e) => Some(e.time()),
+            None => self.heap.peek().map(Entry::time),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.run.len() + self.heap.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.run.is_empty() && self.heap.is_empty()
     }
 }
 
@@ -226,6 +446,63 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(4)));
         assert_eq!(q.len(), 2);
     }
+
+    #[test]
+    fn packet_payload_round_trips_through_arena() {
+        use crate::packet::{FlowId, Packet};
+        let mut q = EventQueue::new();
+        let pkt = Packet::data(FlowId(3), AgentId(0), AgentId(1), 500).with_seq(9);
+        q.schedule(SimTime::from_nanos(1), Event::PacketArrival { dst: AgentId(1), packet: pkt });
+        assert_eq!(q.live_packets(), 1);
+        let (_, ev) = q.pop().unwrap();
+        match ev {
+            Event::PacketArrival { dst, packet } => {
+                assert_eq!(dst, AgentId(1));
+                assert_eq!(packet.flow, FlowId(3));
+                assert_eq!(packet.seq, 9);
+            }
+            other => panic!("expected arrival, got {other:?}"),
+        }
+        assert_eq!(q.live_packets(), 0, "pop must release the arena slot");
+    }
+
+    #[test]
+    fn arena_slots_are_reused() {
+        use crate::packet::{FlowId, Packet};
+        let mut q = EventQueue::new();
+        for round in 0..50u64 {
+            let pkt = Packet::data(FlowId(0), AgentId(0), AgentId(1), 100).with_seq(round);
+            let slot = q.stash_packet(pkt);
+            assert!(slot.0 < 2, "free list must recycle slots, got {slot:?}");
+            let p = q.take_packet(slot);
+            assert_eq!(p.seq, round);
+        }
+    }
+
+    #[test]
+    fn scheduling_into_the_hot_run_preserves_order() {
+        // Drain far enough to force a refill, then schedule events that land
+        // inside the run's fence and check total order is maintained.
+        let mut q = EventQueue::new();
+        for tok in 0..300u64 {
+            q.schedule(SimTime::from_nanos(10 * tok + 1000), timer(tok));
+        }
+        // First pop triggers a refill of RUN_BATCH entries.
+        let (t0, _) = q.pop().unwrap();
+        assert_eq!(t0, SimTime::from_nanos(1000));
+        // These fire before the 128-entry fence (and before many run keys).
+        q.schedule(SimTime::from_nanos(1005), timer(900));
+        q.schedule(SimTime::from_nanos(1015), timer(901));
+        let mut last = t0;
+        let mut seen = Vec::new();
+        while let Some((t, Event::Timer { token, .. })) = q.pop() {
+            assert!(t >= last, "pop order regressed: {t:?} after {last:?}");
+            last = t;
+            seen.push(token);
+        }
+        assert_eq!(seen.len(), 301);
+        assert_eq!(seen[0], 900, "inserted event must fire in key order");
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +532,38 @@ mod proptests {
                 }
                 last = Some((t, token));
             }
+        }
+
+        /// Interleaved schedule/pop keeps global order: popping must never
+        /// yield a time earlier than one already popped, no matter how
+        /// schedules interleave with refills of the sorted run.
+        #[test]
+        fn interleaved_schedule_pop_is_monotone(
+            script in proptest::collection::vec((0u64..1000, 0u8..4), 1..400)
+        ) {
+            let mut q = EventQueue::new();
+            let mut horizon = 0u64;
+            let mut last_popped = SimTime::ZERO;
+            for (token, (dt, pops)) in script.into_iter().enumerate() {
+                // Times never go backwards relative to the last pop, mirroring
+                // how the simulator only schedules at or after `now`.
+                horizon = horizon.max(last_popped.as_nanos()) + dt;
+                q.schedule(
+                    SimTime::from_nanos(horizon),
+                    Event::Timer { agent: AgentId(0), token: token as u64 },
+                );
+                for _ in 0..pops {
+                    if let Some((t, _)) = q.pop() {
+                        prop_assert!(t >= last_popped);
+                        last_popped = t;
+                    }
+                }
+            }
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last_popped);
+                last_popped = t;
+            }
+            prop_assert!(q.is_empty());
         }
     }
 }

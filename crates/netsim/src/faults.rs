@@ -284,7 +284,7 @@ pub fn apply_port_fault(ports: &mut [Port], action: &FaultAction, ctx: &mut Cont
         }
         FaultAction::FlushQueues => {
             for p in ports.iter_mut() {
-                p.flush(ctx.now);
+                p.flush(ctx);
             }
         }
         FaultAction::SetControlPolicy(_) | FaultAction::ClearControlPolicy => {}

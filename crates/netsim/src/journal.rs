@@ -91,21 +91,25 @@ impl Journal {
 
     /// Records one dispatch (called by the simulator).
     pub fn record(&mut self, time: SimTime, event: &Event) {
-        let entry = Entry {
-            time,
-            target: event.target(),
-            kind: match event {
-                Event::PacketArrival { packet, .. } => EntryKind::PacketArrival {
-                    id: packet.id,
-                    flow: packet.flow,
-                    class: packet.class,
-                    bytes: packet.size_bytes,
-                },
-                Event::TxComplete { port, .. } => EntryKind::TxComplete { port: *port },
-                Event::Timer { token, .. } => EntryKind::Timer { token: *token },
-                Event::Fault { action, .. } => EntryKind::Fault { action: *action },
+        let kind = match event {
+            Event::PacketArrival { packet, .. } => EntryKind::PacketArrival {
+                id: packet.id,
+                flow: packet.flow,
+                class: packet.class,
+                bytes: packet.size_bytes,
             },
+            Event::TxComplete { port, .. } => EntryKind::TxComplete { port: *port },
+            Event::Timer { token, .. } => EntryKind::Timer { token: *token },
+            Event::Fault { action, .. } => EntryKind::Fault { action: *action },
         };
+        self.record_kind(time, event.target(), kind);
+    }
+
+    /// Records one dispatch from its parts. The hot dispatch loop uses this
+    /// so journaling never requires materializing an [`Event`] (packet
+    /// payloads stay parked in the arena).
+    pub fn record_kind(&mut self, time: SimTime, target: AgentId, kind: EntryKind) {
+        let entry = Entry { time, target, kind };
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
         }

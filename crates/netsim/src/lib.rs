@@ -73,6 +73,7 @@ pub mod clock;
 pub mod disc;
 pub mod error;
 pub mod event;
+pub mod fasthash;
 pub mod faults;
 pub mod hist;
 pub mod journal;

@@ -6,7 +6,7 @@
 //! discipline for the next packet. Agents embed ports and forward
 //! [`crate::sim::Agent::on_tx_complete`] callbacks to them.
 
-use crate::disc::Discipline;
+use crate::disc::{Discipline, QEntry};
 use crate::packet::{AgentId, Packet};
 use crate::sim::Context;
 use crate::time::{Rate, SimDuration, SimTime};
@@ -63,7 +63,7 @@ pub struct Port {
     tx_started: SimTime,
     /// Statistics.
     pub stats: PortStats,
-    scratch_drops: Vec<Packet>,
+    scratch_drops: Vec<QEntry>,
 }
 
 impl Port {
@@ -134,14 +134,16 @@ impl Port {
     }
 
     /// Discards every queued packet (a simulated reboot), counting each in
-    /// the drop statistics. A packet already serializing is not recalled.
-    /// Returns the number of packets flushed.
-    pub fn flush(&mut self, now: SimTime) -> usize {
+    /// the drop statistics and releasing the parked payloads. A packet
+    /// already serializing is not recalled. Returns the number of packets
+    /// flushed.
+    pub fn flush(&mut self, ctx: &mut Context<'_>) -> usize {
         let mut flushed = 0;
-        while let Some(p) = self.disc.dequeue(now) {
+        while let Some(e) = self.disc.dequeue(ctx.now) {
             self.stats.dropped_packets += 1;
-            self.stats.dropped_bytes += p.size_bytes as u64;
-            self.stats.drops_by_class[p.class.min(3) as usize] += 1;
+            self.stats.dropped_bytes += e.size_bytes as u64;
+            self.stats.drops_by_class[e.class.min(3) as usize] += 1;
+            ctx.release(e.slot);
             flushed += 1;
         }
         flushed
@@ -168,33 +170,40 @@ impl Port {
         self.disc = disc;
     }
 
-    /// Offers a packet for transmission. If the port is idle the packet
-    /// starts serializing immediately; otherwise it is queued (and possibly
-    /// dropped by the discipline). Returns the packets dropped by this call.
-    pub fn send(&mut self, pkt: Packet, ctx: &mut Context<'_>) -> &[Packet] {
+    /// Offers a packet for transmission. The payload is parked in the event
+    /// queue's arena immediately; the discipline only ever handles the
+    /// 16-byte [`QEntry`] descriptor. If the port is idle the packet starts
+    /// serializing at once; otherwise it is queued (and possibly dropped by
+    /// the discipline — drops release their arena slot before returning).
+    /// Returns descriptors of the packets dropped by this call.
+    pub fn send(&mut self, pkt: Packet, ctx: &mut Context<'_>) -> &[QEntry] {
         self.scratch_drops.clear();
+        let size_bytes = pkt.size_bytes;
+        let class = pkt.class;
+        let entry = QEntry::new(ctx.stash(pkt), size_bytes, class);
         if self.busy || !self.up {
-            self.disc.enqueue(pkt, ctx.now, &mut self.scratch_drops);
+            self.disc.enqueue(entry, ctx.now, &mut self.scratch_drops);
             for d in &self.scratch_drops {
                 self.stats.dropped_packets += 1;
                 self.stats.dropped_bytes += d.size_bytes as u64;
                 self.stats.drops_by_class[d.class.min(3) as usize] += 1;
+                ctx.release(d.slot);
             }
         } else {
-            self.begin_tx(pkt, ctx);
+            self.begin_tx(entry, ctx);
         }
         &self.scratch_drops
     }
 
-    fn begin_tx(&mut self, pkt: Packet, ctx: &mut Context<'_>) {
-        let tx = self.rate.tx_time(pkt.size_bytes);
+    fn begin_tx(&mut self, entry: QEntry, ctx: &mut Context<'_>) {
+        let tx = self.rate.tx_time(entry.size_bytes);
         self.busy = true;
         self.tx_started = ctx.now;
         self.stats.tx_packets += 1;
-        self.stats.tx_bytes += pkt.size_bytes as u64;
-        self.stats.tx_by_class[pkt.class.min(3) as usize] += 1;
+        self.stats.tx_bytes += entry.size_bytes as u64;
+        self.stats.tx_by_class[entry.class.min(3) as usize] += 1;
         ctx.schedule_tx_complete(self.index, tx);
-        ctx.deliver(self.peer, tx + self.delay, pkt);
+        ctx.deliver_slot(self.peer, tx + self.delay, entry.slot);
     }
 
     /// Must be called from the owning agent's

@@ -8,8 +8,7 @@
 //! from the queue length. Included as a classical baseline for comparing
 //! AQM behaviours against the PELS discipline.
 
-use crate::disc::{Discipline, DropTail, QueueLimit};
-use crate::packet::Packet;
+use crate::disc::{Discipline, DropTail, QEntry, QueueLimit};
 use crate::time::{Rate, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -112,22 +111,22 @@ impl Discipline for Rem {
         self
     }
 
-    fn enqueue(&mut self, pkt: Packet, now: SimTime, dropped: &mut Vec<Packet>) {
+    fn enqueue(&mut self, entry: QEntry, now: SimTime, dropped: &mut Vec<QEntry>) {
         self.advance_price(now);
         let p = self.drop_probability();
         if p > 0.0 && self.rng.gen::<f64>() < p {
             self.early_drops += 1;
-            dropped.push(pkt);
+            dropped.push(entry);
             return;
         }
         // The rate-mismatch term uses the *accepted* rate, so the price has
         // a well-defined equilibrium even against unresponsive sources
         // (accepted rate -> capacity, drop rate -> overload fraction).
-        self.bytes_since_update += pkt.size_bytes as u64;
-        self.inner.enqueue(pkt, now, dropped);
+        self.bytes_since_update += entry.size_bytes as u64;
+        self.inner.enqueue(entry, now, dropped);
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<QEntry> {
         self.inner.dequeue(now)
     }
 
@@ -147,10 +146,10 @@ impl Discipline for Rem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{AgentId, FlowId};
+    use crate::event::PacketSlot;
 
-    fn pkt() -> Packet {
-        Packet::data(FlowId(0), AgentId(0), AgentId(1), 500)
+    fn ent() -> QEntry {
+        QEntry::new(PacketSlot(0), 500, 0)
     }
 
     /// Feeds `rate_mbps` of arrivals over `[start_s, start_s + secs)` while
@@ -172,7 +171,7 @@ mod tests {
         let before = rem.early_drops;
         for k in 0..arrivals {
             let now = SimTime::from_nanos(start_ns + k * gap_ns);
-            rem.enqueue(pkt(), now, &mut dropped);
+            rem.enqueue(ent(), now, &mut dropped);
             while next_service <= now.as_nanos() {
                 rem.dequeue(now);
                 next_service += service_gap_ns;

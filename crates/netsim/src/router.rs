@@ -4,17 +4,20 @@
 //! live in `pels-core` and embed the same [`Port`]s; this one provides plain
 //! destination-based forwarding for access/aggregation nodes and tests.
 
+use crate::fasthash::FastMap;
 use crate::faults::{apply_port_fault, FaultAction};
 use crate::packet::{AgentId, Packet};
 use crate::port::Port;
 use crate::sim::{Agent, Context};
 use std::any::Any;
-use std::collections::HashMap;
 
 /// Destination-based forwarding table: `dst agent -> output port index`.
+///
+/// Looked up once per forwarded packet, so it hashes with the fixed-seed
+/// [`FastMap`] rather than SipHash.
 #[derive(Debug, Clone, Default)]
 pub struct RouteTable {
-    routes: HashMap<AgentId, usize>,
+    routes: FastMap<AgentId, usize>,
     default_port: Option<usize>,
 }
 

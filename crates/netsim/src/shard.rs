@@ -49,7 +49,34 @@ use crate::faults::{FaultSchedule, GLOBAL};
 use crate::packet::AgentId;
 use crate::sim::{Agent, AgentLookup, Simulator};
 use crate::time::{SimDuration, SimTime};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Barrier};
+
+/// Bounded depth of each worker-pair ring in relaxed mode, in *window
+/// batches*. The two-barrier window protocol bounds in-flight batches per
+/// ring to 2 (a sender can run at most one window ahead of a receiver's
+/// drain), so 4 gives 2× headroom and `send` never blocks in steady state.
+const RING_DEPTH: usize = 4;
+
+/// How a multi-shard [`ShardedSimulator`] synchronizes its shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Spawn-per-window workers plus a global barrier merge of all
+    /// cross-shard events in canonical `(time, src shard, seq)` order.
+    /// Byte-identical to the serial simulator at every worker count — the
+    /// correctness oracle for [`ExecMode::Relaxed`].
+    #[default]
+    Deterministic,
+    /// Persistent worker threads exchanging cross-shard events through
+    /// bounded per-worker-pair rings, injected in per-ring arrival order
+    /// with no global sort. Same conservative-window safety guarantees
+    /// (no event is ever injected into a shard's past), but FIFO
+    /// tie-break sequence numbers at the destination may differ between
+    /// runs when a fast worker's batch lands one window early — so
+    /// results are *not* guaranteed bit-identical to deterministic mode.
+    Relaxed,
+}
 
 /// Derives the RNG seed for stream `index` from the run seed via
 /// SplitMix64 — the standard stream-splitting construction: statistically
@@ -330,8 +357,10 @@ pub struct ShardedSimulator {
     lookahead: Option<SimDuration>,
     now: SimTime,
     workers: usize,
+    mode: ExecMode,
     barriers: u64,
     cross_events: u64,
+    threads_spawned: u64,
 }
 
 impl ShardedSimulator {
@@ -385,14 +414,17 @@ impl ShardedSimulator {
             lookahead: partition.lookahead,
             now: SimTime::ZERO,
             workers: 1,
+            mode: ExecMode::Deterministic,
             barriers: 0,
             cross_events: 0,
+            threads_spawned: 0,
         }
     }
 
     /// Sets the number of worker threads used for multi-shard windows.
-    /// Affects wall-clock time only — the event schedule is fixed by the
-    /// partition, so results are byte-identical at every worker count.
+    /// In [`ExecMode::Deterministic`] this affects wall-clock time only —
+    /// the event schedule is fixed by the partition, so results are
+    /// byte-identical at every worker count.
     pub fn set_workers(&mut self, workers: usize) {
         self.workers = workers.max(1);
     }
@@ -400,6 +432,30 @@ impl ShardedSimulator {
     /// The configured worker thread count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The worker threads a window execution will actually use: the
+    /// configured count clamped to the shard count (a shard is the unit
+    /// of parallelism; extra threads would have nothing to run).
+    pub fn effective_workers(&self) -> usize {
+        self.workers.min(self.shards.len()).max(1)
+    }
+
+    /// Selects the synchronization mode for multi-shard execution.
+    pub fn set_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// The configured synchronization mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Total worker threads spawned so far. Stays 0 while
+    /// [`ShardedSimulator::effective_workers`] is 1: single-worker windows
+    /// run in the calling thread.
+    pub fn threads_spawned(&self) -> u64 {
+        self.threads_spawned
     }
 
     /// Number of shards in the partition.
@@ -511,6 +567,10 @@ impl ShardedSimulator {
             self.now = deadline.max(self.now);
             return;
         }
+        if self.mode == ExecMode::Relaxed && self.effective_workers() > 1 {
+            self.run_until_relaxed(deadline);
+            return;
+        }
         let window = self.lookahead.unwrap_or(SimDuration::ZERO);
         loop {
             // Independent components (no lookahead) take one window to the
@@ -552,8 +612,10 @@ impl ShardedSimulator {
             return;
         }
         let chunk = self.shards.len().div_ceil(workers);
+        let mut spawned = 0u64;
         std::thread::scope(|scope| {
             for group in self.shards.chunks_mut(chunk) {
+                spawned += 1;
                 scope.spawn(move || {
                     for shard in group {
                         shard.run_window(end, inclusive);
@@ -561,6 +623,133 @@ impl ShardedSimulator {
                 });
             }
         });
+        self.threads_spawned += spawned;
+    }
+
+    /// Relaxed multi-worker execution: worker threads persist across all
+    /// windows of the run, exchanging cross-shard events through bounded
+    /// per-worker-pair rings ([`RING_DEPTH`] window batches deep).
+    ///
+    /// Per window, each worker: runs its shards to the window end, drains
+    /// their outboxes into one batch per destination worker (preserving
+    /// per-shard emission order) and sends the non-empty batches, then
+    /// crosses two reusable barriers. The continue/stop decision reads a
+    /// cumulative moved-event counter strictly between the barriers, where
+    /// no `fetch_add` can be in flight — every worker therefore reads the
+    /// same value and makes the same decision. After the second barrier
+    /// each worker drains its incoming rings in source-worker order and
+    /// injects the events into its own shards.
+    ///
+    /// Safety of early injection: a batch produced in window `w+1` by a
+    /// fast worker may land in a slow worker's window-`w` drain, but every
+    /// cross event fires at least one lookahead past its emission window,
+    /// so it is never in the receiving shard's past. Only the destination
+    /// queue's FIFO tie-break sequence assignment can differ — the
+    /// documented bit-identity trade of [`ExecMode::Relaxed`].
+    fn run_until_relaxed(&mut self, deadline: SimTime) {
+        let window = self.lookahead.unwrap_or(SimDuration::ZERO);
+        let chunk = self.shards.len().div_ceil(self.effective_workers());
+        // The last chunk can absorb the remainder, leaving fewer groups
+        // than requested workers; barriers must count actual threads.
+        let n_groups = self.shards.len().div_ceil(chunk);
+        let start_now = self.now;
+
+        // Ring matrix: rings[src][dst]; receivers regrouped per dst in
+        // src order so the drain order below is fixed.
+        let mut txs: Vec<Vec<SyncSender<Vec<CrossEvent>>>> =
+            (0..n_groups).map(|_| Vec::with_capacity(n_groups)).collect();
+        let mut rxs: Vec<Vec<Receiver<Vec<CrossEvent>>>> =
+            (0..n_groups).map(|_| Vec::with_capacity(n_groups)).collect();
+        for txs_row in &mut txs {
+            for rxs_row in &mut rxs {
+                let (tx, rx) = sync_channel(RING_DEPTH);
+                txs_row.push(tx);
+                rxs_row.push(rx);
+            }
+        }
+
+        let barrier_a = Barrier::new(n_groups);
+        let barrier_b = Barrier::new(n_groups);
+        let moved_total = AtomicU64::new(0);
+        let windows_run = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            let groups = self.shards.chunks_mut(chunk);
+            for (((w, group), my_txs), my_rxs) in
+                groups.enumerate().zip(txs.drain(..)).zip(rxs.drain(..))
+            {
+                let (barrier_a, barrier_b) = (&barrier_a, &barrier_b);
+                let (moved_total, windows_run) = (&moved_total, &windows_run);
+                let base = w * chunk;
+                scope.spawn(move || {
+                    let mut now = start_now;
+                    let mut prev_total = 0u64;
+                    let mut batches: Vec<Vec<CrossEvent>> =
+                        (0..my_txs.len()).map(|_| Vec::new()).collect();
+                    loop {
+                        let target = if window.is_zero() {
+                            deadline
+                        } else {
+                            deadline.min(now.saturating_add(window))
+                        };
+                        let last = target == deadline;
+                        for shard in group.iter_mut() {
+                            shard.run_window(target, last);
+                        }
+                        let mut moved = 0u64;
+                        for shard in group.iter_mut() {
+                            for ev in shard.drain_outbox() {
+                                moved += 1;
+                                let dst = (ev.dst_shard as usize / chunk).min(my_txs.len() - 1);
+                                batches[dst].push(ev);
+                            }
+                        }
+                        for (tx, batch) in my_txs.iter().zip(batches.iter_mut()) {
+                            if !batch.is_empty() {
+                                tx.send(std::mem::take(batch)).expect("receiver lives in scope");
+                            }
+                        }
+                        moved_total.fetch_add(moved, Ordering::SeqCst);
+                        barrier_a.wait();
+                        // No worker can be past its next fetch_add here:
+                        // reaching it requires passing barrier B, which
+                        // requires everyone to finish this load first.
+                        let total = moved_total.load(Ordering::SeqCst);
+                        barrier_b.wait();
+                        for rx in &my_rxs {
+                            while let Ok(batch) = rx.try_recv() {
+                                for ev in batch {
+                                    debug_assert!(
+                                        ev.time >= target,
+                                        "lookahead violation: relaxed cross event at {:?} \
+                                         before barrier {:?}",
+                                        ev.time,
+                                        target
+                                    );
+                                    group[ev.dst_shard as usize - base].inject(ev.time, ev.event);
+                                }
+                            }
+                        }
+                        now = target;
+                        if w == 0 {
+                            windows_run.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if last && total == prev_total {
+                            break;
+                        }
+                        prev_total = total;
+                    }
+                    for shard in group.iter_mut() {
+                        shard.advance_clock_to(deadline);
+                    }
+                });
+            }
+        });
+
+        self.now = deadline.max(self.now);
+        self.barriers += windows_run.load(Ordering::Relaxed);
+        self.cross_events += moved_total.load(Ordering::Relaxed);
+        self.threads_spawned += n_groups as u64;
     }
 
     /// Drains every shard's outbox and schedules the events into their
@@ -800,6 +989,121 @@ mod tests {
             );
         }
         assert_eq!(sharded.events_processed(), serial.events_processed());
+    }
+
+    #[test]
+    fn relaxed_mode_matches_deterministic_on_cut_pair() {
+        // Two shards over a 4 ms cut. The relaxed engine must deliver the
+        // same per-agent histories here: with one ring per direction and
+        // lockstep windows there is no cross-ring interleaving to perturb
+        // FIFO tie-breaks in this topology.
+        let mut g = TopologyGraph::new(2);
+        g.add_link(AgentId(0), AgentId(1), ms(4));
+        let p = Partition::cut(&g);
+        assert_eq!(p.n_shards, 2);
+
+        let run = |mode: ExecMode, workers: usize| {
+            let mut sim = ShardedSimulator::new(11, &p, pair(20, ms(4)));
+            sim.set_workers(workers);
+            sim.set_mode(mode);
+            sim.run_until(SimTime::from_secs_f64(2.0));
+            (
+                sim.agent::<Chatter>(AgentId(0)).got.clone(),
+                sim.agent::<Chatter>(AgentId(1)).got.clone(),
+                sim.events_processed(),
+                sim.cross_events(),
+            )
+        };
+        let oracle = run(ExecMode::Deterministic, 1);
+        assert_eq!(oracle, run(ExecMode::Relaxed, 2));
+        assert_eq!(oracle.1.len(), 20);
+    }
+
+    #[test]
+    fn relaxed_mode_handles_independent_components() {
+        // No lookahead: one window to the deadline, no cross events.
+        let mut g = TopologyGraph::new(4);
+        g.add_link(AgentId(0), AgentId(1), ms(2));
+        g.add_link(AgentId(2), AgentId(3), ms(7));
+        let p = Partition::auto(&g);
+        assert_eq!(p.n_shards, 2);
+        let agents = || -> Vec<Box<dyn Agent>> {
+            vec![
+                Box::new(Chatter { peer: AgentId(1), n: 3, delay: ms(2), got: vec![] }),
+                Box::new(Chatter { peer: AgentId(0), n: 0, delay: ms(2), got: vec![] }),
+                Box::new(Chatter { peer: AgentId(3), n: 5, delay: ms(7), got: vec![] }),
+                Box::new(Chatter { peer: AgentId(2), n: 0, delay: ms(7), got: vec![] }),
+            ]
+        };
+        let mut det = ShardedSimulator::new(9, &p, agents());
+        det.run_until(SimTime::from_secs_f64(1.0));
+        let mut rel = ShardedSimulator::new(9, &p, agents());
+        rel.set_workers(2);
+        rel.set_mode(ExecMode::Relaxed);
+        rel.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(rel.cross_events(), 0);
+        for i in 0..4u32 {
+            assert_eq!(
+                rel.agent::<Chatter>(AgentId(i)).got,
+                det.agent::<Chatter>(AgentId(i)).got,
+                "agent {i} history differs"
+            );
+        }
+    }
+
+    #[test]
+    fn relaxed_mode_survives_worker_counts_exceeding_groups() {
+        // 4 shards, 3 workers: chunks of 2 leave only 2 groups; barriers
+        // and rings must size to the actual thread count, not the request.
+        let mut g = TopologyGraph::new(8);
+        for pair_idx in 0..4u32 {
+            g.add_link(AgentId(pair_idx * 2), AgentId(pair_idx * 2 + 1), ms(3));
+        }
+        let p = Partition::components(&g);
+        assert_eq!(p.n_shards, 4);
+        let agents = || -> Vec<Box<dyn Agent>> {
+            (0..4u32)
+                .flat_map(|i| {
+                    vec![
+                        Box::new(Chatter {
+                            peer: AgentId(i * 2 + 1),
+                            n: 2,
+                            delay: ms(3),
+                            got: vec![],
+                        }) as Box<dyn Agent>,
+                        Box::new(Chatter { peer: AgentId(i * 2), n: 0, delay: ms(3), got: vec![] }),
+                    ]
+                })
+                .collect()
+        };
+        let mut sim = ShardedSimulator::new(5, &p, agents());
+        sim.set_workers(3);
+        sim.set_mode(ExecMode::Relaxed);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(sim.threads_spawned(), 2, "2 groups of 2 shards");
+        for i in 0..4u32 {
+            assert_eq!(sim.agent::<Chatter>(AgentId(i * 2 + 1)).got.len(), 2);
+        }
+    }
+
+    #[test]
+    fn single_worker_windows_spawn_no_threads() {
+        let mut g = TopologyGraph::new(2);
+        g.add_link(AgentId(0), AgentId(1), ms(4));
+        let p = Partition::cut(&g);
+        for mode in [ExecMode::Deterministic, ExecMode::Relaxed] {
+            let mut sim = ShardedSimulator::new(11, &p, pair(5, ms(4)));
+            sim.set_workers(1);
+            sim.set_mode(mode);
+            sim.run_until(SimTime::from_secs_f64(1.0));
+            assert_eq!(sim.threads_spawned(), 0, "{mode:?} with one worker must run in-thread");
+            assert_eq!(sim.effective_workers(), 1);
+        }
+        // Multi-worker deterministic windows do spawn (and say so).
+        let mut sim = ShardedSimulator::new(11, &p, pair(5, ms(4)));
+        sim.set_workers(2);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert!(sim.threads_spawned() > 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! unsafe, fully deterministic.
 
 use crate::error::SimError;
-use crate::event::{Event, EventQueue};
+use crate::event::{Ev, Event, EventQueue, PacketSlot};
 use crate::faults::{ControlFaultPolicy, FaultAction, FaultSchedule, FaultStats};
 use crate::journal::Journal;
 use crate::packet::{AgentId, Packet, PacketId, PacketKind};
@@ -85,7 +85,7 @@ pub struct Context<'a> {
 impl Context<'_> {
     /// Schedules a timer for the current agent, `delay` from now.
     pub fn schedule_timer(&mut self, delay: SimDuration, token: u64) {
-        self.queue.schedule(self.now + delay, Event::Timer { agent: self.self_id, token });
+        self.queue.schedule_ev(self.now + delay, Ev::Timer { agent: self.self_id, token });
     }
 
     /// Delivers `packet` to `dst` after `delay` (propagation is modelled by
@@ -109,13 +109,70 @@ impl Context<'_> {
                 return;
             }
         }
-        self.queue.schedule(at, Event::PacketArrival { dst, packet });
+        let slot = self.queue.stash_packet(packet);
+        self.queue.schedule_ev(at, Ev::Arrival { dst, slot });
+    }
+
+    /// Parks a packet payload in the event queue's arena, returning its
+    /// slot. Ports use this so queue disciplines handle 16-byte
+    /// [`crate::disc::QEntry`] descriptors instead of whole packets.
+    pub fn stash(&mut self, packet: Packet) -> PacketSlot {
+        self.queue.stash_packet(packet)
+    }
+
+    /// Drops the packet parked at `slot`, freeing the slot (a discipline
+    /// drop or a queue flush).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant.
+    pub fn release(&mut self, slot: PacketSlot) {
+        let _ = self.queue.take_packet(slot);
+    }
+
+    /// The packet parked at `slot`, for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant.
+    pub fn packet(&self, slot: PacketSlot) -> &Packet {
+        self.queue.packet(slot)
+    }
+
+    /// Delivers the packet parked at `slot` to `dst` after `delay`, without
+    /// copying the payload: locally the slot rides through the event queue
+    /// as-is; a cross-shard delivery takes the packet out of the arena into
+    /// the outbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant.
+    pub fn deliver_slot(&mut self, dst: AgentId, delay: SimDuration, slot: PacketSlot) {
+        let at = self.now + delay;
+        if let Some(s) = &mut self.shard {
+            let dst_shard = s.map.shard_of[dst.0 as usize];
+            if dst_shard != s.shard {
+                let packet = self.queue.take_packet(slot);
+                let seq = s.out_seq;
+                s.out_seq += 1;
+                s.outbox.push(CrossEvent {
+                    time: at,
+                    dst_shard,
+                    src_shard: s.shard,
+                    seq,
+                    event: Event::PacketArrival { dst, packet },
+                });
+                return;
+            }
+        }
+        self.queue.schedule_ev(at, Ev::Arrival { dst, slot });
     }
 
     /// Schedules a transmit-complete callback for port `port` of the current
     /// agent, `delay` from now. Used by [`crate::port::Port`].
     pub fn schedule_tx_complete(&mut self, port: usize, delay: SimDuration) {
-        self.queue.schedule(self.now + delay, Event::TxComplete { agent: self.self_id, port });
+        let port = u32::try_from(port).expect("port index overflow");
+        self.queue.schedule_ev(self.now + delay, Ev::Tx { agent: self.self_id, port });
     }
 
     /// Allocates a fresh globally-unique packet id.
@@ -417,65 +474,128 @@ impl Simulator {
 
     /// Processes a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
+        self.step_bounded(None)
+    }
+
+    /// Pops and dispatches one event, optionally bounded by `(end,
+    /// inclusive)`: with a bound, events past the fence stay queued and the
+    /// call returns `false`. The single code path behind [`Simulator::step`],
+    /// [`Simulator::run_until`] and the windowed sharded executor.
+    fn step_bounded(&mut self, bound: Option<(SimTime, bool)>) -> bool {
         if !self.started {
             self.start_agents();
         }
-        let Some((time, event)) = self.queue.pop() else {
+        let popped = match bound {
+            None => self.queue.pop_entry(),
+            Some((end, inclusive)) => self.queue.pop_entry_before(end, inclusive),
+        };
+        let Some((time, ev)) = popped else {
             return false;
         };
         debug_assert!(time >= self.now, "time must be monotone");
         self.now = time;
         self.events_processed += 1;
         // +1 counts the event just popped: the high-water mark is the depth
-        // the heap reached before this dispatch drained it by one.
+        // the queue reached before this dispatch drained it by one.
         self.peak_queue_depth = self.peak_queue_depth.max(self.queue.len() + 1);
-        if let Some(journal) = &mut self.journal {
-            journal.record(time, &event);
-        }
-        // Control-plane fault policy: arriving ACK/NACK packets may be
-        // dropped, duplicated, or delayed. One uniform draw per arrival
-        // keeps the run deterministic. Re-injected copies pass through the
-        // policy again on their own arrival (geometric, terminates almost
-        // surely while fractions stay below 1).
-        if let (Some(policy), Event::PacketArrival { dst, packet }) = (self.control_policy, &event)
-        {
-            if matches!(packet.kind, PacketKind::Ack | PacketKind::Nack) {
-                let u: f64 = self.rng.gen();
-                if u < policy.drop {
-                    self.fault_stats.control_dropped += 1;
-                    return true;
-                } else if u < policy.drop + policy.duplicate {
-                    self.fault_stats.control_duplicated += 1;
-                    let copy = Event::PacketArrival { dst: *dst, packet: packet.clone() };
-                    self.queue.schedule(self.now + policy.reorder_delay, copy);
-                    // The original still dispatches below.
-                } else if u < policy.drop + policy.duplicate + policy.reorder {
-                    self.fault_stats.control_reordered += 1;
-                    self.queue.schedule(self.now + policy.reorder_delay, event);
-                    return true;
+        match ev {
+            Ev::Arrival { dst, slot } => {
+                if let Some(journal) = self.journal.as_mut() {
+                    let p = self.queue.packet(slot);
+                    journal.record_kind(
+                        time,
+                        dst,
+                        crate::journal::EntryKind::PacketArrival {
+                            id: p.id,
+                            flow: p.flow,
+                            class: p.class,
+                            bytes: p.size_bytes,
+                        },
+                    );
                 }
+                // Control-plane fault policy: arriving ACK/NACK packets may
+                // be dropped, duplicated, or delayed. One uniform draw per
+                // arrival keeps the run deterministic. Re-injected copies
+                // pass through the policy again on their own arrival
+                // (geometric, terminates almost surely while fractions stay
+                // below 1).
+                if let Some(policy) = self.control_policy {
+                    let kind = self.queue.packet(slot).kind;
+                    if matches!(kind, PacketKind::Ack | PacketKind::Nack) {
+                        let u: f64 = self.rng.gen();
+                        if u < policy.drop {
+                            self.fault_stats.control_dropped += 1;
+                            let _ = self.queue.take_packet(slot);
+                            return true;
+                        } else if u < policy.drop + policy.duplicate {
+                            self.fault_stats.control_duplicated += 1;
+                            let copy = self.queue.packet(slot).clone();
+                            let copy_slot = self.queue.stash_packet(copy);
+                            self.queue.schedule_ev(
+                                self.now + policy.reorder_delay,
+                                Ev::Arrival { dst, slot: copy_slot },
+                            );
+                            // The original still dispatches below.
+                        } else if u < policy.drop + policy.duplicate + policy.reorder {
+                            self.fault_stats.control_reordered += 1;
+                            self.queue.schedule_ev(
+                                self.now + policy.reorder_delay,
+                                Ev::Arrival { dst, slot },
+                            );
+                            return true;
+                        }
+                    }
+                }
+                let packet = self.queue.take_packet(slot);
+                self.dispatch(dst, |agent, ctx| agent.on_packet(packet, ctx));
+            }
+            Ev::Tx { agent, port } => {
+                if let Some(journal) = self.journal.as_mut() {
+                    journal.record_kind(
+                        time,
+                        agent,
+                        crate::journal::EntryKind::TxComplete { port: port as usize },
+                    );
+                }
+                self.dispatch(agent, |a, ctx| a.on_tx_complete(port as usize, ctx));
+            }
+            Ev::Timer { agent, token } => {
+                if let Some(journal) = self.journal.as_mut() {
+                    journal.record_kind(time, agent, crate::journal::EntryKind::Timer { token });
+                }
+                self.dispatch(agent, |a, ctx| a.on_timer(token, ctx));
+            }
+            Ev::Fault { agent, idx } => {
+                let action = self.queue.take_fault(idx);
+                if let Some(journal) = self.journal.as_mut() {
+                    journal.record_kind(time, agent, crate::journal::EntryKind::Fault { action });
+                }
+                // Global fault actions are absorbed by the simulator itself;
+                // agent-targeted ones fall through to normal dispatch.
+                self.fault_stats.faults_applied += 1;
+                match action {
+                    FaultAction::SetControlPolicy(p) => {
+                        // Both scheduling entry points validated this policy,
+                        // so it cannot be malformed here.
+                        debug_assert!(p.validate().is_ok(), "policy validated at scheduling time");
+                        self.control_policy = Some(p);
+                        return true;
+                    }
+                    FaultAction::ClearControlPolicy => {
+                        self.control_policy = None;
+                        return true;
+                    }
+                    _ => {}
+                }
+                self.dispatch(agent, |a, ctx| a.on_fault(&action, ctx));
             }
         }
-        // Global fault actions are absorbed by the simulator itself;
-        // agent-targeted ones fall through to normal dispatch.
-        if let Event::Fault { action, .. } = &event {
-            self.fault_stats.faults_applied += 1;
-            match action {
-                FaultAction::SetControlPolicy(p) => {
-                    // Both scheduling entry points validated this policy, so
-                    // it cannot be malformed here.
-                    debug_assert!(p.validate().is_ok(), "policy validated at scheduling time");
-                    self.control_policy = Some(*p);
-                    return true;
-                }
-                FaultAction::ClearControlPolicy => {
-                    self.control_policy = None;
-                    return true;
-                }
-                _ => {}
-            }
-        }
-        let target = event.target();
+        true
+    }
+
+    /// Moves the target agent out of the slab and invokes `f` with a fresh
+    /// dispatch context.
+    fn dispatch(&mut self, target: AgentId, f: impl FnOnce(&mut dyn Agent, &mut Context<'_>)) {
         let idx = self
             .local_slot(target)
             .unwrap_or_else(|e| panic!("event addressed to foreign agent: {e}"));
@@ -490,28 +610,14 @@ impl Simulator {
             next_packet_id: &mut self.next_packet_id,
             shard: self.shard.as_mut(),
         };
-        match event {
-            Event::PacketArrival { packet, .. } => agent.on_packet(packet, &mut ctx),
-            Event::TxComplete { port, .. } => agent.on_tx_complete(port, &mut ctx),
-            Event::Timer { token, .. } => agent.on_timer(token, &mut ctx),
-            Event::Fault { action, .. } => agent.on_fault(&action, &mut ctx),
-        }
+        f(agent.as_mut(), &mut ctx);
         self.agents[idx] = Some(agent);
-        true
     }
 
     /// Runs until simulated time reaches `deadline` (events at exactly
     /// `deadline` are processed) or the event queue drains.
     pub fn run_until(&mut self, deadline: SimTime) {
-        if !self.started {
-            self.start_agents();
-        }
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            self.step();
-        }
+        while self.step_bounded(Some((deadline, true))) {}
         if self.now < deadline {
             self.now = deadline;
         }
@@ -528,15 +634,7 @@ impl Simulator {
     /// interior windows are exclusive because events at exactly the barrier
     /// time must be merged with cross-shard arrivals first.
     pub(crate) fn run_window(&mut self, end: SimTime, inclusive: bool) {
-        if !self.started {
-            self.start_agents();
-        }
-        while let Some(t) = self.queue.peek_time() {
-            if t > end || (!inclusive && t == end) {
-                break;
-            }
-            self.step();
-        }
+        while self.step_bounded(Some((end, inclusive))) {}
     }
 
     /// Moves the clock forward to `t` without processing events (never

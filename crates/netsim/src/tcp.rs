@@ -8,12 +8,13 @@
 //! triple-duplicate-ACK fast retransmit with fast recovery, and RTO with
 //! exponential backoff.
 
+use crate::fasthash::FastMap;
 use crate::packet::{AgentId, FlowId, Packet, PacketKind};
 use crate::port::Port;
 use crate::sim::{Agent, Context};
 use crate::time::{SimDuration, SimTime};
 use std::any::Any;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 const INITIAL_RTO: SimDuration = SimDuration::from_millis(1000);
 const MIN_RTO: SimDuration = SimDuration::from_millis(200);
@@ -39,7 +40,7 @@ pub struct TcpSource {
     in_recovery: bool,
     rto: SimDuration,
     rto_epoch: u64,
-    sent_times: HashMap<u64, SimTime>,
+    sent_times: FastMap<u64, SimTime>,
     srtt: Option<f64>,
     /// Total packets acknowledged (for goodput accounting).
     pub acked_packets: u64,
@@ -73,7 +74,7 @@ impl TcpSource {
             in_recovery: false,
             rto: INITIAL_RTO,
             rto_epoch: 0,
-            sent_times: HashMap::new(),
+            sent_times: FastMap::default(),
             srtt: None,
             acked_packets: 0,
             timeouts: 0,

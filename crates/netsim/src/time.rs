@@ -273,8 +273,14 @@ impl Rate {
     /// Panics if the rate is zero.
     pub fn tx_time(self, bytes: u32) -> SimDuration {
         assert!(self.0 > 0, "cannot transmit at zero rate");
-        let bits = bytes as u128 * 8;
-        SimDuration(((bits * 1_000_000_000) / self.0 as u128) as u64)
+        let bits = bytes as u64 * 8;
+        // The nanosecond numerator fits in u64 for every packet under
+        // ~2.3 GB, so the hot path is a native 64-bit division; the u128
+        // fallback costs a `__udivti3` libcall per packet.
+        match bits.checked_mul(1_000_000_000) {
+            Some(numer) => SimDuration(numer / self.0),
+            None => SimDuration(((bits as u128 * 1_000_000_000) / self.0 as u128) as u64),
+        }
     }
 
     /// Returns the number of bytes transferred in `d` at this rate (floor).

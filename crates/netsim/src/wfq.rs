@@ -8,15 +8,14 @@
 //! per scheduling decision. Provided as an alternative inter-class
 //! scheduler for the PELS/Internet split.
 
-use crate::disc::Discipline;
-use crate::packet::Packet;
+use crate::disc::{Discipline, QEntry};
 use crate::time::SimTime;
 
-/// A packet queued with its virtual finish stamp.
+/// A queued entry with its virtual finish stamp.
 #[derive(Debug)]
 struct Stamped {
     finish: u64,
-    packet: Packet,
+    entry: QEntry,
 }
 
 /// A WFQ scheduler over `N` classes with per-class weights, classified by a
@@ -31,7 +30,7 @@ struct Stamped {
 pub struct Wfq {
     classes: Vec<std::collections::VecDeque<Stamped>>,
     weights: Vec<u32>,
-    classify: fn(&Packet) -> usize,
+    classify: fn(&QEntry) -> usize,
     last_finish: Vec<u64>,
     virtual_time: u64,
     bytes: u64,
@@ -46,7 +45,7 @@ impl Wfq {
     /// # Panics
     ///
     /// Panics if `weights` is empty, any weight is zero, or the limit is 0.
-    pub fn new(weights: Vec<u32>, classify: fn(&Packet) -> usize, limit_per_class: usize) -> Self {
+    pub fn new(weights: Vec<u32>, classify: fn(&QEntry) -> usize, limit_per_class: usize) -> Self {
         assert!(!weights.is_empty(), "wfq needs at least one class");
         assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
         assert!(limit_per_class > 0, "limit must be positive");
@@ -63,8 +62,8 @@ impl Wfq {
         }
     }
 
-    fn class_of(&self, pkt: &Packet) -> usize {
-        ((self.classify)(pkt)).min(self.weights.len() - 1)
+    fn class_of(&self, entry: &QEntry) -> usize {
+        ((self.classify)(entry)).min(self.weights.len() - 1)
     }
 
     /// Queued packets in class `i`.
@@ -78,23 +77,23 @@ impl Discipline for Wfq {
         self
     }
 
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime, dropped: &mut Vec<Packet>) {
-        let class = self.class_of(&pkt);
+    fn enqueue(&mut self, entry: QEntry, _now: SimTime, dropped: &mut Vec<QEntry>) {
+        let class = self.class_of(&entry);
         if self.classes[class].len() >= self.limit_per_class {
-            dropped.push(pkt);
+            dropped.push(entry);
             return;
         }
         // Scale sizes so small weights don't lose precision: finish times
         // are in units of bytes * 1024 / weight.
         let start = self.virtual_time.max(self.last_finish[class]);
-        let finish = start + (pkt.size_bytes as u64 * 1024) / self.weights[class] as u64;
+        let finish = start + (entry.size_bytes as u64 * 1024) / self.weights[class] as u64;
         self.last_finish[class] = finish;
-        self.bytes += pkt.size_bytes as u64;
+        self.bytes += entry.size_bytes as u64;
         self.packets += 1;
-        self.classes[class].push_back(Stamped { finish, packet: pkt });
+        self.classes[class].push_back(Stamped { finish, entry });
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, _now: SimTime) -> Option<QEntry> {
         let best = self
             .classes
             .iter()
@@ -103,15 +102,15 @@ impl Discipline for Wfq {
             .min()?;
         let s = self.classes[best.1].pop_front().expect("head exists");
         self.virtual_time = s.finish;
-        self.bytes -= s.packet.size_bytes as u64;
+        self.bytes -= s.entry.size_bytes as u64;
         self.packets -= 1;
-        Some(s.packet)
+        Some(s.entry)
     }
 
     fn peek_size(&self) -> Option<u32> {
         self.classes
             .iter()
-            .filter_map(|q| q.front().map(|s| (s.finish, s.packet.size_bytes)))
+            .filter_map(|q| q.front().map(|s| (s.finish, s.entry.size_bytes)))
             .min()
             .map(|(_, size)| size)
     }
@@ -128,14 +127,14 @@ impl Discipline for Wfq {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{AgentId, FlowId};
+    use crate::event::PacketSlot;
 
-    fn pkt(class: u8, size: u32, seq: u64) -> Packet {
-        Packet::data(FlowId(0), AgentId(0), AgentId(1), size).with_class(class).with_seq(seq)
+    fn ent(class: u8, size: u32, seq: u32) -> QEntry {
+        QEntry::new(PacketSlot(seq), size, class)
     }
 
-    fn classify(p: &Packet) -> usize {
-        p.class as usize
+    fn classify(e: &QEntry) -> usize {
+        e.class as usize
     }
 
     #[test]
@@ -143,13 +142,13 @@ mod tests {
         let mut q = Wfq::new(vec![1, 1], classify, 1000);
         let mut d = Vec::new();
         for i in 0..10 {
-            q.enqueue(pkt(0, 500, i), SimTime::ZERO, &mut d);
-            q.enqueue(pkt(1, 500, i), SimTime::ZERO, &mut d);
+            q.enqueue(ent(0, 500, 2 * i), SimTime::ZERO, &mut d);
+            q.enqueue(ent(1, 500, 2 * i + 1), SimTime::ZERO, &mut d);
         }
         let mut counts = [0u32; 2];
         for k in 0..10 {
-            let p = q.dequeue(SimTime::ZERO).unwrap();
-            counts[p.class as usize] += 1;
+            let e = q.dequeue(SimTime::ZERO).unwrap();
+            counts[e.class as usize] += 1;
             // Never more than one ahead.
             let diff = (counts[0] as i64 - counts[1] as i64).abs();
             assert!(diff <= 1, "step {k}: {counts:?}");
@@ -161,8 +160,8 @@ mod tests {
         let mut q = Wfq::new(vec![3, 1], classify, 10_000);
         let mut d = Vec::new();
         for i in 0..400 {
-            q.enqueue(pkt(0, 500, i), SimTime::ZERO, &mut d);
-            q.enqueue(pkt(1, 500, i), SimTime::ZERO, &mut d);
+            q.enqueue(ent(0, 500, 2 * i), SimTime::ZERO, &mut d);
+            q.enqueue(ent(1, 500, 2 * i + 1), SimTime::ZERO, &mut d);
         }
         let mut class0 = 0u32;
         for _ in 0..200 {
@@ -178,7 +177,7 @@ mod tests {
         let mut q = Wfq::new(vec![1, 1], classify, 100);
         let mut d = Vec::new();
         for i in 0..5 {
-            q.enqueue(pkt(1, 500, i), SimTime::ZERO, &mut d);
+            q.enqueue(ent(1, 500, i), SimTime::ZERO, &mut d);
         }
         for _ in 0..5 {
             assert_eq!(q.dequeue(SimTime::ZERO).unwrap().class, 1);
@@ -194,12 +193,12 @@ mod tests {
         let mut q = Wfq::new(vec![1, 1], classify, 1000);
         let mut d = Vec::new();
         for i in 0..50 {
-            q.enqueue(pkt(0, 500, i), SimTime::ZERO, &mut d);
+            q.enqueue(ent(0, 500, i), SimTime::ZERO, &mut d);
         }
         for _ in 0..25 {
             q.dequeue(SimTime::ZERO);
         }
-        q.enqueue(pkt(1, 500, 0), SimTime::ZERO, &mut d);
+        q.enqueue(ent(1, 500, 99), SimTime::ZERO, &mut d);
         // The newcomer is served within two departures.
         let a = q.dequeue(SimTime::ZERO).unwrap();
         let b = q.dequeue(SimTime::ZERO).unwrap();
@@ -211,13 +210,13 @@ mod tests {
         let mut q = Wfq::new(vec![1, 1], classify, 3);
         let mut d = Vec::new();
         for i in 0..5 {
-            q.enqueue(pkt(0, 500, i), SimTime::ZERO, &mut d);
+            q.enqueue(ent(0, 500, i), SimTime::ZERO, &mut d);
         }
         // Class 0 full at 3; class 1 untouched and still accepting.
         assert_eq!(q.len_packets(), 3);
         assert_eq!(d.len(), 2);
         assert_eq!(q.len_bytes(), 1500);
-        q.enqueue(pkt(1, 500, 9), SimTime::ZERO, &mut d);
+        q.enqueue(ent(1, 500, 9), SimTime::ZERO, &mut d);
         assert_eq!(q.len_packets(), 4);
         assert_eq!(q.class_len_packets(1), 1);
     }
@@ -227,10 +226,10 @@ mod tests {
         let mut q = Wfq::new(vec![1], classify, 100);
         let mut d = Vec::new();
         for i in 0..10 {
-            q.enqueue(pkt(0, 500, i), SimTime::ZERO, &mut d);
+            q.enqueue(ent(0, 500, i), SimTime::ZERO, &mut d);
         }
         for expect in 0..10 {
-            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().seq, expect);
+            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().slot, PacketSlot(expect));
         }
     }
 }
@@ -271,7 +270,7 @@ mod sim_tests {
         let mut sim = Simulator::new(4);
         let router_id = AgentId(0);
         let sink_id = AgentId(1);
-        let wfq = Box::new(Wfq::new(vec![3, 1], |p| p.class as usize, 200));
+        let wfq = Box::new(Wfq::new(vec![3, 1], |e| e.class as usize, 200));
         let bottleneck =
             Port::new(0, sink_id, Rate::from_mbps(2.0), SimDuration::from_millis(1), wfq);
         let mut routes = RouteTable::new();
@@ -299,37 +298,37 @@ mod sim_tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use crate::packet::{AgentId, FlowId};
+    use crate::event::PacketSlot;
     use proptest::prelude::*;
 
     proptest! {
         /// Conservation and per-class FIFO order for arbitrary arrivals.
+        /// Slots stand in for sequence numbers: they increase with arrival
+        /// order, so per-class slot order is per-class FIFO order.
         #[test]
         fn conserves_and_keeps_class_order(
             arrivals in proptest::collection::vec((0u8..3, 100u32..1500), 1..200)
         ) {
-            let mut q = Wfq::new(vec![2, 1, 1], |p| p.class as usize, 24);
+            let mut q = Wfq::new(vec![2, 1, 1], |e| e.class as usize, 24);
             let mut dropped = Vec::new();
             let mut enq = 0usize;
             for (i, &(class, size)) in arrivals.iter().enumerate() {
-                let p = Packet::data(FlowId(0), AgentId(0), AgentId(1), size)
-                    .with_class(class)
-                    .with_seq(i as u64);
+                let e = QEntry::new(PacketSlot(i as u32), size, class);
                 let before = dropped.len();
-                q.enqueue(p, SimTime::ZERO, &mut dropped);
+                q.enqueue(e, SimTime::ZERO, &mut dropped);
                 if dropped.len() == before {
                     enq += 1;
                 }
             }
-            let mut last_seq = [None::<u64>; 3];
+            let mut last_slot = [None::<u32>; 3];
             let mut deq = 0usize;
-            while let Some(p) = q.dequeue(SimTime::ZERO) {
+            while let Some(e) = q.dequeue(SimTime::ZERO) {
                 deq += 1;
-                let c = p.class as usize;
-                if let Some(last) = last_seq[c] {
-                    prop_assert!(p.seq > last, "class {} out of order", c);
+                let c = e.class as usize;
+                if let Some(last) = last_slot[c] {
+                    prop_assert!(e.slot.0 > last, "class {} out of order", c);
                 }
-                last_seq[c] = Some(p.seq);
+                last_slot[c] = Some(e.slot.0);
             }
             prop_assert_eq!(deq, enq);
             prop_assert_eq!(q.len_bytes(), 0);

@@ -190,6 +190,10 @@ pub struct Bottleneck {
     /// bits/s. Finite bursts are excluded: the max-min prediction targets
     /// the end-of-run stationary point.
     pub cbr_load_bps: f64,
+    /// TCP flows whose data path crosses the designated direction. The
+    /// stationary reference does not model TCP, so these widen the
+    /// validation tolerance tier rather than enter the water-fill.
+    pub tcp_flows: usize,
 }
 
 /// Agent ids of every role in a compiled topology.
@@ -541,6 +545,11 @@ pub fn bottlenecks(model: &TopoModel, spec: &TopoSpec) -> Vec<Bottleneck> {
                 // never print `-0`.
                 .sum::<f64>()
                 .max(0.0);
+            let tcp_flows = model
+                .pairs
+                .iter()
+                .filter(|p| matches!(p.kind, TrafficKind::Tcp { .. }) && crosses(p))
+                .count();
             out.push(Bottleneck {
                 router: from,
                 next_hop: to,
@@ -548,6 +557,7 @@ pub fn bottlenecks(model: &TopoModel, spec: &TopoSpec) -> Vec<Bottleneck> {
                 pels_capacity: rate.scale(spec.aqm().pels_share),
                 video_flows,
                 cbr_load_bps,
+                tcp_flows,
             });
         }
     }

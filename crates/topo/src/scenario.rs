@@ -45,6 +45,37 @@ pub struct BottleneckRow {
     pub measured_kbps: f64,
     /// `|measured − predicted| / predicted`, percent (0 when none bound).
     pub deviation_pct: f64,
+    /// TCP flows whose data path crosses this egress (unmodeled by the
+    /// stationary reference).
+    pub n_tcp: usize,
+    /// Validation tolerance tier for this row, percent (see
+    /// [`tolerance_pct`]).
+    pub tolerance_pct: f64,
+    /// Whether `deviation_pct <= tolerance_pct` (vacuously true when no
+    /// flow binds here).
+    pub within_tolerance: bool,
+}
+
+/// The validation tolerance tier for a bottleneck row, percent.
+///
+/// Three regimes (EXPERIMENTS.md §off-dumbbell):
+/// - **multi-flow, video-only** (5 %): the regime the paper's Eq. 6
+///   analysis speaks to; the water-fill tracks it within ~2 %.
+/// - **sole-flow, video-only** (12 %): a lone flow's `C + α/β` fixed
+///   point implies ~5 % sustained loss, and at that low loop gain the
+///   rate limit-cycles around the fixed point in a ~10 % envelope rather
+///   than pinning it — a characterized steady-state orbit, not noise.
+/// - **TCP-crossed** (30 %): the reference models PELS video +
+///   deterministic CBR only; stochastic TCP herds sharing the egress are
+///   unmodeled.
+pub fn tolerance_pct(n_bound: usize, n_tcp: usize) -> f64 {
+    if n_tcp > 0 {
+        30.0
+    } else if n_bound <= 1 {
+        12.0
+    } else {
+        5.0
+    }
 }
 
 /// The serializable summary of a topo run. Byte-identical across worker
@@ -85,6 +116,8 @@ pub struct TopoReport {
     pub bottlenecks: Vec<BottleneckRow>,
     /// Largest `deviation_pct` over bottlenecks with bound flows.
     pub max_abs_deviation_pct: f64,
+    /// Whether every row sits within its tolerance tier ([`tolerance_pct`]).
+    pub all_within_tolerance: bool,
 }
 
 /// A generated topology running on the sharded engine.
@@ -275,6 +308,7 @@ impl TopoScenario {
             if !bound.is_empty() {
                 max_dev = max_dev.max(deviation_pct);
             }
+            let tolerance = tolerance_pct(bound.len(), bn.tcp_flows);
             rows.push(BottleneckRow {
                 router: bn.router,
                 next_hop: bn.next_hop,
@@ -285,8 +319,12 @@ impl TopoScenario {
                 predicted_kbps: predicted,
                 measured_kbps: measured,
                 deviation_pct,
+                n_tcp: bn.tcp_flows,
+                tolerance_pct: tolerance,
+                within_tolerance: bound.is_empty() || deviation_pct <= tolerance,
             });
         }
+        let all_within_tolerance = rows.iter().all(|r| r.within_tolerance);
 
         let mean_utility = if self.ids.receivers.is_empty() {
             0.0
@@ -322,6 +360,7 @@ impl TopoScenario {
             offset_kbps: prediction.offset_kbps,
             bottlenecks: rows,
             max_abs_deviation_pct: max_dev,
+            all_within_tolerance,
         }
     }
 }
@@ -331,11 +370,12 @@ impl TopoScenario {
 pub fn to_csv(report: &TopoReport) -> String {
     let mut out = String::from(
         "family,seed,duration_s,n_shards,router,next_hop,capacity_kbps,cbr_kbps,\
-         n_video,n_bound,predicted_kbps,measured_kbps,deviation_pct\n",
+         n_video,n_bound,n_tcp,predicted_kbps,measured_kbps,deviation_pct,\
+         tolerance_pct,within_tolerance\n",
     );
     for b in &report.bottlenecks {
         out.push_str(&format!(
-            "{},{},{:.1},{},{},{},{:.1},{:.1},{},{},{:.1},{:.1},{:.2}\n",
+            "{},{},{:.1},{},{},{},{:.1},{:.1},{},{},{},{:.1},{:.1},{:.2},{:.0},{}\n",
             report.family,
             report.seed,
             report.duration_s,
@@ -346,9 +386,12 @@ pub fn to_csv(report: &TopoReport) -> String {
             b.cbr_load_kbps,
             b.n_video,
             b.n_bound,
+            b.n_tcp,
             b.predicted_kbps,
             b.measured_kbps,
-            b.deviation_pct
+            b.deviation_pct,
+            b.tolerance_pct,
+            b.within_tolerance
         ));
     }
     out
@@ -394,6 +437,38 @@ mod tests {
             "stationary rates should track the max-min + offset reference, got {:#?}",
             report.bottlenecks
         );
+        assert!(
+            report.all_within_tolerance,
+            "every row must sit inside its tier, got {:#?}",
+            report.bottlenecks
+        );
+    }
+
+    #[test]
+    fn fat_tree_rows_validate_within_their_tolerance_tiers() {
+        // The checked-in `results/topo_fattree.csv` scenario: sole-flow edge
+        // bottlenecks sharing their egress with TCP herds. Historically the
+        // 28.5 % worst row was excluded as "characterized"; now every row
+        // must sit inside its stated tier (TCP-crossed 30 %, sole-flow
+        // video-only 12 %, multi-flow 5 %).
+        let spec = TopoSpec::from_shorthand("fattree:k=4,flows=8,seed=1").unwrap();
+        let mut sc = TopoScenario::build(spec);
+        sc.run_until(SimTime::from_secs_f64(30.0));
+        let report = sc.report();
+        let bound_rows: Vec<_> = report.bottlenecks.iter().filter(|b| b.n_bound > 0).collect();
+        assert!(!bound_rows.is_empty(), "fat-tree edge links must bind flows");
+        assert!(
+            bound_rows.iter().any(|b| b.n_bound == 1),
+            "the k=4 fat-tree scenario exists to exercise sole-flow rows"
+        );
+        for b in &report.bottlenecks {
+            assert!(
+                b.within_tolerance,
+                "bottleneck {}->{} deviates {:.2}% > tier {:.0}% (n_bound {}, n_tcp {})",
+                b.router, b.next_hop, b.deviation_pct, b.tolerance_pct, b.n_bound, b.n_tcp
+            );
+        }
+        assert!(report.all_within_tolerance);
     }
 
     #[test]

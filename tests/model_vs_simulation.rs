@@ -8,8 +8,8 @@ use pels_analysis::useful::{best_effort_utility, expected_useful_fixed};
 use pels_fgs::decoder::{FrameReception, UtilityStats};
 use pels_fgs::packetize::packetize;
 use pels_fgs::scaling::ScaledFrame;
-use pels_netsim::disc::{Discipline, QueueLimit, UniformLoss};
-use pels_netsim::packet::{AgentId, FlowId, Packet};
+use pels_netsim::disc::{Discipline, QEntry, QueueLimit, UniformLoss};
+use pels_netsim::event::PacketSlot;
 use pels_netsim::time::SimTime;
 
 /// Streams `frames` frames of `h` enhancement packets through a Bernoulli
@@ -77,10 +77,9 @@ fn uniform_loss_discipline_is_a_bernoulli_channel() {
     q.set_drop_prob(0.2);
     let mut dropped = Vec::new();
     let mut lost_flags = Vec::with_capacity(100_000);
-    for seq in 0..100_000u64 {
+    for seq in 0..100_000u32 {
         let before = dropped.len();
-        let pkt = Packet::data(FlowId(0), AgentId(0), AgentId(1), 500).with_class(1).with_seq(seq);
-        q.enqueue(pkt, SimTime::ZERO, &mut dropped);
+        q.enqueue(QEntry::new(PacketSlot(seq), 500, 1), SimTime::ZERO, &mut dropped);
         lost_flags.push(dropped.len() > before);
     }
     let bursts = BurstStats::from_sequence(lost_flags.iter().copied());
