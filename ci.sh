@@ -32,6 +32,17 @@ trap 'rm -rf "$live_dir"' EXIT
 PELS_RESULTS_DIR="$live_dir" timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
   live --duration 2
 
+echo "== pels live determinism gate (in-memory transport, batch defaults) =="
+# The Transport batch methods default to scalar loops, so MemHub-backed
+# runs must be byte-identical run to run — the gate that vectored I/O
+# plumbing never changed the deterministic backend's behavior.
+PELS_RESULTS_DIR="$live_dir" timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
+  live --duration 2 --mem --json > "$live_dir/live_mem_a.json"
+PELS_RESULTS_DIR="$live_dir" timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
+  live --duration 2 --mem --json > "$live_dir/live_mem_b.json"
+cmp "$live_dir/live_mem_a.json" "$live_dir/live_mem_b.json" || {
+  echo "pels live --mem output is not byte-identical across runs" >&2; exit 1; }
+
 echo "== pels chaos wire smoke (fault matrix, CI preset) =="
 # Six fault cases against the live wire agents; the command exits nonzero
 # if any recovery invariant (rate re-convergence, green floor, budget) fails.
@@ -80,6 +91,55 @@ timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
   > "$bench_dir/run_relaxed.json"
 test -s "$bench_dir/run_relaxed.json" || {
   echo "relaxed run produced no report" >&2; exit 1; }
+
+echo "== pels serve loopback smoke (256 flows, 2 s loadgen) =="
+# A real serve+loadgen pair over loopback UDP: every flow registers,
+# streams paced data, and says BYE. Gates: zero decode errors on the
+# serve socket and zero leaked flow-table entries after teardown.
+serve_json="$bench_dir/serve.json"
+serve_log="$bench_dir/serve.log"
+timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
+  serve --listen 127.0.0.1:0 --duration 8 --json \
+  > "$serve_json" 2> "$serve_log" &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+  serve_addr="$(sed -n 's/^pels serve: listening on //p' "$serve_log" | head -n 1)"
+  [ -n "$serve_addr" ] && break
+  sleep 0.1
+done
+[ -n "$serve_addr" ] || { echo "serve never announced its address" >&2; exit 1; }
+timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
+  loadgen --server "$serve_addr" --flows 256 --duration 2 --warmup 1 --json \
+  > "$bench_dir/loadgen.json"
+wait "$serve_pid"
+python3 - "$serve_json" "$bench_dir/loadgen.json" <<'PY'
+import json, sys
+serve = json.load(open(sys.argv[1]))
+lg = json.load(open(sys.argv[2]))
+problems = []
+if serve["decode_errors"] != 0:
+    problems.append(f"serve saw {serve['decode_errors']} decode errors")
+if serve["leaked_flows"] != 0:
+    problems.append(f"serve leaked {serve['leaked_flows']} flow-table entries")
+if serve["peak_flows"] < 256:
+    problems.append(f"serve peaked at {serve['peak_flows']}/256 flows")
+if lg["data_received"] == 0:
+    problems.append("loadgen received no data")
+if problems:
+    sys.exit("serve smoke failed: " + "; ".join(problems))
+print(f"serve smoke ok: peak {serve['peak_flows']} flows, "
+      f"{lg['data_received']} datagrams delivered, "
+      f"p99 pacing jitter {serve['pacing_jitter_p99_us']:.0f} us")
+PY
+
+echo "== pels bench --wire smoke (saturation harness, short preset) =="
+PELS_BENCH_DIR="$bench_dir" timeout 300 cargo run --release -q -p pels-cli --bin pels -- \
+  bench --wire --short
+# --check re-derives the rows digest and the batched/loop headline ratio;
+# hand-edited or truncated reports never validate.
+timeout 120 cargo run --release -q -p pels-cli --bin pels -- \
+  bench --wire --check "$bench_dir/BENCH_wire.json"
 
 echo "== topo generator property tests =="
 cargo test -q -p pels-topo

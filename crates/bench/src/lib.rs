@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod scalebench;
+pub mod wirebench;
 
 use pels_netsim::stats::TimeSeries;
 use std::fs;

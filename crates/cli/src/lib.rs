@@ -19,6 +19,14 @@
 //!            [--telemetry FILE.jsonl] [--json]
 //! pels live  [--duration SECS] [--bottleneck-mbps M] [--share F] [--mem]
 //!            [--faults FILE.json] [--telemetry FILE.jsonl] [--json]
+//! pels serve [--listen ADDR] [--duration SECS] [--capacity-mbps M]
+//!            [--max-flows N] [--packet-bytes B] [--batch-size N] [--no-batch]
+//!            [--telemetry FILE.jsonl] [--telemetry-per-flow] [--json]
+//! pels loadgen [--server ADDR] [--flows N] [--duration SECS] [--ramp SECS]
+//!            [--warmup SECS] [--ack-every K] [--batch-size N] [--no-batch]
+//!            [--json]
+//! pels bench --wire [--counts 1024,2048,4096] [--duration SECS] [--short]
+//!            [--check FILE]               # writes BENCH_wire.json
 //! pels metrics FILE.jsonl                 # summarize a telemetry stream
 //! pels trace --frames N [--cv CV] [--seed S]   # synthetic trace as CSV
 //! pels config-template                    # print a ScenarioConfig JSON
@@ -175,6 +183,62 @@ pub enum Command {
         /// Write telemetry snapshots (JSON lines) to this path.
         telemetry: Option<String>,
     },
+    /// Run the multi-flow wire server (`pels serve`) over loopback UDP.
+    Serve {
+        /// Socket to bind (port 0 picks an ephemeral port, announced on
+        /// stderr).
+        listen: std::net::SocketAddr,
+        /// Wall-clock seconds to serve before reporting.
+        duration_s: f64,
+        /// Shared router capacity across all flows, in Mb/s.
+        capacity_mbps: f64,
+        /// Flow-table registration cap; HELLOs beyond it are refused.
+        max_flows: usize,
+        /// Data packet size in bytes.
+        packet_bytes: u32,
+        /// Datagrams per batched I/O call.
+        batch_size: usize,
+        /// Use the scalar one-syscall-per-datagram transport instead of
+        /// `recvmmsg`/`sendmmsg`.
+        no_batch: bool,
+        /// Emit per-flow MKC rate series (high cardinality; aggregate
+        /// metrics only by default).
+        telemetry_per_flow: bool,
+        /// Write telemetry snapshots (JSON lines) to this path.
+        telemetry: Option<String>,
+        /// Emit the report as JSON instead of text.
+        json: bool,
+    },
+    /// Ramp concurrent flows against a live `pels serve`.
+    Loadgen {
+        /// The serve socket to register flows at.
+        server: std::net::SocketAddr,
+        /// Concurrent flows to ramp up.
+        flows: u32,
+        /// Wall-clock seconds to run before tearing down with BYEs.
+        duration_s: f64,
+        /// Seconds the initial HELLOs are staggered over.
+        ramp_s: f64,
+        /// Seconds excluded from the steady delivered-rate window.
+        warmup_s: f64,
+        /// ACK every k-th data packet per flow.
+        ack_every: u32,
+        /// Datagrams per batched I/O call.
+        batch_size: usize,
+        /// Use the scalar transport instead of `recvmmsg`/`sendmmsg`.
+        no_batch: bool,
+        /// Emit the report as JSON instead of text.
+        json: bool,
+    },
+    /// Run the wire saturation benchmark and write `BENCH_wire.json`.
+    BenchWire {
+        /// Flow counts, one `loop` + one `batched` row each.
+        counts: Vec<u32>,
+        /// Loadgen wall-clock seconds per row.
+        duration_s: f64,
+        /// Validate an existing report instead of running one.
+        check: Option<String>,
+    },
     /// Summarize a telemetry snapshot file written by `--telemetry`.
     Metrics {
         /// Path to the JSON-lines snapshot file.
@@ -257,8 +321,10 @@ fn flag_map(args: &[String]) -> Result<HashMap<String, String>, ParseArgsError> 
             return Err(ParseArgsError(format!("unexpected argument `{a}`")));
         };
         // Boolean flags take no value.
-        if name == "json" || name == "mem" || name == "short" || name == "wire" || name == "relaxed"
-        {
+        if matches!(
+            name,
+            "json" | "mem" | "short" | "wire" | "relaxed" | "no-batch" | "telemetry-per-flow"
+        ) {
             map.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -344,6 +410,29 @@ fn parse_run_topo(map: &HashMap<String, String>) -> Result<Command, ParseArgsErr
         workers,
         relaxed: map.contains_key("relaxed"),
     })
+}
+
+/// Parses `bench --wire` into [`Command::BenchWire`].
+fn parse_bench_wire(map: &HashMap<String, String>) -> Result<Command, ParseArgsError> {
+    let (mut counts, mut default_duration) = (pels_bench::wirebench::DEFAULT_COUNTS.to_vec(), 5.0);
+    if map.contains_key("short") {
+        // CI smoke preset; --counts / --duration still override it.
+        counts = vec![64, 128];
+        default_duration = 2.0;
+    }
+    if let Some(list) = map.get("counts") {
+        let parsed: Result<Vec<u32>, _> =
+            list.split(',').map(|t| t.trim().parse::<u32>()).collect();
+        counts = parsed.map_err(|_| ParseArgsError(format!("bad --counts `{list}`")))?;
+    }
+    if counts.is_empty() || counts.contains(&0) {
+        return Err(ParseArgsError("--counts needs positive flow counts".into()));
+    }
+    let duration_s: f64 = get_parsed(map, "duration", default_duration)?;
+    if !duration_s.is_finite() || duration_s <= 0.0 {
+        return Err(ParseArgsError("--duration must be positive".into()));
+    }
+    Ok(Command::BenchWire { counts, duration_s, check: map.get("check").cloned() })
 }
 
 /// Parses a command line (without the program name).
@@ -472,6 +561,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
         }
         "bench" => {
             let map = flag_map(rest)?;
+            if map.contains_key("wire") {
+                return parse_bench_wire(&map);
+            }
             let (mut counts, mut default_duration) =
                 (pels_bench::scalebench::DEFAULT_COUNTS.to_vec(), 10.0);
             if map.contains_key("short") {
@@ -547,6 +639,78 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                 short,
                 json: map.contains_key("json"),
                 telemetry: map.get("telemetry").cloned(),
+            })
+        }
+        "serve" => {
+            let map = flag_map(rest)?;
+            let listen =
+                get_parsed(&map, "listen", std::net::SocketAddr::from(([127, 0, 0, 1], 9500)))?;
+            let duration_s: f64 = get_parsed(&map, "duration", 10.0)?;
+            if !duration_s.is_finite() || duration_s <= 0.0 {
+                return Err(ParseArgsError("--duration must be positive".into()));
+            }
+            let capacity_mbps: f64 = get_parsed(&map, "capacity-mbps", 100.0)?;
+            if !capacity_mbps.is_finite() || capacity_mbps <= 0.0 {
+                return Err(ParseArgsError("--capacity-mbps must be positive".into()));
+            }
+            let max_flows: usize = get_parsed(&map, "max-flows", 4096)?;
+            let packet_bytes: u32 = get_parsed(&map, "packet-bytes", 400)?;
+            let batch_size: usize = get_parsed(&map, "batch-size", 64)?;
+            if max_flows == 0 || packet_bytes == 0 || batch_size == 0 {
+                return Err(ParseArgsError(
+                    "--max-flows, --packet-bytes, and --batch-size must be at least 1".into(),
+                ));
+            }
+            Ok(Command::Serve {
+                listen,
+                duration_s,
+                capacity_mbps,
+                max_flows,
+                packet_bytes,
+                batch_size,
+                no_batch: map.contains_key("no-batch"),
+                telemetry_per_flow: map.contains_key("telemetry-per-flow"),
+                telemetry: map.get("telemetry").cloned(),
+                json: map.contains_key("json"),
+            })
+        }
+        "loadgen" => {
+            let map = flag_map(rest)?;
+            let server =
+                get_parsed(&map, "server", std::net::SocketAddr::from(([127, 0, 0, 1], 9500)))?;
+            let flows: u32 = get_parsed(&map, "flows", 256)?;
+            if flows == 0 {
+                return Err(ParseArgsError("--flows must be at least 1".into()));
+            }
+            let duration_s: f64 = get_parsed(&map, "duration", 5.0)?;
+            if !duration_s.is_finite() || duration_s <= 0.0 {
+                return Err(ParseArgsError("--duration must be positive".into()));
+            }
+            let ramp_s: f64 = get_parsed(&map, "ramp", (duration_s / 4.0).min(1.0))?;
+            let warmup_s: f64 = get_parsed(&map, "warmup", (duration_s / 2.0).min(2.0))?;
+            if !ramp_s.is_finite() || ramp_s < 0.0 || !warmup_s.is_finite() || warmup_s < 0.0 {
+                return Err(ParseArgsError("--ramp and --warmup must be non-negative".into()));
+            }
+            if warmup_s >= duration_s {
+                return Err(ParseArgsError("--warmup must be shorter than --duration".into()));
+            }
+            let ack_every: u32 = get_parsed(&map, "ack-every", 1)?;
+            let batch_size: usize = get_parsed(&map, "batch-size", 64)?;
+            if ack_every == 0 || batch_size == 0 {
+                return Err(ParseArgsError(
+                    "--ack-every and --batch-size must be at least 1".into(),
+                ));
+            }
+            Ok(Command::Loadgen {
+                server,
+                flows,
+                duration_s,
+                ramp_s,
+                warmup_s,
+                ack_every,
+                batch_size,
+                no_batch: map.contains_key("no-batch"),
+                json: map.contains_key("json"),
             })
         }
         "live" => {
@@ -919,6 +1083,162 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), String
             }
             Ok(())
         }
+        Command::Serve {
+            listen,
+            duration_s,
+            capacity_mbps,
+            max_flows,
+            packet_bytes,
+            batch_size,
+            no_batch,
+            telemetry_per_flow,
+            telemetry,
+            json,
+        } => {
+            use pels_netsim::time::{Rate, SimDuration};
+            use pels_wire::{run_serve_with, ServeConfig};
+            let tel = open_telemetry(telemetry.as_deref())?;
+            let mut cfg = ServeConfig::new(listen);
+            cfg.duration = SimDuration::from_secs_f64(duration_s);
+            cfg.capacity = Rate::from_mbps(capacity_mbps);
+            cfg.max_flows = max_flows;
+            cfg.packet_bytes = packet_bytes;
+            cfg.batch = !no_batch;
+            cfg.batch_size = batch_size;
+            cfg.telemetry_per_flow = telemetry_per_flow;
+            cfg.telemetry = tel;
+            // Announce the bound address on stderr (stdout stays report-only,
+            // and with `--listen :0` the port is otherwise unknowable).
+            let report =
+                run_serve_with(cfg, |addr| eprintln!("pels serve: listening on {addr}"), || false)
+                    .map_err(|e| format!("serve failed: {e}"))?;
+            if json {
+                let j = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                return w(out, j);
+            }
+            let r = &report;
+            w(
+                out,
+                format!(
+                    "served {:.1} s on {} I/O: peak {} flows, {} data datagrams ({:.0}/s)",
+                    r.duration_secs,
+                    if r.batched { "batched" } else { "scalar" },
+                    r.peak_flows,
+                    r.data_sent,
+                    r.datagrams_per_sec
+                ),
+            )?;
+            w(
+                out,
+                format!(
+                    "  hellos {} (refused {})  byes {}  evictions {}  acks {}  \
+                     decode errors {}  leaked flows {}",
+                    r.hellos,
+                    r.hellos_refused,
+                    r.byes,
+                    r.evictions,
+                    r.acks,
+                    r.decode_errors,
+                    r.leaked_flows
+                ),
+            )?;
+            w(
+                out,
+                format!(
+                    "  tx G/Y/R {}/{}/{}  queue drops G/Y/R {}/{}/{}  send drops {}",
+                    r.tx_by_class[0],
+                    r.tx_by_class[1],
+                    r.tx_by_class[2],
+                    r.queue_drops_by_class[0],
+                    r.queue_drops_by_class[1],
+                    r.queue_drops_by_class[2],
+                    r.send_drops
+                ),
+            )?;
+            w(
+                out,
+                format!(
+                    "  pacing jitter p50/p99 {:.0}/{:.0} us over {} timer events",
+                    r.pacing_jitter_p50_us, r.pacing_jitter_p99_us, r.timer_events
+                ),
+            )
+        }
+        Command::Loadgen {
+            server,
+            flows,
+            duration_s,
+            ramp_s,
+            warmup_s,
+            ack_every,
+            batch_size,
+            no_batch,
+            json,
+        } => {
+            use pels_netsim::time::SimDuration;
+            use pels_wire::{run_loadgen, LoadgenConfig};
+            let mut cfg = LoadgenConfig::new(server);
+            cfg.flows = flows;
+            cfg.duration = SimDuration::from_secs_f64(duration_s);
+            cfg.ramp = SimDuration::from_secs_f64(ramp_s);
+            cfg.warmup = SimDuration::from_secs_f64(warmup_s);
+            cfg.ack_every = ack_every;
+            cfg.batch = !no_batch;
+            cfg.batch_size = batch_size;
+            let report = run_loadgen(cfg).map_err(|e| format!("loadgen failed: {e}"))?;
+            if json {
+                let j = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                return w(out, j);
+            }
+            let r = &report;
+            w(
+                out,
+                format!(
+                    "loadgen {} flows against {server} for {:.1} s: \
+                     {} data datagrams, steady {:.0}/s",
+                    r.flows, r.duration_secs, r.data_received, r.steady_datagrams_per_sec
+                ),
+            )?;
+            w(
+                out,
+                format!(
+                    "  sustained {}/{}  hellos {}  acks {}  byes {}  \
+                     decode errors {}  send drops {}",
+                    r.flows_sustained,
+                    r.flows,
+                    r.hellos_sent,
+                    r.acks_sent,
+                    r.byes_sent,
+                    r.decode_errors,
+                    r.send_drops
+                ),
+            )
+        }
+        Command::BenchWire { counts, duration_s, check } => {
+            use pels_bench::wirebench::{
+                default_output_path, run_wire, validate_json, WireBenchConfig,
+            };
+            if let Some(path) = check {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let report = validate_json(&text).map_err(|e| format!("{path}: {e}"))?;
+                return w(
+                    out,
+                    format!("{path}: valid {} report, {} rows", report.schema, report.rows.len()),
+                );
+            }
+            w(
+                out,
+                format!("wire bench: counts {counts:?}, {duration_s} s per row, loop vs batched"),
+            )?;
+            let cfg = WireBenchConfig { counts, duration_s, ..Default::default() };
+            let report = run_wire(&cfg)?;
+            let path = default_output_path();
+            let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+            std::fs::write(&path, &json)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            w(out, format!("batched speedup at max flows: {:.2}x", report.batched_speedup))?;
+            w(out, format!("[written {}]", path.display()))
+        }
         Command::Metrics { path } => {
             let text =
                 std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -1158,6 +1478,15 @@ pub fn usage() -> String {
                   [--telemetry FILE.jsonl] [--json]\n\
        pels live  [--duration SECS] [--bottleneck-mbps M] [--share F] [--mem]\n\
                   [--faults FILE.json] [--telemetry FILE.jsonl] [--json]\n\
+       pels serve [--listen ADDR] [--duration SECS] [--capacity-mbps M]\n\
+                  [--max-flows N] [--packet-bytes B] [--batch-size N]\n\
+                  [--no-batch] [--telemetry FILE.jsonl] [--telemetry-per-flow]\n\
+                  [--json]                   # multi-flow UDP server\n\
+       pels loadgen [--server ADDR] [--flows N] [--duration SECS]\n\
+                  [--ramp SECS] [--warmup SECS] [--ack-every K]\n\
+                  [--batch-size N] [--no-batch] [--json]\n\
+       pels bench --wire [--counts 1024,2048,4096] [--duration SECS] [--short]\n\
+                  [--check FILE]              # writes BENCH_wire.json\n\
        pels metrics FILE.jsonl                  # summarize a telemetry stream\n\
        pels trace [--frames N] [--cv CV] [--seed S]\n\
        pels config-template\n\
@@ -1707,6 +2036,162 @@ mod tests {
             cmd,
             Command::Bench { topology: pels_bench::scalebench::ScaleTopology::Random, .. }
         ));
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let cmd = parse_args(&args("serve")).unwrap();
+        match cmd {
+            Command::Serve {
+                listen,
+                duration_s,
+                capacity_mbps,
+                max_flows,
+                packet_bytes,
+                batch_size,
+                no_batch,
+                telemetry_per_flow,
+                telemetry,
+                json,
+            } => {
+                assert_eq!(listen, std::net::SocketAddr::from(([127, 0, 0, 1], 9500)));
+                assert_eq!(duration_s, 10.0);
+                assert_eq!(capacity_mbps, 100.0);
+                assert_eq!(max_flows, 4096);
+                assert_eq!(packet_bytes, 400);
+                assert_eq!(batch_size, 64);
+                assert!(!no_batch, "batched I/O is the default");
+                assert!(!telemetry_per_flow, "per-flow series are opt-in");
+                assert!(telemetry.is_none());
+                assert!(!json);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(&args(
+            "serve --listen 127.0.0.1:0 --duration 2 --no-batch --telemetry-per-flow --json",
+        ))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve { no_batch: true, telemetry_per_flow: true, json: true, .. }
+        ));
+        assert!(parse_args(&args("serve --listen nonsense")).is_err());
+        assert!(parse_args(&args("serve --duration 0")).is_err());
+        assert!(parse_args(&args("serve --capacity-mbps -1")).is_err());
+        assert!(parse_args(&args("serve --batch-size 0")).is_err());
+        assert!(parse_args(&args("serve --max-flows 0")).is_err());
+    }
+
+    #[test]
+    fn parses_loadgen_flags() {
+        let cmd = parse_args(&args("loadgen")).unwrap();
+        match cmd {
+            Command::Loadgen { server, flows, duration_s, ramp_s, warmup_s, ack_every, .. } => {
+                assert_eq!(server, std::net::SocketAddr::from(([127, 0, 0, 1], 9500)));
+                assert_eq!(flows, 256);
+                assert_eq!(duration_s, 5.0);
+                assert_eq!(ramp_s, 1.0);
+                assert_eq!(warmup_s, 2.0);
+                assert_eq!(ack_every, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Short runs shrink the derived ramp/warmup defaults.
+        let cmd = parse_args(&args("loadgen --duration 2")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Loadgen { ramp_s, warmup_s, .. } if ramp_s == 0.5 && warmup_s == 1.0
+        ));
+        assert!(parse_args(&args("loadgen --flows 0")).is_err());
+        assert!(parse_args(&args("loadgen --warmup 5 --duration 4")).is_err());
+        assert!(parse_args(&args("loadgen --ack-every 0")).is_err());
+        assert!(parse_args(&args("loadgen --server nowhere")).is_err());
+    }
+
+    #[test]
+    fn parses_bench_wire_flags() {
+        let cmd = parse_args(&args("bench --wire")).unwrap();
+        match cmd {
+            Command::BenchWire { counts, duration_s, check } => {
+                assert_eq!(counts, pels_bench::wirebench::DEFAULT_COUNTS);
+                assert_eq!(duration_s, 5.0);
+                assert!(check.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(&args("bench --wire --short")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::BenchWire { ref counts, duration_s, .. }
+                if counts == &vec![64, 128] && duration_s == 2.0
+        ));
+        let cmd = parse_args(&args("bench --wire --counts 8,16 --duration 1.5")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::BenchWire { ref counts, duration_s, .. }
+                if counts == &vec![8, 16] && duration_s == 1.5
+        ));
+        assert!(matches!(
+            parse_args(&args("bench --wire --check BENCH_wire.json")).unwrap(),
+            Command::BenchWire { check: Some(_), .. }
+        ));
+        assert!(parse_args(&args("bench --wire --counts 0,8")).is_err());
+        assert!(parse_args(&args("bench --wire --duration -1")).is_err());
+        // Without --wire the bench arm still parses scale-bench flags.
+        assert!(matches!(parse_args(&args("bench --short")).unwrap(), Command::Bench { .. }));
+    }
+
+    #[test]
+    fn serve_command_executes_an_idle_server() {
+        let cmd = parse_args(&args("serve --listen 127.0.0.1:0 --duration 0.3 --json")).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&buf).unwrap();
+        assert_eq!(v["peak_flows"].as_u64(), Some(0), "no clients registered");
+        assert_eq!(v["leaked_flows"].as_u64(), Some(0));
+        assert_eq!(v["batched"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn loadgen_command_survives_an_absent_server() {
+        // UDP is connectionless: HELLOs into a dead port either vanish or
+        // bounce as ICMP refusals (counted as send drops), never an error.
+        let cmd = parse_args(&args(
+            "loadgen --server 127.0.0.1:9 --flows 2 --duration 0.3 --warmup 0.1 --json",
+        ))
+        .unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&buf).unwrap();
+        assert_eq!(v["flows_sustained"].as_u64(), Some(0), "{v}");
+        assert_eq!(v["data_received"].as_u64(), Some(0), "{v}");
+    }
+
+    #[test]
+    fn bench_wire_command_writes_and_checks_a_report() {
+        let dir = std::env::temp_dir().join("pels_cli_bench_wire_test");
+        std::env::set_var("PELS_BENCH_DIR", &dir);
+        let cmd = parse_args(&args("bench --wire --counts 2 --duration 1")).unwrap();
+        let mut buf = Vec::new();
+        let res = execute(cmd, &mut buf);
+        std::env::remove_var("PELS_BENCH_DIR");
+        res.unwrap();
+        let path = dir.join("BENCH_wire.json");
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("BENCH_wire.json"), "{text}");
+        assert!(text.contains("batched speedup"), "{text}");
+        pels_bench::wirebench::validate_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+
+        let cmd = parse_args(&args(&format!("bench --wire --check {}", path.display()))).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("valid pels-bench-wire/1 report"), "{text}");
+
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{}").unwrap();
+        let cmd = parse_args(&args(&format!("bench --wire --check {}", bad.display()))).unwrap();
+        assert!(execute(cmd, &mut Vec::new()).is_err());
     }
 
     #[test]

@@ -127,7 +127,20 @@ impl FeedbackEstimator {
     /// `p = (R − C)/R`, increments the epoch, resets counters (Eq. 11), and
     /// returns the fresh label for router `router`.
     pub fn tick(&mut self, router: AgentId) -> Feedback {
-        let t = self.interval.as_secs_f64();
+        self.tick_elapsed(router, self.interval)
+    }
+
+    /// [`tick`](Self::tick) with the *measured* window length instead of
+    /// the nominal `T`. Simulations fire the measurement timer exactly on
+    /// schedule, so `tick` is exact there — but a wall-clock server's tick
+    /// slips under load, and dividing a long window's arrivals by the
+    /// nominal `T` inflates `R` several-fold and reports phantom loss the
+    /// moment the scheduler stalls the process. Eq. 11's `R = S/T` wants
+    /// the window the bytes actually arrived in.
+    pub fn tick_elapsed(&mut self, router: AgentId, elapsed: SimDuration) -> Feedback {
+        // Floor at the nominal interval: the timer can fire late, never
+        // early, and a degenerate zero window must not divide by zero.
+        let t = elapsed.as_secs_f64().max(self.interval.as_secs_f64());
         let c = self.capacity.as_bps() as f64;
         let w_total = self.bytes_total as f64 * 8.0 / t;
         let w_green = self.bytes_green as f64 * 8.0 / t;

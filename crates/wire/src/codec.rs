@@ -328,6 +328,23 @@ pub fn peek_kind(buf: &[u8]) -> Result<WireKind, CodecError> {
     WireKind::from_byte(get_u8(buf, 3)?)
 }
 
+/// Returns the encoded length of the packet at the head of `buf`.
+///
+/// Every wire packet is self-delimiting — control kinds have fixed sizes
+/// and a data packet declares its payload length at offset 76 — so several
+/// packets can be carried back-to-back in one coalesced datagram and split
+/// apart with this function. The per-kind `decode`s reject trailing bytes,
+/// so callers must slice exactly `packet_len` bytes before decoding.
+pub fn packet_len(buf: &[u8]) -> Result<usize, CodecError> {
+    Ok(match peek_kind(buf)? {
+        WireKind::Data => DATA_HEADER_BYTES + get_u16(buf, 76)? as usize,
+        WireKind::Ack => ACK_BYTES,
+        WireKind::Nack => NACK_BYTES,
+        WireKind::Hello => HELLO_BYTES,
+        WireKind::Bye => BYE_BYTES,
+    })
+}
+
 fn expect_kind(buf: &[u8], want: WireKind) -> Result<(), CodecError> {
     let kind = peek_kind(buf)?;
     if kind != want {
@@ -434,14 +451,22 @@ impl WireAck {
     /// Encodes into a fresh datagram.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(ACK_BYTES);
-        put_header(&mut buf, WireKind::Ack);
+        self.append_to(&mut buf);
+        buf
+    }
+
+    /// Appends the encoded ACK to `buf` without clearing it, so a
+    /// coalescing sender can write ACKs back-to-back into one container
+    /// datagram with no per-ACK allocation.
+    pub fn append_to(&self, buf: &mut Vec<u8>) {
+        buf.reserve(ACK_BYTES);
+        put_header(buf, WireKind::Ack);
         buf.extend_from_slice(&self.flow.0.to_be_bytes());
         buf.extend_from_slice(&self.seq.to_be_bytes());
         buf.extend_from_slice(&self.sent_at.as_nanos().to_be_bytes());
         buf.extend_from_slice(&self.rate_echo.to_be_bytes());
         buf.push(if self.feedback.is_some() { FLAG_FEEDBACK } else { 0 });
-        put_feedback(&mut buf, self.feedback);
-        buf
+        put_feedback(buf, self.feedback);
     }
 
     /// Decodes an acknowledgment datagram.
@@ -667,6 +692,48 @@ mod tests {
         long.push(0);
         assert_eq!(WireHello::decode(&long), Err(CodecError::InvalidField("trailing bytes")));
         assert!(WireBye::decode(&bye.encode()[..BYE_BYTES - 1]).is_err());
+    }
+
+    #[test]
+    fn packet_len_delimits_coalesced_packets() {
+        let payload = [0x5A; 137];
+        let d = data(&payload).encode();
+        let ack = WireAck {
+            flow: FlowId(7),
+            seq: 42,
+            sent_at: SimTime::from_nanos(55),
+            rate_echo: 128_000.0,
+            feedback: None,
+        }
+        .encode();
+        let hello = WireHello { flow: FlowId(7), seq: 1 }.encode();
+        let bye = WireBye { flow: FlowId(7) }.encode();
+        // Pack four packets back-to-back into one container datagram and
+        // walk it with packet_len: each slice must decode cleanly and the
+        // walk must consume the container exactly.
+        let mut container = Vec::new();
+        for part in [&d, &ack, &hello, &bye] {
+            container.extend_from_slice(part);
+        }
+        let mut off = 0;
+        let mut kinds = Vec::new();
+        while off < container.len() {
+            let len = packet_len(&container[off..]).unwrap();
+            let pkt = &container[off..off + len];
+            kinds.push(peek_kind(pkt).unwrap());
+            match kinds.last().unwrap() {
+                WireKind::Data => assert!(WireData::decode(pkt).is_ok()),
+                WireKind::Ack => assert!(WireAck::decode(pkt).is_ok()),
+                WireKind::Hello => assert!(WireHello::decode(pkt).is_ok()),
+                WireKind::Bye => assert!(WireBye::decode(pkt).is_ok()),
+                WireKind::Nack => unreachable!(),
+            }
+            off += len;
+        }
+        assert_eq!(off, container.len());
+        assert_eq!(kinds, [WireKind::Data, WireKind::Ack, WireKind::Hello, WireKind::Bye]);
+        // A data header cut before the length field is a truncation error.
+        assert!(packet_len(&d[..20]).is_err());
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! The session table shared by the live router and `pels serve`.
+//!
+//! [`FlowTable`] generalizes the router's HELLO/BYE/idle-eviction session
+//! map (PR 7) into a reusable structure parameterized over per-flow state
+//! `S`: the forwarding router attaches none (`S = ()`), while `pels serve`
+//! hangs a full MKC+γ control machine off every entry. Lifecycle semantics
+//! are identical for both:
+//!
+//! * a HELLO registers a flow (or refreshes an existing one, updating its
+//!   return address and liveness stamp *without* touching `S` — a control
+//!   machine must survive heartbeat refreshes),
+//! * a BYE removes the entry immediately,
+//! * [`FlowTable::evict_idle`] reaps entries whose last HELLO is older
+//!   than the idle timeout, so a dead peer cannot leak an entry.
+//!
+//! The churn property tests (`tests/flow_table_props.rs`) drive thousands
+//! of flows through randomized interleavings of these three transitions
+//! and check that entries never leak and per-flow state never bleeds
+//! across flows.
+
+use pels_netsim::packet::FlowId;
+use pels_netsim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+/// One live session: where to reach the peer, when it last proved
+/// liveness, and whatever per-flow state the host hangs off it.
+#[derive(Debug, Clone)]
+pub struct FlowEntry<S> {
+    /// Return address from the most recent HELLO.
+    pub addr: SocketAddr,
+    /// Arrival time of the most recent HELLO.
+    pub last_hello: SimTime,
+    /// Host-defined per-flow state (control machine, counters, …).
+    pub state: S,
+}
+
+/// A HELLO/BYE-driven session table with idle eviction.
+#[derive(Debug)]
+pub struct FlowTable<S> {
+    entries: HashMap<FlowId, FlowEntry<S>>,
+}
+
+impl<S> FlowTable<S> {
+    /// An empty table.
+    pub fn new() -> Self {
+        FlowTable { entries: HashMap::new() }
+    }
+
+    /// Live sessions currently registered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registers or refreshes `flow` from a HELLO received from `addr` at
+    /// `now`. A refresh updates the return address and liveness stamp but
+    /// leaves the per-flow state untouched; `init` runs only for a new
+    /// registration. Returns `true` when the flow was newly registered.
+    pub fn hello(
+        &mut self,
+        flow: FlowId,
+        addr: SocketAddr,
+        now: SimTime,
+        init: impl FnOnce() -> S,
+    ) -> bool {
+        match self.entries.get_mut(&flow) {
+            Some(entry) => {
+                entry.addr = addr;
+                entry.last_hello = now;
+                false
+            }
+            None => {
+                self.entries.insert(flow, FlowEntry { addr, last_hello: now, state: init() });
+                true
+            }
+        }
+    }
+
+    /// Removes `flow` on a BYE, returning its state if it was registered.
+    pub fn bye(&mut self, flow: FlowId) -> Option<S> {
+        self.entries.remove(&flow).map(|e| e.state)
+    }
+
+    /// Reaps every entry whose last HELLO is older than `timeout`,
+    /// returning how many were evicted. Data arrivals deliberately do not
+    /// refresh liveness — only HELLOs do — so a dead receiver is evicted
+    /// even while a source keeps streaming at it.
+    pub fn evict_idle(&mut self, now: SimTime, timeout: SimDuration) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| now.duration_since(e.last_hello) <= timeout);
+        (before - self.entries.len()) as u64
+    }
+
+    /// Whether `flow` is currently registered.
+    pub fn contains(&self, flow: FlowId) -> bool {
+        self.entries.contains_key(&flow)
+    }
+
+    /// The registered return address of `flow`, if live.
+    pub fn addr_of(&self, flow: FlowId) -> Option<SocketAddr> {
+        self.entries.get(&flow).map(|e| e.addr)
+    }
+
+    /// Shared access to a live entry.
+    pub fn get(&self, flow: FlowId) -> Option<&FlowEntry<S>> {
+        self.entries.get(&flow)
+    }
+
+    /// Exclusive access to a live entry.
+    pub fn get_mut(&mut self, flow: FlowId) -> Option<&mut FlowEntry<S>> {
+        self.entries.get_mut(&flow)
+    }
+
+    /// Iterates all live sessions (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, &FlowEntry<S>)> {
+        self.entries.iter().map(|(&f, e)| (f, e))
+    }
+
+    /// Iterates all live sessions mutably (arbitrary order).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (FlowId, &mut FlowEntry<S>)> {
+        self.entries.iter_mut().map(|(&f, e)| (f, e))
+    }
+}
+
+impl<S> Default for FlowTable<S> {
+    fn default() -> Self {
+        FlowTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn refresh_preserves_state_and_updates_address() {
+        let mut table: FlowTable<u32> = FlowTable::new();
+        assert!(table.hello(FlowId(1), addr(10), SimTime::ZERO, || 7));
+        // Refresh from a new address at a later time: state survives.
+        let later = SimTime::from_nanos(5_000_000);
+        assert!(!table.hello(FlowId(1), addr(11), later, || 999));
+        let entry = table.get(FlowId(1)).unwrap();
+        assert_eq!((entry.state, entry.addr, entry.last_hello), (7, addr(11), later));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn bye_and_idle_eviction_remove_entries() {
+        let mut table: FlowTable<()> = FlowTable::new();
+        let timeout = SimDuration::from_millis(500);
+        table.hello(FlowId(1), addr(1), SimTime::ZERO, || ());
+        table.hello(FlowId(2), addr(2), SimTime::ZERO, || ());
+        assert!(table.bye(FlowId(1)).is_some());
+        assert!(table.bye(FlowId(1)).is_none(), "double BYE is a no-op");
+        // Just inside the timeout: survives. Past it: reaped.
+        assert_eq!(table.evict_idle(SimTime::ZERO + timeout, timeout), 0);
+        assert_eq!(table.evict_idle(SimTime::ZERO + timeout * 2, timeout), 1);
+        assert!(table.is_empty());
+    }
+}

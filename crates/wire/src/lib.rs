@@ -10,7 +10,8 @@
 //!   `(p, z, router)`, and NACKs. Decoding is zero-copy for payloads.
 //! * [`transport`] — the [`Transport`] datagram abstraction with a
 //!   deterministic in-memory hub ([`MemHub`]) and a non-blocking UDP
-//!   backend ([`UdpTransport`]).
+//!   backend ([`UdpTransport`]). [`batch`] adds [`BatchedUdp`], a
+//!   `recvmmsg`/`sendmmsg`-vectored UDP backend behind the same trait.
 //! * [`source`], [`router`], [`receiver`] — `poll(now)`-driven live
 //!   agents reusing the simulator's controllers verbatim: MKC (Eq. 8),
 //!   the γ partitioner (Eq. 4), the router feedback estimator (Eq. 11),
@@ -19,6 +20,11 @@
 //!   over loopback UDP or the in-memory hub and emitting the simulator's
 //!   `ScenarioReport` schema, so live and simulated runs are directly
 //!   comparable.
+//! * [`serve`], [`loadgen`] — the multi-flow production posture behind
+//!   `pels serve`/`pels loadgen`: one readiness-polled socket loop hosting
+//!   a [`FlowTable`](flowtable::FlowTable) of per-flow MKC+γ state
+//!   machines, paced off a shared timer wheel through one in-process
+//!   strict-priority PELS router, with batched datagram I/O.
 //! * [`faults`] — [`FaultTransport`], a deterministic fault-injecting
 //!   middleware over any [`Transport`] (drop/duplicate/reorder/delay/
 //!   truncate/corrupt, plus timed blackouts), scriptable per endpoint via
@@ -32,24 +38,36 @@
 //! live runs, a hand-stepped mock for reproducible tests. Agents never
 //! read clocks themselves — they are pure state machines over `SimTime`.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the whole crate stays safe except the one
+// vendored-syscall module (`batch::sys`) that declares `recvmmsg`/
+// `sendmmsg`, which opts in with a scoped `allow` and keeps every unsafe
+// block behind a safe, bounds-checked wrapper.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod chaos;
 pub mod codec;
 pub mod faults;
+pub mod flowtable;
 pub mod live;
+pub mod loadgen;
 pub mod receiver;
 pub mod router;
+pub mod serve;
 pub mod source;
 mod telemetry_names;
 pub mod transport;
 
+pub use batch::BatchedUdp;
 pub use chaos::{run_wire_matrix, WireCaseReport, WireChaosConfig, WireChaosReport};
 pub use codec::{WireAck, WireBye, WireData, WireHello, WireKind, WireNack};
 pub use faults::{FaultTransport, LiveFaults, WireFaultSpec, WireFaultTotals};
+pub use flowtable::FlowTable;
 pub use live::{run_live, LiveBackend, LiveConfig, LiveOutcome, LiveStats};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use receiver::{HeartbeatConfig, WireReceiver, WireReceiverConfig};
 pub use router::{WireRouter, WireRouterConfig};
+pub use serve::{run_serve, run_serve_with, ServeConfig, ServeReport};
 pub use source::{WireSource, WireSourceConfig};
-pub use transport::{MemHub, MemTransport, Transport, UdpTransport};
+pub use transport::{Datagram, MemHub, MemTransport, Transport, UdpTransport};

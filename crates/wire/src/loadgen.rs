@@ -1,0 +1,389 @@
+//! `pels loadgen`: a saturating multi-flow client for `pels serve`.
+//!
+//! One socket multiplexes every flow: HELLOs are staggered over a ramp so
+//! registration is not a thundering herd, liveness HELLOs refresh each
+//! flow's table entry, received data packets are counted and (every
+//! `ack_every`-th per flow) answered with an ACK echoing the router's
+//! feedback label and the source's rate — closing the real MKC loop over
+//! loopback. At the end every flow says BYE, so a clean run leaves the
+//! server's flow table empty (the CI leak gate).
+//!
+//! Delivered datagrams/s is measured over the *steady window* (after
+//! `warmup`), which is the honest throughput column of `BENCH_wire.json`:
+//! it counts what actually crossed the socket pair, not what the server
+//! believes it sent. A flow counts as *sustained* if it received data in
+//! the final 500 ms.
+
+use crate::batch::BatchedUdp;
+use crate::codec::{packet_len, peek_kind, WireAck, WireBye, WireData, WireHello, WireKind};
+use crate::transport::{Datagram, Transport, UdpTransport};
+use pels_netsim::clock::{Clock, MonotonicClock};
+use pels_netsim::packet::FlowId;
+use pels_netsim::time::{SimDuration, SimTime};
+use serde::Serialize;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration of one `pels loadgen` run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// The `pels serve` socket to register flows at.
+    pub server: SocketAddr,
+    /// Local socket to bind (port 0 picks an ephemeral port).
+    pub listen: SocketAddr,
+    /// Concurrent flows to ramp up (flow ids `1..=flows`).
+    pub flows: u32,
+    /// Total wall-clock run length (after it, BYEs go out).
+    pub duration: SimDuration,
+    /// Window over which initial HELLOs are staggered.
+    pub ramp: SimDuration,
+    /// Time excluded from the delivered-rate measurement (ramp + MKC
+    /// convergence).
+    pub warmup: SimDuration,
+    /// Liveness HELLO refresh period per flow.
+    pub hello_interval: SimDuration,
+    /// ACK every `ack_every`-th data packet per flow (1 = every packet).
+    pub ack_every: u32,
+    /// Use the batched UDP backend for the client socket too.
+    pub batch: bool,
+    /// Datagrams per batched I/O call.
+    pub batch_size: usize,
+    /// Coalescing cap for the batched path: ACKs/HELLOs/BYEs bound for the
+    /// server are packed back-to-back into container datagrams of at most
+    /// this many bytes (mirrors [`ServeConfig::aggregate_bytes`]
+    /// (crate::serve::ServeConfig::aggregate_bytes)). `0` disables;
+    /// `batch: false` never coalesces.
+    pub aggregate_bytes: usize,
+}
+
+impl LoadgenConfig {
+    /// Defaults: 256 flows, 5 s run with a 1 s ramp and 2 s warmup,
+    /// 100 ms HELLO refresh, ACK every packet, batching on.
+    pub fn new(server: SocketAddr) -> Self {
+        LoadgenConfig {
+            server,
+            listen: SocketAddr::from(([127, 0, 0, 1], 0)),
+            flows: 256,
+            duration: SimDuration::from_secs(5),
+            ramp: SimDuration::from_secs(1),
+            warmup: SimDuration::from_secs(2),
+            hello_interval: SimDuration::from_millis(100),
+            ack_every: 1,
+            batch: true,
+            batch_size: 64,
+            aggregate_bytes: crate::serve::AGGREGATE_BYTES,
+        }
+    }
+}
+
+/// End-of-run summary of one loadgen session.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadgenReport {
+    /// Flows requested.
+    pub flows: u32,
+    /// Flows that received data within the final 500 ms.
+    pub flows_sustained: u32,
+    /// Wall-clock seconds the client ran.
+    pub duration_secs: f64,
+    /// Data datagrams delivered across the whole run.
+    pub data_received: u64,
+    /// Payload + header bytes of delivered data datagrams.
+    pub bytes_received: u64,
+    /// Data datagrams delivered inside the steady window.
+    pub steady_data_received: u64,
+    /// Delivered datagrams/s over the steady window — the bench column.
+    pub steady_datagrams_per_sec: f64,
+    /// HELLOs sent (registrations + refreshes).
+    pub hellos_sent: u64,
+    /// ACKs sent.
+    pub acks_sent: u64,
+    /// BYEs sent at teardown.
+    pub byes_sent: u64,
+    /// Undecodable datagrams received.
+    pub decode_errors: u64,
+    /// Client-side UDP sends swallowed (`WouldBlock`/refusal).
+    pub send_drops: u64,
+}
+
+/// Per-flow client bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClientFlow {
+    registered: bool,
+    rx: u64,
+    last_rx: Option<SimTime>,
+    /// This flow's own next liveness-HELLO deadline. Per-flow deadlines
+    /// preserve the ramp's stagger for the life of the run; a single
+    /// global refresh tick would collapse every flow's HELLO into one
+    /// n-datagram burst that overflows the server's receive buffer.
+    next_hello: Option<SimTime>,
+}
+
+/// Runs the load generator against a live `pels serve`.
+///
+/// # Errors
+///
+/// Propagates socket setup and hard transport failures.
+pub fn run_loadgen(cfg: LoadgenConfig) -> io::Result<LoadgenReport> {
+    if cfg.batch {
+        let t = BatchedUdp::bind(cfg.listen)?;
+        t.expand_buffers(crate::serve::SOCKET_BUFFER_BYTES);
+        let drops = t.send_drops_handle();
+        run_on(cfg, t, Some(drops))
+    } else {
+        let t = UdpTransport::bind(cfg.listen)?;
+        t.expand_buffers(crate::serve::SOCKET_BUFFER_BYTES);
+        let drops = t.send_drops_handle();
+        run_on(cfg, t, Some(drops))
+    }
+}
+
+fn run_on<T: Transport>(
+    cfg: LoadgenConfig,
+    transport: T,
+    send_drops: Option<Arc<AtomicU64>>,
+) -> io::Result<LoadgenReport> {
+    let clock = MonotonicClock::new();
+    let n = cfg.flows.max(1);
+    let mut flows = vec![ClientFlow::default(); n as usize];
+    let mut hellos_sent = 0u64;
+    let mut acks_sent = 0u64;
+    let mut decode_errors = 0u64;
+    let mut data_received = 0u64;
+    let mut bytes_received = 0u64;
+    let mut steady_data_received = 0u64;
+    let mut registered = 0u32;
+    // Due-refresh scans run at interval/8 granularity: coarse enough that
+    // the O(flows) sweep is negligible, fine enough that a deadline slips
+    // by at most a few milliseconds against the 500 ms eviction timeout.
+    let scan_step = SimDuration::from_nanos((cfg.hello_interval.as_nanos() / 8).max(1));
+    let mut next_scan = SimTime::ZERO + scan_step;
+    let end = SimTime::ZERO + cfg.duration;
+    let steady_from = SimTime::ZERO + cfg.warmup;
+    let ramp_step = SimDuration::from_nanos(cfg.ramp.as_nanos() / u64::from(n));
+    let ring_cap = crate::serve::RX_SLOT_BYTES;
+    let mut ring: Vec<Datagram> =
+        (0..cfg.batch_size.max(1)).map(|_| Datagram::slot(ring_cap)).collect();
+    let agg = if cfg.batch { cfg.aggregate_bytes } else { 0 };
+    let mut out: Vec<Datagram> = Vec::new();
+    let mut scratch: Vec<Vec<u8>> = Vec::new();
+    // ACKs/HELLOs accumulate until a full batch (or the deadline below) so
+    // each send_batch call amortizes its syscall over a real batch instead
+    // of flushing whatever one poll pass produced.
+    let flush_batch = cfg.batch_size.max(1);
+    let flush_interval = SimDuration::from_millis(1);
+    let mut out_due = SimTime::ZERO;
+
+    let mut now = clock.now();
+    while now < end {
+        let mut work = false;
+        // Ramp: each flow's first HELLO at its staggered offset.
+        while registered < n {
+            let due = SimTime::ZERO + ramp_step.saturating_mul(u64::from(registered));
+            if now < due {
+                break;
+            }
+            let flow = FlowId(registered + 1);
+            push(&mut out, &mut scratch, &WireHello { flow, seq: 0 }.encode(), cfg.server, agg);
+            flows[registered as usize].registered = true;
+            flows[registered as usize].next_hello = Some(now + cfg.hello_interval);
+            registered += 1;
+            hellos_sent += 1;
+            work = true;
+        }
+        // Liveness refresh: each flow on its own deadline (see
+        // `ClientFlow::next_hello`), swept at scan granularity.
+        if now >= next_scan {
+            for (i, f) in flows.iter_mut().enumerate().take(registered as usize) {
+                if f.registered && f.next_hello.is_some_and(|t| now >= t) {
+                    let flow = FlowId(i as u32 + 1);
+                    let seq = hellos_sent;
+                    push(
+                        &mut out,
+                        &mut scratch,
+                        &WireHello { flow, seq }.encode(),
+                        cfg.server,
+                        agg,
+                    );
+                    f.next_hello = Some(now + cfg.hello_interval);
+                    hellos_sent += 1;
+                    work = true;
+                }
+            }
+            next_scan = now + scan_step;
+        }
+        // Ingest data, echo ACKs.
+        loop {
+            for slot in ring.iter_mut() {
+                slot.reset(ring_cap);
+            }
+            let got = transport.recv_batch(&mut ring)?;
+            // Each received datagram may be a container of several wire
+            // packets (the server coalesces departures on its batched
+            // path); walk it with `packet_len`. A malformed head poisons
+            // the rest of the container — no frame boundary without it.
+            for slot in ring.iter().take(got) {
+                let buf = &slot.buf;
+                let mut off = 0;
+                while off < buf.len() {
+                    let Ok(len) = packet_len(&buf[off..]) else {
+                        decode_errors += 1;
+                        break;
+                    };
+                    let end = off + len;
+                    if end > buf.len() {
+                        decode_errors += 1;
+                        break;
+                    }
+                    let pkt_buf = &buf[off..end];
+                    off = end;
+                    match peek_kind(pkt_buf) {
+                        Ok(WireKind::Data) => match WireData::decode(pkt_buf) {
+                            Ok(pkt) => {
+                                data_received += 1;
+                                bytes_received += pkt_buf.len() as u64;
+                                if now >= steady_from {
+                                    steady_data_received += 1;
+                                }
+                                let idx = pkt.flow.0.wrapping_sub(1) as usize;
+                                if let Some(f) = flows.get_mut(idx) {
+                                    f.rx += 1;
+                                    f.last_rx = Some(now);
+                                    if f.rx % u64::from(cfg.ack_every.max(1)) == 0 {
+                                        let ack = WireAck {
+                                            flow: pkt.flow,
+                                            seq: pkt.seq,
+                                            sent_at: pkt.sent_at,
+                                            rate_echo: pkt.rate_echo,
+                                            feedback: pkt.feedback,
+                                        };
+                                        push_with(
+                                            &mut out,
+                                            &mut scratch,
+                                            crate::codec::ACK_BYTES,
+                                            cfg.server,
+                                            agg,
+                                            |buf| ack.append_to(buf),
+                                        );
+                                        acks_sent += 1;
+                                    }
+                                }
+                            }
+                            Err(_) => decode_errors += 1,
+                        },
+                        _ => decode_errors += 1,
+                    }
+                }
+            }
+            if got > 0 {
+                work = true;
+            }
+            if out.len() >= flush_batch {
+                flush(&transport, &mut out, &mut scratch)?;
+                out_due = now + flush_interval;
+            }
+            if got < ring.len() {
+                break;
+            }
+        }
+        if !out.is_empty() && now >= out_due {
+            flush(&transport, &mut out, &mut scratch)?;
+            out_due = now + flush_interval;
+        }
+        if !work {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        now = clock.now();
+    }
+    // Teardown: every flow says BYE so the server's table empties without
+    // waiting for idle eviction.
+    let mut byes_sent = 0u64;
+    for (i, f) in flows.iter().enumerate() {
+        if f.registered {
+            let bye = WireBye { flow: FlowId(i as u32 + 1) };
+            push(&mut out, &mut scratch, &bye.encode(), cfg.server, agg);
+            byes_sent += 1;
+        }
+    }
+    flush(&transport, &mut out, &mut scratch)?;
+
+    let final_now = clock.now();
+    let sustain_horizon = SimDuration::from_millis(500);
+    let flows_sustained = flows
+        .iter()
+        .filter(|f| f.last_rx.is_some_and(|t| now.duration_since(t) <= sustain_horizon))
+        .count() as u32;
+    let steady_secs = (end.duration_since(steady_from)).as_secs_f64().max(1e-9);
+    Ok(LoadgenReport {
+        flows: n,
+        flows_sustained,
+        duration_secs: final_now.as_secs_f64(),
+        data_received,
+        bytes_received,
+        steady_data_received,
+        steady_datagrams_per_sec: steady_data_received as f64 / steady_secs,
+        hellos_sent,
+        acks_sent,
+        byes_sent,
+        decode_errors,
+        send_drops: send_drops.as_ref().map_or(0, |d| d.load(Ordering::Relaxed)),
+    })
+}
+
+/// Queues `need` encoded bytes (written by `write`) for the next batched
+/// flush. With a non-zero `agg` cap it coalesces: the packet is appended
+/// into the tail container while it fits and shares the destination, so
+/// an ACK storm for the server rides in ~agg/61-packet datagrams instead
+/// of one datagram each — and `write` targets the container directly, so
+/// the hot ACK path never allocates per packet.
+fn push_with(
+    out: &mut Vec<Datagram>,
+    scratch: &mut Vec<Vec<u8>>,
+    need: usize,
+    addr: SocketAddr,
+    agg: usize,
+    write: impl FnOnce(&mut Vec<u8>),
+) {
+    if agg > 0 {
+        if let Some(last) = out.last_mut() {
+            if last.addr == addr && last.buf.len() + need <= agg {
+                write(&mut last.buf);
+                return;
+            }
+        }
+    }
+    let mut buf = scratch.pop().unwrap_or_default();
+    buf.clear();
+    write(&mut buf);
+    out.push(Datagram { buf, addr });
+}
+
+/// [`push_with`] for pre-encoded packets.
+fn push(
+    out: &mut Vec<Datagram>,
+    scratch: &mut Vec<Vec<u8>>,
+    bytes: &[u8],
+    addr: SocketAddr,
+    agg: usize,
+) {
+    push_with(out, scratch, bytes.len(), addr, agg, |buf| buf.extend_from_slice(bytes));
+}
+
+/// Sends everything queued in one batch and recycles the buffers.
+fn flush<T: Transport>(
+    transport: &T,
+    out: &mut Vec<Datagram>,
+    scratch: &mut Vec<Vec<u8>>,
+) -> io::Result<()> {
+    if out.is_empty() {
+        return Ok(());
+    }
+    let res = transport.send_batch(out);
+    for d in out.drain(..) {
+        if scratch.len() < 4096 {
+            scratch.push(d.buf);
+        }
+    }
+    res
+}

@@ -26,6 +26,7 @@
 //!   source's token bucket uses the same convention.
 
 use crate::codec::{patch_feedback, peek_kind, WireBye, WireHello, WireKind, DATA_HEADER_BYTES};
+use crate::flowtable::FlowTable;
 use crate::telemetry_names::{
     router_drops_metric, router_tx_metric, ROUTER_BYES, ROUTER_EVICTIONS, ROUTER_FLOWS,
     ROUTER_HELLOS, ROUTER_UNREGISTERED,
@@ -35,7 +36,7 @@ use pels_core::feedback::FeedbackEstimator;
 use pels_netsim::packet::{AgentId, Feedback, FlowId};
 use pels_netsim::time::{Rate, SimDuration, SimTime};
 use pels_telemetry::Telemetry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::io;
 use std::net::SocketAddr;
 
@@ -82,16 +83,6 @@ impl WireRouterConfig {
     }
 }
 
-/// One live session in the router's flow table.
-#[derive(Debug, Clone, Copy)]
-struct FlowEntry {
-    /// Where this flow's data packets are forwarded (the HELLO's source
-    /// address).
-    addr: SocketAddr,
-    /// Arrival time of the most recent HELLO.
-    last_hello: SimTime,
-}
-
 /// The live strict-priority forwarder.
 #[derive(Debug)]
 pub struct WireRouter<T: Transport> {
@@ -116,8 +107,11 @@ pub struct WireRouter<T: Transport> {
     pub drops_by_class: [u64; 4],
     /// Datagrams discarded because they were not decodable data packets.
     pub decode_errors: u64,
-    /// Live sessions, registered and refreshed by receiver HELLOs.
-    flows: HashMap<FlowId, FlowEntry>,
+    /// Live sessions, registered and refreshed by receiver HELLOs. The
+    /// forwarder keeps no per-flow state beyond the table's own address
+    /// and liveness bookkeeping (`pels serve` hangs a control machine off
+    /// the same structure).
+    flows: FlowTable<()>,
     /// HELLO frames accepted (registrations + refreshes).
     pub hellos_seen: u64,
     /// BYE frames that removed a flow-table entry.
@@ -155,7 +149,7 @@ impl<T: Transport> WireRouter<T> {
             tx_by_class: [0; 4],
             drops_by_class: [0; 4],
             decode_errors: 0,
-            flows: HashMap::new(),
+            flows: FlowTable::new(),
             hellos_seen: 0,
             byes_seen: 0,
             evictions: 0,
@@ -220,10 +214,7 @@ impl<T: Transport> WireRouter<T> {
     /// liveness is receiver-driven, so a dead receiver is evicted even
     /// while the source keeps streaming at it.
     fn evict_idle_flows(&mut self, now: SimTime) {
-        let timeout = self.cfg.flow_idle_timeout;
-        let before = self.flows.len();
-        self.flows.retain(|_, e| now.duration_since(e.last_hello) <= timeout);
-        let evicted = (before - self.flows.len()) as u64;
+        let evicted = self.flows.evict_idle(now, self.cfg.flow_idle_timeout);
         if evicted > 0 {
             self.evictions += evicted;
             self.telemetry.counter_add(ROUTER_EVICTIONS, evicted);
@@ -248,7 +239,7 @@ impl<T: Transport> WireRouter<T> {
                         self.telemetry.counter_add("wire.router.decode_errors", 1);
                         continue;
                     };
-                    self.flows.insert(hello.flow, FlowEntry { addr: from, last_hello: now });
+                    self.flows.hello(hello.flow, from, now, || ());
                     self.hellos_seen += 1;
                     self.telemetry.counter_add(ROUTER_HELLOS, 1);
                     continue;
@@ -259,7 +250,7 @@ impl<T: Transport> WireRouter<T> {
                         self.telemetry.counter_add("wire.router.decode_errors", 1);
                         continue;
                     };
-                    if self.flows.remove(&bye.flow).is_some() {
+                    if self.flows.bye(bye.flow).is_some() {
                         self.byes_seen += 1;
                         self.telemetry.counter_add(ROUTER_BYES, 1);
                     }
@@ -317,8 +308,8 @@ impl<T: Transport> WireRouter<T> {
             let flow = FlowId(u32::from_be_bytes(
                 datagram.get(4..8).and_then(|s| s.try_into().ok()).unwrap_or([0; 4]),
             ));
-            let dest = match self.flows.get(&flow) {
-                Some(entry) => entry.addr,
+            let dest = match self.flows.addr_of(flow) {
+                Some(addr) => addr,
                 None if self.cfg.strict_flows => {
                     self.unregistered_drops += 1;
                     self.telemetry.counter_add(ROUTER_UNREGISTERED, 1);

@@ -70,3 +70,26 @@ pub(crate) const SRC_RETX_SUPPRESSED: &str = "wire.src.retx_suppressed";
 
 /// `wire.udp.send_drops` — UDP sends dropped on `WouldBlock`/refusal.
 pub(crate) const UDP_SEND_DROPS: &str = "wire.udp.send_drops";
+
+/// `wire.serve.flows` — live flow-table size of `pels serve` (gauge).
+pub(crate) const SERVE_FLOWS: &str = "wire.serve.flows";
+
+/// `wire.serve.tx` — data datagrams sent by `pels serve`, all flows.
+pub(crate) const SERVE_TX: &str = "wire.serve.tx";
+
+/// `wire.serve.acks` — feedback ACKs consumed by per-flow controllers.
+pub(crate) const SERVE_ACKS: &str = "wire.serve.acks";
+
+/// `wire.serve.decode_errors` — undecodable datagrams at the serve socket.
+pub(crate) const SERVE_DECODE_ERRORS: &str = "wire.serve.decode_errors";
+
+/// `wire.serve.pacing_jitter` — timer-wheel event lateness in seconds
+/// (actual fire time minus scheduled deadline); p99 is the bench column.
+pub(crate) const SERVE_PACING_JITTER: &str = "wire.serve.pacing_jitter";
+
+/// `wire.serve.flow.<id>.rate` — per-flow MKC rate series. Allocates per
+/// sample, and with thousands of flows every series multiplies the JSONL
+/// sink's cardinality — emitted only behind `--telemetry-per-flow`.
+pub(crate) fn serve_flow_rate_metric(flow: u32) -> String {
+    format!("wire.serve.flow.{flow}.rate")
+}

@@ -42,6 +42,38 @@ pub fn wait_for(timeout: Duration, interval: Duration, mut ready: impl FnMut() -
     }
 }
 
+/// One datagram paired with a peer address: the destination for
+/// [`Transport::send_batch`], the origin after [`Transport::recv_batch`].
+#[derive(Debug, Clone)]
+pub struct Datagram {
+    /// Payload bytes. On receive, the slot's length is the capacity
+    /// offered to the backend and is truncated to the datagram's length;
+    /// restore it (see [`Datagram::reset`]) before reusing the slot.
+    pub buf: Vec<u8>,
+    /// Peer address: where to send, or where a received datagram came from.
+    pub addr: SocketAddr,
+}
+
+impl Datagram {
+    /// A zeroed receive slot offering `capacity` bytes, addressed at a
+    /// placeholder peer until a receive overwrites it.
+    pub fn slot(capacity: usize) -> Self {
+        Datagram { buf: vec![0u8; capacity], addr: SocketAddr::from(([0, 0, 0, 0], 0)) }
+    }
+
+    /// Restores the buffer to `len` writable bytes for the next receive.
+    ///
+    /// Only bytes grown beyond the current length are zeroed: the prefix
+    /// may keep stale bytes from the previous datagram, which every
+    /// backend overwrites before reporting a fill. (A `clear()` +
+    /// full-length `resize` here memsets the slot's whole capacity on
+    /// every ring pass — at `pels serve` rates that was gigabytes per
+    /// second of hidden zeroing.)
+    pub fn reset(&mut self, len: usize) {
+        self.buf.resize(len, 0);
+    }
+}
+
 /// Unreliable datagram I/O, addressed by socket address.
 ///
 /// `try_recv` never blocks: agents are `poll`-driven state machines and a
@@ -66,6 +98,52 @@ pub trait Transport {
     ///
     /// Propagates backend I/O errors other than "would block".
     fn try_recv(&self, buf: &mut [u8]) -> io::Result<Option<(usize, SocketAddr)>>;
+
+    /// Sends every datagram in `batch`, in order.
+    ///
+    /// The default implementation loops over [`Transport::send_to`], so
+    /// every backend — including middleware like [`crate::FaultTransport`]
+    /// and the deterministic [`MemHub`] — composes with batch-aware
+    /// callers with *identical* semantics to one call per datagram.
+    /// Backends with real vectored syscalls ([`crate::BatchedUdp`])
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend I/O errors; per-datagram loss is not an error.
+    fn send_batch(&self, batch: &[Datagram]) -> io::Result<()> {
+        for d in batch {
+            self.send_to(&d.buf, d.addr)?;
+        }
+        Ok(())
+    }
+
+    /// Receives up to `batch.len()` datagrams, filling slots from the
+    /// front. Each slot's `buf` length is the receive capacity offered;
+    /// filled slots come back truncated to the datagram length with the
+    /// origin in `addr`. Returns how many slots were filled; fewer than
+    /// `batch.len()` means the backend ran dry.
+    ///
+    /// The default implementation loops over [`Transport::try_recv`] with
+    /// the same semantics as one call per datagram.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend I/O errors other than "would block".
+    fn recv_batch(&self, batch: &mut [Datagram]) -> io::Result<usize> {
+        let mut filled = 0;
+        for slot in batch.iter_mut() {
+            match self.try_recv(&mut slot.buf)? {
+                Some((n, from)) => {
+                    slot.buf.truncate(n);
+                    slot.addr = from;
+                    filled += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(filled)
+    }
 }
 
 type Queues = HashMap<SocketAddr, VecDeque<(SocketAddr, Vec<u8>)>>;
@@ -229,9 +307,27 @@ impl UdpTransport {
         self.send_drops.load(Ordering::Relaxed)
     }
 
-    fn count_send_drop(&self) {
+    /// Counts one swallowed send into the atomic counter and the
+    /// `wire.udp.send_drops` telemetry counter — shared with the batched
+    /// backend so `sendmmsg` partial completions land in the same ledger.
+    pub(crate) fn count_send_drop(&self) {
         self.send_drops.fetch_add(1, Ordering::Relaxed);
         self.telemetry.counter_add(UDP_SEND_DROPS, 1);
+    }
+
+    /// Best-effort request to grow the socket's kernel receive and send
+    /// buffers to `bytes` each (the OS clamps the request; no-op off
+    /// Linux). The ~208 KiB Linux default holds only a couple hundred
+    /// queued datagrams — about 2 ms of traffic at `pels serve` rates — so
+    /// a control burst from a thousand-flow peer sheds HELLOs/ACKs in the
+    /// kernel before userspace ever sees them.
+    pub fn expand_buffers(&self, bytes: usize) {
+        crate::batch::expand_socket_buffers(&self.socket, bytes);
+    }
+
+    /// The underlying socket, for the batched backend's raw-fd syscalls.
+    pub(crate) fn socket(&self) -> &UdpSocket {
+        &self.socket
     }
 }
 
@@ -317,6 +413,35 @@ mod tests {
         a.send_to(&[7u8; 10], b.local_addr()).unwrap();
         b.try_recv(&mut buf).unwrap().unwrap();
         assert_eq!(hub.truncated(), 1);
+    }
+
+    #[test]
+    fn default_batch_methods_match_per_datagram_semantics() {
+        let hub = MemHub::new();
+        let a = hub.endpoint(addr(1));
+        let b = hub.endpoint(addr(2));
+        let batch: Vec<Datagram> = (0u8..3)
+            .map(|i| Datagram { buf: vec![i; (i as usize + 1) * 10], addr: b.local_addr() })
+            .collect();
+        a.send_batch(&batch).unwrap();
+        // A 4-slot receive ring drains all three in order and reports 3.
+        let mut ring: Vec<Datagram> = (0..4).map(|_| Datagram::slot(64)).collect();
+        let got = b.recv_batch(&mut ring).unwrap();
+        assert_eq!(got, 3);
+        for (i, slot) in ring.iter().take(got).enumerate() {
+            assert_eq!(slot.buf, vec![i as u8; (i + 1) * 10]);
+            assert_eq!(slot.addr, a.local_addr());
+        }
+        // Slots truncate like `try_recv` into a small buffer, counted.
+        a.send_to(&[9u8; 100], b.local_addr()).unwrap();
+        let mut small = [Datagram::slot(10)];
+        assert_eq!(b.recv_batch(&mut small).unwrap(), 1);
+        assert_eq!(small[0].buf.len(), 10);
+        assert_eq!(hub.truncated(), 1);
+        // Reset restores capacity for reuse.
+        small[0].reset(64);
+        assert_eq!(small[0].buf.len(), 64);
+        assert_eq!(b.recv_batch(&mut small).unwrap(), 0);
     }
 
     #[test]

